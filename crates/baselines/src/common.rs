@@ -1,0 +1,141 @@
+//! Shared measurement surface for comparing buffering schemes.
+//!
+//! Every baseline network (and the RRMP harness itself, via the bench
+//! code) produces a [`RunReport`] with the same cost and latency metrics,
+//! so the `ablation_buffer_policies` experiment can print one table across
+//! all schemes.
+
+use rrmp_core::ids::MessageId;
+use rrmp_netsim::time::SimTime;
+
+/// Cost/latency metrics of one buffering-scheme run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Scheme name for table rows.
+    pub scheme: &'static str,
+    /// Members that delivered every message under test.
+    pub fully_delivered_members: usize,
+    /// Total membership.
+    pub members: usize,
+    /// Sum over members of the buffer byte×time integral (byte·µs) — the
+    /// aggregate buffering cost.
+    pub byte_time_total: u128,
+    /// Largest per-member peak buffer entry count (load concentration:
+    /// repair-server schemes spike here, RRMP spreads it).
+    pub peak_entries_max: usize,
+    /// Mean per-member peak buffer entry count.
+    pub peak_entries_mean: f64,
+    /// Unicast control+repair packets handed to the network.
+    pub packets_sent: u64,
+    /// Mean recovery latency (ms) over members that missed the initial
+    /// multicast and later delivered, if any recovered.
+    pub mean_recovery_latency_ms: Option<f64>,
+    /// Residual losses: `(member, message)` pairs never delivered.
+    pub residual_losses: usize,
+}
+
+impl RunReport {
+    /// Renders the report as one row of the comparison table.
+    #[must_use]
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<14} {:>9} {:>16} {:>10} {:>12.1} {:>12} {:>12} {:>9}",
+            self.scheme,
+            format!("{}/{}", self.fully_delivered_members, self.members),
+            self.byte_time_total / 1000, // byte·ms
+            self.peak_entries_max,
+            self.peak_entries_mean,
+            self.packets_sent,
+            self.mean_recovery_latency_ms
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+            self.residual_losses,
+        )
+    }
+
+    /// The header matching [`RunReport::table_row`].
+    #[must_use]
+    pub fn table_header() -> String {
+        format!(
+            "{:<14} {:>9} {:>16} {:>10} {:>12} {:>12} {:>12} {:>9}",
+            "scheme", "delivered", "byte·ms buffered", "peak(max)", "peak(mean)", "pkts", "lat(ms)", "residual"
+        )
+    }
+}
+
+/// Computes mean recovery latency in milliseconds from `(member_missed,
+/// delivered_at)` pairs relative to `sent_at`.
+#[must_use]
+pub fn mean_latency_ms(deliveries: &[SimTime], sent_at: SimTime) -> Option<f64> {
+    if deliveries.is_empty() {
+        return None;
+    }
+    let total: f64 = deliveries
+        .iter()
+        .map(|&d| d.saturating_since(sent_at).as_millis_f64())
+        .sum();
+    Some(total / deliveries.len() as f64)
+}
+
+/// Deterministic 64-bit hash of `(member, message)` used by the
+/// hash-buffering baseline — both the requester and the bufferer sides
+/// must agree on it, so it lives here.
+#[must_use]
+pub fn bufferer_hash(member: rrmp_netsim::topology::NodeId, msg: MessageId) -> u64 {
+    let mut state = (u64::from(member.0) << 32)
+        ^ (u64::from(msg.source.0).rotate_left(17))
+        ^ msg.seq.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rrmp_netsim::rng::splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrmp_core::ids::SeqNo;
+    use rrmp_netsim::topology::NodeId;
+
+    #[test]
+    fn table_row_and_header_align() {
+        let r = RunReport {
+            scheme: "two-phase",
+            fully_delivered_members: 100,
+            members: 100,
+            byte_time_total: 123_456,
+            peak_entries_max: 7,
+            peak_entries_mean: 1.5,
+            packets_sent: 42,
+            mean_recovery_latency_ms: Some(12.3),
+            residual_losses: 0,
+        };
+        let header = RunReport::table_header();
+        let row = r.table_row();
+        assert!(!header.is_empty() && !row.is_empty());
+        assert!(row.contains("two-phase"));
+        assert!(row.contains("100/100"));
+    }
+
+    #[test]
+    fn mean_latency_handles_empty() {
+        assert_eq!(mean_latency_ms(&[], SimTime::ZERO), None);
+        let v = mean_latency_ms(
+            &[SimTime::from_millis(10), SimTime::from_millis(20)],
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert!((v - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bufferer_hash_is_deterministic_and_spreads() {
+        let msg = MessageId::new(NodeId(0), SeqNo(1));
+        let a = bufferer_hash(NodeId(1), msg);
+        let b = bufferer_hash(NodeId(1), msg);
+        assert_eq!(a, b);
+        // Different members and messages give different hashes (whp).
+        let others: std::collections::HashSet<u64> = (0..100u32)
+            .map(|m| bufferer_hash(NodeId(m), msg))
+            .collect();
+        assert!(others.len() >= 99, "hash collisions too frequent");
+        let msg2 = MessageId::new(NodeId(0), SeqNo(2));
+        assert_ne!(bufferer_hash(NodeId(1), msg), bufferer_hash(NodeId(1), msg2));
+    }
+}

@@ -1,0 +1,36 @@
+//! # rrmp-baselines
+//!
+//! The buffering schemes the DSN 2002 paper compares RRMP's two-phase
+//! algorithm against, each implemented as a full protocol on the
+//! [`rrmp_netsim`] simulator:
+//!
+//! * [`hash_buffering`] — deterministic hash-selected bufferers
+//!   (Ozkasap et al., NGC '99; the authors' previous scheme, §3.4).
+//! * [`stability`] — stability detection via periodic history exchange
+//!   (Guo & Rhee, INFOCOM '00; §1/§6's "stability detection protocols").
+//! * [`tree_rmtp`] — per-region repair servers buffering the entire
+//!   session (RMTP, JSAC '97; the tree-based protocols of §1).
+//! * [`sender_based`] — the strawman of §1: all recovery through the
+//!   sender, demonstrating the message-implosion problem.
+//!
+//! Two further baselines come directly from `rrmp-core`'s
+//! [`BufferPolicy`](rrmp_core::config::BufferPolicy): fixed-time buffering
+//! (Bimodal Multicast's policy, §2) and keep-everything.
+//!
+//! All networks produce a [`common::RunReport`] with identical metrics so
+//! the `ablation_buffer_policies` bench can print one comparison table.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod hash_buffering;
+pub mod sender_based;
+pub mod stability;
+pub mod tree_rmtp;
+
+pub use common::RunReport;
+pub use hash_buffering::{designated_bufferers, HashConfig, HashNetwork, HashNode, HashPacket};
+pub use sender_based::{SenderBasedConfig, SenderBasedNetwork, SenderBasedNode, SenderBasedPacket};
+pub use stability::{StabilityConfig, StabilityNetwork, StabilityNode, StabilityPacket};
+pub use tree_rmtp::{TreeConfig, TreeNetwork, TreeNode, TreePacket};

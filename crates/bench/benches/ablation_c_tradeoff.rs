@@ -1,0 +1,20 @@
+//! A6: the C trade-off (§3.2) — buffer copies vs e^{-C} no-bufferer risk
+//! vs search latency.
+
+use rrmp_bench::ablations::ablation_c_tradeoff;
+
+fn main() {
+    let seeds = 60;
+    println!("# A6 — C trade-off (n = 100, {seeds} seeds)");
+    println!(
+        "{:>4} {:>14} {:>12} {:>12} {:>12}",
+        "C", "longterm mean", "frac zero", "e^-C", "search ms"
+    );
+    for row in ablation_c_tradeoff(&[1.0, 2.0, 3.0, 4.0, 6.0, 8.0], 100, seeds, 0xA6) {
+        println!(
+            "{:>4} {:>14.2} {:>12.3} {:>12.3} {:>12.1}",
+            row.c, row.mean_longterm, row.frac_zero, row.analytic_zero, row.search_ms
+        );
+    }
+    println!("# Expect: measured bufferers ≈ C; zero-bufferer risk tracks e^-C; search time falls with C.");
+}

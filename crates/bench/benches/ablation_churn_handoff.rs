@@ -1,0 +1,17 @@
+//! A5: voluntary leave with §3.2 buffer handoff vs crash — does the
+//! handoff keep messages recoverable after every bufferer departs?
+
+use rrmp_bench::ablations::ablation_churn_handoff;
+
+fn main() {
+    let seeds = 20;
+    println!("# A5 — churn: leave-with-handoff vs crash (all bufferers depart; {seeds} seeds)");
+    println!("{:>7} {:>14} {:>14} {:>12}", "mode", "copies after", "recovery rate", "search ms");
+    for row in ablation_churn_handoff(seeds, 0xA5) {
+        println!(
+            "{:>7} {:>14.1} {:>14.2} {:>12.1}",
+            row.mode, row.mean_copies_after, row.recovery_rate, row.mean_search_ms
+        );
+    }
+    println!("# Expect: handoff preserves ~all copies and downstream recovery; crash loses both.");
+}

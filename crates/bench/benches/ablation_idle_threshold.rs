@@ -1,0 +1,19 @@
+//! A4: idle-threshold (T) sweep — §3.1's confidence/buffering trade-off.
+
+use rrmp_bench::ablations::ablation_idle_threshold;
+
+fn main() {
+    let seeds = 10;
+    println!("# A4 — idle threshold sweep (n = 100, 8 initial holders, {seeds} seeds)");
+    println!(
+        "{:>7} {:>14} {:>16} {:>12} {:>9}",
+        "T ms", "buffering ms", "ignored reqs", "local reqs", "recovery"
+    );
+    for row in ablation_idle_threshold(&[10, 20, 40, 80, 160], 100, 8, seeds, 0xA4) {
+        println!(
+            "{:>7} {:>14.1} {:>16.1} {:>12.1} {:>9.2}",
+            row.t_ms, row.mean_buffering_ms, row.mean_ignored_requests, row.mean_requests, row.recovery_rate
+        );
+    }
+    println!("# Expect: small T discards too early (ignored requests, retries); large T buffers longer.");
+}

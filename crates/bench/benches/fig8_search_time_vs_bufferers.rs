@@ -1,0 +1,18 @@
+//! Figure 8: search time for a remote request vs the number of bufferers
+//! in a 100-member region (paper: ~45 ms at 1 bufferer, ~20 ms at 10;
+//! 100 random seeds averaged).
+
+use rrmp_bench::figures::fig8_rows;
+
+fn main() {
+    let seeds = 100;
+    println!("# Figure 8 — search time vs #bufferers  (n = 100, {seeds} seeds)");
+    println!("{:>10} {:>14} {:>10} {:>10} {:>9}", "#bufferers", "search ms", "stddev", "model ms", "failures");
+    for row in fig8_rows(100, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], seeds, 0xF168) {
+        println!(
+            "{:>10} {:>14.1} {:>10.1} {:>10.1} {:>9}",
+            row.bufferers, row.mean_search_ms, row.std_dev_ms, row.model_ms, row.failures
+        );
+    }
+    println!("# Paper check: decreasing curve, ~2x RTT at 10 bufferers (Fig. 8).");
+}

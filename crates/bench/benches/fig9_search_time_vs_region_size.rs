@@ -1,0 +1,24 @@
+//! Figure 9: search time vs region size with 10 bufferers (paper: a 10x
+//! region-size increase raises search time only ~2.2x).
+
+use rrmp_bench::figures::fig9_rows;
+
+fn main() {
+    let seeds = 100;
+    println!("# Figure 9 — search time vs region size  (10 bufferers, {seeds} seeds)");
+    println!("{:>8} {:>14} {:>10} {:>10} {:>9}", "n", "search ms", "stddev", "model ms", "failures");
+    let ns = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+    let rows = fig9_rows(&ns, 10, seeds, 0xF169);
+    for row in &rows {
+        println!(
+            "{:>8} {:>14.1} {:>10.1} {:>10.1} {:>9}",
+            row.n, row.mean_search_ms, row.std_dev_ms, row.model_ms, row.failures
+        );
+    }
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        println!(
+            "# growth factor over 10x region size: {:.2}x (paper: ~2.2x)",
+            last.mean_search_ms / first.mean_search_ms
+        );
+    }
+}

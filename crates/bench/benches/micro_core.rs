@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the implementation's hot paths: the
+//! packet codec, the two-phase store, the interval set, the event queue,
+//! and an end-to-end simulated region recovery.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rrmp_baselines::designated_bufferers;
+use rrmp_core::buffer::MessageStore;
+use rrmp_core::harness::RrmpNetwork;
+use rrmp_core::ids::{MessageId, SeqNo};
+use rrmp_core::interval_set::IntervalSet;
+use rrmp_core::packet::{DataPacket, Packet};
+use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::event::EventQueue;
+use rrmp_netsim::loss::DeliveryPlan;
+use rrmp_netsim::time::SimTime;
+use rrmp_netsim::topology::{presets, NodeId};
+
+fn mid(seq: u64) -> MessageId {
+    MessageId::new(NodeId(0), SeqNo(seq))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let packet = Packet::Data(DataPacket::new(mid(42), Bytes::from(vec![7u8; 256])));
+    c.bench_function("codec/encode_data_256B", |b| {
+        b.iter(|| black_box(packet.encode()))
+    });
+    let encoded = packet.encode();
+    c.bench_function("codec/decode_data_256B", |b| {
+        b.iter(|| black_box(Packet::decode(encoded.clone()).unwrap()))
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("store/insert_promote_discard_1k", |b| {
+        b.iter(|| {
+            let mut store = MessageStore::new();
+            let payload = Bytes::from_static(b"payload-payload-payload");
+            for i in 0..1000u64 {
+                store.insert_short(mid(i), payload.clone(), SimTime::from_micros(i));
+            }
+            for i in 0..1000u64 {
+                store.promote_to_long(mid(i), SimTime::from_micros(2000 + i));
+            }
+            for i in 0..1000u64 {
+                store.discard(mid(i), SimTime::from_micros(4000 + i));
+            }
+            black_box(store.len())
+        })
+    });
+}
+
+fn bench_interval_set(c: &mut Criterion) {
+    c.bench_function("interval_set/insert_10k_with_gaps", |b| {
+        b.iter(|| {
+            let mut set = IntervalSet::new();
+            for i in 0..10_000u64 {
+                // Every 97th value skipped: keeps fragmentation realistic.
+                if i % 97 != 0 {
+                    set.insert(i);
+                }
+            }
+            black_box(set.interval_count())
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros(i * 7919 % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_hash_selection(c: &mut Criterion) {
+    let members: Vec<NodeId> = (0..1000).map(NodeId).collect();
+    c.bench_function("baseline/hash_select_6_of_1000", |b| {
+        b.iter(|| black_box(designated_bufferers(&members, mid(9), 6)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("e2e/region100_half_loss_recovery", |b| {
+        b.iter(|| {
+            let topo = presets::paper_region(100);
+            let mut net = RrmpNetwork::new(topo, ProtocolConfig::paper_defaults(), 7);
+            let plan = DeliveryPlan::only(net.topology(), (0..50).map(NodeId));
+            let id = net.multicast_with_plan(&b"bench"[..], &plan);
+            net.run_until(SimTime::from_millis(300));
+            assert_eq!(net.received_count(id), 100);
+            black_box(net.net_counters().events_processed)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_store,
+    bench_interval_set,
+    bench_event_queue,
+    bench_hash_selection,
+    bench_end_to_end
+);
+criterion_main!(benches);

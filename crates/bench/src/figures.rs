@@ -1,0 +1,426 @@
+//! Reproductions of every figure in the paper's evaluation (§4) plus the
+//! analytic figures of §3.2. Each function returns printable rows; the
+//! bench targets in `benches/` print them as the paper's series.
+
+use rand::Rng;
+use rrmp_analysis::models::{
+    bufferer_count_pmf, bufferer_count_pmf_exact, no_bufferer_probability,
+    no_bufferer_probability_exact, SearchModel,
+};
+use rrmp_core::harness::RrmpNetwork;
+use rrmp_core::ids::MessageId;
+use rrmp_core::prelude::{PreloadState, ProtocolConfig};
+use rrmp_core::packet::Packet;
+use rrmp_netsim::rng::SeedSequence;
+use rrmp_netsim::stats::OnlineStats;
+use rrmp_netsim::time::{SimDuration, SimTime};
+use rrmp_netsim::topology::{presets, NodeId, TopologyBuilder};
+
+/// Figure 3: probability that `k` members buffer an idle message, for
+/// several values of C — analytic Poisson, exact binomial (n = 100), and
+/// Monte-Carlo over the actual `C/n` coin the protocol flips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// C, the expected number of long-term bufferers.
+    pub c: f64,
+    /// k, the number of bufferers.
+    pub k: u64,
+    /// Poisson(C) pmf at k (the paper's plotted value).
+    pub poisson: f64,
+    /// Exact Binomial(n, C/n) pmf at k.
+    pub binomial: f64,
+    /// Monte-Carlo estimate from simulated retention draws.
+    pub monte_carlo: f64,
+}
+
+/// Computes Figure 3 for `n`-member regions with `trials` Monte-Carlo
+/// draws per C.
+#[must_use]
+pub fn fig3_rows(cs: &[f64], n: usize, k_max: u64, trials: u64, seed: u64) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    let seq = SeedSequence::new(seed);
+    for (ci, &c) in cs.iter().enumerate() {
+        let p = (c / n as f64).min(1.0);
+        let mut rng = seq.rng_for(ci as u64);
+        let mut histogram = vec![0u64; (n + 1).max(k_max as usize + 1)];
+        for _ in 0..trials {
+            // Each member independently keeps the idle message with
+            // probability C/n — exactly the Receiver's retention draw.
+            let kept = (0..n).filter(|_| rng.gen_bool(p)).count();
+            histogram[kept] += 1;
+        }
+        for k in 0..=k_max {
+            rows.push(Fig3Row {
+                c,
+                k,
+                poisson: bufferer_count_pmf(c, k),
+                binomial: bufferer_count_pmf_exact(n, c, k),
+                monte_carlo: histogram[k as usize] as f64 / trials as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 4: probability that **no** member buffers an idle message vs C.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// C, the expected number of long-term bufferers.
+    pub c: f64,
+    /// The paper's `e^{-C}` curve.
+    pub poisson: f64,
+    /// Exact `(1 - C/n)^n` for the finite region.
+    pub exact: f64,
+    /// Monte-Carlo estimate.
+    pub monte_carlo: f64,
+}
+
+/// Computes Figure 4 over `cs` for an `n`-member region.
+#[must_use]
+pub fn fig4_rows(cs: &[f64], n: usize, trials: u64, seed: u64) -> Vec<Fig4Row> {
+    let seq = SeedSequence::new(seed);
+    cs.iter()
+        .enumerate()
+        .map(|(ci, &c)| {
+            let p = (c / n as f64).min(1.0);
+            let mut rng = seq.rng_for(ci as u64);
+            let mut zero = 0u64;
+            for _ in 0..trials {
+                if !(0..n).any(|_| rng.gen_bool(p)) {
+                    zero += 1;
+                }
+            }
+            Fig4Row {
+                c,
+                poisson: no_bufferer_probability(c),
+                exact: no_bufferer_probability_exact(n, c),
+                monte_carlo: zero as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Figure 6: average short-term buffering time of the members that hold a
+/// message initially, vs how many hold it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Number of members holding the message at t = 0.
+    pub initial_holders: usize,
+    /// Mean buffering time (ms) of those members across seeds.
+    pub mean_buffering_ms: f64,
+    /// Sample standard deviation across holders and seeds.
+    pub std_dev_ms: f64,
+    /// Seeds × holders measured.
+    pub samples: u64,
+}
+
+/// Runs the Figure 6 experiment: `n`-member region, paper parameters
+/// (10 ms RTT, T = 40 ms), `seeds` independent runs per point.
+#[must_use]
+pub fn fig6_rows(n: usize, holder_counts: &[usize], seeds: u64, base_seed: u64) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for &k in holder_counts {
+        let mut stats = OnlineStats::new();
+        for s in 0..seeds {
+            let seed = base_seed ^ (k as u64) << 32 | s;
+            let (id, holders, net) = run_epidemic(n, k, seed, SimTime::from_secs(2));
+            for h in &holders {
+                let rec = net
+                    .node(*h)
+                    .receiver()
+                    .metrics()
+                    .buffer_record(id)
+                    .copied()
+                    .unwrap_or_default();
+                if let Some(d) = rec.short_term_duration() {
+                    stats.push(d.as_millis_f64());
+                }
+            }
+        }
+        rows.push(Fig6Row {
+            initial_holders: k,
+            mean_buffering_ms: stats.mean(),
+            std_dev_ms: stats.sample_variance().sqrt(),
+            samples: stats.count(),
+        });
+    }
+    rows
+}
+
+/// One sample of the Figure 7 time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Sample time (ms since the message entered the system).
+    pub time_ms: f64,
+    /// Members that have received the message (mean over seeds).
+    pub received: f64,
+    /// Members buffering it in any phase (mean over seeds).
+    pub buffered: f64,
+    /// Members buffering it short-term (mean over seeds).
+    pub buffered_short: f64,
+}
+
+/// Runs the Figure 7 experiment: one initial holder in an `n`-member
+/// region, sampling both series every `step_ms` until `horizon_ms`.
+#[must_use]
+pub fn fig7_series(n: usize, seeds: u64, base_seed: u64, step_ms: u64, horizon_ms: u64) -> Vec<Fig7Row> {
+    let steps = horizon_ms / step_ms + 1;
+    let mut received = vec![0f64; steps as usize];
+    let mut buffered = vec![0f64; steps as usize];
+    let mut buffered_short = vec![0f64; steps as usize];
+    for s in 0..seeds {
+        let seed = base_seed ^ 0xF167 ^ s;
+        let topo = presets::paper_region(n);
+        let mut net = RrmpNetwork::new(topo, ProtocolConfig::paper_defaults(), seed);
+        let holder = pick_holders(&mut SeedSequence::new(seed).rng_for(999), n, 1);
+        let id = net.seed_message_with_holders(&b"fig7"[..], &holder);
+        for (i, slot) in (0..steps).zip(0..) {
+            let t = SimTime::from_millis(i * step_ms);
+            net.run_until(t);
+            received[slot] += net.received_count(id) as f64;
+            buffered[slot] += net.buffered_count(id) as f64;
+            buffered_short[slot] += net.short_buffered_count(id) as f64;
+        }
+    }
+    (0..steps)
+        .map(|i| Fig7Row {
+            time_ms: (i * step_ms) as f64,
+            received: received[i as usize] / seeds as f64,
+            buffered: buffered[i as usize] / seeds as f64,
+            buffered_short: buffered_short[i as usize] / seeds as f64,
+        })
+        .collect()
+}
+
+/// Figure 8/9: mean search time for a remote request arriving in a region
+/// where `j` of `n` members buffer the message long-term and the rest have
+/// discarded it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRow {
+    /// Region size.
+    pub n: usize,
+    /// Number of bufferers.
+    pub bufferers: usize,
+    /// Mean measured search time (ms) over seeds.
+    pub mean_search_ms: f64,
+    /// Sample standard deviation (ms).
+    pub std_dev_ms: f64,
+    /// The analytic random-probe model's prediction (ms).
+    pub model_ms: f64,
+    /// Runs in which the search failed within the horizon.
+    pub failures: u64,
+}
+
+/// Runs one search-time measurement point averaged over `seeds` runs —
+/// the engine behind Figures 8 and 9.
+#[must_use]
+pub fn search_time_point(n: usize, j: usize, seeds: u64, base_seed: u64) -> SearchRow {
+    let mut stats = OnlineStats::new();
+    let mut failures = 0u64;
+    for s in 0..seeds {
+        let seed = base_seed ^ ((n as u64) << 40) ^ ((j as u64) << 20) ^ s;
+        match run_search_once(n, j, seed) {
+            Some(ms) => stats.push(ms),
+            None => failures += 1,
+        }
+    }
+    SearchRow {
+        n,
+        bufferers: j,
+        mean_search_ms: stats.mean(),
+        std_dev_ms: stats.sample_variance().sqrt(),
+        model_ms: SearchModel::paper(n, j).expected_search_time_ms(),
+        failures,
+    }
+}
+
+/// Figure 8: search time vs number of bufferers (region of `n`).
+#[must_use]
+pub fn fig8_rows(n: usize, j_values: &[usize], seeds: u64, base_seed: u64) -> Vec<SearchRow> {
+    j_values.iter().map(|&j| search_time_point(n, j, seeds, base_seed)).collect()
+}
+
+/// Figure 9: search time vs region size (fixed `j` bufferers).
+#[must_use]
+pub fn fig9_rows(ns: &[usize], j: usize, seeds: u64, base_seed: u64) -> Vec<SearchRow> {
+    ns.iter().map(|&n| search_time_point(n, j, seeds, base_seed)).collect()
+}
+
+// ----- shared machinery ------------------------------------------------------
+
+/// Picks `k` distinct random nodes out of `n`.
+fn pick_holders<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    // Partial Fisher-Yates.
+    for i in 0..k.min(n) {
+        let j = rng.gen_range(i..n);
+        all.swap(i, j);
+    }
+    all.truncate(k);
+    all
+}
+
+/// Runs the §4 epidemic-recovery scenario: `k` of `n` members hold a
+/// message at t = 0, everyone else detects the loss simultaneously.
+/// Returns the message id, the holders, and the finished network.
+#[must_use]
+pub fn run_epidemic(n: usize, k: usize, seed: u64, horizon: SimTime) -> (MessageId, Vec<NodeId>, RrmpNetwork) {
+    let topo = presets::paper_region(n);
+    let mut net = RrmpNetwork::new(topo, ProtocolConfig::paper_defaults(), seed);
+    let holders = pick_holders(&mut SeedSequence::new(seed).rng_for(999), n, k);
+    let id = net.seed_message_with_holders(&b"epidemic"[..], &holders);
+    net.run_until(horizon);
+    (id, holders, net)
+}
+
+/// Runs one §3.3 search: region of `n` (region 0), a one-member
+/// downstream region (the origin), `j` random long-term bufferers, and a
+/// remote request injected at a random region-0 member at t = 0. Returns
+/// the measured search time in ms, or `None` if no repair was sent within
+/// the horizon.
+#[must_use]
+pub fn run_search_once(n: usize, j: usize, seed: u64) -> Option<f64> {
+    let topo = TopologyBuilder::new()
+        .intra_region_one_way(SimDuration::from_millis(5))
+        .inter_region_one_way(SimDuration::from_millis(25))
+        .region(n, None)
+        .region(1, Some(0))
+        .build()
+        .expect("two-region search topology is valid");
+    let mut net = RrmpNetwork::new(topo, ProtocolConfig::paper_defaults(), seed);
+    let id = MessageId::new(NodeId(0), rrmp_core::ids::SeqNo(1));
+    let seq = SeedSequence::new(seed ^ 0x5E_A2C4);
+    let mut rng = seq.rng_for(1);
+    let bufferers = pick_holders(&mut rng, n, j);
+    let bufferer_set: std::collections::HashSet<NodeId> = bufferers.iter().copied().collect();
+    for i in 0..n as u32 {
+        let state = if bufferer_set.contains(&NodeId(i)) {
+            PreloadState::LongTerm
+        } else {
+            PreloadState::ReceivedDiscarded
+        };
+        net.preload(NodeId(i), id, &b"searched"[..], state);
+    }
+    let origin = NodeId(n as u32);
+    let entry = NodeId(rng.gen_range(0..n as u32));
+    net.inject_packet(entry, origin, Packet::RemoteRequest { msg: id }, SimTime::ZERO);
+    net.run_until_quiescent(SimTime::from_secs(4));
+    net.first_remote_repair_at(id).map(|t| t.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_distributions_normalize() {
+        let rows = fig3_rows(&[6.0], 100, 20, 20_000, 1);
+        let poisson_total: f64 = rows.iter().map(|r| r.poisson).sum();
+        let mc_total: f64 = rows.iter().map(|r| r.monte_carlo).sum();
+        assert!(poisson_total > 0.99, "poisson {poisson_total}");
+        assert!(mc_total > 0.98, "mc {mc_total}");
+        // Monte-Carlo tracks the analytic pmf.
+        for r in &rows {
+            assert!(
+                (r.monte_carlo - r.binomial).abs() < 0.02,
+                "k={}: mc {} vs binomial {}",
+                r.k,
+                r.monte_carlo,
+                r.binomial
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_monte_carlo_tracks_exponential() {
+        let rows = fig4_rows(&[1.0, 2.0, 3.0], 100, 50_000, 2);
+        for r in &rows {
+            assert!((r.monte_carlo - r.exact).abs() < 0.01, "{r:?}");
+            assert!((r.poisson - r.exact).abs() < 0.01, "{r:?}");
+        }
+        // e^{-1} ≈ 36.8%.
+        assert!((rows[0].poisson - 0.3679).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fig6_buffering_decreases_with_more_holders() {
+        let rows = fig6_rows(100, &[1, 16, 64], 3, 7);
+        assert_eq!(rows.len(), 3);
+        // The paper's headline shape: monotone decreasing toward T = 40 ms.
+        assert!(
+            rows[0].mean_buffering_ms > rows[1].mean_buffering_ms,
+            "k=1 {} should buffer longer than k=16 {}",
+            rows[0].mean_buffering_ms,
+            rows[1].mean_buffering_ms
+        );
+        assert!(rows[1].mean_buffering_ms > rows[2].mean_buffering_ms);
+        // Floor: nobody can idle out before T = 40 ms.
+        for r in &rows {
+            assert!(r.mean_buffering_ms >= 40.0 - 1e-6, "{r:?}");
+        }
+        // k=1 should be near the paper's ~100 ms (wide tolerance: this is
+        // a different simulator).
+        assert!(
+            (60.0..160.0).contains(&rows[0].mean_buffering_ms),
+            "k=1 mean {}",
+            rows[0].mean_buffering_ms
+        );
+    }
+
+    #[test]
+    fn fig7_series_has_paper_shape() {
+        let rows = fig7_series(100, 2, 11, 5, 200);
+        // Received is monotone non-decreasing and reaches ~everyone.
+        for w in rows.windows(2) {
+            assert!(w[1].received >= w[0].received - 1e-9);
+        }
+        let last = rows.last().unwrap();
+        assert!(last.received > 99.0, "received {}", last.received);
+        // Short-term buffering collapses by the end.
+        assert!(last.buffered_short < 5.0, "short {}", last.buffered_short);
+        // Peak buffered is near n while recovery is in flight.
+        let peak = rows.iter().map(|r| r.buffered).fold(0.0, f64::max);
+        assert!(peak > 90.0, "peak buffered {peak}");
+    }
+
+    #[test]
+    fn search_time_zero_when_everyone_buffers() {
+        let row = search_time_point(20, 20, 5, 3);
+        assert_eq!(row.failures, 0);
+        assert!(row.mean_search_ms.abs() < 1e-9, "{row:?}");
+    }
+
+    #[test]
+    fn fig8_search_time_decreases_with_bufferers() {
+        let rows = fig8_rows(100, &[1, 10], 15, 5);
+        assert!(rows.iter().all(|r| r.failures == 0), "{rows:?}");
+        assert!(
+            rows[0].mean_search_ms > rows[1].mean_search_ms,
+            "j=1 {} vs j=10 {}",
+            rows[0].mean_search_ms,
+            rows[1].mean_search_ms
+        );
+        // Magnitudes in the paper's band (j=1 ≈ 45 ms, j=10 ≈ 20 ms).
+        assert!((15.0..90.0).contains(&rows[0].mean_search_ms), "{rows:?}");
+        assert!((2.0..40.0).contains(&rows[1].mean_search_ms), "{rows:?}");
+    }
+
+    #[test]
+    fn fig9_search_time_grows_sublinearly() {
+        let rows = fig9_rows(&[100, 400], 10, 15, 6);
+        assert!(rows.iter().all(|r| r.failures == 0));
+        let ratio = rows[1].mean_search_ms / rows[0].mean_search_ms;
+        assert!(
+            ratio > 1.0 && ratio < 4.0,
+            "4x region should raise search time sublinearly, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn pick_holders_distinct() {
+        let mut rng = SeedSequence::new(1).rng_for(0);
+        let holders = pick_holders(&mut rng, 50, 10);
+        let set: std::collections::HashSet<NodeId> = holders.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

@@ -1,0 +1,639 @@
+//! The two-phase message store.
+//!
+//! Every buffered message is in one of two phases (paper §3):
+//!
+//! * **Short-term** — entered on receipt. The entry tracks the last time a
+//!   retransmission request for the message was seen; once
+//!   `now − max(received_at, last_request) ≥ T` the message is *idle* and
+//!   the owner decides (with probability `C/n`) whether to promote it to
+//!   long-term or discard it.
+//! * **Long-term** — a small random subset of members keeps idle messages
+//!   around for stragglers and downstream regions. Entries track their last
+//!   use (a served request or handoff) and expire after a long disuse
+//!   timeout.
+//!
+//! The store is purely mechanical: *when* transitions happen is decided by
+//! the [`Receiver`](crate::receiver::Receiver), which owns timers and
+//! randomness. The store also maintains occupancy accounting (entry counts,
+//! byte counts, and a byte×time integral) used by the buffering-cost
+//! experiments.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rrmp_netsim::time::{SimDuration, SimTime};
+
+use crate::ids::MessageId;
+
+/// Which phase a buffered message is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Feedback-based short-term buffering (§3.1).
+    Short,
+    /// Randomized long-term buffering (§3.2).
+    Long,
+}
+
+/// A buffered message with its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferEntry {
+    /// The buffered payload.
+    pub data: Bytes,
+    /// Current phase.
+    pub phase: Phase,
+    /// When the message was first buffered here.
+    pub received_at: SimTime,
+    /// The last time a retransmission request for it was seen (equals
+    /// `received_at` until a request arrives).
+    pub last_request: SimTime,
+    /// When the entry became idle and was promoted (long phase only).
+    pub idled_at: Option<SimTime>,
+    /// Last time the entry was *used*: served a request or was handed off.
+    pub last_use: SimTime,
+}
+
+impl BufferEntry {
+    /// The idle clock's reference point: the latest of receipt and last
+    /// request seen (§3.1's "no request … for a time interval T").
+    #[must_use]
+    pub fn last_activity(&self) -> SimTime {
+        self.received_at.max(self.last_request)
+    }
+}
+
+/// The two-phase buffer holding message payloads.
+#[derive(Debug, Clone, Default)]
+pub struct MessageStore {
+    entries: HashMap<MessageId, BufferEntry>,
+    short_count: usize,
+    long_count: usize,
+    bytes: usize,
+    /// Optional hard cap on buffered payload bytes.
+    capacity: Option<usize>,
+    /// Integral of buffered bytes over time, in byte·microseconds.
+    byte_time: u128,
+    last_change: SimTime,
+    /// Peak concurrent entries, for load reporting.
+    peak_entries: usize,
+}
+
+impl MessageStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MessageStore::default()
+    }
+
+    /// Creates a store with a hard byte capacity. When an insert would
+    /// exceed it, the least-recently-used **long-term** entries are
+    /// evicted first (short-term entries are the §3.1 feedback phase and
+    /// are only evicted if no long-term entry remains). This is the
+    /// memory-pressure scenario the paper's §1 raises for repair servers
+    /// with bounded space.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        MessageStore { capacity: Some(capacity), ..MessageStore::default() }
+    }
+
+    /// The configured byte capacity, if any.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Evicts entries (LRU, long-term before short-term) until `incoming`
+    /// additional bytes fit. Returns the evicted ids.
+    fn make_room(&mut self, incoming: usize, now: SimTime) -> Vec<MessageId> {
+        let Some(cap) = self.capacity else { return Vec::new() };
+        let mut evicted = Vec::new();
+        while self.bytes + incoming > cap && !self.entries.is_empty() {
+            // Oldest last_use; long-term entries strictly before short.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.phase == Phase::Short, e.last_use, **id))
+                .map(|(&id, _)| id)
+                .expect("non-empty");
+            self.discard(victim, now);
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Like [`MessageStore::insert_short`], but enforcing the byte
+    /// capacity; returns `(inserted, evicted_ids)`.
+    pub fn insert_short_bounded(
+        &mut self,
+        id: MessageId,
+        data: Bytes,
+        now: SimTime,
+    ) -> (bool, Vec<MessageId>) {
+        if self.entries.contains_key(&id) {
+            return (false, Vec::new());
+        }
+        if let Some(cap) = self.capacity {
+            if data.len() > cap {
+                return (false, Vec::new()); // can never fit
+            }
+        }
+        let evicted = self.make_room(data.len(), now);
+        let inserted = self.insert_short(id, data, now);
+        (inserted, evicted)
+    }
+
+    /// Like [`MessageStore::insert_long`], but enforcing the byte
+    /// capacity; returns `(inserted, evicted_ids)`.
+    pub fn insert_long_bounded(
+        &mut self,
+        id: MessageId,
+        data: Bytes,
+        now: SimTime,
+    ) -> (bool, Vec<MessageId>) {
+        if self.entries.contains_key(&id) {
+            return (false, Vec::new());
+        }
+        if let Some(cap) = self.capacity {
+            if data.len() > cap {
+                return (false, Vec::new());
+            }
+        }
+        let evicted = self.make_room(data.len(), now);
+        let inserted = self.insert_long(id, data, now);
+        (inserted, evicted)
+    }
+
+    fn advance_accounting(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_change).as_micros();
+        self.byte_time += self.bytes as u128 * dt as u128;
+        self.last_change = self.last_change.max(now);
+    }
+
+    /// Inserts a freshly received message in the short-term phase.
+    /// Returns `false` (and changes nothing) if it is already buffered.
+    pub fn insert_short(&mut self, id: MessageId, data: Bytes, now: SimTime) -> bool {
+        if self.entries.contains_key(&id) {
+            return false;
+        }
+        self.advance_accounting(now);
+        self.bytes += data.len();
+        self.short_count += 1;
+        self.entries.insert(
+            id,
+            BufferEntry {
+                data,
+                phase: Phase::Short,
+                received_at: now,
+                last_request: now,
+                idled_at: None,
+                last_use: now,
+            },
+        );
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+        true
+    }
+
+    /// Inserts a message directly into the long-term phase (buffer handoff
+    /// from a leaving member, §3.2). Returns `false` if already buffered.
+    pub fn insert_long(&mut self, id: MessageId, data: Bytes, now: SimTime) -> bool {
+        if self.entries.contains_key(&id) {
+            return false;
+        }
+        self.advance_accounting(now);
+        self.bytes += data.len();
+        self.long_count += 1;
+        self.entries.insert(
+            id,
+            BufferEntry {
+                data,
+                phase: Phase::Long,
+                received_at: now,
+                last_request: now,
+                idled_at: Some(now),
+                last_use: now,
+            },
+        );
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+        true
+    }
+
+    /// Records that a retransmission request for `id` was observed,
+    /// refreshing the idle clock (short phase) and the use clock (both
+    /// phases). Returns `true` if the message is buffered here.
+    pub fn note_request(&mut self, id: MessageId, now: SimTime) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.last_request = e.last_request.max(now);
+                e.last_use = e.last_use.max(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records that the entry served some purpose (repair sent, handoff) —
+    /// refreshes only the long-term use clock.
+    pub fn note_use(&mut self, id: MessageId, now: SimTime) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.last_use = e.last_use.max(now);
+        }
+    }
+
+    /// The buffered payload for `id`, if present (cheap clone of [`Bytes`]).
+    #[must_use]
+    pub fn get(&self, id: MessageId) -> Option<Bytes> {
+        self.entries.get(&id).map(|e| e.data.clone())
+    }
+
+    /// Whether `id` is buffered (either phase).
+    #[must_use]
+    pub fn contains(&self, id: MessageId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// The phase of `id`, if buffered.
+    #[must_use]
+    pub fn phase(&self, id: MessageId) -> Option<Phase> {
+        self.entries.get(&id).map(|e| e.phase)
+    }
+
+    /// Full entry view for `id`, if buffered.
+    #[must_use]
+    pub fn entry(&self, id: MessageId) -> Option<&BufferEntry> {
+        self.entries.get(&id)
+    }
+
+    /// The idle-clock reference (`max(received_at, last_request)`) for a
+    /// short-phase entry; `None` if absent or already long-term.
+    #[must_use]
+    pub fn short_last_activity(&self, id: MessageId) -> Option<SimTime> {
+        self.entries
+            .get(&id)
+            .filter(|e| e.phase == Phase::Short)
+            .map(BufferEntry::last_activity)
+    }
+
+    /// Promotes a short-phase entry to the long-term phase. Returns `false`
+    /// if the entry is absent or already long-term.
+    pub fn promote_to_long(&mut self, id: MessageId, now: SimTime) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) if e.phase == Phase::Short => {
+                e.phase = Phase::Long;
+                e.idled_at = Some(now);
+                self.short_count -= 1;
+                self.long_count += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes an entry; returns it if it was present.
+    pub fn discard(&mut self, id: MessageId, now: SimTime) -> Option<BufferEntry> {
+        let e = self.entries.remove(&id)?;
+        self.advance_accounting(now);
+        self.bytes -= e.data.len();
+        match e.phase {
+            Phase::Short => self.short_count -= 1,
+            Phase::Long => self.long_count -= 1,
+        }
+        Some(e)
+    }
+
+    /// Removes long-phase entries unused for at least `timeout`; returns
+    /// their ids.
+    pub fn expire_long(&mut self, now: SimTime, timeout: SimDuration) -> Vec<MessageId> {
+        let expired: Vec<MessageId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                e.phase == Phase::Long && now.saturating_since(e.last_use) >= timeout
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        let mut sorted = expired;
+        sorted.sort();
+        for &id in &sorted {
+            self.discard(id, now);
+        }
+        sorted
+    }
+
+    /// Discards every entry (a crash losing its memory). Returns how many
+    /// entries were dropped.
+    pub fn drain_all(&mut self, now: SimTime) -> usize {
+        let ids: Vec<MessageId> = self.entries.keys().copied().collect();
+        let n = ids.len();
+        for id in ids {
+            self.discard(id, now);
+        }
+        n
+    }
+
+    /// Removes and returns every long-phase entry (for leave-time handoff),
+    /// in id order.
+    pub fn take_all_long(&mut self, now: SimTime) -> Vec<(MessageId, Bytes)> {
+        let mut ids: Vec<MessageId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.phase == Phase::Long)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort();
+        ids.into_iter()
+            .map(|id| {
+                let e = self.discard(id, now).expect("id just enumerated");
+                (id, e.data)
+            })
+            .collect()
+    }
+
+    /// Number of short-phase entries.
+    #[must_use]
+    pub fn short_count(&self) -> usize {
+        self.short_count
+    }
+
+    /// Number of long-phase entries.
+    #[must_use]
+    pub fn long_count(&self) -> usize {
+        self.long_count
+    }
+
+    /// Total entries in either phase.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total buffered payload bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Peak concurrent entry count observed.
+    #[must_use]
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// The byte×time integral (byte·µs) up to `now` — the buffering *cost*
+    /// metric compared across policies in the ablation experiments.
+    #[must_use]
+    pub fn byte_time_integral(&self, now: SimTime) -> u128 {
+        let dt = now.saturating_since(self.last_change).as_micros();
+        self.byte_time + self.bytes as u128 * dt as u128
+    }
+
+    /// Iterates over buffered entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MessageId, &BufferEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrmp_netsim::topology::NodeId;
+    use crate::ids::SeqNo;
+
+    fn mid(seq: u64) -> MessageId {
+        MessageId::new(NodeId(0), SeqNo(seq))
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn insert_get_counts() {
+        let mut s = MessageStore::new();
+        assert!(s.insert_short(mid(1), payload(10), t(0)));
+        assert!(!s.insert_short(mid(1), payload(10), t(1)));
+        assert!(s.contains(mid(1)));
+        assert_eq!(s.get(mid(1)).unwrap().len(), 10);
+        assert_eq!(s.phase(mid(1)), Some(Phase::Short));
+        assert_eq!(s.short_count(), 1);
+        assert_eq!(s.long_count(), 0);
+        assert_eq!(s.bytes(), 10);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn request_refreshes_idle_clock() {
+        let mut s = MessageStore::new();
+        s.insert_short(mid(1), payload(1), t(0));
+        assert_eq!(s.short_last_activity(mid(1)), Some(t(0)));
+        assert!(s.note_request(mid(1), t(25)));
+        assert_eq!(s.short_last_activity(mid(1)), Some(t(25)));
+        // Requests never move the clock backwards.
+        s.note_request(mid(1), t(10));
+        assert_eq!(s.short_last_activity(mid(1)), Some(t(25)));
+        assert!(!s.note_request(mid(9), t(30)));
+    }
+
+    #[test]
+    fn promote_and_phase_counts() {
+        let mut s = MessageStore::new();
+        s.insert_short(mid(1), payload(4), t(0));
+        assert!(s.promote_to_long(mid(1), t(40)));
+        assert!(!s.promote_to_long(mid(1), t(41)));
+        assert_eq!(s.phase(mid(1)), Some(Phase::Long));
+        assert_eq!(s.short_count(), 0);
+        assert_eq!(s.long_count(), 1);
+        assert_eq!(s.entry(mid(1)).unwrap().idled_at, Some(t(40)));
+        assert_eq!(s.short_last_activity(mid(1)), None);
+    }
+
+    #[test]
+    fn discard_updates_accounting() {
+        let mut s = MessageStore::new();
+        s.insert_short(mid(1), payload(100), t(0));
+        let e = s.discard(mid(1), t(50)).unwrap();
+        assert_eq!(e.data.len(), 100);
+        assert!(s.is_empty());
+        assert_eq!(s.bytes(), 0);
+        assert!(s.discard(mid(1), t(51)).is_none());
+        // 100 bytes held for 50ms.
+        assert_eq!(s.byte_time_integral(t(50)), 100 * 50_000);
+    }
+
+    #[test]
+    fn byte_time_integral_accumulates() {
+        let mut s = MessageStore::new();
+        s.insert_short(mid(1), payload(10), t(0));
+        s.insert_short(mid(2), payload(10), t(10)); // 10 bytes for 10ms so far
+        assert_eq!(s.byte_time_integral(t(10)), 10 * 10_000);
+        // Then 20 bytes for 10 more ms.
+        assert_eq!(s.byte_time_integral(t(20)), 10 * 10_000 + 20 * 10_000);
+    }
+
+    #[test]
+    fn expire_long_respects_last_use() {
+        let mut s = MessageStore::new();
+        s.insert_short(mid(1), payload(1), t(0));
+        s.promote_to_long(mid(1), t(40));
+        s.insert_long(mid(2), payload(1), t(40));
+        // Use message 2 at t=900.
+        s.note_use(mid(2), t(900));
+        let expired = s.expire_long(t(1040), SimDuration::from_millis(1000));
+        assert_eq!(expired, vec![mid(1)]);
+        assert!(s.contains(mid(2)));
+        // Short entries never expire via this path.
+        s.insert_short(mid(3), payload(1), t(0));
+        let expired = s.expire_long(t(10_000), SimDuration::from_millis(1));
+        assert_eq!(expired, vec![mid(2)]);
+        assert!(s.contains(mid(3)));
+    }
+
+    #[test]
+    fn take_all_long_drains_only_long() {
+        let mut s = MessageStore::new();
+        s.insert_short(mid(1), payload(1), t(0));
+        s.insert_long(mid(2), payload(2), t(0));
+        s.insert_long(mid(3), payload(3), t(0));
+        let taken = s.take_all_long(t(5));
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].0, mid(2));
+        assert_eq!(taken[1].0, mid(3));
+        assert_eq!(s.long_count(), 0);
+        assert_eq!(s.short_count(), 1);
+    }
+
+    #[test]
+    fn peak_entries_tracks_high_water() {
+        let mut s = MessageStore::new();
+        for i in 1..=5 {
+            s.insert_short(mid(i), payload(1), t(i));
+        }
+        for i in 1..=4 {
+            s.discard(mid(i), t(10 + i));
+        }
+        assert_eq!(s.peak_entries(), 5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_long_term_first() {
+        let mut s = MessageStore::with_capacity(30);
+        assert_eq!(s.capacity(), Some(30));
+        s.insert_long_bounded(mid(1), payload(10), t(0));
+        s.insert_long_bounded(mid(2), payload(10), t(1));
+        s.insert_short_bounded(mid(3), payload(10), t(2));
+        assert_eq!(s.bytes(), 30);
+        // Touch message 1 so message 2 becomes the LRU long-term entry.
+        s.note_use(mid(1), t(5));
+        let (inserted, evicted) = s.insert_short_bounded(mid(4), payload(10), t(6));
+        assert!(inserted);
+        assert_eq!(evicted, vec![mid(2)], "LRU long-term entry must go first");
+        assert!(s.contains(mid(3)), "short-term survives while long-term exists");
+        assert!(s.bytes() <= 30);
+    }
+
+    #[test]
+    fn capacity_evicts_short_only_as_last_resort() {
+        let mut s = MessageStore::with_capacity(20);
+        s.insert_short_bounded(mid(1), payload(10), t(0));
+        s.insert_short_bounded(mid(2), payload(10), t(1));
+        let (inserted, evicted) = s.insert_short_bounded(mid(3), payload(10), t(2));
+        assert!(inserted);
+        assert_eq!(evicted, vec![mid(1)], "oldest short-term entry evicted");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_outright() {
+        let mut s = MessageStore::with_capacity(5);
+        let (inserted, evicted) = s.insert_short_bounded(mid(1), payload(10), t(0));
+        assert!(!inserted);
+        assert!(evicted.is_empty());
+        assert!(s.is_empty());
+        let (inserted, _) = s.insert_long_bounded(mid(1), payload(10), t(0));
+        assert!(!inserted);
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let mut s = MessageStore::new();
+        for i in 0..100 {
+            let (inserted, evicted) = s.insert_short_bounded(mid(i), payload(100), t(i));
+            assert!(inserted);
+            assert!(evicted.is_empty());
+        }
+        assert_eq!(s.bytes(), 10_000);
+    }
+
+    #[test]
+    fn insert_long_direct_handoff() {
+        let mut s = MessageStore::new();
+        assert!(s.insert_long(mid(9), payload(7), t(3)));
+        assert!(!s.insert_long(mid(9), payload(7), t(4)));
+        assert_eq!(s.phase(mid(9)), Some(Phase::Long));
+        assert_eq!(s.entry(mid(9)).unwrap().idled_at, Some(t(3)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rrmp_netsim::topology::NodeId;
+    use crate::ids::SeqNo;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        InsertShort(u64, usize),
+        InsertLong(u64, usize),
+        Request(u64),
+        Promote(u64),
+        Discard(u64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..20, 0usize..64).prop_map(|(i, n)| Op::InsertShort(i, n)),
+            (0u64..20, 0usize..64).prop_map(|(i, n)| Op::InsertLong(i, n)),
+            (0u64..20).prop_map(Op::Request),
+            (0u64..20).prop_map(Op::Promote),
+            (0u64..20).prop_map(Op::Discard),
+        ]
+    }
+
+    proptest! {
+        /// Counters (short/long/bytes/len) always agree with the entry map
+        /// under any operation sequence.
+        #[test]
+        fn accounting_is_consistent(ops in proptest::collection::vec(arb_op(), 0..200)) {
+            let mut s = MessageStore::new();
+            let mid = |i: u64| MessageId::new(NodeId(0), SeqNo(i));
+            for (step, op) in ops.into_iter().enumerate() {
+                let now = SimTime::from_micros(step as u64);
+                match op {
+                    Op::InsertShort(i, n) => { s.insert_short(mid(i), Bytes::from(vec![0; n]), now); }
+                    Op::InsertLong(i, n) => { s.insert_long(mid(i), Bytes::from(vec![0; n]), now); }
+                    Op::Request(i) => { s.note_request(mid(i), now); }
+                    Op::Promote(i) => { s.promote_to_long(mid(i), now); }
+                    Op::Discard(i) => { s.discard(mid(i), now); }
+                }
+                let shorts = s.iter().filter(|(_, e)| e.phase == Phase::Short).count();
+                let longs = s.iter().filter(|(_, e)| e.phase == Phase::Long).count();
+                let bytes: usize = s.iter().map(|(_, e)| e.data.len()).sum();
+                prop_assert_eq!(s.short_count(), shorts);
+                prop_assert_eq!(s.long_count(), longs);
+                prop_assert_eq!(s.bytes(), bytes);
+                prop_assert_eq!(s.len(), shorts + longs);
+                prop_assert!(s.peak_entries() >= s.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Protocol configuration.
+//!
+//! [`ProtocolConfig`] collects every tunable the paper discusses:
+//!
+//! * `lambda` (λ) — expected number of remote requests sent by a region
+//!   that missed a message entirely (§2.2).
+//! * `c` (C) — expected number of long-term bufferers per region (§3.2);
+//!   the probability nobody buffers decays as `e^{-C}` (Figure 4).
+//! * `idle_threshold` (T) — a message becomes *idle* after this long
+//!   without any retransmission request (§3.1); the paper's §4 uses
+//!   40 ms = 4× the maximum intra-region RTT.
+//! * retry timers for the local/remote/search phases ("set a timer
+//!   according to its estimated round trip time").
+//! * the back-off window for duplicate regional-repair suppression.
+//! * the buffering policy, which can be swapped for baselines
+//!   (fixed-time, keep-everything) in ablation experiments.
+
+use rrmp_netsim::time::SimDuration;
+
+/// Which buffer-management policy a receiver runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BufferPolicy {
+    /// The paper's contribution: feedback-based short-term buffering with
+    /// idle threshold `T`, then randomized long-term buffering with
+    /// expected `C` bufferers per region.
+    TwoPhase,
+    /// Bimodal-Multicast-style baseline: every member buffers each message
+    /// for a fixed duration, ignoring request feedback.
+    FixedTime {
+        /// How long every member holds every message.
+        hold: SimDuration,
+    },
+    /// Never discard (an RMTP-like upper bound on buffering cost).
+    KeepAll,
+}
+
+/// Errors from [`ProtocolConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// λ must be positive (otherwise regional losses are never repaired).
+    NonPositiveLambda(f64),
+    /// C must be positive (otherwise no long-term bufferers exist).
+    NonPositiveC(f64),
+    /// A timer duration that must be non-zero was zero.
+    ZeroDuration(&'static str),
+    /// Retry caps must be at least 1.
+    ZeroAttempts(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveLambda(l) => write!(f, "lambda must be positive, got {l}"),
+            ConfigError::NonPositiveC(c) => write!(f, "c must be positive, got {c}"),
+            ConfigError::ZeroDuration(name) => write!(f, "{name} must be non-zero"),
+            ConfigError::ZeroAttempts(name) => write!(f, "{name} must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// All protocol tunables. Construct with [`ProtocolConfig::builder`] or use
+/// [`ProtocolConfig::paper_defaults`] for the §4 simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProtocolConfig {
+    /// Expected number of remote requests per region-wide loss (λ, §2.2).
+    pub lambda: f64,
+    /// Expected number of long-term bufferers per region (C, §3.2).
+    pub c: f64,
+    /// Idle threshold T (§3.1): discard-decision point after this long
+    /// without requests.
+    pub idle_threshold: SimDuration,
+    /// Retry timer for local recovery — the estimated intra-region RTT.
+    pub local_timeout: SimDuration,
+    /// Retry timer for remote recovery — the estimated RTT to the parent
+    /// region.
+    pub remote_timeout: SimDuration,
+    /// Retry timer for the bufferer search — the estimated intra-region RTT.
+    pub search_timeout: SimDuration,
+    /// How long a member remembers that a search for a message completed
+    /// (the "I have the message" announcement). Probes still in flight
+    /// when the announcement passes would otherwise re-ignite the search;
+    /// within this window they are answered from the remembered holder
+    /// instead. Should exceed `2 × search_timeout`.
+    pub search_memory: SimDuration,
+    /// Window for the randomized back-off that suppresses duplicate
+    /// regional repair multicasts; `None` disables back-off (repairs are
+    /// multicast immediately).
+    pub backoff_window: Option<SimDuration>,
+    /// Discard long-term-buffered messages unused for this long.
+    pub long_term_timeout: SimDuration,
+    /// How often the long-term buffer is swept for expiry.
+    pub long_term_sweep_interval: SimDuration,
+    /// Sender session-message interval.
+    ///
+    /// Loss detection for the *last* message of a burst waits for the next
+    /// session advertisement (§2.1), so the feedback rule of §3.1 only
+    /// works if `session_interval + rtt < idle_threshold` — otherwise
+    /// every holder can go idle (and mostly discard) before the first
+    /// retransmission request arrives. The default keeps a 2×RTT margin
+    /// under the paper's T = 40 ms.
+    pub session_interval: SimDuration,
+    /// Safety cap on local-recovery retries per message.
+    pub max_local_attempts: u32,
+    /// Safety cap on remote-recovery retries per message.
+    pub max_remote_attempts: u32,
+    /// Safety cap on search forwards per member per message.
+    pub max_search_attempts: u32,
+    /// The buffering policy (the paper's two-phase scheme by default).
+    pub policy: BufferPolicy,
+    /// Optional hard cap on buffered payload bytes per member. When set,
+    /// inserts evict least-recently-used long-term entries first (§1's
+    /// bounded-space scenario). `None` (default) means unbounded, the
+    /// paper's model.
+    pub buffer_capacity: Option<usize>,
+    /// Whether remote requests refresh the short-term idle clock, like
+    /// local requests do. The paper's idle rule counts every request; the
+    /// ablation harness can restrict feedback to local requests only.
+    pub remote_requests_refresh_idle: bool,
+    /// Whether receivers keep a per-message event log (needed by the
+    /// experiment harness; small per-message overhead).
+    pub record_events: bool,
+}
+
+impl ProtocolConfig {
+    /// The parameters of the paper's §4 simulations: 10 ms intra-region
+    /// RTT, idle threshold T = 40 ms (4× the maximum RTT), λ = 1, C = 6.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        ProtocolConfig {
+            lambda: 1.0,
+            c: 6.0,
+            idle_threshold: SimDuration::from_millis(40),
+            local_timeout: SimDuration::from_millis(10),
+            remote_timeout: SimDuration::from_millis(50),
+            search_timeout: SimDuration::from_millis(10),
+            search_memory: SimDuration::from_millis(30),
+            backoff_window: Some(SimDuration::from_millis(10)),
+            long_term_timeout: SimDuration::from_secs(30),
+            long_term_sweep_interval: SimDuration::from_secs(5),
+            session_interval: SimDuration::from_millis(20),
+            max_local_attempts: 200,
+            max_remote_attempts: 200,
+            max_search_attempts: 200,
+            policy: BufferPolicy::TwoPhase,
+            buffer_capacity: None,
+            remote_requests_refresh_idle: true,
+            record_events: true,
+        }
+    }
+
+    /// Starts a builder from the paper defaults.
+    #[must_use]
+    pub fn builder() -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder { cfg: Self::paper_defaults() }
+    }
+
+    /// Checks invariants the protocol depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.lambda.is_finite() || self.lambda <= 0.0 {
+            return Err(ConfigError::NonPositiveLambda(self.lambda));
+        }
+        if !self.c.is_finite() || self.c <= 0.0 {
+            return Err(ConfigError::NonPositiveC(self.c));
+        }
+        for (d, name) in [
+            (self.idle_threshold, "idle_threshold"),
+            (self.local_timeout, "local_timeout"),
+            (self.remote_timeout, "remote_timeout"),
+            (self.search_timeout, "search_timeout"),
+            (self.long_term_timeout, "long_term_timeout"),
+            (self.long_term_sweep_interval, "long_term_sweep_interval"),
+            (self.session_interval, "session_interval"),
+        ] {
+            if d.is_zero() {
+                return Err(ConfigError::ZeroDuration(name));
+            }
+        }
+        for (a, name) in [
+            (self.max_local_attempts, "max_local_attempts"),
+            (self.max_remote_attempts, "max_remote_attempts"),
+            (self.max_search_attempts, "max_search_attempts"),
+        ] {
+            if a == 0 {
+                return Err(ConfigError::ZeroAttempts(name));
+            }
+        }
+        Ok(())
+    }
+
+    /// The probability with which one member of an `n`-member region sends
+    /// a remote request per recovery round, so that the expected number of
+    /// requests from the whole region is λ (§2.2).
+    #[must_use]
+    pub fn remote_request_probability(&self, region_size: usize) -> f64 {
+        if region_size == 0 {
+            return 0.0;
+        }
+        (self.lambda / region_size as f64).min(1.0)
+    }
+
+    /// The probability with which a member keeps an idle message in its
+    /// long-term buffer, so that the expected number of long-term bufferers
+    /// in an `n`-member region is C (§3.2).
+    #[must_use]
+    pub fn long_term_probability(&self, region_size: usize) -> f64 {
+        if region_size == 0 {
+            return 0.0;
+        }
+        (self.c / region_size as f64).min(1.0)
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Builder for [`ProtocolConfig`] (non-consuming terminal per C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ProtocolConfigBuilder {
+    cfg: ProtocolConfig,
+}
+
+impl ProtocolConfigBuilder {
+    /// Sets λ, the expected remote requests per region-wide loss.
+    pub fn lambda(&mut self, lambda: f64) -> &mut Self {
+        self.cfg.lambda = lambda;
+        self
+    }
+
+    /// Sets C, the expected long-term bufferers per region.
+    pub fn c(&mut self, c: f64) -> &mut Self {
+        self.cfg.c = c;
+        self
+    }
+
+    /// Sets the idle threshold T.
+    pub fn idle_threshold(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.idle_threshold = t;
+        self
+    }
+
+    /// Sets the local-recovery retry timer (intra-region RTT estimate).
+    pub fn local_timeout(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.local_timeout = t;
+        self
+    }
+
+    /// Sets the remote-recovery retry timer (parent-region RTT estimate).
+    pub fn remote_timeout(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.remote_timeout = t;
+        self
+    }
+
+    /// Sets the search retry timer.
+    pub fn search_timeout(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.search_timeout = t;
+        self
+    }
+
+    /// Sets the completed-search memory window.
+    pub fn search_memory(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.search_memory = t;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the regional-repair back-off window.
+    pub fn backoff_window(&mut self, w: Option<SimDuration>) -> &mut Self {
+        self.cfg.backoff_window = w;
+        self
+    }
+
+    /// Sets how long unused long-term entries are kept.
+    pub fn long_term_timeout(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.long_term_timeout = t;
+        self
+    }
+
+    /// Sets the long-term sweep interval.
+    pub fn long_term_sweep_interval(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.long_term_sweep_interval = t;
+        self
+    }
+
+    /// Sets the sender session-message interval.
+    pub fn session_interval(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.session_interval = t;
+        self
+    }
+
+    /// Sets the retry caps (local, remote, search).
+    pub fn max_attempts(&mut self, local: u32, remote: u32, search: u32) -> &mut Self {
+        self.cfg.max_local_attempts = local;
+        self.cfg.max_remote_attempts = remote;
+        self.cfg.max_search_attempts = search;
+        self
+    }
+
+    /// Sets the buffering policy.
+    pub fn policy(&mut self, p: BufferPolicy) -> &mut Self {
+        self.cfg.policy = p;
+        self
+    }
+
+    /// Sets (or clears) the per-member buffer byte capacity.
+    pub fn buffer_capacity(&mut self, cap: Option<usize>) -> &mut Self {
+        self.cfg.buffer_capacity = cap;
+        self
+    }
+
+    /// Sets whether remote requests refresh the idle clock.
+    pub fn remote_requests_refresh_idle(&mut self, yes: bool) -> &mut Self {
+        self.cfg.remote_requests_refresh_idle = yes;
+        self
+    }
+
+    /// Sets whether receivers keep per-message event logs.
+    pub fn record_events(&mut self, yes: bool) -> &mut Self {
+        self.cfg.record_events = yes;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any invariant is violated.
+    pub fn build(&self) -> Result<ProtocolConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid_and_match_section4() {
+        let cfg = ProtocolConfig::paper_defaults();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.idle_threshold, SimDuration::from_millis(40));
+        assert_eq!(cfg.local_timeout, SimDuration::from_millis(10));
+        assert!((cfg.lambda - 1.0).abs() < f64::EPSILON);
+        assert!((cfg.c - 6.0).abs() < f64::EPSILON);
+        assert_eq!(cfg.policy, BufferPolicy::TwoPhase);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = ProtocolConfig::builder()
+            .lambda(2.0)
+            .c(3.0)
+            .idle_threshold(SimDuration::from_millis(80))
+            .policy(BufferPolicy::FixedTime { hold: SimDuration::from_millis(100) })
+            .build()
+            .unwrap();
+        assert!((cfg.lambda - 2.0).abs() < f64::EPSILON);
+        assert!((cfg.c - 3.0).abs() < f64::EPSILON);
+        assert_eq!(cfg.idle_threshold, SimDuration::from_millis(80));
+        assert!(matches!(cfg.policy, BufferPolicy::FixedTime { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(matches!(
+            ProtocolConfig::builder().lambda(0.0).build(),
+            Err(ConfigError::NonPositiveLambda(_))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder().c(-1.0).build(),
+            Err(ConfigError::NonPositiveC(_))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder().idle_threshold(SimDuration::ZERO).build(),
+            Err(ConfigError::ZeroDuration("idle_threshold"))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder().max_attempts(0, 1, 1).build(),
+            Err(ConfigError::ZeroAttempts("max_local_attempts"))
+        ));
+    }
+
+    #[test]
+    fn probabilities_scale_with_region_size() {
+        let cfg = ProtocolConfig::paper_defaults();
+        assert!((cfg.remote_request_probability(100) - 0.01).abs() < 1e-12);
+        assert!((cfg.long_term_probability(100) - 0.06).abs() < 1e-12);
+        // Tiny regions clamp at 1.
+        assert!((cfg.long_term_probability(3) - 1.0).abs() < 1e-12);
+        assert_eq!(cfg.long_term_probability(0), 0.0);
+        assert_eq!(cfg.remote_request_probability(0), 0.0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ConfigError::NonPositiveLambda(0.0),
+            ConfigError::NonPositiveC(0.0),
+            ConfigError::ZeroDuration("x"),
+            ConfigError::ZeroAttempts("y"),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

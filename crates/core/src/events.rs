@@ -1,0 +1,136 @@
+//! The sans-io event/action surface of the protocol core.
+//!
+//! A [`Receiver`](crate::receiver::Receiver) (and
+//! [`Sender`](crate::sender::Sender)) is a pure state machine: the host —
+//! the discrete-event simulator or the UDP runtime — feeds it [`Event`]s
+//! and executes the [`Action`]s it returns. Timers are plain data: the core
+//! asks for a [`TimerKind`] to be delivered after a delay and the host
+//! hands it back; stale timers are simply ignored by the core, so no
+//! cancellation plumbing is needed.
+
+use bytes::Bytes;
+use rrmp_netsim::time::SimDuration;
+use rrmp_netsim::topology::NodeId;
+
+use crate::ids::MessageId;
+use crate::packet::Packet;
+
+/// A timer the core asked its host to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Retry timer for the local recovery phase of a missing message.
+    LocalRetry(MessageId),
+    /// Retry timer for the remote recovery phase of a missing message.
+    RemoteRetry(MessageId),
+    /// Idle-threshold check for a buffered message (§3.1) — also used as
+    /// the fixed-hold expiry under [`BufferPolicy::FixedTime`].
+    ///
+    /// [`BufferPolicy::FixedTime`]: crate::config::BufferPolicy::FixedTime
+    IdleCheck(MessageId),
+    /// Retry timer for the bufferer search (§3.3).
+    SearchRetry(MessageId),
+    /// Randomized back-off before multicasting a remote repair regionally.
+    Backoff(MessageId),
+    /// Periodic sweep discarding stale long-term entries.
+    LongTermSweep,
+    /// Sender session-message tick.
+    SessionTick,
+}
+
+/// An input to the protocol core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A packet arrived from `from`.
+    Packet {
+        /// Transport-level source of the packet.
+        from: NodeId,
+        /// The decoded packet.
+        packet: Packet,
+    },
+    /// A previously requested timer fired.
+    Timer(TimerKind),
+    /// The application asked this member to leave the group voluntarily
+    /// (§3.2: long-term buffers are handed off before departure).
+    Leave,
+}
+
+/// An output of the protocol core for the host to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send `packet` to `to` over unicast.
+    Send {
+        /// Destination member.
+        to: NodeId,
+        /// Packet to transmit.
+        packet: Packet,
+    },
+    /// Multicast `packet` to every other member of this node's own region.
+    MulticastRegion {
+        /// Packet to transmit.
+        packet: Packet,
+    },
+    /// Deliver a newly received message to the application, in receipt
+    /// order (RRMP offers no total ordering guarantee).
+    Deliver {
+        /// The message id.
+        id: MessageId,
+        /// The payload.
+        payload: Bytes,
+    },
+    /// Ask the host to fire [`Event::Timer`]`(kind)` after `delay`.
+    SetTimer {
+        /// How long to wait.
+        delay: SimDuration,
+        /// The timer identity handed back on expiry.
+        kind: TimerKind,
+    },
+}
+
+impl Action {
+    /// The packet being transmitted, if this action transmits one.
+    #[must_use]
+    pub fn packet(&self) -> Option<&Packet> {
+        match self {
+            Action::Send { packet, .. } | Action::MulticastRegion { packet } => Some(packet),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SeqNo;
+
+    #[test]
+    fn action_packet_accessor() {
+        let msg = MessageId::new(NodeId(0), SeqNo(1));
+        let send = Action::Send { to: NodeId(1), packet: Packet::LocalRequest { msg } };
+        assert!(send.packet().is_some());
+        let deliver = Action::Deliver { id: msg, payload: Bytes::new() };
+        assert!(deliver.packet().is_none());
+        let timer = Action::SetTimer {
+            delay: SimDuration::from_millis(1),
+            kind: TimerKind::LocalRetry(msg),
+        };
+        assert!(timer.packet().is_none());
+    }
+
+    #[test]
+    fn timer_kinds_are_hashable_and_distinct() {
+        use std::collections::HashSet;
+        let msg = MessageId::new(NodeId(0), SeqNo(1));
+        let kinds: HashSet<TimerKind> = [
+            TimerKind::LocalRetry(msg),
+            TimerKind::RemoteRetry(msg),
+            TimerKind::IdleCheck(msg),
+            TimerKind::SearchRetry(msg),
+            TimerKind::Backoff(msg),
+            TimerKind::LongTermSweep,
+            TimerKind::SessionTick,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(kinds.len(), 7);
+    }
+}

@@ -1,0 +1,323 @@
+//! Loss detection.
+//!
+//! "A receiver detects a message loss by observing a gap in the sequence
+//! number space. In addition, session messages are used to help a receiver
+//! detect the loss of the last message in a burst" (paper §2.1).
+//!
+//! [`LossDetector`] tracks, per source, the set of sequence numbers ever
+//! received (in an [`IntervalSet`], so "received but discarded" remains
+//! distinguishable from "never received" — §3.3 depends on it) and the
+//! highest sequence number known to exist. Because senders number messages
+//! contiguously from 1, evidence that `seq` exists (a data packet, a session
+//! advertisement, or a request from another member) implies every sequence
+//! number below it exists too.
+
+use std::collections::HashMap;
+
+use rrmp_netsim::topology::NodeId;
+
+use crate::ids::{MessageId, SeqNo};
+use crate::interval_set::IntervalSet;
+
+/// Outcome of feeding a data packet to the detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataOutcome {
+    /// Whether this is the first time the message was received.
+    pub newly_received: bool,
+    /// Messages newly discovered to be missing (gaps opened by this packet).
+    pub newly_missing: Vec<MessageId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SourceState {
+    received: IntervalSet,
+    /// Highest sequence number known to exist (0 = none yet).
+    high: u64,
+    /// Sequences at or below this are not recovered (late-join floor).
+    floor: u64,
+}
+
+/// Per-source tracking of received and missing sequence numbers.
+#[derive(Debug, Clone, Default)]
+pub struct LossDetector {
+    sources: HashMap<NodeId, SourceState>,
+}
+
+impl LossDetector {
+    /// Creates an empty detector.
+    #[must_use]
+    pub fn new() -> Self {
+        LossDetector::default()
+    }
+
+    /// Sets a late-join floor: sequences of `source` at or below `floor`
+    /// are treated as not wanted (never reported missing).
+    pub fn set_floor(&mut self, source: NodeId, floor: SeqNo) {
+        let st = self.sources.entry(source).or_default();
+        st.floor = st.floor.max(floor.0);
+        if st.high < st.floor {
+            st.high = st.floor;
+        }
+    }
+
+    /// Feeds a received data packet (any path: initial multicast, repair,
+    /// regional repair, handoff). Returns whether it is new and which
+    /// messages are newly known to be missing.
+    pub fn on_data(&mut self, id: MessageId) -> DataOutcome {
+        let st = self.sources.entry(id.source).or_default();
+        let newly_received = st.received.insert(id.seq.0);
+        let mut newly_missing = Vec::new();
+        if id.seq.0 > st.high {
+            // Everything between the old high and this packet exists; the
+            // not-yet-received ones (above the floor) are newly missing.
+            let lo = (st.high + 1).max(st.floor + 1);
+            for seq in st.received.missing_in(lo, id.seq.0) {
+                newly_missing.push(MessageId::new(id.source, SeqNo(seq)));
+            }
+            st.high = id.seq.0;
+        }
+        DataOutcome { newly_received, newly_missing }
+    }
+
+    /// Feeds a session advertisement (`high` = highest sequence the sender
+    /// has multicast). Returns newly missing messages.
+    pub fn on_session(&mut self, source: NodeId, high: SeqNo) -> Vec<MessageId> {
+        let st = self.sources.entry(source).or_default();
+        let mut newly_missing = Vec::new();
+        if high.0 > st.high {
+            let lo = (st.high + 1).max(st.floor + 1);
+            for seq in st.received.missing_in(lo, high.0) {
+                newly_missing.push(MessageId::new(source, SeqNo(seq)));
+            }
+            st.high = high.0;
+        }
+        newly_missing
+    }
+
+    /// Feeds indirect evidence that `msg` exists (e.g. a request for it
+    /// from another member). Equivalent to a session advertisement at the
+    /// message's sequence number.
+    pub fn on_hint(&mut self, msg: MessageId) -> Vec<MessageId> {
+        self.on_session(msg.source, msg.seq)
+    }
+
+    /// Whether `msg` has ever been received (even if later discarded).
+    #[must_use]
+    pub fn received_before(&self, msg: MessageId) -> bool {
+        self.sources
+            .get(&msg.source)
+            .is_some_and(|st| st.received.contains(msg.seq.0))
+    }
+
+    /// Whether `msg` is currently known missing (exists, above the floor,
+    /// never received).
+    #[must_use]
+    pub fn is_missing(&self, msg: MessageId) -> bool {
+        self.sources.get(&msg.source).is_some_and(|st| {
+            msg.seq.0 > st.floor && msg.seq.0 <= st.high && !st.received.contains(msg.seq.0)
+        })
+    }
+
+    /// All currently missing messages, in `(source, seq)` order.
+    #[must_use]
+    pub fn missing(&self) -> Vec<MessageId> {
+        let mut out: Vec<MessageId> = Vec::new();
+        let mut sources: Vec<(&NodeId, &SourceState)> = self.sources.iter().collect();
+        sources.sort_by_key(|(id, _)| **id);
+        for (&source, st) in sources {
+            let lo = st.floor + 1;
+            if st.high >= lo {
+                out.extend(
+                    st.received
+                        .missing_in(lo, st.high)
+                        .map(|seq| MessageId::new(source, SeqNo(seq))),
+                );
+            }
+        }
+        out
+    }
+
+    /// Number of distinct messages ever received from `source`.
+    #[must_use]
+    pub fn received_count(&self, source: NodeId) -> u64 {
+        self.sources.get(&source).map_or(0, |st| st.received.len())
+    }
+
+    /// Highest sequence number known to exist for `source`.
+    #[must_use]
+    pub fn high(&self, source: NodeId) -> SeqNo {
+        SeqNo(self.sources.get(&source).map_or(0, |st| st.high))
+    }
+
+    /// The contiguous-receipt watermark for `source`: the largest `s` such
+    /// that every sequence `1..=s` has been received (0 if message 1 is
+    /// still missing). This is the ACK value stability-detection protocols
+    /// exchange.
+    #[must_use]
+    pub fn contiguous_received(&self, source: NodeId) -> SeqNo {
+        let Some(st) = self.sources.get(&source) else { return SeqNo::NONE };
+        match st.received.intervals().next() {
+            Some((lo, hi)) if lo <= 1 => SeqNo(hi),
+            _ => SeqNo::NONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: NodeId = NodeId(0);
+
+    fn mid(seq: u64) -> MessageId {
+        MessageId::new(SRC, SeqNo(seq))
+    }
+
+    #[test]
+    fn in_order_delivery_reports_nothing_missing() {
+        let mut d = LossDetector::new();
+        for seq in 1..=5 {
+            let out = d.on_data(mid(seq));
+            assert!(out.newly_received);
+            assert!(out.newly_missing.is_empty());
+        }
+        assert!(d.missing().is_empty());
+        assert_eq!(d.received_count(SRC), 5);
+        assert_eq!(d.high(SRC), SeqNo(5));
+    }
+
+    #[test]
+    fn gap_detected() {
+        let mut d = LossDetector::new();
+        d.on_data(mid(1));
+        let out = d.on_data(mid(4));
+        assert_eq!(out.newly_missing, vec![mid(2), mid(3)]);
+        assert!(d.is_missing(mid(2)));
+        assert!(d.is_missing(mid(3)));
+        assert!(!d.is_missing(mid(1)));
+        assert!(!d.is_missing(mid(4)));
+        // Recover one.
+        let out = d.on_data(mid(2));
+        assert!(out.newly_received);
+        assert!(out.newly_missing.is_empty());
+        assert_eq!(d.missing(), vec![mid(3)]);
+    }
+
+    #[test]
+    fn duplicate_is_not_new() {
+        let mut d = LossDetector::new();
+        assert!(d.on_data(mid(1)).newly_received);
+        assert!(!d.on_data(mid(1)).newly_received);
+    }
+
+    #[test]
+    fn session_advertisement_exposes_tail_loss() {
+        let mut d = LossDetector::new();
+        d.on_data(mid(1));
+        // Messages 2 and 3 were lost entirely; a session message reveals them.
+        let missing = d.on_session(SRC, SeqNo(3));
+        assert_eq!(missing, vec![mid(2), mid(3)]);
+        // Repeat advertisement: nothing new.
+        assert!(d.on_session(SRC, SeqNo(3)).is_empty());
+        // Stale advertisement: nothing new.
+        assert!(d.on_session(SRC, SeqNo(1)).is_empty());
+    }
+
+    #[test]
+    fn hint_acts_like_session() {
+        let mut d = LossDetector::new();
+        let missing = d.on_hint(mid(2));
+        assert_eq!(missing, vec![mid(1), mid(2)]);
+        assert!(d.is_missing(mid(1)));
+    }
+
+    #[test]
+    fn received_before_survives_conceptual_discard() {
+        // The detector has no notion of buffers; receipt is permanent.
+        let mut d = LossDetector::new();
+        d.on_data(mid(7));
+        assert!(d.received_before(mid(7)));
+        assert!(!d.received_before(mid(6)));
+    }
+
+    #[test]
+    fn floor_suppresses_old_history() {
+        let mut d = LossDetector::new();
+        d.set_floor(SRC, SeqNo(10));
+        // A late joiner sees message 12 first: only 11..12 matter.
+        let out = d.on_data(mid(12));
+        assert_eq!(out.newly_missing, vec![mid(11)]);
+        assert!(!d.is_missing(mid(5)));
+        assert!(d.is_missing(mid(11)));
+        // Session below the floor is ignored.
+        assert!(d.on_session(SRC, SeqNo(9)).is_empty());
+    }
+
+    #[test]
+    fn contiguous_received_watermark() {
+        let mut d = LossDetector::new();
+        assert_eq!(d.contiguous_received(SRC), SeqNo::NONE);
+        d.on_data(mid(1));
+        d.on_data(mid(2));
+        d.on_data(mid(5));
+        assert_eq!(d.contiguous_received(SRC), SeqNo(2));
+        d.on_data(mid(3));
+        d.on_data(mid(4));
+        assert_eq!(d.contiguous_received(SRC), SeqNo(5));
+        // Missing message 1 pins the watermark at 0.
+        let mut d2 = LossDetector::new();
+        d2.on_data(mid(2));
+        assert_eq!(d2.contiguous_received(SRC), SeqNo::NONE);
+    }
+
+    #[test]
+    fn multiple_sources_tracked_independently() {
+        let mut d = LossDetector::new();
+        let a = NodeId(1);
+        let b = NodeId(2);
+        d.on_data(MessageId::new(a, SeqNo(2)));
+        d.on_data(MessageId::new(b, SeqNo(1)));
+        let missing = d.missing();
+        assert_eq!(missing, vec![MessageId::new(a, SeqNo(1))]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// For any arrival permutation and session interleaving:
+        /// missing = {1..=high} \ received, and receipt is permanent.
+        #[test]
+        fn missing_is_complement(
+            arrivals in proptest::collection::vec(1u64..40, 1..60),
+            session_high in 0u64..40,
+        ) {
+            let mut d = LossDetector::new();
+            let mut seen = BTreeSet::new();
+            let mut high = 0u64;
+            for &seq in &arrivals {
+                let out = d.on_data(mid(seq));
+                prop_assert_eq!(out.newly_received, seen.insert(seq));
+                high = high.max(seq);
+            }
+            d.on_session(SRC, SeqNo(session_high));
+            high = high.max(session_high);
+            let expect: Vec<MessageId> =
+                (1..=high).filter(|s| !seen.contains(s)).map(mid).collect();
+            prop_assert_eq!(d.missing(), expect);
+            for &s in &seen {
+                prop_assert!(d.received_before(mid(s)));
+                prop_assert!(!d.is_missing(mid(s)));
+            }
+        }
+    }
+
+    const SRC: NodeId = NodeId(0);
+    fn mid(seq: u64) -> MessageId {
+        MessageId::new(SRC, SeqNo(seq))
+    }
+}

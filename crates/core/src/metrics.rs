@@ -1,0 +1,229 @@
+//! Per-receiver protocol metrics and the per-message buffering log.
+//!
+//! The experiment harness reconstructs every figure of the paper from
+//! these: Figure 6/7 need per-message buffering intervals
+//! ([`BufferRecord`]), Figure 8/9 need repair/search timestamps
+//! ([`ProtocolEvent`]), and the ablations compare the counter block
+//! ([`Counters`]) across policies.
+
+use rrmp_netsim::time::SimTime;
+use rrmp_netsim::topology::NodeId;
+
+use crate::ids::MessageId;
+use std::collections::BTreeMap;
+
+/// Monotone counters of protocol activity on one receiver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Messages delivered to the application.
+    pub delivered: u64,
+    /// Duplicate data receptions (already had the message).
+    pub duplicates: u64,
+    /// Local retransmission requests sent.
+    pub local_requests_sent: u64,
+    /// Local retransmission requests received.
+    pub local_requests_received: u64,
+    /// Remote retransmission requests sent.
+    pub remote_requests_sent: u64,
+    /// Remote retransmission requests received.
+    pub remote_requests_received: u64,
+    /// Repairs sent answering local requests.
+    pub repairs_sent_local: u64,
+    /// Repairs sent across regions (remote answers, relays, search hits).
+    pub repairs_sent_remote: u64,
+    /// Repairs received (either kind).
+    pub repairs_received: u64,
+    /// Regional repair multicasts sent.
+    pub regional_multicasts_sent: u64,
+    /// Regional repair multicasts suppressed by the back-off scheme.
+    pub regional_multicasts_suppressed: u64,
+    /// Searches started on behalf of downstream requesters.
+    pub searches_started: u64,
+    /// Search requests this member joined (it had discarded the message).
+    pub searches_joined: u64,
+    /// Search probes forwarded.
+    pub search_forwards: u64,
+    /// "I have the message" announcements multicast.
+    pub search_found_sent: u64,
+    /// Handoff messages sent at leave time.
+    pub handoffs_sent: u64,
+    /// Handoff messages received.
+    pub handoffs_received: u64,
+    /// Short-term entries that became idle (§3.1 transitions).
+    pub idle_transitions: u64,
+    /// Idle messages kept as long-term bufferer (won the C/n draw).
+    pub long_term_kept: u64,
+    /// Idle messages discarded (lost the C/n draw).
+    pub discarded_at_idle: u64,
+    /// Long-term entries discarded by the disuse sweep.
+    pub long_term_expired: u64,
+    /// Recovery efforts abandoned after hitting a retry cap.
+    pub recovery_gave_up: u64,
+    /// Buffer entries evicted to respect the configured byte capacity.
+    pub evicted_for_capacity: u64,
+    /// Waiting-list relays performed (repair forwarded on later receipt).
+    pub relays_performed: u64,
+}
+
+/// Lifecycle of one message in one member's buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferRecord {
+    /// When the message was first received here.
+    pub received_at: Option<SimTime>,
+    /// When it transitioned to idle (short-term phase ended).
+    pub idled_at: Option<SimTime>,
+    /// Whether this member kept it as a long-term bufferer.
+    pub kept_long_term: bool,
+    /// When the payload left the buffer entirely.
+    pub discarded_at: Option<SimTime>,
+}
+
+impl BufferRecord {
+    /// Duration of the short-term (feedback) phase, if completed — the
+    /// quantity plotted in the paper's Figure 6.
+    #[must_use]
+    pub fn short_term_duration(&self) -> Option<rrmp_netsim::time::SimDuration> {
+        match (self.received_at, self.idled_at) {
+            (Some(r), Some(i)) => Some(i.saturating_since(r)),
+            _ => None,
+        }
+    }
+}
+
+/// A timestamped protocol event kept for experiment analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// A repair crossing regions was sent to `to`.
+    RemoteRepairSent {
+        /// Destination (the downstream waiter).
+        to: NodeId,
+    },
+    /// A search was started for a discarded message.
+    SearchStarted,
+    /// This member joined an ongoing search.
+    SearchJoined,
+    /// This member answered a search (it was a bufferer).
+    SearchAnswered {
+        /// The downstream waiter that receives the repair.
+        origin: NodeId,
+    },
+    /// A message was delivered to the application.
+    Delivered,
+    /// A regional repair multicast was transmitted.
+    RegionalMulticast,
+}
+
+/// Per-receiver metrics: counters, buffer log, event log.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Counter block.
+    pub counters: Counters,
+    buffer_log: BTreeMap<MessageId, BufferRecord>,
+    events: Vec<(SimTime, MessageId, ProtocolEvent)>,
+    record_events: bool,
+}
+
+impl Metrics {
+    /// Creates metrics; `record_events` controls whether the event log is
+    /// populated (counter and buffer-log upkeep is always on).
+    #[must_use]
+    pub fn new(record_events: bool) -> Self {
+        Metrics {
+            counters: Counters::default(),
+            buffer_log: BTreeMap::new(),
+            events: Vec::new(),
+            record_events,
+        }
+    }
+
+    /// The per-message buffer lifecycle record.
+    #[must_use]
+    pub fn buffer_record(&self, id: MessageId) -> Option<&BufferRecord> {
+        self.buffer_log.get(&id)
+    }
+
+    /// All buffer records in message order.
+    #[must_use]
+    pub fn buffer_log(&self) -> &BTreeMap<MessageId, BufferRecord> {
+        &self.buffer_log
+    }
+
+    /// Mutable record entry for `id` (creates a default on first touch).
+    pub fn buffer_record_mut(&mut self, id: MessageId) -> &mut BufferRecord {
+        self.buffer_log.entry(id).or_default()
+    }
+
+    /// Records a protocol event (no-op unless event recording is on).
+    pub fn record_event(&mut self, at: SimTime, id: MessageId, event: ProtocolEvent) {
+        if self.record_events {
+            self.events.push((at, id, event));
+        }
+    }
+
+    /// The recorded events in order.
+    #[must_use]
+    pub fn events(&self) -> &[(SimTime, MessageId, ProtocolEvent)] {
+        &self.events
+    }
+
+    /// First event of a given predicate, if any.
+    pub fn first_event_where<F>(&self, mut pred: F) -> Option<(SimTime, MessageId, ProtocolEvent)>
+    where
+        F: FnMut(&ProtocolEvent) -> bool,
+    {
+        self.events.iter().find(|(_, _, e)| pred(e)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SeqNo;
+    use rrmp_netsim::time::SimDuration;
+
+    fn mid(seq: u64) -> MessageId {
+        MessageId::new(NodeId(0), SeqNo(seq))
+    }
+
+    #[test]
+    fn buffer_record_duration() {
+        let mut m = Metrics::new(true);
+        let r = m.buffer_record_mut(mid(1));
+        r.received_at = Some(SimTime::from_millis(10));
+        r.idled_at = Some(SimTime::from_millis(60));
+        assert_eq!(
+            m.buffer_record(mid(1)).unwrap().short_term_duration(),
+            Some(SimDuration::from_millis(50))
+        );
+        assert_eq!(m.buffer_record(mid(2)), None);
+        let incomplete = BufferRecord { received_at: Some(SimTime::ZERO), ..Default::default() };
+        assert_eq!(incomplete.short_term_duration(), None);
+    }
+
+    #[test]
+    fn event_log_respects_flag() {
+        let mut on = Metrics::new(true);
+        on.record_event(SimTime::ZERO, mid(1), ProtocolEvent::SearchStarted);
+        assert_eq!(on.events().len(), 1);
+
+        let mut off = Metrics::new(false);
+        off.record_event(SimTime::ZERO, mid(1), ProtocolEvent::SearchStarted);
+        assert!(off.events().is_empty());
+    }
+
+    #[test]
+    fn first_event_where_finds_match() {
+        let mut m = Metrics::new(true);
+        m.record_event(SimTime::from_millis(1), mid(1), ProtocolEvent::SearchStarted);
+        m.record_event(
+            SimTime::from_millis(2),
+            mid(1),
+            ProtocolEvent::SearchAnswered { origin: NodeId(9) },
+        );
+        let found = m
+            .first_event_where(|e| matches!(e, ProtocolEvent::SearchAnswered { .. }))
+            .unwrap();
+        assert_eq!(found.0, SimTime::from_millis(2));
+        assert!(m.first_event_where(|e| matches!(e, ProtocolEvent::Delivered)).is_none());
+    }
+}

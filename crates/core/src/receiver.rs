@@ -1,0 +1,1410 @@
+//! The RRMP receiver state machine.
+//!
+//! One [`Receiver`] instance embodies everything a group member does:
+//!
+//! * **Loss detection** from sequence gaps and session messages (§2.1).
+//! * **Local recovery** — pull requests to uniformly random neighbors,
+//!   retried on an RTT timer (§2.2).
+//! * **Remote recovery** — with probability λ/n per round, a request to a
+//!   random parent-region member; arriving remote repairs are re-multicast
+//!   in the region behind a randomized back-off (§2.2).
+//! * **Two-phase buffering** — feedback-based short-term buffering with
+//!   idle threshold `T`, then long-term retention with probability `C/n`
+//!   (§3.1, §3.2).
+//! * **Search for bufferers** when a remote request hits a member that
+//!   already discarded the message (§3.3).
+//! * **Buffer handoff** when leaving voluntarily (§3.2).
+//!
+//! The receiver is sans-io: [`Receiver::handle`] consumes an [`Event`] and
+//! returns [`Action`]s; hosts own sockets, clocks, and timers. All
+//! randomness comes from the RNG supplied at construction, so identical
+//! inputs yield identical behaviour.
+
+use std::collections::{BTreeSet, HashMap};
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrmp_membership::view::HierarchyView;
+use rrmp_netsim::time::{SimDuration, SimTime};
+use rrmp_netsim::topology::NodeId;
+
+use crate::buffer::MessageStore;
+use crate::config::{BufferPolicy, ProtocolConfig};
+use crate::events::{Action, Event, TimerKind};
+use crate::ids::MessageId;
+use crate::loss::LossDetector;
+use crate::metrics::{Metrics, ProtocolEvent};
+use crate::packet::{DataPacket, Packet, RepairKind};
+
+/// How a data payload reached this receiver — drives the follow-up
+/// behaviour (only remote repairs trigger regional re-multicast; handoffs
+/// enter the long-term buffer directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DataPath {
+    /// The sender's initial multicast (or a self-originated message).
+    Multicast,
+    /// A repair answering a local request.
+    LocalRepair,
+    /// A repair that crossed regions.
+    RemoteRepair,
+    /// A repair multicast within the region.
+    RegionalRepair,
+    /// A long-term buffer handoff from a leaving member.
+    Handoff,
+}
+
+/// State for preloading a receiver in controlled experiments (Figs 8/9
+/// construct regions where some members hold a message long-term and the
+/// rest have received-then-discarded it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreloadState {
+    /// Message buffered in the short-term phase.
+    ShortTerm,
+    /// Message buffered in the long-term phase.
+    LongTerm,
+    /// Message was received and already discarded.
+    ReceivedDiscarded,
+}
+
+#[derive(Debug, Default)]
+struct RecoveryState {
+    attempts: u32,
+}
+
+#[derive(Debug)]
+struct SearchState {
+    origins: BTreeSet<NodeId>,
+    attempts: u32,
+    /// Set when the retry cap was reached. The state is kept (so a later
+    /// data arrival still answers the origins, and incoming probes do not
+    /// re-ignite a hopeless search) and garbage-collected by the sweep.
+    exhausted_at: Option<SimTime>,
+}
+
+/// Memory of a recently completed search: when the "I have the message"
+/// announcement was heard and who the holder was. Suppresses probes still
+/// in flight from re-igniting a finished search (see
+/// [`ProtocolConfig::search_memory`]).
+#[derive(Debug, Clone, Copy)]
+struct SearchDone {
+    at: SimTime,
+    holder: NodeId,
+}
+
+#[derive(Debug)]
+struct BackoffState {
+    payload: Bytes,
+    suppressed: bool,
+}
+
+/// The RRMP receiver — see the module docs for the full behaviour map.
+#[derive(Debug)]
+pub struct Receiver {
+    id: NodeId,
+    cfg: ProtocolConfig,
+    view: HierarchyView,
+    store: MessageStore,
+    detector: LossDetector,
+    local_rec: HashMap<MessageId, RecoveryState>,
+    remote_rec: HashMap<MessageId, RecoveryState>,
+    searches: HashMap<MessageId, SearchState>,
+    search_done: HashMap<MessageId, SearchDone>,
+    waiters: HashMap<MessageId, BTreeSet<NodeId>>,
+    backoffs: HashMap<MessageId, BackoffState>,
+    rng: StdRng,
+    metrics: Metrics,
+    left: bool,
+}
+
+impl Receiver {
+    /// Creates a receiver for member `id` with membership `view`,
+    /// configuration `cfg`, and a deterministic RNG seeded by `seed`.
+    #[must_use]
+    pub fn new(id: NodeId, view: HierarchyView, cfg: ProtocolConfig, seed: u64) -> Self {
+        let record = cfg.record_events;
+        let store = match cfg.buffer_capacity {
+            Some(cap) => MessageStore::with_capacity(cap),
+            None => MessageStore::new(),
+        };
+        Receiver {
+            id,
+            cfg,
+            view,
+            store,
+            detector: LossDetector::new(),
+            local_rec: HashMap::new(),
+            remote_rec: HashMap::new(),
+            searches: HashMap::new(),
+            search_done: HashMap::new(),
+            waiters: HashMap::new(),
+            backoffs: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(record),
+            left: false,
+        }
+    }
+
+    /// This member's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The membership view (own + parent region).
+    #[must_use]
+    pub fn view(&self) -> &HierarchyView {
+        &self.view
+    }
+
+    /// Mutable membership view — used by the host when the failure
+    /// detector or a scripted churn event changes membership.
+    pub fn view_mut(&mut self) -> &mut HierarchyView {
+        &mut self.view
+    }
+
+    /// The message store (buffer occupancy instrumentation).
+    #[must_use]
+    pub fn store(&self) -> &MessageStore {
+        &self.store
+    }
+
+    /// The loss detector (received/missing instrumentation).
+    #[must_use]
+    pub fn detector(&self) -> &LossDetector {
+        &self.detector
+    }
+
+    /// Protocol metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Whether this member has voluntarily left the group.
+    #[must_use]
+    pub fn has_left(&self) -> bool {
+        self.left
+    }
+
+    /// Simulates a crash: the member stops processing events immediately
+    /// and loses its buffers, **without** the §3.2 leave-time handoff.
+    /// Used by churn experiments to contrast graceful leaves with
+    /// failures.
+    pub fn crash(&mut self, now: SimTime) {
+        self.store.drain_all(now);
+        self.left = true;
+    }
+
+    /// Actions to run at start-up (arms the long-term sweep).
+    #[must_use]
+    pub fn on_start(&mut self) -> Vec<Action> {
+        vec![Action::SetTimer {
+            delay: self.cfg.long_term_sweep_interval,
+            kind: TimerKind::LongTermSweep,
+        }]
+    }
+
+    /// Sets a late-join recovery floor: messages from `source` with
+    /// sequence numbers at or below `floor` are never treated as missing.
+    /// Call before processing any packet from `source` so a member joining
+    /// mid-session does not try to pull the entire history.
+    pub fn set_recovery_floor(&mut self, source: NodeId, floor: crate::ids::SeqNo) {
+        self.detector.set_floor(source, floor);
+    }
+
+    /// Seeds protocol state for controlled experiments; returns follow-up
+    /// actions (e.g. the idle-check timer for a short-term preload).
+    pub fn preload(
+        &mut self,
+        id: MessageId,
+        payload: Bytes,
+        state: PreloadState,
+        now: SimTime,
+    ) -> Vec<Action> {
+        self.detector.on_data(id);
+        let rec = self.metrics.buffer_record_mut(id);
+        rec.received_at = Some(now);
+        match state {
+            PreloadState::ShortTerm => {
+                self.store.insert_short(id, payload, now);
+                vec![Action::SetTimer {
+                    delay: self.idle_delay(),
+                    kind: TimerKind::IdleCheck(id),
+                }]
+            }
+            PreloadState::LongTerm => {
+                self.store.insert_long(id, payload, now);
+                let rec = self.metrics.buffer_record_mut(id);
+                rec.idled_at = Some(now);
+                rec.kept_long_term = true;
+                Vec::new()
+            }
+            PreloadState::ReceivedDiscarded => {
+                self.metrics.buffer_record_mut(id).discarded_at = Some(now);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Processes one event at time `now`, returning the actions to execute.
+    pub fn handle(&mut self, event: Event, now: SimTime) -> Vec<Action> {
+        if self.left {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match event {
+            Event::Packet { from, packet } => self.on_packet(from, packet, now, &mut actions),
+            Event::Timer(kind) => self.on_timer(kind, now, &mut actions),
+            Event::Leave => self.on_leave(now, &mut actions),
+        }
+        actions
+    }
+
+    fn on_packet(&mut self, from: NodeId, packet: Packet, now: SimTime, actions: &mut Vec<Action>) {
+        match packet {
+            Packet::Data(data) => self.on_data(data, DataPath::Multicast, now, actions),
+            Packet::Session { source, high } => {
+                for m in self.detector.on_session(source, high) {
+                    self.start_recovery(m, now, actions);
+                }
+            }
+            Packet::LocalRequest { msg } => self.on_local_request(msg, from, now, actions),
+            Packet::RemoteRequest { msg } => self.on_remote_request(msg, from, now, actions),
+            Packet::Repair { data, kind } => {
+                self.metrics.counters.repairs_received += 1;
+                let path = match kind {
+                    RepairKind::Local => DataPath::LocalRepair,
+                    RepairKind::Remote => DataPath::RemoteRepair,
+                };
+                self.on_data(data, path, now, actions);
+            }
+            Packet::RegionalRepair { data } => {
+                // Hearing the region-wide repair suppresses our own pending
+                // back-off multicast for the same message.
+                if let Some(b) = self.backoffs.get_mut(&data.id) {
+                    b.suppressed = true;
+                }
+                self.on_data(data, DataPath::RegionalRepair, now, actions);
+            }
+            Packet::SearchRequest { msg, origins } => {
+                self.on_search_request(msg, origins, now, actions);
+            }
+            Packet::SearchFound { msg, holder } => {
+                // Someone has the message: the search is over. Remember
+                // the holder briefly so probes still in flight don't
+                // re-ignite the search.
+                self.searches.remove(&msg);
+                self.search_done.insert(msg, SearchDone { at: now, holder });
+            }
+            Packet::Handoff { data } => {
+                self.metrics.counters.handoffs_received += 1;
+                self.on_data(data, DataPath::Handoff, now, actions);
+            }
+        }
+    }
+
+    // ----- data arrival ---------------------------------------------------
+
+    fn on_data(&mut self, data: DataPacket, path: DataPath, now: SimTime, actions: &mut Vec<Action>) {
+        let id = data.id;
+        let outcome = self.detector.on_data(id);
+        if outcome.newly_received {
+            self.metrics.counters.delivered += 1;
+            self.metrics.buffer_record_mut(id).received_at = Some(now);
+            self.metrics.record_event(now, id, ProtocolEvent::Delivered);
+            actions.push(Action::Deliver { id, payload: data.payload.clone() });
+            self.buffer_new_message(id, data.payload.clone(), path, now, actions);
+            // Any recovery effort for this message is complete.
+            self.local_rec.remove(&id);
+            self.remote_rec.remove(&id);
+            self.relay_to_waiters(id, &data.payload, now, actions);
+            self.answer_active_search(id, &data.payload, now, actions);
+            if path == DataPath::RemoteRepair {
+                self.arm_regional_multicast(id, data.payload.clone(), now, actions);
+            }
+            for m in outcome.newly_missing {
+                self.start_recovery(m, now, actions);
+            }
+        } else {
+            self.metrics.counters.duplicates += 1;
+            // A handoff makes us responsible for long-term buffering even
+            // if we had discarded the payload.
+            if path == DataPath::Handoff && !self.store.contains(id) {
+                self.store.insert_long(id, data.payload.clone(), now);
+                let rec = self.metrics.buffer_record_mut(id);
+                rec.kept_long_term = true;
+                rec.discarded_at = None;
+            }
+            // If we were searching for this message on behalf of downstream
+            // waiters, the reappearing payload answers them.
+            self.answer_active_search(id, &data.payload, now, actions);
+            self.relay_to_waiters(id, &data.payload, now, actions);
+        }
+    }
+
+    fn idle_delay(&self) -> SimDuration {
+        match self.cfg.policy {
+            BufferPolicy::TwoPhase => self.cfg.idle_threshold,
+            BufferPolicy::FixedTime { hold } => hold,
+            BufferPolicy::KeepAll => SimDuration::ZERO, // unused
+        }
+    }
+
+    fn buffer_new_message(
+        &mut self,
+        id: MessageId,
+        payload: Bytes,
+        path: DataPath,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        if path == DataPath::Handoff {
+            // Take over long-term duty directly.
+            let (_, evicted) = self.store.insert_long_bounded(id, payload, now);
+            self.note_evictions(evicted, now);
+            let rec = self.metrics.buffer_record_mut(id);
+            rec.idled_at = Some(now);
+            rec.kept_long_term = true;
+            return;
+        }
+        let (_, evicted) = self.store.insert_short_bounded(id, payload, now);
+        self.note_evictions(evicted, now);
+        match self.cfg.policy {
+            BufferPolicy::TwoPhase | BufferPolicy::FixedTime { .. } => {
+                actions.push(Action::SetTimer {
+                    delay: self.idle_delay(),
+                    kind: TimerKind::IdleCheck(id),
+                });
+            }
+            BufferPolicy::KeepAll => {}
+        }
+    }
+
+    fn relay_to_waiters(&mut self, id: MessageId, payload: &Bytes, now: SimTime, actions: &mut Vec<Action>) {
+        let Some(waiters) = self.waiters.remove(&id) else { return };
+        for w in waiters.into_iter().filter(|&w| w != self.id) {
+            self.metrics.counters.relays_performed += 1;
+            self.metrics.counters.repairs_sent_remote += 1;
+            self.metrics.record_event(now, id, ProtocolEvent::RemoteRepairSent { to: w });
+            actions.push(Action::Send {
+                to: w,
+                packet: Packet::Repair {
+                    data: DataPacket::new(id, payload.clone()),
+                    kind: RepairKind::Remote,
+                },
+            });
+        }
+        self.store.note_use(id, now);
+    }
+
+    fn note_evictions(&mut self, evicted: Vec<MessageId>, now: SimTime) {
+        for id in evicted {
+            self.metrics.counters.evicted_for_capacity += 1;
+            self.metrics.buffer_record_mut(id).discarded_at = Some(now);
+        }
+    }
+
+    /// The holder recorded by a recently completed search for `msg`, if
+    /// the memory window has not expired.
+    fn fresh_holder(&self, msg: MessageId, now: SimTime) -> Option<NodeId> {
+        self.search_done
+            .get(&msg)
+            .filter(|d| now.saturating_since(d.at) <= self.cfg.search_memory)
+            .map(|d| d.holder)
+    }
+
+    fn answer_active_search(&mut self, id: MessageId, payload: &Bytes, now: SimTime, actions: &mut Vec<Action>) {
+        let Some(search) = self.searches.remove(&id) else { return };
+        self.search_done.insert(id, SearchDone { at: now, holder: self.id });
+        for origin in &search.origins {
+            self.metrics.counters.repairs_sent_remote += 1;
+            self.metrics.record_event(now, id, ProtocolEvent::SearchAnswered { origin: *origin });
+            actions.push(Action::Send {
+                to: *origin,
+                packet: Packet::Repair {
+                    data: DataPacket::new(id, payload.clone()),
+                    kind: RepairKind::Remote,
+                },
+            });
+        }
+        self.metrics.counters.search_found_sent += 1;
+        actions.push(Action::MulticastRegion {
+            packet: Packet::SearchFound { msg: id, holder: self.id },
+        });
+    }
+
+    fn arm_regional_multicast(&mut self, id: MessageId, payload: Bytes, now: SimTime, actions: &mut Vec<Action>) {
+        match self.cfg.backoff_window {
+            None => {
+                self.metrics.counters.regional_multicasts_sent += 1;
+                self.metrics.record_event(now, id, ProtocolEvent::RegionalMulticast);
+                actions.push(Action::MulticastRegion {
+                    packet: Packet::RegionalRepair { data: DataPacket::new(id, payload) },
+                });
+            }
+            Some(window) => {
+                let delay =
+                    SimDuration::from_micros(self.rng.gen_range(0..=window.as_micros()));
+                self.backoffs.insert(id, BackoffState { payload, suppressed: false });
+                actions.push(Action::SetTimer { delay, kind: TimerKind::Backoff(id) });
+            }
+        }
+    }
+
+    // ----- requests --------------------------------------------------------
+
+    fn on_local_request(&mut self, msg: MessageId, from: NodeId, now: SimTime, actions: &mut Vec<Action>) {
+        if from == self.id {
+            return; // a request claiming our own identity is nonsense
+        }
+        self.metrics.counters.local_requests_received += 1;
+        self.store.note_request(msg, now);
+        if let Some(payload) = self.store.get(msg) {
+            self.metrics.counters.repairs_sent_local += 1;
+            actions.push(Action::Send {
+                to: from,
+                packet: Packet::Repair {
+                    data: DataPacket::new(msg, payload),
+                    kind: RepairKind::Local,
+                },
+            });
+        }
+        // Paper §2.2: "Otherwise it ignores the request."
+    }
+
+    fn on_remote_request(&mut self, msg: MessageId, from: NodeId, now: SimTime, actions: &mut Vec<Action>) {
+        if from == self.id {
+            return; // a request claiming our own identity is nonsense
+        }
+        self.metrics.counters.remote_requests_received += 1;
+        if self.cfg.remote_requests_refresh_idle {
+            self.store.note_request(msg, now);
+        } else {
+            self.store.note_use(msg, now);
+        }
+        if let Some(payload) = self.store.get(msg) {
+            self.metrics.counters.repairs_sent_remote += 1;
+            self.metrics.record_event(now, msg, ProtocolEvent::RemoteRepairSent { to: from });
+            actions.push(Action::Send {
+                to: from,
+                packet: Packet::Repair {
+                    data: DataPacket::new(msg, payload),
+                    kind: RepairKind::Remote,
+                },
+            });
+        } else if self.detector.received_before(msg) {
+            // Received but discarded: find a bufferer in this region (§3.3).
+            // (The remembered holder can be ourselves if we served the
+            // message earlier and discarded it since — then a fresh search
+            // is needed after all.)
+            if let Some(holder) = self.fresh_holder(msg, now).filter(|&h| h != self.id) {
+                // A search for this message just completed; route the
+                // request straight to the announced holder.
+                self.metrics.counters.search_forwards += 1;
+                actions.push(Action::Send {
+                    to: holder,
+                    packet: Packet::SearchRequest { msg, origins: vec![from] },
+                });
+                return;
+            }
+            self.metrics.counters.searches_started += 1;
+            self.metrics.record_event(now, msg, ProtocolEvent::SearchStarted);
+            self.join_search(msg, [from], now, actions);
+        } else {
+            // Never received: remember the waiter and recover it ourselves;
+            // the repair is relayed when the message arrives (§2.2).
+            self.waiters.entry(msg).or_default().insert(from);
+            for m in self.detector.on_hint(msg) {
+                self.start_recovery(m, now, actions);
+            }
+        }
+    }
+
+    // ----- recovery phases --------------------------------------------------
+
+    fn start_recovery(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
+        if !self.detector.is_missing(msg) {
+            return;
+        }
+        if let std::collections::hash_map::Entry::Vacant(e) = self.local_rec.entry(msg) {
+            e.insert(RecoveryState::default());
+            self.local_attempt(msg, now, actions);
+        }
+        if self.view.parent().is_some() && !self.remote_rec.contains_key(&msg) {
+            self.remote_rec.insert(msg, RecoveryState::default());
+            self.remote_attempt(msg, now, actions);
+        }
+    }
+
+    fn local_attempt(&mut self, msg: MessageId, _now: SimTime, actions: &mut Vec<Action>) {
+        let Some(state) = self.local_rec.get_mut(&msg) else { return };
+        state.attempts += 1;
+        if state.attempts > self.cfg.max_local_attempts {
+            self.local_rec.remove(&msg);
+            self.metrics.counters.recovery_gave_up += 1;
+            return;
+        }
+        if let Some(q) = self.view.own().random_other(&mut self.rng, self.id) {
+            self.metrics.counters.local_requests_sent += 1;
+            actions.push(Action::Send { to: q, packet: Packet::LocalRequest { msg } });
+        }
+        actions.push(Action::SetTimer {
+            delay: self.cfg.local_timeout,
+            kind: TimerKind::LocalRetry(msg),
+        });
+    }
+
+    fn remote_attempt(&mut self, msg: MessageId, _now: SimTime, actions: &mut Vec<Action>) {
+        let Some(state) = self.remote_rec.get_mut(&msg) else { return };
+        state.attempts += 1;
+        if state.attempts > self.cfg.max_remote_attempts {
+            self.remote_rec.remove(&msg);
+            self.metrics.counters.recovery_gave_up += 1;
+            return;
+        }
+        let region_size = self.view.own().len();
+        let p = self.cfg.remote_request_probability(region_size);
+        let send = self.rng.gen_bool(p);
+        if send {
+            if let Some(parent) = self.view.parent() {
+                if let Some(r) = parent.random_member(&mut self.rng) {
+                    self.metrics.counters.remote_requests_sent += 1;
+                    actions.push(Action::Send { to: r, packet: Packet::RemoteRequest { msg } });
+                }
+            }
+        }
+        // §2.2: the timer is set whether or not a request was actually sent.
+        actions.push(Action::SetTimer {
+            delay: self.cfg.remote_timeout,
+            kind: TimerKind::RemoteRetry(msg),
+        });
+    }
+
+    // ----- search ------------------------------------------------------------
+
+    fn on_search_request(
+        &mut self,
+        msg: MessageId,
+        origins: Vec<NodeId>,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        // Hostile or confused peers may list us as a waiting origin;
+        // answering ourselves is never meaningful.
+        let me = self.id;
+        let origins: Vec<NodeId> = origins.into_iter().filter(|&o| o != me).collect();
+        if let Some(payload) = self.store.get(msg) {
+            // We are a bufferer: answer every waiting origin and stop the
+            // search with a regional announcement.
+            self.store.note_request(msg, now);
+            self.search_done.insert(msg, SearchDone { at: now, holder: self.id });
+            for origin in &origins {
+                self.metrics.counters.repairs_sent_remote += 1;
+                self.metrics.record_event(now, msg, ProtocolEvent::SearchAnswered { origin: *origin });
+                actions.push(Action::Send {
+                    to: *origin,
+                    packet: Packet::Repair {
+                        data: DataPacket::new(msg, payload.clone()),
+                        kind: RepairKind::Remote,
+                    },
+                });
+            }
+            self.metrics.counters.search_found_sent += 1;
+            actions.push(Action::MulticastRegion {
+                packet: Packet::SearchFound { msg, holder: self.id },
+            });
+        } else if self.detector.received_before(msg) {
+            // Discarded here too. If the search already completed and this
+            // probe was merely in flight, forward the origins to the
+            // remembered holder instead of re-igniting the epidemic.
+            if let Some(holder) = self.fresh_holder(msg, now) {
+                if holder != self.id {
+                    self.metrics.counters.search_forwards += 1;
+                    actions.push(Action::Send {
+                        to: holder,
+                        packet: Packet::SearchRequest { msg, origins },
+                    });
+                }
+                return;
+            }
+            // Otherwise join the search (§3.3).
+            if !self.searches.contains_key(&msg) {
+                self.metrics.counters.searches_joined += 1;
+                self.metrics.record_event(now, msg, ProtocolEvent::SearchJoined);
+                self.join_search(msg, origins, now, actions);
+            } else if let Some(s) = self.searches.get_mut(&msg) {
+                s.origins.extend(origins);
+            }
+        } else {
+            // Never received (§3.3 footnote 4): recover it ourselves and
+            // relay to the origins once it arrives.
+            self.waiters.entry(msg).or_default().extend(origins);
+            for m in self.detector.on_hint(msg) {
+                self.start_recovery(m, now, actions);
+            }
+        }
+    }
+
+    fn join_search<I: IntoIterator<Item = NodeId>>(
+        &mut self,
+        msg: MessageId,
+        origins: I,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        let entry = self
+            .searches
+            .entry(msg)
+            .or_insert(SearchState { origins: BTreeSet::new(), attempts: 0, exhausted_at: None });
+        let me = self.id;
+        entry.origins.extend(origins.into_iter().filter(|&o| o != me));
+        if entry.exhausted_at.is_none() {
+            self.search_attempt(msg, now, actions);
+        }
+    }
+
+    fn search_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
+        let Some(state) = self.searches.get_mut(&msg) else { return };
+        if state.exhausted_at.is_some() {
+            return;
+        }
+        state.attempts += 1;
+        if state.attempts > self.cfg.max_search_attempts {
+            state.exhausted_at = Some(now);
+            self.metrics.counters.recovery_gave_up += 1;
+            return;
+        }
+        let origins: Vec<NodeId> = state.origins.iter().copied().collect();
+        if let Some(q) = self.view.own().random_other(&mut self.rng, self.id) {
+            self.metrics.counters.search_forwards += 1;
+            actions.push(Action::Send { to: q, packet: Packet::SearchRequest { msg, origins } });
+        }
+        actions.push(Action::SetTimer {
+            delay: self.cfg.search_timeout,
+            kind: TimerKind::SearchRetry(msg),
+        });
+    }
+
+    // ----- timers --------------------------------------------------------------
+
+    fn on_timer(&mut self, kind: TimerKind, now: SimTime, actions: &mut Vec<Action>) {
+        match kind {
+            TimerKind::LocalRetry(msg) => {
+                if self.detector.is_missing(msg) && self.local_rec.contains_key(&msg) {
+                    self.local_attempt(msg, now, actions);
+                } else {
+                    self.local_rec.remove(&msg);
+                }
+            }
+            TimerKind::RemoteRetry(msg) => {
+                if self.detector.is_missing(msg) && self.remote_rec.contains_key(&msg) {
+                    self.remote_attempt(msg, now, actions);
+                } else {
+                    self.remote_rec.remove(&msg);
+                }
+            }
+            TimerKind::IdleCheck(msg) => self.on_idle_check(msg, now, actions),
+            TimerKind::SearchRetry(msg) => {
+                if self.searches.contains_key(&msg) {
+                    if let Some(payload) = self.store.get(msg) {
+                        // We re-acquired the message since the search began.
+                        self.answer_active_search(msg, &payload, now, actions);
+                    } else {
+                        self.search_attempt(msg, now, actions);
+                    }
+                }
+            }
+            TimerKind::Backoff(msg) => {
+                if let Some(b) = self.backoffs.remove(&msg) {
+                    if b.suppressed {
+                        self.metrics.counters.regional_multicasts_suppressed += 1;
+                    } else {
+                        self.metrics.counters.regional_multicasts_sent += 1;
+                        self.metrics.record_event(now, msg, ProtocolEvent::RegionalMulticast);
+                        actions.push(Action::MulticastRegion {
+                            packet: Packet::RegionalRepair {
+                                data: DataPacket::new(msg, b.payload),
+                            },
+                        });
+                    }
+                }
+            }
+            TimerKind::LongTermSweep => {
+                for id in self.store.expire_long(now, self.cfg.long_term_timeout) {
+                    self.metrics.counters.long_term_expired += 1;
+                    self.metrics.buffer_record_mut(id).discarded_at = Some(now);
+                }
+                // Piggy-back garbage collection of expired search memory
+                // and of exhausted searches old enough that their origins
+                // must have retried elsewhere.
+                let window = self.cfg.search_memory;
+                self.search_done.retain(|_, d| now.saturating_since(d.at) <= window);
+                let sweep = self.cfg.long_term_sweep_interval;
+                self.searches.retain(|_, s| match s.exhausted_at {
+                    Some(at) => now.saturating_since(at) < sweep,
+                    None => true,
+                });
+                actions.push(Action::SetTimer {
+                    delay: self.cfg.long_term_sweep_interval,
+                    kind: TimerKind::LongTermSweep,
+                });
+            }
+            TimerKind::SessionTick => {
+                // Session ticks belong to the Sender; a receiver ignores them.
+            }
+        }
+    }
+
+    fn on_idle_check(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
+        match self.cfg.policy {
+            BufferPolicy::TwoPhase => {
+                let Some(activity) = self.store.short_last_activity(msg) else { return };
+                let idle_at = activity + self.cfg.idle_threshold;
+                if now < idle_at {
+                    // A request refreshed the clock; re-arm for the residue.
+                    actions.push(Action::SetTimer {
+                        delay: idle_at - now,
+                        kind: TimerKind::IdleCheck(msg),
+                    });
+                    return;
+                }
+                // The message is idle (§3.1): decide long-term retention.
+                self.metrics.counters.idle_transitions += 1;
+                self.metrics.buffer_record_mut(msg).idled_at = Some(now);
+                let p = self.cfg.long_term_probability(self.view.own().len());
+                if self.rng.gen_bool(p) {
+                    self.store.promote_to_long(msg, now);
+                    self.metrics.counters.long_term_kept += 1;
+                    self.metrics.buffer_record_mut(msg).kept_long_term = true;
+                } else {
+                    self.store.discard(msg, now);
+                    self.metrics.counters.discarded_at_idle += 1;
+                    self.metrics.buffer_record_mut(msg).discarded_at = Some(now);
+                }
+            }
+            BufferPolicy::FixedTime { .. } => {
+                if self.store.short_last_activity(msg).is_some() {
+                    self.store.discard(msg, now);
+                    self.metrics.counters.discarded_at_idle += 1;
+                    let rec = self.metrics.buffer_record_mut(msg);
+                    rec.idled_at = Some(now);
+                    rec.discarded_at = Some(now);
+                }
+            }
+            BufferPolicy::KeepAll => {}
+        }
+    }
+
+    // ----- leave -----------------------------------------------------------------
+
+    fn on_leave(&mut self, now: SimTime, actions: &mut Vec<Action>) {
+        // §3.2: transfer each long-term-buffered message to a randomly
+        // selected receiver in the region before departing.
+        for (id, payload) in self.store.take_all_long(now) {
+            if let Some(q) = self.view.own().random_other(&mut self.rng, self.id) {
+                self.metrics.counters.handoffs_sent += 1;
+                actions.push(Action::Send {
+                    to: q,
+                    packet: Packet::Handoff { data: DataPacket::new(id, payload) },
+                });
+            }
+        }
+        self.left = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigError;
+    use crate::ids::SeqNo;
+    use rrmp_membership::view::RegionView;
+    use rrmp_netsim::topology::RegionId;
+
+    const SENDER: NodeId = NodeId(0);
+
+    fn mid(seq: u64) -> MessageId {
+        MessageId::new(SENDER, SeqNo(seq))
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn payload() -> Bytes {
+        Bytes::from_static(b"payload")
+    }
+
+    fn data(seq: u64) -> Packet {
+        Packet::Data(DataPacket::new(mid(seq), payload()))
+    }
+
+    /// A receiver in a 5-member region (ids 0..5, self=1) whose parent
+    /// region has members 10..13.
+    fn receiver_with_parent(cfg: ProtocolConfig) -> Receiver {
+        let own = RegionView::new(RegionId(1), (0..5).map(NodeId));
+        let parent = RegionView::new(RegionId(0), (10..13).map(NodeId));
+        Receiver::new(NodeId(1), HierarchyView::new(own, Some(parent)), cfg, 42)
+    }
+
+    /// A root-region receiver (no parent), region ids 0..5, self=1.
+    fn root_receiver(cfg: ProtocolConfig) -> Receiver {
+        let own = RegionView::new(RegionId(0), (0..5).map(NodeId));
+        Receiver::new(NodeId(1), HierarchyView::new(own, None), cfg, 42)
+    }
+
+    fn packet_event(from: u32, packet: Packet) -> Event {
+        Event::Packet { from: NodeId(from), packet }
+    }
+
+    fn sends(actions: &[Action]) -> Vec<(&NodeId, &Packet)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, packet } => Some((to, packet)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn timers(actions: &[Action]) -> Vec<TimerKind> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fresh_data_is_delivered_and_buffered() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        let actions = r.handle(packet_event(0, data(1)), t(0));
+        assert!(actions.iter().any(|a| matches!(a, Action::Deliver { id, .. } if *id == mid(1))));
+        assert!(timers(&actions).contains(&TimerKind::IdleCheck(mid(1))));
+        assert!(r.store().contains(mid(1)));
+        assert_eq!(r.metrics().counters.delivered, 1);
+        // Duplicate: no second delivery.
+        let actions = r.handle(packet_event(0, data(1)), t(1));
+        assert!(actions.iter().all(|a| !matches!(a, Action::Deliver { .. })));
+        assert_eq!(r.metrics().counters.duplicates, 1);
+    }
+
+    #[test]
+    fn gap_triggers_local_recovery() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        r.handle(packet_event(0, data(1)), t(0));
+        let actions = r.handle(packet_event(0, data(3)), t(5));
+        // Local request for #2 to some region member, plus a retry timer.
+        let reqs = sends(&actions);
+        assert!(
+            reqs.iter().any(|(_, p)| matches!(p, Packet::LocalRequest { msg } if *msg == mid(2))),
+            "expected a local request, got {actions:?}"
+        );
+        assert!(timers(&actions).contains(&TimerKind::LocalRetry(mid(2))));
+        assert_eq!(r.metrics().counters.local_requests_sent, 1);
+        // No parent region, so no remote phase.
+        assert!(timers(&actions).iter().all(|k| !matches!(k, TimerKind::RemoteRetry(_))));
+    }
+
+    #[test]
+    fn session_message_exposes_tail_loss() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        r.handle(packet_event(0, data(1)), t(0));
+        let actions =
+            r.handle(packet_event(0, Packet::Session { source: SENDER, high: SeqNo(2) }), t(5));
+        assert!(sends(&actions)
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::LocalRequest { msg } if *msg == mid(2))));
+    }
+
+    #[test]
+    fn local_retry_repeats_until_received() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        r.handle(packet_event(0, data(2)), t(0)); // misses #1
+        let actions = r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(10));
+        assert!(sends(&actions)
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::LocalRequest { msg } if *msg == mid(1))));
+        // Once received, the retry stops silently.
+        r.handle(
+            packet_event(
+                2,
+                Packet::Repair {
+                    data: DataPacket::new(mid(1), payload()),
+                    kind: RepairKind::Local,
+                },
+            ),
+            t(12),
+        );
+        let actions = r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(20));
+        assert!(actions.is_empty(), "recovered message should stop retries: {actions:?}");
+    }
+
+    #[test]
+    fn remote_phase_respects_lambda_over_n() {
+        // Region of 1 member (only self) => p = min(1, λ/1) = 1: always send.
+        let own = RegionView::new(RegionId(1), [NodeId(1)]);
+        let parent = RegionView::new(RegionId(0), (10..13).map(NodeId));
+        let cfg = ProtocolConfig::paper_defaults();
+        let mut r = Receiver::new(NodeId(1), HierarchyView::new(own, Some(parent)), cfg, 7);
+        let actions = r.handle(packet_event(0, data(2)), t(0)); // misses #1
+        let remote_reqs: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, p)| matches!(p, Packet::RemoteRequest { msg } if *msg == mid(1)))
+            .collect();
+        assert_eq!(remote_reqs.len(), 1);
+        let (to, _) = remote_reqs[0];
+        assert!((10..13).contains(&to.0), "remote target must be in parent region");
+        assert!(timers(&actions).contains(&TimerKind::RemoteRetry(mid(1))));
+    }
+
+    #[test]
+    fn remote_retry_timer_set_even_without_send() {
+        // λ = tiny: essentially never sends, but the timer must still be set
+        // ("This timer is set by any receiver missing a message, regardless
+        // whether it actually sent out a request or not").
+        let mut cfg = ProtocolConfig::paper_defaults();
+        cfg.lambda = 1e-12;
+        let mut r = receiver_with_parent(cfg);
+        let actions = r.handle(packet_event(0, data(2)), t(0));
+        assert!(timers(&actions).contains(&TimerKind::RemoteRetry(mid(1))));
+        assert_eq!(r.metrics().counters.remote_requests_sent, 0);
+    }
+
+    #[test]
+    fn local_request_answered_from_buffer() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        r.handle(packet_event(0, data(1)), t(0));
+        let actions = r.handle(packet_event(3, Packet::LocalRequest { msg: mid(1) }), t(5));
+        let reply = sends(&actions);
+        assert_eq!(reply.len(), 1);
+        assert_eq!(*reply[0].0, NodeId(3));
+        assert!(matches!(
+            reply[0].1,
+            Packet::Repair { kind: RepairKind::Local, data } if data.id == mid(1)
+        ));
+        assert_eq!(r.metrics().counters.repairs_sent_local, 1);
+    }
+
+    #[test]
+    fn local_request_for_absent_message_is_ignored() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        let actions = r.handle(packet_event(3, Packet::LocalRequest { msg: mid(9) }), t(5));
+        assert!(sends(&actions).is_empty());
+        assert_eq!(r.metrics().counters.local_requests_received, 1);
+    }
+
+    #[test]
+    fn request_refreshes_idle_clock() {
+        let cfg = ProtocolConfig::paper_defaults(); // T = 40ms
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        // Request at t=30 refreshes the clock to t=30.
+        r.handle(packet_event(3, Packet::LocalRequest { msg: mid(1) }), t(30));
+        // Idle check at t=40 must re-arm (30 + 40 = 70), not transition.
+        let actions = r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
+        assert_eq!(
+            actions,
+            vec![Action::SetTimer {
+                delay: SimDuration::from_millis(30),
+                kind: TimerKind::IdleCheck(mid(1))
+            }]
+        );
+        assert_eq!(r.metrics().counters.idle_transitions, 0);
+        // At t=70 it transitions.
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(70));
+        assert_eq!(r.metrics().counters.idle_transitions, 1);
+        assert_eq!(r.metrics().buffer_record(mid(1)).unwrap().idled_at, Some(t(70)));
+    }
+
+    #[test]
+    fn idle_transition_keeps_long_term_when_c_dominates() {
+        // C = 1000 in a 5-member region clamps P to 1: always keep.
+        let cfg = ProtocolConfig::builder().c(1000.0).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
+        assert_eq!(r.store().long_count(), 1);
+        assert_eq!(r.metrics().counters.long_term_kept, 1);
+        assert!(r.metrics().buffer_record(mid(1)).unwrap().kept_long_term);
+    }
+
+    #[test]
+    fn idle_transition_discards_when_c_is_negligible() {
+        let cfg = ProtocolConfig::builder().c(1e-12).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
+        assert!(!r.store().contains(mid(1)));
+        assert_eq!(r.metrics().counters.discarded_at_idle, 1);
+        assert_eq!(r.metrics().buffer_record(mid(1)).unwrap().discarded_at, Some(t(40)));
+    }
+
+    #[test]
+    fn remote_request_answered_when_buffered() {
+        let mut r = receiver_with_parent(ProtocolConfig::paper_defaults());
+        r.handle(packet_event(0, data(1)), t(0));
+        let actions = r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(5));
+        let reply = sends(&actions);
+        assert_eq!(reply.len(), 1);
+        assert!(matches!(
+            reply[0].1,
+            Packet::Repair { kind: RepairKind::Remote, .. }
+        ));
+        assert_eq!(r.metrics().counters.repairs_sent_remote, 1);
+    }
+
+    #[test]
+    fn remote_request_for_never_received_message_registers_waiter_and_relays() {
+        let mut r = receiver_with_parent(ProtocolConfig::paper_defaults());
+        // Remote request for unknown #1: register waiter + start recovery.
+        let actions = r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(0));
+        assert!(
+            sends(&actions)
+                .iter()
+                .any(|(_, p)| matches!(p, Packet::LocalRequest { msg } if *msg == mid(1))),
+            "hint should start local recovery"
+        );
+        // When the message arrives, the repair is relayed to the waiter.
+        let actions = r.handle(packet_event(2, data(1)), t(10));
+        let relayed: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(to, p)| {
+                **to == NodeId(30) && matches!(p, Packet::Repair { kind: RepairKind::Remote, .. })
+            })
+            .collect();
+        assert_eq!(relayed.len(), 1, "waiter must get the relayed repair");
+        assert_eq!(r.metrics().counters.relays_performed, 1);
+    }
+
+    #[test]
+    fn remote_request_after_discard_starts_search() {
+        let cfg = ProtocolConfig::builder().c(1e-12).build().unwrap(); // always discard
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40)); // discarded
+        let actions = r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(50));
+        assert!(
+            sends(&actions)
+                .iter()
+                .any(|(_, p)| matches!(p, Packet::SearchRequest { msg, origins }
+                    if *msg == mid(1) && origins.contains(&NodeId(30)))),
+            "expected a search probe: {actions:?}"
+        );
+        assert!(timers(&actions).contains(&TimerKind::SearchRetry(mid(1))));
+        assert_eq!(r.metrics().counters.searches_started, 1);
+    }
+
+    #[test]
+    fn search_request_answered_by_bufferer() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        r.handle(packet_event(0, data(1)), t(0));
+        let actions = r.handle(
+            packet_event(
+                2,
+                Packet::SearchRequest { msg: mid(1), origins: vec![NodeId(30), NodeId(31)] },
+            ),
+            t(5),
+        );
+        // Repairs to both origins plus the SearchFound announcement.
+        let repairs: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, p)| matches!(p, Packet::Repair { kind: RepairKind::Remote, .. }))
+            .collect();
+        assert_eq!(repairs.len(), 2);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::MulticastRegion { packet: Packet::SearchFound { msg, holder } }
+                if *msg == mid(1) && *holder == NodeId(1)
+        )));
+        assert_eq!(r.metrics().counters.search_found_sent, 1);
+    }
+
+    #[test]
+    fn search_request_joined_when_discarded() {
+        let cfg = ProtocolConfig::builder().c(1e-12).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40)); // discarded
+        let actions = r.handle(
+            packet_event(2, Packet::SearchRequest { msg: mid(1), origins: vec![NodeId(30)] }),
+            t(50),
+        );
+        assert!(sends(&actions)
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::SearchRequest { .. })));
+        assert_eq!(r.metrics().counters.searches_joined, 1);
+    }
+
+    #[test]
+    fn search_found_stops_retries() {
+        let cfg = ProtocolConfig::builder().c(1e-12).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
+        r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(50));
+        r.handle(
+            packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(2) }),
+            t(55),
+        );
+        let actions = r.handle(Event::Timer(TimerKind::SearchRetry(mid(1))), t(60));
+        assert!(actions.is_empty(), "search must stop after SearchFound: {actions:?}");
+    }
+
+    #[test]
+    fn stale_search_probe_is_redirected_not_rejoined() {
+        // A member that already heard "I have the message" must not
+        // re-ignite the search when a late probe arrives; it forwards the
+        // probe to the announced holder instead.
+        let cfg = ProtocolConfig::builder().c(1e-12).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40)); // discarded
+        r.handle(
+            packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(2) }),
+            t(50),
+        );
+        // A probe that was in flight arrives 5ms later.
+        let actions = r.handle(
+            packet_event(3, Packet::SearchRequest { msg: mid(1), origins: vec![NodeId(30)] }),
+            t(55),
+        );
+        let forwards = sends(&actions);
+        assert_eq!(forwards.len(), 1, "{actions:?}");
+        assert_eq!(*forwards[0].0, NodeId(2), "must route to the announced holder");
+        assert!(matches!(forwards[0].1, Packet::SearchRequest { .. }));
+        assert_eq!(r.metrics().counters.searches_joined, 0);
+        // Past the memory window, a new probe is a genuine new search.
+        let actions = r.handle(
+            packet_event(3, Packet::SearchRequest { msg: mid(1), origins: vec![NodeId(31)] }),
+            t(200),
+        );
+        assert_eq!(r.metrics().counters.searches_joined, 1);
+        assert!(timers(&actions).contains(&TimerKind::SearchRetry(mid(1))));
+    }
+
+    #[test]
+    fn remote_request_after_fresh_announcement_uses_fast_path() {
+        let cfg = ProtocolConfig::builder().c(1e-12).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
+        r.handle(
+            packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(4) }),
+            t(50),
+        );
+        let actions = r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(55));
+        let forwards = sends(&actions);
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(*forwards[0].0, NodeId(4));
+        assert_eq!(r.metrics().counters.searches_started, 0, "no new search needed");
+    }
+
+    #[test]
+    fn remote_repair_triggers_regional_multicast_without_backoff() {
+        let cfg = ProtocolConfig::builder().backoff_window(None).build().unwrap();
+        let mut r = receiver_with_parent(cfg);
+        let actions = r.handle(
+            packet_event(
+                10,
+                Packet::Repair {
+                    data: DataPacket::new(mid(1), payload()),
+                    kind: RepairKind::Remote,
+                },
+            ),
+            t(0),
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::MulticastRegion { packet: Packet::RegionalRepair { data } } if data.id == mid(1)
+        )));
+        assert_eq!(r.metrics().counters.regional_multicasts_sent, 1);
+    }
+
+    #[test]
+    fn backoff_suppresses_duplicate_regional_multicast() {
+        let cfg = ProtocolConfig::paper_defaults(); // back-off on
+        let mut r = receiver_with_parent(cfg);
+        let actions = r.handle(
+            packet_event(
+                10,
+                Packet::Repair {
+                    data: DataPacket::new(mid(1), payload()),
+                    kind: RepairKind::Remote,
+                },
+            ),
+            t(0),
+        );
+        // A back-off timer is set instead of an immediate multicast.
+        assert!(timers(&actions).contains(&TimerKind::Backoff(mid(1))));
+        assert!(actions.iter().all(|a| !matches!(a, Action::MulticastRegion { .. })));
+        // Another member's regional repair arrives first.
+        r.handle(
+            packet_event(2, Packet::RegionalRepair { data: DataPacket::new(mid(1), payload()) }),
+            t(2),
+        );
+        let actions = r.handle(Event::Timer(TimerKind::Backoff(mid(1))), t(8));
+        assert!(actions.is_empty(), "suppressed multicast should emit nothing");
+        assert_eq!(r.metrics().counters.regional_multicasts_suppressed, 1);
+        assert_eq!(r.metrics().counters.regional_multicasts_sent, 0);
+    }
+
+    #[test]
+    fn backoff_fires_when_not_suppressed() {
+        let cfg = ProtocolConfig::paper_defaults();
+        let mut r = receiver_with_parent(cfg);
+        r.handle(
+            packet_event(
+                10,
+                Packet::Repair {
+                    data: DataPacket::new(mid(1), payload()),
+                    kind: RepairKind::Remote,
+                },
+            ),
+            t(0),
+        );
+        let actions = r.handle(Event::Timer(TimerKind::Backoff(mid(1))), t(8));
+        assert!(actions.iter().any(|a| matches!(a, Action::MulticastRegion { .. })));
+        assert_eq!(r.metrics().counters.regional_multicasts_sent, 1);
+    }
+
+    #[test]
+    fn leave_hands_off_long_term_buffers() {
+        let cfg = ProtocolConfig::builder().c(1000.0).build().unwrap(); // always keep
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40)); // -> long-term
+        let actions = r.handle(Event::Leave, t(100));
+        let handoffs: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, p)| matches!(p, Packet::Handoff { data } if data.id == mid(1)))
+            .collect();
+        assert_eq!(handoffs.len(), 1);
+        assert!(r.has_left());
+        assert_eq!(r.metrics().counters.handoffs_sent, 1);
+        // After leaving, events are ignored.
+        let actions = r.handle(packet_event(0, data(2)), t(101));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn handoff_received_enters_long_term() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        let actions = r.handle(
+            packet_event(2, Packet::Handoff { data: DataPacket::new(mid(1), payload()) }),
+            t(0),
+        );
+        // New message: delivered AND long-term buffered.
+        assert!(actions.iter().any(|a| matches!(a, Action::Deliver { .. })));
+        assert_eq!(r.store().long_count(), 1);
+        assert_eq!(r.store().short_count(), 0);
+        assert_eq!(r.metrics().counters.handoffs_received, 1);
+    }
+
+    #[test]
+    fn handoff_after_discard_reinstates_long_term() {
+        let cfg = ProtocolConfig::builder().c(1e-12).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40)); // discarded
+        assert!(!r.store().contains(mid(1)));
+        r.handle(
+            packet_event(2, Packet::Handoff { data: DataPacket::new(mid(1), payload()) }),
+            t(50),
+        );
+        assert_eq!(r.store().long_count(), 1);
+    }
+
+    #[test]
+    fn long_term_sweep_expires_stale_entries() {
+        let cfg = ProtocolConfig::builder()
+            .c(1000.0)
+            .long_term_timeout(SimDuration::from_millis(500))
+            .build()
+            .unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
+        assert_eq!(r.store().long_count(), 1);
+        let actions = r.handle(Event::Timer(TimerKind::LongTermSweep), t(600));
+        assert_eq!(r.store().long_count(), 0);
+        assert_eq!(r.metrics().counters.long_term_expired, 1);
+        // Sweep reschedules itself.
+        assert!(timers(&actions).contains(&TimerKind::LongTermSweep));
+    }
+
+    #[test]
+    fn fixed_time_policy_discards_unconditionally() {
+        let cfg = ProtocolConfig::builder()
+            .policy(BufferPolicy::FixedTime { hold: SimDuration::from_millis(100) })
+            .build()
+            .unwrap();
+        let mut r = root_receiver(cfg);
+        let actions = r.handle(packet_event(0, data(1)), t(0));
+        // Hold timer set for 100ms.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer { delay, kind: TimerKind::IdleCheck(m) }
+                if *m == mid(1) && *delay == SimDuration::from_millis(100)
+        )));
+        // Requests do NOT extend the fixed hold.
+        r.handle(packet_event(3, Packet::LocalRequest { msg: mid(1) }), t(90));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(100));
+        assert!(!r.store().contains(mid(1)));
+    }
+
+    #[test]
+    fn keep_all_policy_never_discards() {
+        let cfg = ProtocolConfig::builder().policy(BufferPolicy::KeepAll).build().unwrap();
+        let mut r = root_receiver(cfg);
+        let actions = r.handle(packet_event(0, data(1)), t(0));
+        assert!(timers(&actions).iter().all(|k| !matches!(k, TimerKind::IdleCheck(_))));
+        r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(1_000_000));
+        assert!(r.store().contains(mid(1)));
+    }
+
+    #[test]
+    fn preload_states_behave() {
+        let mut r = root_receiver(ProtocolConfig::paper_defaults());
+        let a = r.preload(mid(1), payload(), PreloadState::LongTerm, t(0));
+        assert!(a.is_empty());
+        assert_eq!(r.store().long_count(), 1);
+
+        let a = r.preload(mid(2), payload(), PreloadState::ShortTerm, t(0));
+        assert!(!a.is_empty());
+        assert_eq!(r.store().short_count(), 1);
+
+        r.preload(mid(3), payload(), PreloadState::ReceivedDiscarded, t(0));
+        assert!(r.detector().received_before(mid(3)));
+        assert!(!r.store().contains(mid(3)));
+    }
+
+    #[test]
+    fn recovery_gives_up_after_attempt_cap() {
+        let mut cfg = ProtocolConfig::paper_defaults();
+        cfg.max_local_attempts = 2;
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(2)), t(0)); // misses #1, attempt 1
+        r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(10)); // attempt 2
+        let actions = r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(20)); // cap
+        assert!(sends(&actions).is_empty());
+        assert_eq!(r.metrics().counters.recovery_gave_up, 1);
+    }
+
+    #[test]
+    fn config_validation_feeds_back() {
+        assert!(matches!(
+            ProtocolConfig::builder().lambda(-1.0).build(),
+            Err(ConfigError::NonPositiveLambda(_))
+        ));
+    }
+}

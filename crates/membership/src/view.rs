@@ -1,0 +1,288 @@
+//! Membership views.
+//!
+//! RRMP's system model (paper §2.1) requires each receiver to know "other
+//! receivers in its region as well as receivers in its parent region". A
+//! [`RegionView`] is one member's (possibly stale) picture of one region; a
+//! [`HierarchyView`] bundles the own-region and parent-region views a
+//! receiver needs for error recovery.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use rrmp_netsim::topology::{NodeId, RegionId, Topology};
+
+/// One member's view of the membership of one region.
+///
+/// Views are versioned: every mutation bumps [`RegionView::version`], which
+/// lets consumers (e.g. cached probability parameters that depend on region
+/// size) cheaply detect staleness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RegionView {
+    region: RegionId,
+    members: BTreeSet<NodeId>,
+    version: u64,
+}
+
+impl RegionView {
+    /// Creates a view of `region` containing `members`.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = NodeId>>(region: RegionId, members: I) -> Self {
+        RegionView { region, members: members.into_iter().collect(), version: 0 }
+    }
+
+    /// The region this view describes.
+    #[must_use]
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Number of members in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `node` is in the view.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Monotone version counter; bumped by every mutation.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Members in ascending id order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Adds `node`; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let added = self.members.insert(node);
+        if added {
+            self.version += 1;
+        }
+        added
+    }
+
+    /// Removes `node`; returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let removed = self.members.remove(&node);
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Picks a member uniformly at random.
+    pub fn random_member<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.members.len());
+        self.members.iter().nth(idx).copied()
+    }
+
+    /// Picks a member uniformly at random, excluding `exclude` — the
+    /// selection primitive behind "send a request to a receiver chosen
+    /// uniformly at random from all receivers in its region".
+    pub fn random_other<R: Rng + ?Sized>(&self, rng: &mut R, exclude: NodeId) -> Option<NodeId> {
+        let n = self.members.len();
+        if n == 0 || (n == 1 && self.members.contains(&exclude)) {
+            return None;
+        }
+        if !self.members.contains(&exclude) {
+            return self.random_member(rng);
+        }
+        // Rejection-free: draw an index over the n-1 non-excluded members.
+        let idx = rng.gen_range(0..n - 1);
+        self.members.iter().filter(|&&m| m != exclude).nth(idx).copied()
+    }
+}
+
+/// The pair of views a receiver needs: its own region and its parent region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HierarchyView {
+    own: RegionView,
+    parent: Option<RegionView>,
+}
+
+impl HierarchyView {
+    /// Creates a view from explicit region views.
+    #[must_use]
+    pub fn new(own: RegionView, parent: Option<RegionView>) -> Self {
+        HierarchyView { own, parent }
+    }
+
+    /// Builds the full (accurate) view for `node` from a [`Topology`] — the
+    /// usual starting point before churn perturbs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of `topo`.
+    #[must_use]
+    pub fn from_topology(topo: &Topology, node: NodeId) -> Self {
+        let region = topo.region_of(node);
+        let own = RegionView::new(region, topo.members_of(region).iter().copied());
+        let parent = topo.parent_of(region).map(|p| {
+            RegionView::new(p, topo.members_of(p).iter().copied())
+        });
+        HierarchyView { own, parent }
+    }
+
+    /// The member's own region view.
+    #[must_use]
+    pub fn own(&self) -> &RegionView {
+        &self.own
+    }
+
+    /// Mutable access to the own-region view.
+    pub fn own_mut(&mut self) -> &mut RegionView {
+        &mut self.own
+    }
+
+    /// The parent-region view, or `None` if this member's region is the
+    /// root of the hierarchy (like the sender's region).
+    #[must_use]
+    pub fn parent(&self) -> Option<&RegionView> {
+        self.parent.as_ref()
+    }
+
+    /// Mutable access to the parent-region view.
+    pub fn parent_mut(&mut self) -> Option<&mut RegionView> {
+        self.parent.as_mut()
+    }
+
+    /// The id of the member's own region.
+    #[must_use]
+    pub fn region(&self) -> RegionId {
+        self.own.region()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrmp_netsim::rng::SeedSequence;
+    use rrmp_netsim::time::SimDuration;
+    use rrmp_netsim::topology::TopologyBuilder;
+
+    fn view(ids: &[u32]) -> RegionView {
+        RegionView::new(RegionId(0), ids.iter().map(|&i| NodeId(i)))
+    }
+
+    #[test]
+    fn insert_remove_version() {
+        let mut v = view(&[1, 2]);
+        assert_eq!(v.version(), 0);
+        assert!(v.insert(NodeId(3)));
+        assert!(!v.insert(NodeId(3)));
+        assert_eq!(v.version(), 1);
+        assert!(v.remove(NodeId(1)));
+        assert!(!v.remove(NodeId(1)));
+        assert_eq!(v.version(), 2);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(NodeId(2)));
+        assert!(!v.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn random_other_excludes_self() {
+        let v = view(&[0, 1, 2, 3, 4]);
+        let mut rng = SeedSequence::new(1).rng_for(0);
+        for _ in 0..200 {
+            let pick = v.random_other(&mut rng, NodeId(2)).unwrap();
+            assert_ne!(pick, NodeId(2));
+            assert!(v.contains(pick));
+        }
+    }
+
+    #[test]
+    fn random_other_is_roughly_uniform() {
+        let v = view(&[0, 1, 2, 3]);
+        let mut rng = SeedSequence::new(2).rng_for(0);
+        let mut counts = [0u32; 4];
+        for _ in 0..3000 {
+            let pick = v.random_other(&mut rng, NodeId(0)).unwrap();
+            counts[pick.0 as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            assert!((800..1200).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn random_other_edge_cases() {
+        let mut rng = SeedSequence::new(3).rng_for(0);
+        let empty = view(&[]);
+        assert_eq!(empty.random_other(&mut rng, NodeId(0)), None);
+        assert_eq!(empty.random_member(&mut rng), None);
+        let only_me = view(&[7]);
+        assert_eq!(only_me.random_other(&mut rng, NodeId(7)), None);
+        let not_me = view(&[5]);
+        assert_eq!(not_me.random_other(&mut rng, NodeId(9)), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn hierarchy_from_topology() {
+        let topo = TopologyBuilder::new()
+            .inter_region_one_way(SimDuration::from_millis(20))
+            .region(3, None)
+            .region(2, Some(0))
+            .build()
+            .unwrap();
+        // Node 4 is in region 1; its parent region is 0.
+        let h = HierarchyView::from_topology(&topo, NodeId(4));
+        assert_eq!(h.region(), RegionId(1));
+        assert_eq!(h.own().len(), 2);
+        assert_eq!(h.parent().unwrap().len(), 3);
+        assert!(h.parent().unwrap().contains(NodeId(0)));
+        // Node 0 is in the root region; no parent.
+        let root = HierarchyView::from_topology(&topo, NodeId(0));
+        assert!(root.parent().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rrmp_netsim::rng::SeedSequence;
+
+    proptest! {
+        /// random_other never returns the excluded node and always returns a
+        /// member, for any view contents.
+        #[test]
+        fn random_other_sound(
+            ids in proptest::collection::btree_set(0u32..64, 0..20),
+            exclude in 0u32..64,
+            seed in 0u64..1000,
+        ) {
+            let v = RegionView::new(RegionId(0), ids.iter().map(|&i| NodeId(i)));
+            let mut rng = SeedSequence::new(seed).rng_for(0);
+            match v.random_other(&mut rng, NodeId(exclude)) {
+                Some(pick) => {
+                    prop_assert_ne!(pick, NodeId(exclude));
+                    prop_assert!(v.contains(pick));
+                }
+                None => {
+                    // Only legitimate when the view is empty or holds just
+                    // the excluded node.
+                    prop_assert!(v.is_empty() || (v.len() == 1 && v.contains(NodeId(exclude))));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,711 @@
+//! The discrete-event simulator driver.
+//!
+//! A [`Sim`] owns a set of user-defined nodes (anything implementing
+//! [`SimNode`]), a [`Topology`], and an event queue. Nodes interact with the
+//! world exclusively through a [`Ctx`] handed to their callbacks: sending
+//! packets (delivered after the topology's latency, subject to an optional
+//! loss model or deterministic drop filter) and setting timers.
+//!
+//! Determinism: all randomness is derived from the seed passed to
+//! [`Sim::new`]; events at equal instants fire in scheduling order. Running
+//! the same simulation twice produces byte-identical traces.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+
+use crate::event::EventQueue;
+use crate::loss::{DeliveryPlan, LossModel};
+use crate::rng::SeedSequence;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+
+/// A handle for cancelling a pending timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Application logic hosted on a simulated node.
+///
+/// Implementations receive packets and timer expirations and react through
+/// the [`Ctx`]. All callbacks are synchronous; the simulator is
+/// single-threaded and deterministic.
+pub trait SimNode {
+    /// The packet type exchanged between nodes.
+    type Msg: Clone;
+
+    /// Called once before the first event is processed.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a packet from `from` arrives.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set through [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64);
+}
+
+/// Buffered side effects produced during one callback.
+enum Op<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: u64, token: u64, at: SimTime },
+    Cancel { id: u64 },
+}
+
+/// The execution context handed to node callbacks.
+///
+/// Provides the current time, the node's own identity and RNG, the shared
+/// topology, and the means to send packets and set timers.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: NodeId,
+    topo: &'a Topology,
+    rng: &'a mut StdRng,
+    ops: Vec<Op<M>>,
+    next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node whose callback is running.
+    #[must_use]
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The shared network topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// This node's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`; it arrives after the topology's one-way latency
+    /// unless the simulator's loss model or drop filter discards it.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        debug_assert_ne!(to, self.self_id, "protocol bug: node sent a packet to itself");
+        self.ops.push(Op::Send { to, msg });
+    }
+
+    /// Sends a copy of `msg` to every node in `to` (loss applies per copy).
+    pub fn send_all<I: IntoIterator<Item = NodeId>>(&mut self, to: I, msg: M)
+    where
+        M: Clone,
+    {
+        for node in to {
+            if node != self.self_id {
+                self.send(node, msg.clone());
+            }
+        }
+    }
+
+    /// Schedules `token` to fire on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let id = *self.next_timer_id;
+        *self.next_timer_id += 1;
+        self.ops.push(Op::SetTimer { id, token, at: self.now + delay });
+        TimerId(id)
+    }
+
+    /// Cancels a previously set timer. Cancelling an already-fired timer is
+    /// a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.ops.push(Op::Cancel { id: id.0 });
+    }
+}
+
+enum SimEvent<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, token: u64, id: u64 },
+}
+
+/// Aggregate network-level counters for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Unicast packets handed to the network.
+    pub unicasts_sent: u64,
+    /// Unicast packets discarded by the loss model or drop filter.
+    pub unicasts_dropped: u64,
+    /// Packets delivered to nodes.
+    pub delivered: u64,
+    /// Timers set.
+    pub timers_set: u64,
+    /// Timers fired (excluding cancelled ones).
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// ```
+/// use rrmp_netsim::sim::{Sim, SimNode, Ctx};
+/// use rrmp_netsim::topology::{presets, NodeId};
+/// use rrmp_netsim::time::{SimTime, SimDuration};
+///
+/// // Each node forwards a counter to the next node until it reaches 3.
+/// struct Relay;
+/// impl SimNode for Relay {
+///     type Msg = u32;
+///     fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+///         if msg < 3 {
+///             let next = NodeId((ctx.self_id().0 + 1) % 4);
+///             ctx.send(next, msg + 1);
+///         }
+///     }
+///     fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32>, _token: u64) {}
+/// }
+///
+/// let topo = presets::paper_region(4);
+/// let mut sim = Sim::new(topo, (0..4).map(|_| Relay).collect(), 42);
+/// sim.inject(NodeId(1), NodeId(0), 1, SimTime::ZERO);
+/// let end = sim.run_until_quiescent(SimTime::from_secs(1));
+/// // Two hops of 5ms each after the injected packet.
+/// assert_eq!(end, SimTime::from_millis(10));
+/// ```
+pub struct Sim<N: SimNode> {
+    topo: Topology,
+    nodes: Vec<N>,
+    rngs: Vec<StdRng>,
+    queue: EventQueue<SimEvent<N::Msg>>,
+    now: SimTime,
+    cancelled: HashSet<u64>,
+    next_timer_id: u64,
+    unicast_loss: LossModel,
+    loss_rng: StdRng,
+    counters: NetCounters,
+    #[allow(clippy::type_complexity)]
+    drop_filter: Option<Box<dyn FnMut(NodeId, NodeId, &N::Msg) -> bool>>,
+    started: bool,
+}
+
+impl<N: SimNode> std::fmt::Debug for Sim<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> std::fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("self_id", &self.self_id)
+            .field("buffered_ops", &self.ops.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<N: SimNode> Sim<N> {
+    /// Creates a simulator over `topo` hosting `nodes` (one per
+    /// [`NodeId`], in order), with all randomness derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the topology's node count.
+    #[must_use]
+    pub fn new(topo: Topology, nodes: Vec<N>, seed: u64) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topo.node_count(),
+            "need exactly one node implementation per topology node"
+        );
+        let seq = SeedSequence::new(seed);
+        let rngs = (0..nodes.len()).map(|i| seq.rng_for(i as u64)).collect();
+        Sim {
+            topo,
+            nodes,
+            rngs,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            cancelled: HashSet::new(),
+            next_timer_id: 0,
+            unicast_loss: LossModel::None,
+            loss_rng: seq.rng_for(u64::MAX / 2),
+            counters: NetCounters::default(),
+            drop_filter: None,
+            started: false,
+        }
+    }
+
+    /// Sets the loss model applied to every unicast send (default: none —
+    /// the paper's assumption that requests and repairs are not lost).
+    pub fn set_unicast_loss(&mut self, model: LossModel) {
+        self.unicast_loss = model;
+    }
+
+    /// Installs a deterministic drop filter consulted for every packet
+    /// (return `true` to drop). Useful for fault-injection tests.
+    pub fn set_drop_filter<F>(&mut self, f: F)
+    where
+        F: FnMut(NodeId, NodeId, &N::Msg) -> bool + 'static,
+    {
+        self.drop_filter = Some(Box::new(f));
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Network counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> NetCounters {
+        self.counters
+    }
+
+    /// Immutable access to a node (for instrumentation between steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (for instrumentation between steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Injects a packet from `from` arriving at `to` at absolute time `at`
+    /// (bypassing latency and loss) — used to set up experiment initial
+    /// conditions such as "these members hold the message at time zero".
+    pub fn inject(&mut self, to: NodeId, from: NodeId, msg: N::Msg, at: SimTime) {
+        self.queue.schedule(at, SimEvent::Deliver { to, from, msg });
+    }
+
+    /// Injects one multicast transmission according to a [`DeliveryPlan`]:
+    /// every plan holder other than `from` receives `msg` at
+    /// `at + one_way_latency(from, holder)`.
+    pub fn inject_multicast_plan(
+        &mut self,
+        from: NodeId,
+        msg: &N::Msg,
+        plan: &DeliveryPlan,
+        at: SimTime,
+    ) {
+        for to in plan.holders() {
+            if to == from {
+                continue;
+            }
+            let arrive = at + self.topo.one_way_latency(from, to);
+            self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg: clone_msg(msg) });
+        }
+    }
+
+    /// Injects a multicast where every holder receives `msg` at exactly
+    /// `at` (zero latency) — the paper's Figure 6/7 setup where a subset of
+    /// members "hold the message initially".
+    pub fn inject_simultaneous(
+        &mut self,
+        from: NodeId,
+        msg: &N::Msg,
+        plan: &DeliveryPlan,
+        at: SimTime,
+    ) {
+        for to in plan.holders() {
+            if to == from {
+                continue;
+            }
+            self.queue.schedule(at, SimEvent::Deliver { to, from, msg: clone_msg(msg) });
+        }
+    }
+
+    /// Schedules an external timer on `node` at absolute time `at` — used
+    /// by experiments to trigger scripted actions (e.g. a member leaving).
+    pub fn schedule_external_timer(&mut self, node: NodeId, token: u64, at: SimTime) {
+        let id = self.next_timer_id;
+        self.next_timer_id += 1;
+        self.counters.timers_set += 1;
+        self.queue.schedule(at, SimEvent::Timer { node, token, id });
+    }
+
+    /// Runs each node's [`SimNode::on_start`] callback (at most once).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch_with(i, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        loop {
+            let Some((at, event)) = self.queue.pop() else { return false };
+            debug_assert!(at >= self.now, "time went backwards");
+            match event {
+                SimEvent::Deliver { to, from, msg } => {
+                    self.now = at;
+                    self.counters.delivered += 1;
+                    self.counters.events_processed += 1;
+                    self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, msg));
+                    return true;
+                }
+                SimEvent::Timer { node, token, id } => {
+                    if self.cancelled.remove(&id) {
+                        continue; // cancelled; consume silently without advancing time
+                    }
+                    self.now = at;
+                    self.counters.timers_fired += 1;
+                    self.counters.events_processed += 1;
+                    self.dispatch_with(node.index(), |n, ctx| n.on_timer(ctx, token));
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Processes every event scheduled at or before `t`, then advances the
+    /// clock to exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start();
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Runs until no events remain or the clock would pass `limit`.
+    /// Returns the time of the last processed event (or the current time if
+    /// nothing ran).
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+        self.start();
+        while let Some(at) = self.queue.peek_time() {
+            if at > limit {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch_with<F>(&mut self, idx: usize, f: F)
+    where
+        F: FnOnce(&mut N, &mut Ctx<'_, N::Msg>),
+    {
+        let mut ops = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: NodeId(idx as u32),
+                topo: &self.topo,
+                rng: &mut self.rngs[idx],
+                ops: Vec::new(),
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(&mut self.nodes[idx], &mut ctx);
+            std::mem::swap(&mut ops, &mut ctx.ops);
+        }
+        let from = NodeId(idx as u32);
+        for op in ops {
+            match op {
+                Op::Send { to, msg } => {
+                    self.counters.unicasts_sent += 1;
+                    let filtered = self
+                        .drop_filter
+                        .as_mut()
+                        .is_some_and(|f| f(from, to, &msg));
+                    let lost = filtered || self.unicast_loss.drops_unicast(&mut self.loss_rng);
+                    if lost {
+                        self.counters.unicasts_dropped += 1;
+                        continue;
+                    }
+                    let arrive = self.now + self.topo.one_way_latency(from, to);
+                    self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg });
+                }
+                Op::SetTimer { id, token, at } => {
+                    self.counters.timers_set += 1;
+                    self.queue.schedule(at, SimEvent::Timer { node: from, token, id });
+                }
+                Op::Cancel { id } => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+}
+
+fn clone_msg<M: Clone>(m: &M) -> M {
+    m.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::presets::paper_region;
+    use crate::topology::TopologyBuilder;
+
+    /// Node that records everything it observes.
+    #[derive(Default)]
+    struct Probe {
+        packets: Vec<(SimTime, NodeId, u32)>,
+        timers: Vec<(SimTime, u64)>,
+        started: bool,
+    }
+
+    impl SimNode for Probe {
+        type Msg = u32;
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, u32>) {
+            self.started = true;
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            self.packets.push((ctx.now(), from, msg));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, token: u64) {
+            self.timers.push((ctx.now(), token));
+        }
+    }
+
+    fn probes(n: usize) -> Vec<Probe> {
+        (0..n).map(|_| Probe::default()).collect()
+    }
+
+    #[test]
+    fn unicast_latency_applied() {
+        let topo = paper_region(3);
+        let mut sim = Sim::new(topo, probes(3), 1);
+        sim.inject(NodeId(1), NodeId(0), 7, SimTime::ZERO);
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.node(NodeId(1)).packets, vec![(SimTime::ZERO, NodeId(0), 7)]);
+        assert!(sim.node(NodeId(0)).started);
+    }
+
+    /// Responder sends an ack back on first packet.
+    struct Echo;
+    impl SimNode for Echo {
+        type Msg = u32;
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            if msg == 0 {
+                ctx.send(from, 1);
+            }
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+    }
+
+    #[test]
+    fn round_trip_takes_rtt() {
+        let topo = paper_region(2);
+        let mut sim = Sim::new(topo, vec![Echo, Echo], 2);
+        sim.inject(NodeId(1), NodeId(0), 0, SimTime::ZERO);
+        let end = sim.run_until_quiescent(SimTime::from_secs(1));
+        // Echo reply travels one intra-region hop: 5ms.
+        assert_eq!(end, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerNode {
+            fired: Vec<u64>,
+            cancel_me: Option<TimerId>,
+        }
+        impl SimNode for TimerNode {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                self.cancel_me = Some(ctx.set_timer(SimDuration::from_millis(2), 2));
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: u64) {
+                if token == 1 {
+                    let id = self.cancel_me.take().expect("set in on_start");
+                    ctx.cancel_timer(id);
+                }
+                self.fired.push(token);
+            }
+        }
+        let topo = paper_region(1);
+        let mut sim = Sim::new(topo, vec![TimerNode { fired: vec![], cancel_me: None }], 3);
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.node(NodeId(0)).fired, vec![1, 3]);
+        assert_eq!(sim.counters().timers_set, 3);
+        assert_eq!(sim.counters().timers_fired, 2);
+    }
+
+    #[test]
+    fn drop_filter_discards() {
+        struct Sender;
+        impl SimNode for Sender {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if ctx.self_id() == NodeId(0) {
+                    ctx.send(NodeId(1), 1);
+                    ctx.send(NodeId(1), 2);
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+        }
+        let topo = paper_region(2);
+        let mut sim = Sim::new(topo, vec![Sender, Sender], 4);
+        sim.set_drop_filter(|_, _, &msg| msg == 1);
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.counters().unicasts_sent, 2);
+        assert_eq!(sim.counters().unicasts_dropped, 1);
+        assert_eq!(sim.counters().delivered, 1);
+    }
+
+    #[test]
+    fn unicast_loss_model_applies() {
+        struct Spammer;
+        impl SimNode for Spammer {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if ctx.self_id() == NodeId(0) {
+                    for i in 0..1000 {
+                        ctx.send(NodeId(1), i);
+                    }
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+        }
+        let topo = paper_region(2);
+        let mut sim = Sim::new(topo, vec![Spammer, Spammer], 5);
+        sim.set_unicast_loss(LossModel::Bernoulli { p: 0.5 });
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        let dropped = sim.counters().unicasts_dropped;
+        assert!((300..700).contains(&dropped), "dropped {dropped} of 1000");
+    }
+
+    #[test]
+    fn multicast_plan_delivery() {
+        let topo = TopologyBuilder::new()
+            .intra_region_one_way(SimDuration::from_millis(5))
+            .inter_region_one_way(SimDuration::from_millis(20))
+            .region(2, None)
+            .region(2, Some(0))
+            .build()
+            .unwrap();
+        let mut sim = Sim::new(topo, probes(4), 6);
+        let plan = DeliveryPlan::all_but(sim.topology(), [NodeId(2)]);
+        sim.inject_multicast_plan(NodeId(0), &9, &plan, SimTime::ZERO);
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        // Node 1 (same region): 5ms. Node 3 (other region): 20ms. Node 2 missed.
+        assert_eq!(sim.node(NodeId(1)).packets, vec![(SimTime::from_millis(5), NodeId(0), 9)]);
+        assert!(sim.node(NodeId(2)).packets.is_empty());
+        assert_eq!(sim.node(NodeId(3)).packets, vec![(SimTime::from_millis(20), NodeId(0), 9)]);
+    }
+
+    #[test]
+    fn inject_simultaneous_arrives_at_once() {
+        let topo = paper_region(4);
+        let mut sim = Sim::new(topo, probes(4), 7);
+        let plan = DeliveryPlan::only(sim.topology(), [NodeId(1), NodeId(3)]);
+        sim.inject_simultaneous(NodeId(0), &5, &plan, SimTime::from_millis(2));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.node(NodeId(1)).packets, vec![(SimTime::from_millis(2), NodeId(0), 5)]);
+        assert_eq!(sim.node(NodeId(3)).packets, vec![(SimTime::from_millis(2), NodeId(0), 5)]);
+        assert!(sim.node(NodeId(2)).packets.is_empty());
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let topo = paper_region(2);
+        let mut sim = Sim::new(topo, probes(2), 8);
+        sim.inject(NodeId(1), NodeId(0), 1, SimTime::from_millis(10));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        assert!(sim.node(NodeId(1)).packets.is_empty());
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.node(NodeId(1)).packets.len(), 1);
+    }
+
+    #[test]
+    fn external_timer_reaches_node() {
+        let topo = paper_region(1);
+        let mut sim = Sim::new(topo, probes(1), 9);
+        sim.schedule_external_timer(NodeId(0), 42, SimTime::from_millis(3));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.node(NodeId(0)).timers, vec![(SimTime::from_millis(3), 42)]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run() -> Vec<(SimTime, NodeId, u32)> {
+            struct Gossiper;
+            impl SimNode for Gossiper {
+                type Msg = u32;
+                fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, msg: u32) {
+                    if msg > 0 {
+                        use rand::Rng;
+                        let n = ctx.topology().node_count() as u32;
+                        let mut to = NodeId(ctx.rng().gen_range(0..n));
+                        if to == ctx.self_id() {
+                            to = NodeId((to.0 + 1) % n);
+                        }
+                        ctx.send(to, msg - 1);
+                    }
+                }
+                fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+            }
+            let topo = paper_region(10);
+            let mut sim = Sim::new(topo, (0..10).map(|_| Gossiper).collect(), 1234);
+            sim.inject(NodeId(0), NodeId(9), 50, SimTime::ZERO);
+            // Track deliveries via a probe wrapper would need more machinery;
+            // instead assert on counters + final time.
+            sim.run_until_quiescent(SimTime::from_secs(10));
+            vec![(sim.now(), NodeId(0), sim.counters().delivered as u32)]
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "one node implementation per topology node")]
+    fn node_count_mismatch_panics() {
+        let topo = paper_region(3);
+        let _ = Sim::new(topo, probes(2), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Structured event tracing for simulations.
+//!
+//! Experiments and tests attach a [`TraceRecorder`] to protocol nodes to
+//! capture a totally ordered log of interesting protocol-level events
+//! (receipt, buffering transitions, requests, repairs). Determinism tests
+//! compare whole traces; experiment harnesses aggregate them into the
+//! paper's figures.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+
+/// One recorded protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: SimTime,
+    /// The node it happened on.
+    pub node: NodeId,
+    /// Event category (static so traces stay cheap), e.g. `"data_received"`.
+    pub kind: &'static str,
+    /// Free-form detail, e.g. a message id rendered as text.
+    pub detail: String,
+}
+
+/// An append-only log of [`TraceEntry`] values plus per-kind counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRecorder {
+    entries: Vec<TraceEntry>,
+    counters: BTreeMap<&'static str, u64>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder that keeps full entries.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder { entries: Vec::new(), counters: BTreeMap::new(), enabled: true }
+    }
+
+    /// Creates a recorder that keeps only counters (no per-event storage) —
+    /// cheaper for long experiment sweeps.
+    #[must_use]
+    pub fn counters_only() -> Self {
+        TraceRecorder { entries: Vec::new(), counters: BTreeMap::new(), enabled: false }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: SimTime, node: NodeId, kind: &'static str, detail: impl Into<String>) {
+        *self.counters.entry(kind).or_insert(0) += 1;
+        if self.enabled {
+            self.entries.push(TraceEntry { at, node, kind, detail: detail.into() });
+        }
+    }
+
+    /// Increments a counter without storing an entry.
+    pub fn bump(&mut self, kind: &'static str) {
+        *self.counters.entry(kind).or_insert(0) += 1;
+    }
+
+    /// All recorded entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The value of counter `kind` (0 if never recorded).
+    #[must_use]
+    pub fn counter(&self, kind: &str) -> u64 {
+        self.counters.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by kind.
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// Entries of a given kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Merges another recorder's counters and entries into this one,
+    /// keeping entries sorted by time (stable).
+    pub fn merge(&mut self, other: &TraceRecorder) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        self.entries.extend(other.entries.iter().cloned());
+        self.entries.sort_by_key(|e| (e.at, e.node));
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut tr = TraceRecorder::new();
+        tr.record(t(1), NodeId(0), "data_received", "m1");
+        tr.record(t(2), NodeId(1), "data_received", "m1");
+        tr.record(t(3), NodeId(0), "repair_sent", "m1");
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.counter("data_received"), 2);
+        assert_eq!(tr.counter("repair_sent"), 1);
+        assert_eq!(tr.counter("missing"), 0);
+        assert_eq!(tr.of_kind("data_received").count(), 2);
+    }
+
+    #[test]
+    fn counters_only_mode_stores_nothing() {
+        let mut tr = TraceRecorder::counters_only();
+        tr.record(t(1), NodeId(0), "x", "d");
+        assert!(tr.is_empty());
+        assert_eq!(tr.counter("x"), 1);
+    }
+
+    #[test]
+    fn bump_only_counts() {
+        let mut tr = TraceRecorder::new();
+        tr.bump("k");
+        tr.bump("k");
+        assert_eq!(tr.counter("k"), 2);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_sorted() {
+        let mut a = TraceRecorder::new();
+        a.record(t(5), NodeId(0), "x", "");
+        let mut b = TraceRecorder::new();
+        b.record(t(1), NodeId(1), "x", "");
+        b.record(t(9), NodeId(1), "y", "");
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.counter("x"), 2);
+        assert_eq!(a.counter("y"), 1);
+        let times: Vec<u64> = a.entries().iter().map(|e| e.at.as_micros()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+}

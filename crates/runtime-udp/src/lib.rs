@@ -1,0 +1,20 @@
+//! # rrmp-udp
+//!
+//! A thread-based runtime hosting the sans-io RRMP core on real
+//! `std::net::UdpSocket`s. The identical [`rrmp_core::receiver::Receiver`]
+//! state machine that drives the paper's simulations runs here against a
+//! monotonic clock and a UDP transport; IP multicast is emulated by
+//! unicast fan-out (the paper's protocol only observes *who received the
+//! initial transmission*, which the fan-out preserves).
+//!
+//! See the `udp_localhost` example for a multi-node walkthrough on
+//! loopback, including forced initial-multicast loss and recovery.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod group;
+pub mod runtime;
+
+pub use group::{GroupSpec, MemberSpec};
+pub use runtime::{Delivery, UdpNode};

@@ -1,0 +1,487 @@
+//! The thread-based UDP runtime hosting the sans-io protocol core.
+//!
+//! A [`UdpNode`] runs three things:
+//!
+//! * a **receive thread** reading datagrams off the socket, decoding them
+//!   with the shared wire codec, and handing `(from, Packet)` pairs to the
+//!   event loop;
+//! * an **event loop thread** owning the [`Receiver`] (and the [`Sender`]
+//!   role, if any), a monotonic clock mapped onto [`SimTime`], and a
+//!   timer heap for the protocol's [`TimerKind`]s;
+//! * a command channel for the application: multicast payloads, leave,
+//!   shutdown.
+//!
+//! IP multicast is emulated by unicast fan-out (no multicast routing is
+//! assumed); a test hook can drop the initial transmission to selected
+//! members to exercise recovery over real sockets.
+
+use std::collections::BinaryHeap;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver as ChanReceiver, Sender as ChanSender};
+use parking_lot::Mutex;
+
+use rrmp_core::events::{Action, Event, TimerKind};
+use rrmp_core::ids::MessageId;
+use rrmp_core::packet::Packet;
+use rrmp_core::prelude::ProtocolConfig;
+use rrmp_core::receiver::Receiver;
+use rrmp_core::sender::{Sender, SenderAction};
+use rrmp_netsim::time::SimTime;
+use rrmp_netsim::topology::NodeId;
+
+use crate::group::GroupSpec;
+
+/// Application commands accepted by the event loop.
+enum Command {
+    Multicast(Bytes),
+    Leave,
+    Shutdown,
+}
+
+/// A message delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The message id.
+    pub id: MessageId,
+    /// The payload.
+    pub payload: Bytes,
+}
+
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq).
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+type DropFilter = dyn Fn(NodeId) -> bool + Send;
+
+/// A group member running over real UDP sockets.
+///
+/// Spawn one per process (or several in one process for tests); see the
+/// `udp_localhost` example for an end-to-end walkthrough.
+pub struct UdpNode {
+    node: NodeId,
+    cmd_tx: ChanSender<Command>,
+    delivered_rx: ChanReceiver<Delivery>,
+    loop_handle: Option<JoinHandle<()>>,
+    recv_handle: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    initial_drop: Arc<Mutex<Option<Box<DropFilter>>>>,
+}
+
+impl std::fmt::Debug for UdpNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpNode")
+            .field("node", &self.node)
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl UdpNode {
+    /// Starts a member on `socket` (already bound; its address must match
+    /// the spec's entry for `node`). `is_sender` grants the multicast
+    /// source role.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the socket cannot be configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in `spec` or `cfg` is invalid.
+    pub fn start(
+        socket: UdpSocket,
+        spec: GroupSpec,
+        node: NodeId,
+        cfg: ProtocolConfig,
+        is_sender: bool,
+        seed: u64,
+    ) -> std::io::Result<UdpNode> {
+        cfg.validate().expect("invalid protocol config");
+        assert!(spec.addr_of(node).is_some(), "{node} not in group spec");
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let (pkt_tx, pkt_rx) = unbounded::<(NodeId, Packet)>();
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (delivered_tx, delivered_rx) = bounded::<Delivery>(4096);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let initial_drop: Arc<Mutex<Option<Box<DropFilter>>>> = Arc::new(Mutex::new(None));
+
+        // Receive thread: datagram -> decoded packet -> event loop.
+        let recv_socket = socket.try_clone()?;
+        let recv_spec = spec.clone();
+        let recv_shutdown = Arc::clone(&shutdown);
+        let recv_handle = std::thread::Builder::new()
+            .name(format!("rrmp-udp-recv-{node}"))
+            .spawn(move || {
+                let mut buf = vec![0u8; 64 * 1024];
+                while !recv_shutdown.load(Ordering::Relaxed) {
+                    match recv_socket.recv_from(&mut buf) {
+                        Ok((len, from_addr)) => {
+                            let Some(from) = recv_spec.node_at(from_addr) else { continue };
+                            match Packet::decode(Bytes::copy_from_slice(&buf[..len])) {
+                                Ok(packet) => {
+                                    if pkt_tx.send((from, packet)).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(_) => continue, // corrupt datagram: drop
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn recv thread");
+
+        // Event loop thread.
+        let view = spec.view_for(node);
+        let loop_shutdown = Arc::clone(&shutdown);
+        let loop_drop = Arc::clone(&initial_drop);
+        let loop_handle = std::thread::Builder::new()
+            .name(format!("rrmp-udp-loop-{node}"))
+            .spawn(move || {
+                let epoch = Instant::now();
+                let now_sim = |at: Instant| {
+                    SimTime::from_micros(at.duration_since(epoch).as_micros() as u64)
+                };
+                let mut receiver = Receiver::new(node, view, cfg.clone(), seed);
+                let mut sender = is_sender.then(|| Sender::new(node, cfg.session_interval));
+                let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+                let mut timer_seq = 0u64;
+
+                let push_timer = |timers: &mut BinaryHeap<TimerEntry>,
+                                      seq: &mut u64,
+                                      delay: rrmp_netsim::time::SimDuration,
+                                      kind: TimerKind| {
+                    let at = Instant::now() + Duration::from(delay);
+                    *seq += 1;
+                    timers.push(TimerEntry { at, seq: *seq, kind });
+                };
+
+                let send_packet = |to: NodeId, packet: &Packet| {
+                    if let Some(addr) = spec.addr_of(to) {
+                        let _ = socket.send_to(&packet.encode(), addr);
+                    }
+                };
+
+                // Execute a batch of receiver actions.
+                let execute = |actions: Vec<Action>,
+                               timers: &mut BinaryHeap<TimerEntry>,
+                               timer_seq: &mut u64,
+                               receiver: &Receiver| {
+                    for action in actions {
+                        match action {
+                            Action::Send { to, packet } => send_packet(to, &packet),
+                            Action::MulticastRegion { packet } => {
+                                for m in receiver.view().own().members() {
+                                    if m != node {
+                                        send_packet(m, &packet);
+                                    }
+                                }
+                            }
+                            Action::Deliver { id, payload } => {
+                                let _ = delivered_tx.try_send(Delivery { id, payload });
+                            }
+                            Action::SetTimer { delay, kind } => {
+                                push_timer(timers, timer_seq, delay, kind);
+                            }
+                        }
+                    }
+                };
+
+                // Start-up actions.
+                let actions = receiver.on_start();
+                execute(actions, &mut timers, &mut timer_seq, &receiver);
+                if let Some(s) = &sender {
+                    for a in s.on_start() {
+                        if let SenderAction::Protocol(Action::SetTimer { delay, kind }) = a {
+                            push_timer(&mut timers, &mut timer_seq, delay, kind);
+                        }
+                    }
+                }
+
+                loop {
+                    if loop_shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Fire due timers.
+                    let now = Instant::now();
+                    while timers.peek().is_some_and(|t| t.at <= now) {
+                        let entry = timers.pop().expect("peeked");
+                        if entry.kind == TimerKind::SessionTick {
+                            if let Some(s) = &sender {
+                                for a in s.on_session_tick() {
+                                    match a {
+                                        SenderAction::MulticastGroup { packet } => {
+                                            for m in spec.members() {
+                                                if m.node != node {
+                                                    send_packet(m.node, &packet);
+                                                }
+                                            }
+                                        }
+                                        SenderAction::Protocol(Action::SetTimer { delay, kind }) => {
+                                            push_timer(&mut timers, &mut timer_seq, delay, kind);
+                                        }
+                                        SenderAction::Protocol(_) => {}
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                        let actions =
+                            receiver.handle(Event::Timer(entry.kind), now_sim(entry.at.max(epoch)));
+                        execute(actions, &mut timers, &mut timer_seq, &receiver);
+                    }
+                    // Wait for work until the next timer deadline.
+                    let timeout = timers
+                        .peek()
+                        .map(|t| t.at.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(20))
+                        .min(Duration::from_millis(20));
+                    crossbeam::channel::select! {
+                        recv(pkt_rx) -> msg => {
+                            if let Ok((from, packet)) = msg {
+                                let actions = receiver
+                                    .handle(Event::Packet { from, packet }, now_sim(Instant::now()));
+                                execute(actions, &mut timers, &mut timer_seq, &receiver);
+                            }
+                        }
+                        recv(cmd_rx) -> cmd => {
+                            match cmd {
+                                Ok(Command::Multicast(payload)) => {
+                                    let Some(s) = sender.as_mut() else { continue };
+                                    let (id, actions) = s.multicast(payload.clone());
+                                    for a in actions {
+                                        if let SenderAction::MulticastGroup { packet } = a {
+                                            let drop = loop_drop.lock();
+                                            for m in spec.members() {
+                                                if m.node == node {
+                                                    continue;
+                                                }
+                                                let dropped = drop
+                                                    .as_ref()
+                                                    .is_some_and(|f| f(m.node));
+                                                if !dropped {
+                                                    send_packet(m.node, &packet);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    // The sender holds its own message.
+                                    let self_packet = Packet::Data(
+                                        rrmp_core::packet::DataPacket::new(id, payload),
+                                    );
+                                    let actions = receiver.handle(
+                                        Event::Packet { from: node, packet: self_packet },
+                                        now_sim(Instant::now()),
+                                    );
+                                    execute(actions, &mut timers, &mut timer_seq, &receiver);
+                                }
+                                Ok(Command::Leave) => {
+                                    let actions =
+                                        receiver.handle(Event::Leave, now_sim(Instant::now()));
+                                    execute(actions, &mut timers, &mut timer_seq, &receiver);
+                                }
+                                Ok(Command::Shutdown) | Err(_) => break,
+                            }
+                        }
+                        default(timeout) => {}
+                    }
+                }
+            })
+            .expect("spawn event loop thread");
+
+        Ok(UdpNode {
+            node,
+            cmd_tx,
+            delivered_rx,
+            loop_handle: Some(loop_handle),
+            recv_handle: Some(recv_handle),
+            shutdown,
+            initial_drop,
+        })
+    }
+
+    /// This member's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Multicasts `payload` to the group (sender role only; ignored
+    /// otherwise).
+    pub fn multicast(&self, payload: impl Into<Bytes>) {
+        let _ = self.cmd_tx.send(Command::Multicast(payload.into()));
+    }
+
+    /// Installs a drop filter applied to the **initial** multicast only
+    /// (test hook to force recovery); `None` clears it.
+    pub fn set_initial_drop<F>(&self, filter: Option<F>)
+    where
+        F: Fn(NodeId) -> bool + Send + 'static,
+    {
+        *self.initial_drop.lock() = filter.map(|f| Box::new(f) as Box<DropFilter>);
+    }
+
+    /// Receives the next delivered message, waiting up to `timeout`.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
+        self.delivered_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking poll for a delivered message.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<Delivery> {
+        self.delivered_rx.try_recv().ok()
+    }
+
+    /// Initiates a voluntary leave (long-term buffers are handed off).
+    pub fn leave(&self) {
+        let _ = self.cmd_tx.send(Command::Leave);
+    }
+
+    /// Stops the node's threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(h) = self.loop_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.recv_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for UdpNode {
+    fn drop(&mut self) {
+        // C-DTOR-BLOCK: prefer an explicit `shutdown()`; the destructor
+        // still stops the threads, signalling first so joins are brief.
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrmp_netsim::topology::RegionId;
+    use std::net::SocketAddr;
+
+    fn bind_n(n: usize) -> Vec<(UdpSocket, SocketAddr)> {
+        (0..n)
+            .map(|_| {
+                let s = UdpSocket::bind("127.0.0.1:0").expect("bind ephemeral");
+                let a = s.local_addr().expect("local addr");
+                (s, a)
+            })
+            .collect()
+    }
+
+    fn spec_single_region(addrs: &[SocketAddr]) -> GroupSpec {
+        let mut spec = GroupSpec::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            spec.add_member(NodeId(i as u32), a, RegionId(0));
+        }
+        spec
+    }
+
+    fn fast_cfg() -> ProtocolConfig {
+        // Short session interval so tail losses are detected quickly in
+        // real time.
+        ProtocolConfig::builder()
+            .session_interval(rrmp_netsim::time::SimDuration::from_millis(30))
+            .build()
+            .expect("valid test config")
+    }
+
+    #[test]
+    fn lossless_multicast_over_real_sockets() {
+        let bound = bind_n(3);
+        let addrs: Vec<SocketAddr> = bound.iter().map(|(_, a)| *a).collect();
+        let spec = spec_single_region(&addrs);
+        let nodes: Vec<UdpNode> = bound
+            .into_iter()
+            .enumerate()
+            .map(|(i, (sock, _))| {
+                UdpNode::start(sock, spec.clone(), NodeId(i as u32), fast_cfg(), i == 0, 42 + i as u64)
+                    .expect("start node")
+            })
+            .collect();
+        nodes[0].multicast(&b"over the wire"[..]);
+        for (i, n) in nodes.iter().enumerate() {
+            let d = n
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|| panic!("node {i} did not deliver"));
+            assert_eq!(&d.payload[..], b"over the wire");
+        }
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn dropped_initial_multicast_recovers_via_protocol() {
+        let bound = bind_n(4);
+        let addrs: Vec<SocketAddr> = bound.iter().map(|(_, a)| *a).collect();
+        let spec = spec_single_region(&addrs);
+        let nodes: Vec<UdpNode> = bound
+            .into_iter()
+            .enumerate()
+            .map(|(i, (sock, _))| {
+                UdpNode::start(sock, spec.clone(), NodeId(i as u32), fast_cfg(), i == 0, 77 + i as u64)
+                    .expect("start node")
+            })
+            .collect();
+        // Node 3 misses every initial multicast; it must recover through
+        // local requests answered by buffered copies.
+        nodes[0].set_initial_drop(Some(|n: NodeId| n == NodeId(3)));
+        nodes[0].multicast(&b"first"[..]);
+        nodes[0].multicast(&b"second"[..]);
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < 2 && Instant::now() < deadline {
+            if let Some(d) = nodes[3].recv_timeout(Duration::from_millis(200)) {
+                got.push(d.payload);
+            }
+        }
+        assert_eq!(got.len(), 2, "node 3 should recover both messages");
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+}

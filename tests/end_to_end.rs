@@ -1,0 +1,207 @@
+//! End-to-end integration tests: full protocol stacks on multi-region
+//! topologies under assorted loss patterns.
+
+use rrmp::netsim::topology::RegionId;
+use rrmp::prelude::*;
+
+fn paper_cfg() -> ProtocolConfig {
+    ProtocolConfig::paper_defaults()
+}
+
+#[test]
+fn stream_with_random_loss_fully_delivers() {
+    let topo = presets::paper_region(60);
+    let mut net = RrmpNetwork::new(topo, paper_cfg(), 101);
+    net.set_multicast_loss(LossModel::Bernoulli { p: 0.25 });
+    let mut ids = Vec::new();
+    for _ in 0..30 {
+        ids.push(net.multicast(&b"stream"[..]));
+        let next = net.now() + SimDuration::from_millis(40);
+        net.run_until(next);
+    }
+    let horizon = net.now() + SimDuration::from_secs(2);
+    net.run_until(horizon);
+    for id in ids {
+        assert!(net.all_delivered(id), "message {id} not fully delivered");
+    }
+}
+
+#[test]
+fn three_level_hierarchy_regional_losses() {
+    // Figure 1 chain with a regional loss at each level in turn.
+    let topo = presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25));
+    let mut net = RrmpNetwork::new(topo, paper_cfg(), 202);
+    for region in 1..3u16 {
+        let plan = DeliveryPlan::region_loss(net.topology(), RegionId(region));
+        let id = net.multicast_with_plan(&b"level"[..], &plan);
+        let horizon = net.now() + SimDuration::from_secs(2);
+        net.run_until(horizon);
+        assert!(
+            net.all_delivered(id),
+            "regional loss in region {region} not repaired ({}/24)",
+            net.delivered_count(id)
+        );
+    }
+}
+
+#[test]
+fn deep_region_tree_recovers() {
+    // 1 + 3 + 9 regions of 5 members each.
+    let topo = presets::region_tree(5, 3, 2, SimDuration::from_millis(20));
+    let n = topo.node_count();
+    let mut net = RrmpNetwork::new(topo, paper_cfg(), 303);
+    net.set_multicast_loss(LossModel::RegionCorrelated { p_region: 0.3, p_member: 0.1 });
+    let mut ids = Vec::new();
+    for _ in 0..5 {
+        ids.push(net.multicast(&b"tree"[..]));
+        let next = net.now() + SimDuration::from_millis(100);
+        net.run_until(next);
+    }
+    let horizon = net.now() + SimDuration::from_secs(5);
+    net.run_until(horizon);
+    for id in ids {
+        assert_eq!(net.delivered_count(id), n, "message {id} incomplete");
+    }
+}
+
+#[test]
+fn tail_loss_detected_via_session_messages() {
+    // The LAST message of a burst is lost everywhere except the sender —
+    // only session messages can reveal it (paper §2.1).
+    let topo = presets::paper_region(12);
+    let mut net = RrmpNetwork::new(topo, paper_cfg(), 404);
+    let ok = net.multicast_with_plan(&b"first"[..], &DeliveryPlan::all(net.topology()));
+    let lost = net.multicast_with_plan(
+        &b"tail"[..],
+        &DeliveryPlan::only(net.topology(), [net.sender_node()]),
+    );
+    // Nothing else is sent; recovery hinges on the periodic session tick.
+    net.run_until(SimTime::from_secs(2));
+    assert!(net.all_delivered(ok));
+    assert!(net.all_delivered(lost), "tail loss must be found via session messages");
+}
+
+#[test]
+fn sender_is_also_a_receiver() {
+    let topo = presets::paper_region(10);
+    let mut net = RrmpNetwork::new(topo, paper_cfg(), 505);
+    let id = net.multicast_with_plan(&b"self"[..], &DeliveryPlan::all(net.topology()));
+    net.run_until(SimTime::from_millis(100));
+    // The sender delivered and buffered its own message like everyone else.
+    let sender = net.node(net.sender_node());
+    assert!(sender.has_delivered(id));
+    assert!(sender.receiver().detector().received_before(id));
+}
+
+#[test]
+fn quiescence_no_runaway_recovery() {
+    // After full recovery and idle-out, every recovery mechanism must go
+    // quiet: no more requests, repairs, or searches (the only remaining
+    // activity is the periodic session tick and long-term sweep).
+    let topo = presets::paper_region(30);
+    let mut net = RrmpNetwork::new(topo, paper_cfg(), 606);
+    let plan = DeliveryPlan::only(net.topology(), (0..10).map(NodeId));
+    let id = net.multicast_with_plan(&b"quiesce"[..], &plan);
+    net.run_until(SimTime::from_secs(1));
+    assert!(net.all_delivered(id), "delivered {}/30", net.delivered_count(id));
+    let recovery_activity = |net: &RrmpNetwork| {
+        net.total_counter(|c| {
+            c.local_requests_sent
+                + c.remote_requests_sent
+                + c.repairs_sent_local
+                + c.repairs_sent_remote
+                + c.search_forwards
+                + c.regional_multicasts_sent
+        })
+    };
+    let before = recovery_activity(&net);
+    net.run_until(SimTime::from_secs(2));
+    let after = recovery_activity(&net);
+    assert_eq!(before, after, "recovery traffic must stop after full delivery");
+}
+
+#[test]
+fn multi_sender_extension_recovers_both_streams() {
+    // Beyond the paper's single-sender model: two senders in different
+    // regions, per-source sequence tracking, interleaved losses.
+    let topo = presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25));
+    let cfg = paper_cfg();
+    let senders = [NodeId(0), NodeId(8)];
+    let mut net = rrmp::core::harness::RrmpNetwork::with_senders(topo, cfg, 808, &senders);
+    let mut ids = Vec::new();
+    for round in 0..4u32 {
+        for &s in &senders {
+            // Alternate which half of the group misses each message.
+            let missers: Vec<NodeId> = (0..24u32)
+                .filter(|i| (i + round) % 3 == 0)
+                .map(NodeId)
+                .filter(|&n| n != s)
+                .collect();
+            let plan = DeliveryPlan::all_but(net.topology(), missers);
+            ids.push(net.multicast_from_with_plan(s, &b"dual"[..], &plan));
+        }
+        let next = net.now() + SimDuration::from_millis(60);
+        net.run_until(next);
+    }
+    net.run_until(SimTime::from_secs(3));
+    for id in ids {
+        assert!(net.all_delivered(id), "message {id} incomplete");
+    }
+}
+
+#[test]
+fn late_joiner_respects_recovery_floor() {
+    // A member joining mid-session must not pull the whole history: the
+    // floor suppresses recovery below the join point.
+    let topo = presets::paper_region(10);
+    let mut net = RrmpNetwork::new(topo, paper_cfg(), 909);
+    // Messages 1..=5 delivered everywhere before the "join".
+    for _ in 0..5 {
+        net.multicast_with_plan(&b"old"[..], &DeliveryPlan::all(net.topology()));
+    }
+    net.run_until(SimTime::from_millis(100));
+    // Node 9 "joins": wipe isn't modeled, but a floored detector is the
+    // contract — set the floor and verify no recovery below it even when
+    // newer traffic reveals higher sequence numbers.
+    let sender = net.sender_node();
+    net.node_mut(NodeId(9))
+        .receiver_mut()
+        .set_recovery_floor(sender, SeqNo(5));
+    let id6 = net.multicast_with_plan(&b"new"[..], &DeliveryPlan::all(net.topology()));
+    net.run_until(SimTime::from_secs(1));
+    assert!(net.node(NodeId(9)).has_delivered(id6));
+    let floored = net.node(NodeId(9)).receiver();
+    for seq in 1..=5u64 {
+        assert!(
+            !floored.detector().is_missing(MessageId::new(sender, SeqNo(seq))),
+            "floored member must not consider #{seq} missing"
+        );
+    }
+}
+
+#[test]
+fn recovery_survives_transient_partition_of_only_holder() {
+    // Only the sender holds the message, and the first 60 packets
+    // addressed to it are dropped (a transient partition). Randomized
+    // retries must eventually get through and recover everyone. C is set
+    // high so the lone holder keeps its copy long-term — with the default
+    // C the §5 caveat applies: the only copy can be discarded while the
+    // holder is partitioned from the feedback requests.
+    let topo = presets::paper_region(8);
+    let cfg = ProtocolConfig::builder().c(100.0).build().expect("valid");
+    let mut net = RrmpNetwork::new(topo, cfg, 707);
+    let sender = net.sender_node();
+    let id = net.multicast_with_plan(&b"gated"[..], &DeliveryPlan::only(net.topology(), [sender]));
+    let mut budget = 60u32;
+    net.sim_mut().set_drop_filter(move |_from, to, _pkt| {
+        if to == sender && budget > 0 {
+            budget -= 1;
+            true
+        } else {
+            false
+        }
+    });
+    net.run_until(SimTime::from_secs(5));
+    assert!(net.all_delivered(id), "delivered {}/8", net.delivered_count(id));
+    assert!(net.net_counters().unicasts_dropped >= 60);
+}

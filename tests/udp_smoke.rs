@@ -1,0 +1,143 @@
+//! Smoke test of the UDP runtime: a two-region group on loopback with a
+//! forced regional loss, recovered by the identical protocol core that
+//! drives the simulations.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use rrmp::netsim::time::SimDuration;
+use rrmp::netsim::topology::{NodeId, RegionId};
+use rrmp::prelude::ProtocolConfig;
+use rrmp::udp::{GroupSpec, UdpNode};
+
+#[test]
+fn two_regions_over_loopback_with_regional_loss() {
+    // Region 0: nodes 0..3 (sender = 0); region 1: nodes 3..5.
+    let sockets: Vec<UdpSocket> = (0..5)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let mut spec = GroupSpec::new();
+    for (i, s) in sockets.iter().enumerate() {
+        let region = if i < 3 { RegionId(0) } else { RegionId(1) };
+        spec.add_member(NodeId(i as u32), s.local_addr().expect("addr"), region);
+    }
+    spec.set_parent(RegionId(1), RegionId(0));
+
+    let cfg = ProtocolConfig::builder()
+        .session_interval(SimDuration::from_millis(25))
+        .build()
+        .expect("valid config");
+
+    let nodes: Vec<UdpNode> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
+            UdpNode::start(sock, spec.clone(), NodeId(i as u32), cfg.clone(), i == 0, 500 + i as u64)
+                .expect("start")
+        })
+        .collect();
+
+    // The whole of region 1 misses every initial multicast.
+    nodes[0].set_initial_drop(Some(|n: NodeId| n.0 >= 3));
+
+    for i in 0..3 {
+        nodes[0].multicast(format!("burst {i}"));
+    }
+
+    // Every node (including region 1, via remote recovery over real
+    // sockets) must deliver all three messages.
+    for (i, node) in nodes.iter().enumerate() {
+        let mut got = 0;
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while got < 3 && Instant::now() < deadline {
+            if node.recv_timeout(Duration::from_millis(100)).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 3, "node {i} delivered {got}/3");
+    }
+
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn leave_hands_off_over_real_sockets() {
+    // A member that buffered long-term leaves gracefully; its handoff
+    // must reach another member over the wire (observable as the group
+    // still being able to serve the message afterwards).
+    let sockets: Vec<UdpSocket> = (0..4)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let mut spec = GroupSpec::new();
+    for (i, s) in sockets.iter().enumerate() {
+        spec.add_member(NodeId(i as u32), s.local_addr().expect("addr"), RegionId(0));
+    }
+    // Everyone keeps long-term (C >> n) so the leaver definitely has
+    // something to hand off.
+    let cfg = ProtocolConfig::builder()
+        .c(100.0)
+        .session_interval(SimDuration::from_millis(25))
+        .idle_threshold(SimDuration::from_millis(40))
+        .build()
+        .expect("valid");
+    let nodes: Vec<UdpNode> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
+            UdpNode::start(sock, spec.clone(), NodeId(i as u32), cfg.clone(), i == 0, 900 + i as u64)
+                .expect("start")
+        })
+        .collect();
+    nodes[0].multicast(&b"to-be-handed-off"[..]);
+    for n in &nodes {
+        assert!(n.recv_timeout(Duration::from_secs(5)).is_some());
+    }
+    // Let the idle transition land everywhere, then node 2 leaves.
+    std::thread::sleep(Duration::from_millis(200));
+    nodes[2].leave();
+    std::thread::sleep(Duration::from_millis(300));
+    // The group keeps functioning: a second multicast still reaches the
+    // three remaining members (the leaver stays silent).
+    nodes[0].multicast(&b"after-churn"[..]);
+    for (i, n) in nodes.iter().enumerate() {
+        if i == 2 {
+            continue;
+        }
+        let d = n
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap_or_else(|| panic!("member {i} missed the post-churn message"));
+        assert_eq!(&d.payload[..], b"after-churn");
+    }
+    assert!(nodes[2].try_recv().is_none(), "a departed member must not deliver");
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn codec_compatible_across_runtime_boundary() {
+    // A datagram encoded by one node decodes identically at another —
+    // guards against codec drift between the sim (which skips encoding)
+    // and the wire.
+    use bytes::Bytes;
+    use rrmp::core::ids::{MessageId, SeqNo};
+    use rrmp::core::packet::{DataPacket, Packet};
+
+    let original = Packet::Repair {
+        data: DataPacket::new(
+            MessageId::new(NodeId(3), SeqNo(77)),
+            Bytes::from_static(b"wire-payload"),
+        ),
+        kind: rrmp::core::packet::RepairKind::Remote,
+    };
+    let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+    let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+    a.send_to(&original.encode(), b.local_addr().expect("addr")).expect("send");
+    b.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut buf = [0u8; 2048];
+    let (len, _) = b.recv_from(&mut buf).expect("recv");
+    let decoded = Packet::decode(Bytes::copy_from_slice(&buf[..len])).expect("decode");
+    assert_eq!(decoded, original);
+}
