@@ -176,10 +176,7 @@ mod tests {
         for k in 0..15u64 {
             let b = binomial_pmf(10_000, c / 10_000.0, k);
             let p = poisson_pmf(c, k);
-            assert!(
-                (b - p).abs() < 2e-3,
-                "k={k}: binomial {b} vs poisson {p}"
-            );
+            assert!((b - p).abs() < 2e-3, "k={k}: binomial {b} vs poisson {p}");
         }
     }
 }

@@ -145,10 +145,7 @@ mod tests {
         for &p in &[0.1, 0.3, 0.5, 0.9] {
             let exact = no_request_probability(10_000, p);
             let approx = no_request_probability_approx(p);
-            assert!(
-                (exact - approx).abs() < 1e-3,
-                "p={p}: exact {exact} vs approx {approx}"
-            );
+            assert!((exact - approx).abs() < 1e-3, "p={p}: exact {exact} vs approx {approx}");
         }
     }
 
@@ -183,16 +180,9 @@ mod tests {
             let pmf: Vec<f64> = (0..30).map(|k| bufferer_count_pmf(c, k)).collect();
             let total: f64 = pmf.iter().sum();
             assert!((total - 1.0).abs() < 1e-6);
-            let mode = pmf
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
-            assert!(
-                (mode as f64 - c).abs() <= 1.0,
-                "mode {mode} should be near C={c}"
-            );
+            let mode =
+                pmf.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            assert!((mode as f64 - c).abs() <= 1.0, "mode {mode} should be near C={c}");
         }
         // Exact binomial close to Poisson at n=100.
         for k in 0..15u64 {
@@ -211,9 +201,8 @@ mod tests {
     #[test]
     fn search_model_decreases_with_bufferers() {
         // Figure 8's qualitative shape: more bufferers, shorter search.
-        let times: Vec<f64> = (1..=10)
-            .map(|j| SearchModel::paper(100, j).expected_search_time_ms())
-            .collect();
+        let times: Vec<f64> =
+            (1..=10).map(|j| SearchModel::paper(100, j).expected_search_time_ms()).collect();
         for w in times.windows(2) {
             assert!(w[0] >= w[1], "search time should not increase: {times:?}");
         }
@@ -229,9 +218,6 @@ mod tests {
         let t1000 = SearchModel::paper(1000, 10).expected_search_time_ms();
         assert!(t1000 > t100);
         let ratio = t1000 / t100;
-        assert!(
-            (1.5..4.0).contains(&ratio),
-            "ratio {ratio} out of the paper's qualitative band"
-        );
+        assert!((1.5..4.0).contains(&ratio), "ratio {ratio} out of the paper's qualitative band");
     }
 }

@@ -46,8 +46,7 @@ impl RunReport {
             self.peak_entries_max,
             self.peak_entries_mean,
             self.packets_sent,
-            self.mean_recovery_latency_ms
-                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+            self.mean_recovery_latency_ms.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
             self.residual_losses,
         )
     }
@@ -57,7 +56,14 @@ impl RunReport {
     pub fn table_header() -> String {
         format!(
             "{:<14} {:>9} {:>16} {:>10} {:>12} {:>12} {:>12} {:>9}",
-            "scheme", "delivered", "byte·ms buffered", "peak(max)", "peak(mean)", "pkts", "lat(ms)", "residual"
+            "scheme",
+            "delivered",
+            "byte·ms buffered",
+            "peak(max)",
+            "peak(mean)",
+            "pkts",
+            "lat(ms)",
+            "residual"
         )
     }
 }
@@ -69,10 +75,7 @@ pub fn mean_latency_ms(deliveries: &[SimTime], sent_at: SimTime) -> Option<f64> 
     if deliveries.is_empty() {
         return None;
     }
-    let total: f64 = deliveries
-        .iter()
-        .map(|&d| d.saturating_since(sent_at).as_millis_f64())
-        .sum();
+    let total: f64 = deliveries.iter().map(|&d| d.saturating_since(sent_at).as_millis_f64()).sum();
     Some(total / deliveries.len() as f64)
 }
 
@@ -116,11 +119,9 @@ mod tests {
     #[test]
     fn mean_latency_handles_empty() {
         assert_eq!(mean_latency_ms(&[], SimTime::ZERO), None);
-        let v = mean_latency_ms(
-            &[SimTime::from_millis(10), SimTime::from_millis(20)],
-            SimTime::ZERO,
-        )
-        .unwrap();
+        let v =
+            mean_latency_ms(&[SimTime::from_millis(10), SimTime::from_millis(20)], SimTime::ZERO)
+                .unwrap();
         assert!((v - 15.0).abs() < 1e-9);
     }
 
@@ -131,9 +132,8 @@ mod tests {
         let b = bufferer_hash(NodeId(1), msg);
         assert_eq!(a, b);
         // Different members and messages give different hashes (whp).
-        let others: std::collections::HashSet<u64> = (0..100u32)
-            .map(|m| bufferer_hash(NodeId(m), msg))
-            .collect();
+        let others: std::collections::HashSet<u64> =
+            (0..100u32).map(|m| bufferer_hash(NodeId(m), msg)).collect();
         assert!(others.len() >= 99, "hash collisions too frequent");
         let msg2 = MessageId::new(NodeId(0), SeqNo(2));
         assert_ne!(bufferer_hash(NodeId(1), msg), bufferer_hash(NodeId(1), msg2));

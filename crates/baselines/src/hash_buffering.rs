@@ -60,11 +60,7 @@ pub struct HashConfig {
 
 impl Default for HashConfig {
     fn default() -> Self {
-        HashConfig {
-            k: 6,
-            request_timeout: SimDuration::from_millis(60),
-            max_attempts: 200,
-        }
+        HashConfig { k: 6, request_timeout: SimDuration::from_millis(60), max_attempts: 200 }
     }
 }
 
@@ -212,10 +208,8 @@ impl HashNetwork {
     #[must_use]
     pub fn new(topo: Topology, cfg: HashConfig, seed: u64) -> Self {
         let members: Vec<NodeId> = topo.nodes().collect();
-        let nodes = topo
-            .nodes()
-            .map(|id| HashNode::new(id, members.clone(), cfg.clone()))
-            .collect();
+        let nodes =
+            topo.nodes().map(|id| HashNode::new(id, members.clone(), cfg.clone())).collect();
         let sim = Sim::new(topo, nodes, seed);
         HashNetwork { sim, sender: NodeId(0), next_seq: SeqNo::FIRST, sent_at: HashMap::new() }
     }
@@ -229,7 +223,11 @@ impl HashNetwork {
     /// Multicasts a payload with an explicit initial-delivery plan and
     /// advertises it to everyone via a session message (so missing members
     /// detect the loss immediately, matching the RRMP harness setup).
-    pub fn multicast_with_plan(&mut self, payload: impl Into<Bytes>, plan: &DeliveryPlan) -> MessageId {
+    pub fn multicast_with_plan(
+        &mut self,
+        payload: impl Into<Bytes>,
+        plan: &DeliveryPlan,
+    ) -> MessageId {
         let id = MessageId::new(self.sender, self.next_seq);
         self.next_seq = self.next_seq.next();
         let now = self.sim.now();
@@ -278,11 +276,8 @@ impl HashNetwork {
     pub fn report(&self, ids: &[MessageId]) -> RunReport {
         let now = self.sim.now();
         let members = self.sim.topology().node_count();
-        let fully = self
-            .sim
-            .nodes()
-            .filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m)))
-            .count();
+        let fully =
+            self.sim.nodes().filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m))).count();
         let byte_time_total: u128 =
             self.sim.nodes().map(|(_, n)| n.store().byte_time_integral(now)).sum();
         let peaks: Vec<usize> = self.sim.nodes().map(|(_, n)| n.store().peak_entries()).collect();
@@ -359,9 +354,7 @@ mod tests {
         net.run_until(SimTime::from_secs(2));
         assert_eq!(net.delivered_count(id), 30);
         // Only designated members buffer it.
-        let buffered = (0..30)
-            .filter(|&i| net.node(NodeId(i)).store().contains(id))
-            .count();
+        let buffered = (0..30).filter(|&i| net.node(NodeId(i)).store().contains(id)).count();
         assert!(buffered <= 6, "non-designated members must not buffer: {buffered}");
     }
 

@@ -143,7 +143,12 @@ impl SenderBasedNode {
 impl SimNode for SenderBasedNode {
     type Msg = SenderBasedPacket;
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_, SenderBasedPacket>, from: NodeId, msg: SenderBasedPacket) {
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, SenderBasedPacket>,
+        from: NodeId,
+        msg: SenderBasedPacket,
+    ) {
         self.packets_received += 1;
         match msg {
             SenderBasedPacket::Data(d) | SenderBasedPacket::Repair(d) => self.on_data_like(ctx, d),
@@ -182,10 +187,8 @@ impl SenderBasedNetwork {
     /// Builds the group over `topo` with node 0 as the sender.
     #[must_use]
     pub fn new(topo: Topology, cfg: SenderBasedConfig, seed: u64) -> Self {
-        let nodes = topo
-            .nodes()
-            .map(|id| SenderBasedNode::new(id, NodeId(0), cfg.clone()))
-            .collect();
+        let nodes =
+            topo.nodes().map(|id| SenderBasedNode::new(id, NodeId(0), cfg.clone())).collect();
         let sim = Sim::new(topo, nodes, seed);
         SenderBasedNetwork { sim, sender: NodeId(0), next_seq: SeqNo::FIRST }
     }
@@ -204,7 +207,11 @@ impl SenderBasedNetwork {
 
     /// Multicasts with an explicit plan (session advertised to missers so
     /// loss detection is immediate, as in the other harnesses).
-    pub fn multicast_with_plan(&mut self, payload: impl Into<Bytes>, plan: &DeliveryPlan) -> MessageId {
+    pub fn multicast_with_plan(
+        &mut self,
+        payload: impl Into<Bytes>,
+        plan: &DeliveryPlan,
+    ) -> MessageId {
         let id = MessageId::new(self.sender, self.next_seq);
         self.next_seq = self.next_seq.next();
         let now = self.sim.now();
@@ -286,10 +293,7 @@ mod tests {
         assert_eq!(net.delivered_count(id), 60);
         let sender_load = net.sender_load();
         let max_other = net.max_receiver_load();
-        assert!(
-            sender_load >= 59,
-            "sender should absorb all NACKs: {sender_load}"
-        );
+        assert!(sender_load >= 59, "sender should absorb all NACKs: {sender_load}");
         assert!(
             sender_load > 10 * max_other.max(1),
             "implosion: sender {sender_load} vs max receiver {max_other}"

@@ -201,7 +201,12 @@ impl SimNode for StabilityNode {
         ctx.set_timer(self.cfg.history_interval, HISTORY_TICK);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_, StabilityPacket>, from: NodeId, msg: StabilityPacket) {
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, StabilityPacket>,
+        from: NodeId,
+        msg: StabilityPacket,
+    ) {
         match msg {
             StabilityPacket::Data(d) | StabilityPacket::Repair(d) => self.on_data_like(ctx, d),
             StabilityPacket::Session { source, high } => {
@@ -270,7 +275,11 @@ impl StabilityNetwork {
 
     /// Multicasts with an explicit plan (see the RRMP harness for the
     /// session-advertisement convention).
-    pub fn multicast_with_plan(&mut self, payload: impl Into<Bytes>, plan: &DeliveryPlan) -> MessageId {
+    pub fn multicast_with_plan(
+        &mut self,
+        payload: impl Into<Bytes>,
+        plan: &DeliveryPlan,
+    ) -> MessageId {
         let id = MessageId::new(self.sender, self.next_seq);
         self.next_seq = self.next_seq.next();
         let now = self.sim.now();
@@ -329,11 +338,8 @@ impl StabilityNetwork {
     pub fn report(&self, ids: &[MessageId]) -> RunReport {
         let now = self.sim.now();
         let members = self.sim.topology().node_count();
-        let fully = self
-            .sim
-            .nodes()
-            .filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m)))
-            .count();
+        let fully =
+            self.sim.nodes().filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m))).count();
         let byte_time_total: u128 =
             self.sim.nodes().map(|(_, n)| n.store().byte_time_integral(now)).sum();
         let peaks: Vec<usize> = self.sim.nodes().map(|(_, n)| n.store().peak_entries()).collect();

@@ -88,7 +88,12 @@ pub struct TreeNode {
 impl TreeNode {
     /// Creates a member with its repair-tree coordinates.
     #[must_use]
-    pub fn new(id: NodeId, repair_server: NodeId, parent_server: Option<NodeId>, cfg: TreeConfig) -> Self {
+    pub fn new(
+        id: NodeId,
+        repair_server: NodeId,
+        parent_server: Option<NodeId>,
+        cfg: TreeConfig,
+    ) -> Self {
         TreeNode {
             id,
             repair_server,
@@ -144,11 +149,8 @@ impl TreeNode {
         }
         let Some(target) = self.nack_target() else { return };
         ctx.send(target, TreePacket::Nack { msg });
-        let timeout = if self.is_server() {
-            self.cfg.parent_nack_timeout
-        } else {
-            self.cfg.nack_timeout
-        };
+        let timeout =
+            if self.is_server() { self.cfg.parent_nack_timeout } else { self.cfg.nack_timeout };
         let token = self.next_token;
         self.next_token += 1;
         self.pending_timers.insert(token, msg);
@@ -254,7 +256,11 @@ impl TreeNetwork {
     }
 
     /// Multicasts with an explicit plan (session advertised to missers).
-    pub fn multicast_with_plan(&mut self, payload: impl Into<Bytes>, plan: &DeliveryPlan) -> MessageId {
+    pub fn multicast_with_plan(
+        &mut self,
+        payload: impl Into<Bytes>,
+        plan: &DeliveryPlan,
+    ) -> MessageId {
         let id = MessageId::new(self.sender, self.next_seq);
         self.next_seq = self.next_seq.next();
         let now = self.sim.now();
@@ -301,11 +307,8 @@ impl TreeNetwork {
     pub fn report(&self, ids: &[MessageId]) -> RunReport {
         let now = self.sim.now();
         let members = self.sim.topology().node_count();
-        let fully = self
-            .sim
-            .nodes()
-            .filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m)))
-            .count();
+        let fully =
+            self.sim.nodes().filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m))).count();
         let byte_time_total: u128 =
             self.sim.nodes().map(|(_, n)| n.store().byte_time_integral(now)).sum();
         let peaks: Vec<usize> = self.sim.nodes().map(|(_, n)| n.store().peak_entries()).collect();

@@ -7,7 +7,10 @@ use rrmp_netsim::time::SimDuration;
 fn main() {
     let seeds = 20;
     println!("# A3 — regional-repair back-off (lambda = 4, {seeds} seeds)");
-    println!("{:>10} {:>8} {:>12} {:>12} {:>12}", "window ms", "enabled", "mcasts", "suppressed", "latency ms");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12}",
+        "window ms", "enabled", "mcasts", "suppressed", "latency ms"
+    );
     let windows = [
         None,
         Some(SimDuration::from_millis(5)),
@@ -17,7 +20,11 @@ fn main() {
     for row in ablation_backoff(&windows, seeds, 0xA3) {
         println!(
             "{:>10} {:>8} {:>12.2} {:>12.2} {:>12.1}",
-            row.window_ms, row.enabled, row.mean_sent, row.mean_suppressed, row.mean_region_latency_ms
+            row.window_ms,
+            row.enabled,
+            row.mean_sent,
+            row.mean_suppressed,
+            row.mean_region_latency_ms
         );
     }
     println!("# Expect: suppression trades duplicate multicasts for a little latency.");

@@ -1,8 +1,8 @@
 //! A1: two-phase buffering vs fixed-time, keep-all, hash-deterministic,
 //! stability-detection and tree/RMTP on an identical lossy workload.
 
-use rrmp_bench::ablations::{ablation_buffer_policies, PolicyWorkload};
 use rrmp_baselines::common::RunReport;
+use rrmp_bench::ablations::{ablation_buffer_policies, PolicyWorkload};
 
 fn main() {
     let workload = PolicyWorkload::default();

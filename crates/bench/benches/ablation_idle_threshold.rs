@@ -12,8 +12,14 @@ fn main() {
     for row in ablation_idle_threshold(&[10, 20, 40, 80, 160], 100, 8, seeds, 0xA4) {
         println!(
             "{:>7} {:>14.1} {:>16.1} {:>12.1} {:>9.2}",
-            row.t_ms, row.mean_buffering_ms, row.mean_ignored_requests, row.mean_requests, row.recovery_rate
+            row.t_ms,
+            row.mean_buffering_ms,
+            row.mean_ignored_requests,
+            row.mean_requests,
+            row.recovery_rate
         );
     }
-    println!("# Expect: small T discards too early (ignored requests, retries); large T buffers longer.");
+    println!(
+        "# Expect: small T discards too early (ignored requests, retries); large T buffers longer."
+    );
 }

@@ -6,11 +6,17 @@ use rrmp_bench::ablations::ablation_lambda;
 fn main() {
     let seeds = 20;
     println!("# A2 — lambda sweep (whole leaf region misses; {seeds} seeds)");
-    println!("{:>8} {:>16} {:>16} {:>18}", "lambda", "remote reqs", "latency ms", "regional mcasts");
+    println!(
+        "{:>8} {:>16} {:>16} {:>18}",
+        "lambda", "remote reqs", "latency ms", "regional mcasts"
+    );
     for row in ablation_lambda(&[0.25, 0.5, 1.0, 2.0, 4.0, 8.0], seeds, 0xA2) {
         println!(
             "{:>8} {:>16.1} {:>16.1} {:>18.1}",
-            row.lambda, row.mean_remote_requests, row.mean_region_latency_ms, row.mean_regional_multicasts
+            row.lambda,
+            row.mean_remote_requests,
+            row.mean_region_latency_ms,
+            row.mean_regional_multicasts
         );
     }
     println!("# Expect: larger lambda lowers latency but multiplies duplicate remote traffic.");

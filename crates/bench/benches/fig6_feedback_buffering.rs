@@ -6,7 +6,9 @@ use rrmp_bench::figures::fig6_rows;
 
 fn main() {
     let seeds = 30;
-    println!("# Figure 6 — feedback-based short-term buffering  (n = 100, T = 40 ms, {seeds} seeds)");
+    println!(
+        "# Figure 6 — feedback-based short-term buffering  (n = 100, T = 40 ms, {seeds} seeds)"
+    );
     println!("{:>9} {:>16} {:>10} {:>8}", "#holders", "avg buffering ms", "stddev ms", "samples");
     for row in fig6_rows(100, &[1, 2, 4, 8, 16, 32, 64], seeds, 0xF166) {
         println!(

@@ -6,7 +6,9 @@ use rrmp_bench::figures::fig7_series;
 
 fn main() {
     let seeds = 20;
-    println!("# Figure 7 — #received vs #buffered over time  (n = 100, 1 initial holder, {seeds} seeds)");
+    println!(
+        "# Figure 7 — #received vs #buffered over time  (n = 100, 1 initial holder, {seeds} seeds)"
+    );
     println!("{:>8} {:>10} {:>10} {:>12}", "t (ms)", "#received", "#buffered", "#short-term");
     for row in fig7_series(100, seeds, 0xF167, 5, 200) {
         println!(

@@ -7,7 +7,10 @@ use rrmp_bench::figures::fig8_rows;
 fn main() {
     let seeds = 100;
     println!("# Figure 8 — search time vs #bufferers  (n = 100, {seeds} seeds)");
-    println!("{:>10} {:>14} {:>10} {:>10} {:>9}", "#bufferers", "search ms", "stddev", "model ms", "failures");
+    println!(
+        "{:>10} {:>14} {:>10} {:>10} {:>9}",
+        "#bufferers", "search ms", "stddev", "model ms", "failures"
+    );
     for row in fig8_rows(100, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], seeds, 0xF168) {
         println!(
             "{:>10} {:>14.1} {:>10.1} {:>10.1} {:>9}",

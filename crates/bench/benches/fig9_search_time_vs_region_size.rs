@@ -6,7 +6,10 @@ use rrmp_bench::figures::fig9_rows;
 fn main() {
     let seeds = 100;
     println!("# Figure 9 — search time vs region size  (10 bufferers, {seeds} seeds)");
-    println!("{:>8} {:>14} {:>10} {:>10} {:>9}", "n", "search ms", "stddev", "model ms", "failures");
+    println!(
+        "{:>8} {:>14} {:>10} {:>10} {:>9}",
+        "n", "search ms", "stddev", "model ms", "failures"
+    );
     let ns = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
     let rows = fig9_rows(&ns, 10, seeds, 0xF169);
     for row in &rows {

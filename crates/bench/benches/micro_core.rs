@@ -22,9 +22,7 @@ fn mid(seq: u64) -> MessageId {
 
 fn bench_codec(c: &mut Criterion) {
     let packet = Packet::Data(DataPacket::new(mid(42), Bytes::from(vec![7u8; 256])));
-    c.bench_function("codec/encode_data_256B", |b| {
-        b.iter(|| black_box(packet.encode()))
-    });
+    c.bench_function("codec/encode_data_256B", |b| b.iter(|| black_box(packet.encode())));
     let encoded = packet.encode();
     c.bench_function("codec/decode_data_256B", |b| {
         b.iter(|| black_box(Packet::decode(encoded.clone()).unwrap()))

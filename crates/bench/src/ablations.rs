@@ -4,7 +4,9 @@
 
 use rand::SeedableRng;
 use rrmp_baselines::common::{mean_latency_ms, RunReport};
-use rrmp_baselines::{HashConfig, HashNetwork, StabilityConfig, StabilityNetwork, TreeConfig, TreeNetwork};
+use rrmp_baselines::{
+    HashConfig, HashNetwork, StabilityConfig, StabilityNetwork, TreeConfig, TreeNetwork,
+};
 use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::MessageId;
 use rrmp_core::packet::Packet;
@@ -75,14 +77,9 @@ pub fn rrmp_report(
 ) -> RunReport {
     let now = net.now();
     let members = net.topology().node_count();
-    let fully = net
-        .nodes()
-        .filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m)))
-        .count();
-    let byte_time_total: u128 = net
-        .nodes()
-        .map(|(_, n)| n.receiver().store().byte_time_integral(now))
-        .sum();
+    let fully = net.nodes().filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m))).count();
+    let byte_time_total: u128 =
+        net.nodes().map(|(_, n)| n.receiver().store().byte_time_integral(now)).sum();
     let peaks: Vec<usize> = net.nodes().map(|(_, n)| n.receiver().store().peak_entries()).collect();
     let mut latencies = Vec::new();
     let mut residual = 0usize;
@@ -273,7 +270,11 @@ pub struct BackoffRow {
 /// A3: with λ = 4 several members fetch remote repairs concurrently; the
 /// randomized back-off suppresses the duplicate regional multicasts.
 #[must_use]
-pub fn ablation_backoff(windows: &[Option<SimDuration>], seeds: u64, base_seed: u64) -> Vec<BackoffRow> {
+pub fn ablation_backoff(
+    windows: &[Option<SimDuration>],
+    seeds: u64,
+    base_seed: u64,
+) -> Vec<BackoffRow> {
     windows
         .iter()
         .map(|&window| {
@@ -299,11 +300,7 @@ pub fn ablation_backoff(windows: &[Option<SimDuration>], seeds: u64, base_seed: 
                     let worst = region2
                         .iter()
                         .filter_map(|&m| {
-                            net.node(m)
-                                .delivered()
-                                .iter()
-                                .find(|&&(_, d)| d == id)
-                                .map(|&(t, _)| t)
+                            net.node(m).delivered().iter().find(|&&(_, d)| d == id).map(|&(t, _)| t)
                         })
                         .max()
                         .expect("all delivered");
@@ -461,10 +458,8 @@ pub fn ablation_churn_handoff(seeds: u64, base_seed: u64) -> Vec<ChurnRow> {
             copies.push(after as f64);
             // A downstream member now asks for the message, probing a
             // surviving region-0 member.
-            let survivors: Vec<NodeId> = (0..60)
-                .map(NodeId)
-                .filter(|&m| !net.node(m).receiver().has_left())
-                .collect();
+            let survivors: Vec<NodeId> =
+                (0..60).map(NodeId).filter(|&m| !net.node(m).receiver().has_left()).collect();
             let entry = survivors[s as usize % survivors.len()];
             let t0 = SimTime::from_millis(700);
             net.inject_packet(entry, NodeId(60), Packet::RemoteRequest { msg: id }, t0);
@@ -609,10 +604,7 @@ mod tests {
         // Larger T buffers longer...
         assert!(rows[1].mean_buffering_ms > rows[0].mean_buffering_ms, "{rows:?}");
         // ...and leaves fewer requests unanswered.
-        assert!(
-            rows[1].mean_ignored_requests <= rows[0].mean_ignored_requests,
-            "{rows:?}"
-        );
+        assert!(rows[1].mean_ignored_requests <= rows[0].mean_ignored_requests, "{rows:?}");
     }
 
     #[test]
@@ -650,7 +642,9 @@ mod tests {
         // Tree concentrates load: its peak(max)/peak(mean) ratio dwarfs
         // two-phase's.
         let tree = reports.iter().find(|r| r.scheme == "tree-rmtp").unwrap();
-        assert!(tree.peak_entries_max as f64 / tree.peak_entries_mean.max(0.01)
-            > two_phase.peak_entries_max as f64 / two_phase.peak_entries_mean.max(0.01));
+        assert!(
+            tree.peak_entries_max as f64 / tree.peak_entries_mean.max(0.01)
+                > two_phase.peak_entries_max as f64 / two_phase.peak_entries_mean.max(0.01)
+        );
     }
 }

@@ -1,0 +1,374 @@
+//! Reproducible simulator hot-path benchmark: times the optimized paths
+//! this refactor introduced against faithful reconstructions of the
+//! pre-refactor implementation, on identical deterministic workloads, and
+//! writes `BENCH_sim_core.json`.
+//!
+//! Run via `scripts/bench.sh` (release build) or directly:
+//!
+//! ```text
+//! cargo run --release -p rrmp-bench --bin sim_core_bench [out.json]
+//! ```
+//!
+//! Workloads (optimized vs pre-refactor baseline):
+//!
+//! * `event_loop` — timer-and-unicast storm: reused scratch op buffer +
+//!   slab timers vs a fresh `Vec` per callback.
+//! * `multicast_fanout` — 1 KiB payload to 200 destinations per
+//!   multicast: one `send_many` op sharing an `Arc`-backed `Bytes`
+//!   payload vs the pre-refactor shape (per-callback allocation, one op
+//!   per destination, deep per-destination payload copies — the seed had
+//!   no zero-copy buffer type).
+//! * `delivered_query` — `has_delivered` via the per-source interval
+//!   index vs the historical linear scan of the delivery log.
+//! * `encode_reuse` — `encode_into` a reused buffer vs a freshly
+//!   allocated, growing buffer per packet (the historical `encode`).
+//! * `rrmp_e2e` — the full protocol recovering a half-lost multicast
+//!   stream, optimized end to end vs the reference host and event loop.
+//!
+//! Every workload is deterministic per seed; optimized and reference
+//! modes process byte-identical event sequences (asserted by the
+//! trace-equality tests), so wall-clock ratios isolate the hot-path
+//! changes.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bytes::{Bytes, BytesMut};
+use rand::Rng;
+use rrmp_core::harness::RrmpNetwork;
+use rrmp_core::ids::{MessageId, SeqNo};
+use rrmp_core::packet::{DataPacket, Packet};
+use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::loss::DeliveryPlan;
+use rrmp_netsim::sim::{Ctx, Sim, SimNode};
+use rrmp_netsim::time::{SimDuration, SimTime};
+use rrmp_netsim::topology::{presets, NodeId};
+
+/// Best-of-`runs` wall seconds for `f` (which must do identical work each
+/// call). Returns `(best_seconds, work_items)`.
+fn best_secs<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut work = 0u64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        work = f();
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+    }
+    (best, work)
+}
+
+// ----- workload 1: timer + unicast event storm ------------------------------
+
+/// On every timer fire: send to a random peer, re-arm, and arm-then-cancel
+/// a decoy timer (exercising slab reuse).
+struct PingNode {
+    payload: Bytes,
+}
+
+impl SimNode for PingNode {
+    type Msg = Bytes;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Bytes>) {
+        ctx.set_timer(SimDuration::from_micros(100), 0);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_, Bytes>, _from: NodeId, _msg: Bytes) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Bytes>, _token: u64) {
+        let n = ctx.topology().node_count() as u32;
+        let mut to = NodeId(ctx.rng().gen_range(0..n));
+        if to == ctx.self_id() {
+            to = NodeId((to.0 + 1) % n);
+        }
+        ctx.send(to, self.payload.clone());
+        let decoy = ctx.set_timer(SimDuration::from_micros(50), 1);
+        ctx.cancel_timer(decoy);
+        ctx.set_timer(SimDuration::from_micros(100), 0);
+    }
+}
+
+fn event_loop_workload(optimized: bool) -> (f64, u64) {
+    best_secs(3, || {
+        let topo = presets::paper_region(64);
+        let payload = Bytes::from(vec![0xA5u8; 64]);
+        let nodes = (0..64).map(|_| PingNode { payload: payload.clone() }).collect();
+        let mut sim =
+            if optimized { Sim::new(topo, nodes, 42) } else { Sim::new_reference(topo, nodes, 42) };
+        sim.run_until(SimTime::from_millis(400));
+        sim.counters().events_processed
+    })
+}
+
+// ----- workload 2: regional fan-out -----------------------------------------
+
+/// Node 0 multicasts `payload` to the whole region on every timer fire.
+struct Caster<M: Clone> {
+    payload: M,
+    casts: u64,
+}
+
+impl<M: Clone + 'static> SimNode for Caster<M> {
+    type Msg = M;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        if ctx.self_id() == NodeId(0) {
+            ctx.set_timer(SimDuration::from_micros(100), 0);
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_, M>, _from: NodeId, _msg: M) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, _token: u64) {
+        let n = ctx.topology().node_count() as u32;
+        ctx.send_many((0..n).map(NodeId), self.payload.clone());
+        self.casts += 1;
+        ctx.set_timer(SimDuration::from_micros(100), 0);
+    }
+}
+
+fn fanout_workload<M: Clone + 'static>(optimized: bool, payload: M) -> (f64, u64) {
+    best_secs(3, move || {
+        let topo = presets::paper_region(200);
+        let nodes = (0..200).map(|_| Caster { payload: payload.clone(), casts: 0 }).collect();
+        let mut sim =
+            if optimized { Sim::new(topo, nodes, 7) } else { Sim::new_reference(topo, nodes, 7) };
+        sim.run_until(SimTime::from_millis(300));
+        sim.node(NodeId(0)).casts
+    })
+}
+
+// ----- workload 3: delivered-set queries ------------------------------------
+
+fn delivered_query_workload() -> (f64, f64, u64) {
+    // One network, a 300-message fully delivered stream over 100 nodes.
+    let topo = presets::paper_region(100);
+    let mut net = RrmpNetwork::new(topo, ProtocolConfig::paper_defaults(), 3);
+    let mut ids = Vec::new();
+    for _ in 0..300 {
+        let plan = DeliveryPlan::all(net.topology());
+        ids.push(net.multicast_with_plan(&b"query-stream"[..], &plan));
+        let next = net.now() + SimDuration::from_millis(2);
+        net.run_until(next);
+    }
+    net.run_until(net.now() + SimDuration::from_millis(100));
+    let queries = (ids.len() * net.topology().node_count()) as u64;
+
+    // Optimized: the per-source interval index behind has_delivered.
+    let (opt_s, hits) = best_secs(5, || {
+        let mut acc = 0u64;
+        for &id in &ids {
+            for (_, n) in net.nodes() {
+                acc += u64::from(n.has_delivered(id));
+            }
+        }
+        black_box(acc)
+    });
+    // Baseline: the historical linear scan over the same delivery logs.
+    let (ref_s, ref_hits) = best_secs(5, || {
+        let mut acc = 0u64;
+        for &id in &ids {
+            for (_, n) in net.nodes() {
+                acc += u64::from(n.delivered().iter().any(|&(_, d)| d == id));
+            }
+        }
+        black_box(acc)
+    });
+    assert_eq!(hits, ref_hits, "index and scan must agree");
+    assert_eq!(hits, queries, "stream was fully delivered");
+    (queries as f64 / opt_s, queries as f64 / ref_s, queries)
+}
+
+// ----- workload 4: encode-buffer reuse --------------------------------------
+
+fn encode_stream() -> Vec<Packet> {
+    let mid = |seq: u64| MessageId::new(NodeId(0), SeqNo(seq));
+    (0..2_000u64)
+        .map(|i| match i % 4 {
+            0 => Packet::Data(DataPacket::new(mid(i), Bytes::from(vec![0x7Cu8; 1024]))),
+            1 => Packet::LocalRequest { msg: mid(i) },
+            2 => Packet::Repair {
+                data: DataPacket::new(mid(i), Bytes::from(vec![0x7Cu8; 512])),
+                kind: rrmp_core::packet::RepairKind::Remote,
+            },
+            _ => Packet::Session { source: NodeId(0), high: SeqNo(i) },
+        })
+        .collect()
+}
+
+fn encode_reuse_workload() -> (f64, f64, u64) {
+    let packets = encode_stream();
+    let work = packets.len() as u64;
+    // Optimized: one reused buffer, cleared between packets.
+    let (opt_s, _) = best_secs(5, || {
+        let mut buf = BytesMut::with_capacity(2048);
+        let mut total = 0u64;
+        for _ in 0..20 {
+            for p in &packets {
+                buf.clear();
+                p.encode_into(&mut buf);
+                total += buf.len() as u64;
+            }
+        }
+        black_box(total)
+    });
+    // Baseline: the historical encode — a fresh buffer per packet, grown
+    // from a small initial capacity.
+    let (ref_s, _) = best_secs(5, || {
+        let mut total = 0u64;
+        for _ in 0..20 {
+            for p in &packets {
+                let mut buf = BytesMut::with_capacity(32);
+                p.encode_into(&mut buf);
+                total += buf.freeze().len() as u64;
+            }
+        }
+        black_box(total)
+    });
+    let encodes = work * 20;
+    (encodes as f64 / opt_s, encodes as f64 / ref_s, encodes)
+}
+
+// ----- workload 5: full protocol end to end ---------------------------------
+
+fn rrmp_workload(optimized: bool) -> (f64, u64) {
+    best_secs(3, || {
+        let topo = presets::paper_region(100);
+        let cfg = ProtocolConfig::paper_defaults();
+        let mut net = if optimized {
+            RrmpNetwork::new(topo, cfg, 7)
+        } else {
+            RrmpNetwork::new_reference(topo, cfg, 7)
+        };
+        for _ in 0..20 {
+            let plan = DeliveryPlan::only(net.topology(), (0..50).map(NodeId));
+            net.multicast_with_plan(&b"bench-payload-bench-payload"[..], &plan);
+            let next = net.now() + SimDuration::from_millis(30);
+            net.run_until(next);
+        }
+        net.run_until(net.now() + SimDuration::from_millis(500));
+        net.net_counters().events_processed
+    })
+}
+
+// ----- reporting -------------------------------------------------------------
+
+/// Peak resident set (VmHWM) in kB from /proc — a cheap RSS proxy.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+struct Comparison {
+    name: &'static str,
+    unit: &'static str,
+    optimized_rate: f64,
+    reference_rate: f64,
+    work: u64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.optimized_rate / self.reference_rate
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    \"{}\": {{\n      \"unit\": \"{}\",\n      \"work_items\": {},\n      \"optimized_per_sec\": {:.0},\n      \"reference_per_sec\": {:.0},\n      \"speedup\": {:.3}\n    }}",
+            self.name,
+            self.unit,
+            self.work,
+            self.optimized_rate,
+            self.reference_rate,
+            self.speedup()
+        )
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim_core.json".to_string());
+    let mut comparisons = Vec::new();
+
+    eprintln!("event_loop: timer/unicast storm, 64 nodes ...");
+    let (opt_s, events) = event_loop_workload(true);
+    let (ref_s, ref_events) = event_loop_workload(false);
+    assert_eq!(events, ref_events, "both modes must process identical event counts");
+    comparisons.push(Comparison {
+        name: "event_loop",
+        unit: "events/sec",
+        optimized_rate: events as f64 / opt_s,
+        reference_rate: events as f64 / ref_s,
+        work: events,
+    });
+
+    eprintln!("multicast_fanout: 1 KiB payload to 200 destinations ...");
+    let (opt_s, casts) = fanout_workload(true, Bytes::from(vec![0x5Au8; 1024]));
+    let (ref_s, ref_casts) = fanout_workload(false, vec![0x5Au8; 1024]);
+    assert_eq!(casts, ref_casts);
+    comparisons.push(Comparison {
+        name: "multicast_fanout",
+        unit: "multicasts/sec",
+        optimized_rate: casts as f64 / opt_s,
+        reference_rate: casts as f64 / ref_s,
+        work: casts,
+    });
+
+    eprintln!("delivered_query: interval index vs linear scan ...");
+    let (opt_rate, ref_rate, queries) = delivered_query_workload();
+    comparisons.push(Comparison {
+        name: "delivered_query",
+        unit: "queries/sec",
+        optimized_rate: opt_rate,
+        reference_rate: ref_rate,
+        work: queries,
+    });
+
+    eprintln!("encode_reuse: reused encode buffer vs per-packet allocation ...");
+    let (opt_rate, ref_rate, encodes) = encode_reuse_workload();
+    comparisons.push(Comparison {
+        name: "encode_reuse",
+        unit: "encodes/sec",
+        optimized_rate: opt_rate,
+        reference_rate: ref_rate,
+        work: encodes,
+    });
+
+    eprintln!("rrmp_e2e: 100-member region, 20-message half-lost stream ...");
+    let (opt_s, events) = rrmp_workload(true);
+    let (ref_s, ref_events) = rrmp_workload(false);
+    assert_eq!(events, ref_events);
+    comparisons.push(Comparison {
+        name: "rrmp_e2e",
+        unit: "events/sec",
+        optimized_rate: events as f64 / opt_s,
+        reference_rate: events as f64 / ref_s,
+        work: events,
+    });
+
+    let rss = peak_rss_kb();
+    let body = comparisons.iter().map(Comparison::json).collect::<Vec<_>>().join(",\n");
+    let json = format!(
+        "{{\n  \"benchmark\": \"sim_core\",\n  \"description\": \"optimized zero-allocation event loop + zero-copy fan-out vs faithful pre-refactor baselines (identical deterministic workloads)\",\n  \"peak_rss_proxy_kb\": {rss},\n  \"workloads\": {{\n{body}\n  }}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    println!("{json}");
+    for c in &comparisons {
+        println!(
+            "{:<20} {:>12.0} vs {:>12.0} {}  => {:.2}x",
+            c.name,
+            c.optimized_rate,
+            c.reference_rate,
+            c.unit,
+            c.speedup()
+        );
+    }
+}

@@ -266,10 +266,7 @@ impl MessageStore {
     /// short-phase entry; `None` if absent or already long-term.
     #[must_use]
     pub fn short_last_activity(&self, id: MessageId) -> Option<SimTime> {
-        self.entries
-            .get(&id)
-            .filter(|e| e.phase == Phase::Short)
-            .map(BufferEntry::last_activity)
+        self.entries.get(&id).filter(|e| e.phase == Phase::Short).map(BufferEntry::last_activity)
     }
 
     /// Promotes a short-phase entry to the long-term phase. Returns `false`
@@ -305,9 +302,7 @@ impl MessageStore {
         let expired: Vec<MessageId> = self
             .entries
             .iter()
-            .filter(|(_, e)| {
-                e.phase == Phase::Long && now.saturating_since(e.last_use) >= timeout
-            })
+            .filter(|(_, e)| e.phase == Phase::Long && now.saturating_since(e.last_use) >= timeout)
             .map(|(&id, _)| id)
             .collect();
         let mut sorted = expired;
@@ -400,8 +395,8 @@ impl MessageStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrmp_netsim::topology::NodeId;
     use crate::ids::SeqNo;
+    use rrmp_netsim::topology::NodeId;
 
     fn mid(seq: u64) -> MessageId {
         MessageId::new(NodeId(0), SeqNo(seq))
@@ -586,9 +581,9 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::ids::SeqNo;
     use proptest::prelude::*;
     use rrmp_netsim::topology::NodeId;
-    use crate::ids::SeqNo;
 
     #[derive(Debug, Clone)]
     enum Op {

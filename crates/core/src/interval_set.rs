@@ -160,6 +160,50 @@ impl Iterator for MissingIter<'_> {
     }
 }
 
+/// A compact set of [`MessageId`]s: one [`IntervalSet`] per source.
+///
+/// Since each sender numbers messages contiguously, membership tests cost
+/// O(log #gaps) after an O(1) source lookup — the index behind
+/// `RrmpNode::has_delivered` and friends, replacing linear scans over
+/// delivery logs.
+///
+/// [`MessageId`]: crate::ids::MessageId
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageIdSet {
+    by_source: std::collections::HashMap<rrmp_netsim::topology::NodeId, IntervalSet>,
+}
+
+impl MessageIdSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        MessageIdSet::default()
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    pub fn insert(&mut self, id: crate::ids::MessageId) -> bool {
+        self.by_source.entry(id.source).or_default().insert(id.seq.0)
+    }
+
+    /// Whether `id` is in the set.
+    #[must_use]
+    pub fn contains(&self, id: crate::ids::MessageId) -> bool {
+        self.by_source.get(&id.source).is_some_and(|s| s.contains(id.seq.0))
+    }
+
+    /// Number of ids in the set.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.by_source.values().map(IntervalSet::len).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_source.values().all(IntervalSet::is_empty)
+    }
+}
+
 impl FromIterator<u64> for IntervalSet {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
         let mut s = IntervalSet::new();
@@ -258,6 +302,26 @@ mod tests {
         let s: IntervalSet = [1u64, 2, 9].into_iter().collect();
         let iv: Vec<(u64, u64)> = s.intervals().collect();
         assert_eq!(iv, vec![(1, 2), (9, 9)]);
+    }
+
+    #[test]
+    fn message_id_set_tracks_per_source() {
+        use crate::ids::{MessageId, SeqNo};
+        use rrmp_netsim::topology::NodeId;
+
+        let mid = |src: u32, seq: u64| MessageId::new(NodeId(src), SeqNo(seq));
+        let mut s = MessageIdSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(mid(0, 1)));
+        assert!(!s.insert(mid(0, 1)));
+        assert!(s.insert(mid(1, 1)));
+        assert!(s.insert(mid(0, 2)));
+        assert!(s.contains(mid(0, 1)));
+        assert!(s.contains(mid(1, 1)));
+        assert!(!s.contains(mid(1, 2)));
+        assert!(!s.contains(mid(2, 1)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
     }
 }
 

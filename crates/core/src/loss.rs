@@ -104,9 +104,7 @@ impl LossDetector {
     /// Whether `msg` has ever been received (even if later discarded).
     #[must_use]
     pub fn received_before(&self, msg: MessageId) -> bool {
-        self.sources
-            .get(&msg.source)
-            .is_some_and(|st| st.received.contains(msg.seq.0))
+        self.sources.get(&msg.source).is_some_and(|st| st.received.contains(msg.seq.0))
     }
 
     /// Whether `msg` is currently known missing (exists, above the floor,

@@ -220,9 +220,8 @@ mod tests {
             mid(1),
             ProtocolEvent::SearchAnswered { origin: NodeId(9) },
         );
-        let found = m
-            .first_event_where(|e| matches!(e, ProtocolEvent::SearchAnswered { .. }))
-            .unwrap();
+        let found =
+            m.first_event_where(|e| matches!(e, ProtocolEvent::SearchAnswered { .. })).unwrap();
         assert_eq!(found.0, SimTime::from_millis(2));
         assert!(m.first_event_where(|e| matches!(e, ProtocolEvent::Delivered)).is_none());
     }

@@ -137,9 +137,23 @@ impl Packet {
     }
 
     /// Serialized size in bytes (exact, matches [`Packet::encode`]).
+    /// Computed arithmetically — no encoding or allocation happens.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        // Field widths: tag 1, MessageId 12 (u32 source + u64 seq),
+        // payload length prefix 4.
+        const MID: usize = 12;
+        match self {
+            Packet::Data(d) => 1 + MID + 4 + d.payload.len(),
+            Packet::Session { .. } => 1 + 4 + 8,
+            Packet::LocalRequest { .. } | Packet::RemoteRequest { .. } => 1 + MID,
+            Packet::Repair { data, .. } => 1 + 1 + MID + 4 + data.payload.len(),
+            Packet::RegionalRepair { data } | Packet::Handoff { data } => {
+                1 + MID + 4 + data.payload.len()
+            }
+            Packet::SearchRequest { origins, .. } => 1 + MID + 2 + 4 * origins.len(),
+            Packet::SearchFound { .. } => 1 + MID + 4,
+        }
     }
 }
 
@@ -228,11 +242,23 @@ impl Packet {
     /// Serializes the packet to its binary wire form.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32);
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the packet's binary wire form to `buf`.
+    ///
+    /// The buffer-reuse form of [`Packet::encode`]: a host encoding many
+    /// packets keeps one `BytesMut`, clears it between packets, and avoids
+    /// an allocation per encode. Exactly [`Packet::encoded_len`] bytes are
+    /// appended.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
         match self {
             Packet::Data(d) => {
                 buf.put_u8(TAG_DATA);
-                put_data(&mut buf, d);
+                put_data(buf, d);
             }
             Packet::Session { source, high } => {
                 buf.put_u8(TAG_SESSION);
@@ -241,11 +267,11 @@ impl Packet {
             }
             Packet::LocalRequest { msg } => {
                 buf.put_u8(TAG_LOCAL_REQUEST);
-                put_message_id(&mut buf, *msg);
+                put_message_id(buf, *msg);
             }
             Packet::RemoteRequest { msg } => {
                 buf.put_u8(TAG_REMOTE_REQUEST);
-                put_message_id(&mut buf, *msg);
+                put_message_id(buf, *msg);
             }
             Packet::Repair { data, kind } => {
                 buf.put_u8(TAG_REPAIR);
@@ -253,15 +279,15 @@ impl Packet {
                     RepairKind::Local => 0,
                     RepairKind::Remote => 1,
                 });
-                put_data(&mut buf, data);
+                put_data(buf, data);
             }
             Packet::RegionalRepair { data } => {
                 buf.put_u8(TAG_REGIONAL_REPAIR);
-                put_data(&mut buf, data);
+                put_data(buf, data);
             }
             Packet::SearchRequest { msg, origins } => {
                 buf.put_u8(TAG_SEARCH_REQUEST);
-                put_message_id(&mut buf, *msg);
+                put_message_id(buf, *msg);
                 buf.put_u16(origins.len() as u16);
                 for o in origins {
                     buf.put_u32(o.0);
@@ -269,15 +295,14 @@ impl Packet {
             }
             Packet::SearchFound { msg, holder } => {
                 buf.put_u8(TAG_SEARCH_FOUND);
-                put_message_id(&mut buf, *msg);
+                put_message_id(buf, *msg);
                 buf.put_u32(holder.0);
             }
             Packet::Handoff { data } => {
                 buf.put_u8(TAG_HANDOFF);
-                put_data(&mut buf, data);
+                put_data(buf, data);
             }
         }
-        buf.freeze()
     }
 
     /// Parses a packet from its binary wire form.
@@ -393,10 +418,7 @@ mod tests {
 
     #[test]
     fn message_id_extraction() {
-        assert_eq!(
-            Packet::LocalRequest { msg: mid(2, 5) }.message_id(),
-            Some(mid(2, 5))
-        );
+        assert_eq!(Packet::LocalRequest { msg: mid(2, 5) }.message_id(), Some(mid(2, 5)));
         assert_eq!(Packet::Session { source: NodeId(0), high: SeqNo(1) }.message_id(), None);
     }
 
@@ -422,10 +444,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = BytesMut::from(&Packet::LocalRequest { msg: mid(1, 1) }.encode()[..]);
         bytes.put_u8(0xFF);
-        assert_eq!(
-            Packet::decode(bytes.freeze()),
-            Err(DecodeError::TrailingBytes(1))
-        );
+        assert_eq!(Packet::decode(bytes.freeze()), Err(DecodeError::TrailingBytes(1)));
     }
 
     #[test]
@@ -517,6 +536,25 @@ mod proptests {
         #[test]
         fn decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
             let _ = Packet::decode(Bytes::from(bytes));
+        }
+
+        /// `encode_into` a reused buffer produces exactly the bytes of
+        /// `encode`, and `encoded_len` predicts them without encoding.
+        #[test]
+        fn encode_into_matches_encode(
+            packets in proptest::collection::vec(arb_packet(), 1..8),
+        ) {
+            let mut reused = BytesMut::new();
+            for p in &packets {
+                reused.clear();
+                p.encode_into(&mut reused);
+                let fresh = p.encode();
+                prop_assert_eq!(&reused[..], &fresh[..]);
+                prop_assert_eq!(p.encoded_len(), fresh.len());
+                // And the reused-buffer bytes still decode to the packet.
+                let decoded = Packet::decode(Bytes::copy_from_slice(&reused)).unwrap();
+                prop_assert_eq!(&decoded, p);
+            }
         }
     }
 }

@@ -234,10 +234,7 @@ impl Receiver {
         match state {
             PreloadState::ShortTerm => {
                 self.store.insert_short(id, payload, now);
-                vec![Action::SetTimer {
-                    delay: self.idle_delay(),
-                    kind: TimerKind::IdleCheck(id),
-                }]
+                vec![Action::SetTimer { delay: self.idle_delay(), kind: TimerKind::IdleCheck(id) }]
             }
             PreloadState::LongTerm => {
                 self.store.insert_long(id, payload, now);
@@ -255,16 +252,23 @@ impl Receiver {
 
     /// Processes one event at time `now`, returning the actions to execute.
     pub fn handle(&mut self, event: Event, now: SimTime) -> Vec<Action> {
-        if self.left {
-            return Vec::new();
-        }
         let mut actions = Vec::new();
-        match event {
-            Event::Packet { from, packet } => self.on_packet(from, packet, now, &mut actions),
-            Event::Timer(kind) => self.on_timer(kind, now, &mut actions),
-            Event::Leave => self.on_leave(now, &mut actions),
-        }
+        self.handle_into(event, now, &mut actions);
         actions
+    }
+
+    /// Like [`Receiver::handle`], but appends the actions to a
+    /// caller-provided buffer — the allocation-free form hot hosts use
+    /// with a reused scratch vector.
+    pub fn handle_into(&mut self, event: Event, now: SimTime, actions: &mut Vec<Action>) {
+        if self.left {
+            return;
+        }
+        match event {
+            Event::Packet { from, packet } => self.on_packet(from, packet, now, actions),
+            Event::Timer(kind) => self.on_timer(kind, now, actions),
+            Event::Leave => self.on_leave(now, actions),
+        }
     }
 
     fn on_packet(&mut self, from: NodeId, packet: Packet, now: SimTime, actions: &mut Vec<Action>) {
@@ -312,7 +316,13 @@ impl Receiver {
 
     // ----- data arrival ---------------------------------------------------
 
-    fn on_data(&mut self, data: DataPacket, path: DataPath, now: SimTime, actions: &mut Vec<Action>) {
+    fn on_data(
+        &mut self,
+        data: DataPacket,
+        path: DataPath,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         let id = data.id;
         let outcome = self.detector.on_data(id);
         if outcome.newly_received {
@@ -387,7 +397,13 @@ impl Receiver {
         }
     }
 
-    fn relay_to_waiters(&mut self, id: MessageId, payload: &Bytes, now: SimTime, actions: &mut Vec<Action>) {
+    fn relay_to_waiters(
+        &mut self,
+        id: MessageId,
+        payload: &Bytes,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         let Some(waiters) = self.waiters.remove(&id) else { return };
         for w in waiters.into_iter().filter(|&w| w != self.id) {
             self.metrics.counters.relays_performed += 1;
@@ -420,7 +436,13 @@ impl Receiver {
             .map(|d| d.holder)
     }
 
-    fn answer_active_search(&mut self, id: MessageId, payload: &Bytes, now: SimTime, actions: &mut Vec<Action>) {
+    fn answer_active_search(
+        &mut self,
+        id: MessageId,
+        payload: &Bytes,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         let Some(search) = self.searches.remove(&id) else { return };
         self.search_done.insert(id, SearchDone { at: now, holder: self.id });
         for origin in &search.origins {
@@ -440,7 +462,13 @@ impl Receiver {
         });
     }
 
-    fn arm_regional_multicast(&mut self, id: MessageId, payload: Bytes, now: SimTime, actions: &mut Vec<Action>) {
+    fn arm_regional_multicast(
+        &mut self,
+        id: MessageId,
+        payload: Bytes,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         match self.cfg.backoff_window {
             None => {
                 self.metrics.counters.regional_multicasts_sent += 1;
@@ -450,8 +478,7 @@ impl Receiver {
                 });
             }
             Some(window) => {
-                let delay =
-                    SimDuration::from_micros(self.rng.gen_range(0..=window.as_micros()));
+                let delay = SimDuration::from_micros(self.rng.gen_range(0..=window.as_micros()));
                 self.backoffs.insert(id, BackoffState { payload, suppressed: false });
                 actions.push(Action::SetTimer { delay, kind: TimerKind::Backoff(id) });
             }
@@ -460,7 +487,13 @@ impl Receiver {
 
     // ----- requests --------------------------------------------------------
 
-    fn on_local_request(&mut self, msg: MessageId, from: NodeId, now: SimTime, actions: &mut Vec<Action>) {
+    fn on_local_request(
+        &mut self,
+        msg: MessageId,
+        from: NodeId,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         if from == self.id {
             return; // a request claiming our own identity is nonsense
         }
@@ -479,7 +512,13 @@ impl Receiver {
         // Paper §2.2: "Otherwise it ignores the request."
     }
 
-    fn on_remote_request(&mut self, msg: MessageId, from: NodeId, now: SimTime, actions: &mut Vec<Action>) {
+    fn on_remote_request(
+        &mut self,
+        msg: MessageId,
+        from: NodeId,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         if from == self.id {
             return; // a request claiming our own identity is nonsense
         }
@@ -607,7 +646,11 @@ impl Receiver {
             self.search_done.insert(msg, SearchDone { at: now, holder: self.id });
             for origin in &origins {
                 self.metrics.counters.repairs_sent_remote += 1;
-                self.metrics.record_event(now, msg, ProtocolEvent::SearchAnswered { origin: *origin });
+                self.metrics.record_event(
+                    now,
+                    msg,
+                    ProtocolEvent::SearchAnswered { origin: *origin },
+                );
                 actions.push(Action::Send {
                     to: *origin,
                     packet: Packet::Repair {
@@ -659,10 +702,11 @@ impl Receiver {
         now: SimTime,
         actions: &mut Vec<Action>,
     ) {
-        let entry = self
-            .searches
-            .entry(msg)
-            .or_insert(SearchState { origins: BTreeSet::new(), attempts: 0, exhausted_at: None });
+        let entry = self.searches.entry(msg).or_insert(SearchState {
+            origins: BTreeSet::new(),
+            attempts: 0,
+            exhausted_at: None,
+        });
         let me = self.id;
         entry.origins.extend(origins.into_iter().filter(|&o| o != me));
         if entry.exhausted_at.is_none() {
@@ -1056,10 +1100,7 @@ mod tests {
         let actions = r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(5));
         let reply = sends(&actions);
         assert_eq!(reply.len(), 1);
-        assert!(matches!(
-            reply[0].1,
-            Packet::Repair { kind: RepairKind::Remote, .. }
-        ));
+        assert!(matches!(reply[0].1, Packet::Repair { kind: RepairKind::Remote, .. }));
         assert_eq!(r.metrics().counters.repairs_sent_remote, 1);
     }
 
@@ -1094,9 +1135,7 @@ mod tests {
         r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40)); // discarded
         let actions = r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(50));
         assert!(
-            sends(&actions)
-                .iter()
-                .any(|(_, p)| matches!(p, Packet::SearchRequest { msg, origins }
+            sends(&actions).iter().any(|(_, p)| matches!(p, Packet::SearchRequest { msg, origins }
                     if *msg == mid(1) && origins.contains(&NodeId(30)))),
             "expected a search probe: {actions:?}"
         );
@@ -1139,9 +1178,7 @@ mod tests {
             packet_event(2, Packet::SearchRequest { msg: mid(1), origins: vec![NodeId(30)] }),
             t(50),
         );
-        assert!(sends(&actions)
-            .iter()
-            .any(|(_, p)| matches!(p, Packet::SearchRequest { .. })));
+        assert!(sends(&actions).iter().any(|(_, p)| matches!(p, Packet::SearchRequest { .. })));
         assert_eq!(r.metrics().counters.searches_joined, 1);
     }
 
@@ -1152,10 +1189,7 @@ mod tests {
         r.handle(packet_event(0, data(1)), t(0));
         r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
         r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(50));
-        r.handle(
-            packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(2) }),
-            t(55),
-        );
+        r.handle(packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(2) }), t(55));
         let actions = r.handle(Event::Timer(TimerKind::SearchRetry(mid(1))), t(60));
         assert!(actions.is_empty(), "search must stop after SearchFound: {actions:?}");
     }
@@ -1169,10 +1203,7 @@ mod tests {
         let mut r = root_receiver(cfg);
         r.handle(packet_event(0, data(1)), t(0));
         r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40)); // discarded
-        r.handle(
-            packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(2) }),
-            t(50),
-        );
+        r.handle(packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(2) }), t(50));
         // A probe that was in flight arrives 5ms later.
         let actions = r.handle(
             packet_event(3, Packet::SearchRequest { msg: mid(1), origins: vec![NodeId(30)] }),
@@ -1198,10 +1229,7 @@ mod tests {
         let mut r = root_receiver(cfg);
         r.handle(packet_event(0, data(1)), t(0));
         r.handle(Event::Timer(TimerKind::IdleCheck(mid(1))), t(40));
-        r.handle(
-            packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(4) }),
-            t(50),
-        );
+        r.handle(packet_event(2, Packet::SearchFound { msg: mid(1), holder: NodeId(4) }), t(50));
         let actions = r.handle(packet_event(30, Packet::RemoteRequest { msg: mid(1) }), t(55));
         let forwards = sends(&actions);
         assert_eq!(forwards.len(), 1);

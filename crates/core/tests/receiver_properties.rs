@@ -88,19 +88,15 @@ fn to_event(input: &Input) -> Event {
     let pkt = |from: u32, packet: Packet| Event::Packet { from: NodeId(from), packet };
     match input.clone() {
         Input::Data { seq, payload_len } => pkt(0, Packet::Data(data(seq, payload_len))),
-        Input::Session { high } => {
-            pkt(0, Packet::Session { source: NodeId(0), high: SeqNo(high) })
-        }
+        Input::Session { high } => pkt(0, Packet::Session { source: NodeId(0), high: SeqNo(high) }),
         Input::LocalRequest { seq, from } => pkt(from, Packet::LocalRequest { msg: mid(seq) }),
         Input::RemoteRequest { seq, from } => pkt(from, Packet::RemoteRequest { msg: mid(seq) }),
-        Input::RepairLocal { seq } => pkt(
-            2,
-            Packet::Repair { data: data(seq, 4), kind: RepairKind::Local },
-        ),
-        Input::RepairRemote { seq } => pkt(
-            100,
-            Packet::Repair { data: data(seq, 4), kind: RepairKind::Remote },
-        ),
+        Input::RepairLocal { seq } => {
+            pkt(2, Packet::Repair { data: data(seq, 4), kind: RepairKind::Local })
+        }
+        Input::RepairRemote { seq } => {
+            pkt(100, Packet::Repair { data: data(seq, 4), kind: RepairKind::Remote })
+        }
         Input::RegionalRepair { seq } => pkt(3, Packet::RegionalRepair { data: data(seq, 4) }),
         Input::SearchRequest { seq, origins } => pkt(
             4,
@@ -109,10 +105,9 @@ fn to_event(input: &Input) -> Event {
                 origins: origins.into_iter().map(NodeId).collect(),
             },
         ),
-        Input::SearchFound { seq, holder } => pkt(
-            5,
-            Packet::SearchFound { msg: mid(seq), holder: NodeId(holder) },
-        ),
+        Input::SearchFound { seq, holder } => {
+            pkt(5, Packet::SearchFound { msg: mid(seq), holder: NodeId(holder) })
+        }
         Input::Handoff { seq } => pkt(6, Packet::Handoff { data: data(seq, 4) }),
         Input::TimerLocal { seq } => Event::Timer(TimerKind::LocalRetry(mid(seq))),
         Input::TimerRemote { seq } => Event::Timer(TimerKind::RemoteRetry(mid(seq))),

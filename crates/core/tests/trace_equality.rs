@@ -1,0 +1,165 @@
+//! Differential tests: the zero-allocation event loop (scratch op buffer,
+//! slab timers, fan-out ops, shared `Bytes` payloads) must produce
+//! **byte-identical delivery traces** to the straightforward reference
+//! implementation (fresh `Vec` per callback, one op and one clone per
+//! destination) for the same seed.
+//!
+//! These tests drive the full RRMP protocol — loss detection, local and
+//! remote recovery, regional repair multicasts with randomized back-off,
+//! bufferer search, leave-time handoff — so every fast path the refactor
+//! introduced is exercised end to end.
+
+use rrmp_core::harness::RrmpNetwork;
+use rrmp_core::ids::MessageId;
+use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::loss::{DeliveryPlan, LossModel};
+use rrmp_netsim::time::{SimDuration, SimTime};
+use rrmp_netsim::topology::{presets, NodeId, Topology};
+
+/// The full observable outcome of a run: per-node delivery traces (time,
+/// message) in delivery order, plus network counters and protocol totals.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    deliveries: Vec<Vec<(SimTime, MessageId)>>,
+    unicasts_sent: u64,
+    unicasts_dropped: u64,
+    timers_set: u64,
+    timers_fired: u64,
+    events_processed: u64,
+    local_requests: u64,
+    remote_requests: u64,
+    repairs: u64,
+    regional_multicasts: u64,
+    handoffs: u64,
+}
+
+fn trace_of(net: &RrmpNetwork) -> RunTrace {
+    let c = net.net_counters();
+    RunTrace {
+        deliveries: net.nodes().map(|(_, n)| n.delivered().to_vec()).collect(),
+        unicasts_sent: c.unicasts_sent,
+        unicasts_dropped: c.unicasts_dropped,
+        timers_set: c.timers_set,
+        timers_fired: c.timers_fired,
+        events_processed: c.events_processed,
+        local_requests: net.total_counter(|c| c.local_requests_sent),
+        remote_requests: net.total_counter(|c| c.remote_requests_sent),
+        repairs: net.total_counter(|c| c.repairs_sent_local + c.repairs_sent_remote),
+        regional_multicasts: net.total_counter(|c| c.regional_multicasts_sent),
+        handoffs: net.total_counter(|c| c.handoffs_sent),
+    }
+}
+
+/// Runs `scenario` on both event loops and asserts identical traces.
+fn assert_trace_equal<F>(
+    topo_of: impl Fn() -> Topology,
+    cfg: ProtocolConfig,
+    seed: u64,
+    scenario: F,
+) where
+    F: Fn(&mut RrmpNetwork),
+{
+    let mut optimized = RrmpNetwork::with_sender(topo_of(), cfg.clone(), seed, NodeId(0));
+    scenario(&mut optimized);
+    let mut reference = RrmpNetwork::new_reference(topo_of(), cfg, seed);
+    scenario(&mut reference);
+    assert_eq!(
+        trace_of(&optimized),
+        trace_of(&reference),
+        "optimized and reference event loops diverged (seed {seed})"
+    );
+}
+
+#[test]
+fn single_region_recovery_traces_match() {
+    for seed in [1u64, 7, 99, 1234] {
+        assert_trace_equal(
+            || presets::paper_region(40),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                let plan = DeliveryPlan::only(net.topology(), (0..10).map(NodeId));
+                net.multicast_with_plan(&b"trace-a"[..], &plan);
+                net.run_until(SimTime::from_millis(400));
+                let plan = DeliveryPlan::all_but(net.topology(), (20..30).map(NodeId));
+                net.multicast_with_plan(&b"trace-b"[..], &plan);
+                net.run_until(SimTime::from_secs(1));
+            },
+        );
+    }
+}
+
+#[test]
+fn hierarchical_recovery_with_regional_multicast_traces_match() {
+    for seed in [3u64, 42] {
+        assert_trace_equal(
+            || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                // Region 1 misses entirely: remote recovery + regional
+                // repair multicast (the send_many fast path) kick in.
+                let plan = DeliveryPlan::all_but(net.topology(), (8..16).map(NodeId));
+                net.multicast_with_plan(&b"regional"[..], &plan);
+                net.run_until(SimTime::from_secs(2));
+            },
+        );
+    }
+}
+
+#[test]
+fn lossy_multicast_stream_traces_match() {
+    for seed in [5u64, 17] {
+        assert_trace_equal(
+            || presets::paper_region(25),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                net.set_multicast_loss(LossModel::Bernoulli { p: 0.3 });
+                for _ in 0..6 {
+                    net.multicast(&b"stream"[..]);
+                    let next = net.now() + SimDuration::from_millis(25);
+                    net.run_until(next);
+                }
+                net.run_until(SimTime::from_secs(1));
+            },
+        );
+    }
+}
+
+#[test]
+fn churn_with_handoffs_traces_match() {
+    for seed in [2u64, 8] {
+        assert_trace_equal(
+            || presets::paper_region(20),
+            ProtocolConfig::builder().c(1000.0).build().expect("valid config"),
+            seed,
+            |net| {
+                let plan = DeliveryPlan::all(net.topology());
+                net.multicast_with_plan(&b"churn"[..], &plan);
+                net.run_until(SimTime::from_millis(200));
+                net.schedule_leave(NodeId(3), SimTime::from_millis(250));
+                net.schedule_crash(NodeId(9), SimTime::from_millis(300));
+                net.run_until(SimTime::from_millis(600));
+            },
+        );
+    }
+}
+
+#[test]
+fn session_driven_tail_loss_traces_match() {
+    assert_trace_equal(
+        || presets::paper_region(30),
+        ProtocolConfig::paper_defaults(),
+        77,
+        |net| {
+            // The last message of the burst is lost everywhere except the
+            // sender; only session advertisements can expose it.
+            let plan = DeliveryPlan::all(net.topology());
+            net.multicast_with_plan(&b"one"[..], &plan);
+            let plan = DeliveryPlan::only(net.topology(), [NodeId(0)]);
+            net.multicast_with_plan(&b"two"[..], &plan);
+            net.run_until(SimTime::from_secs(1));
+        },
+    );
+}

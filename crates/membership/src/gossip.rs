@@ -104,11 +104,16 @@ impl GossipState {
     ) -> Self {
         let mut entries = BTreeMap::new();
         for m in members {
-            entries.insert(m, HeartbeatEntry { counter: 0, last_bump: now, liveness: Liveness::Alive });
+            entries.insert(
+                m,
+                HeartbeatEntry { counter: 0, last_bump: now, liveness: Liveness::Alive },
+            );
         }
-        entries
-            .entry(self_id)
-            .or_insert(HeartbeatEntry { counter: 0, last_bump: now, liveness: Liveness::Alive });
+        entries.entry(self_id).or_insert(HeartbeatEntry {
+            counter: 0,
+            last_bump: now,
+            liveness: Liveness::Alive,
+        });
         GossipState { self_id, cfg, entries }
     }
 
@@ -121,10 +126,7 @@ impl GossipState {
     /// One gossip round: bumps the own heartbeat and returns up to
     /// `fanout` random alive targets along with the digest to send them.
     pub fn on_tick<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> (Vec<NodeId>, Digest) {
-        let me = self
-            .entries
-            .get_mut(&self.self_id)
-            .expect("own entry always present");
+        let me = self.entries.get_mut(&self.self_id).expect("own entry always present");
         me.counter += 1;
         me.last_bump = now;
 
@@ -149,9 +151,7 @@ impl GossipState {
     /// The current digest (own table snapshot).
     #[must_use]
     pub fn digest(&self) -> Digest {
-        Digest {
-            heartbeats: self.entries.iter().map(|(&id, e)| (id, e.counter)).collect(),
-        }
+        Digest { heartbeats: self.entries.iter().map(|(&id, e)| (id, e.counter)).collect() }
     }
 
     /// Merges a received digest; returns any membership events this
@@ -214,10 +214,7 @@ impl GossipState {
 
     /// Members currently considered alive (including self).
     pub fn alive_members(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.liveness == Liveness::Alive)
-            .map(|(&id, _)| id)
+        self.entries.iter().filter(|(_, e)| e.liveness == Liveness::Alive).map(|(&id, _)| id)
     }
 
     /// The liveness verdict for `node`, if known.
@@ -243,12 +240,7 @@ mod tests {
     }
 
     fn mk(n: u32) -> GossipState {
-        GossipState::new(
-            NodeId(0),
-            (0..n).map(NodeId),
-            GossipConfig::default(),
-            SimTime::ZERO,
-        )
+        GossipState::new(NodeId(0), (0..n).map(NodeId), GossipConfig::default(), SimTime::ZERO)
     }
 
     #[test]

@@ -45,9 +45,7 @@ impl GossipNode {
     /// Whether this node has observed a failure verdict for `node`.
     #[must_use]
     pub fn saw_failure_of(&self, node: NodeId) -> bool {
-        self.observed
-            .iter()
-            .any(|(_, e)| matches!(e, ViewEvent::Failed(n) if *n == node))
+        self.observed.iter().any(|(_, e)| matches!(e, ViewEvent::Failed(n) if *n == node))
     }
 }
 
@@ -95,9 +93,7 @@ mod tests {
     use rrmp_netsim::topology::presets::paper_region;
 
     fn cluster(n: u32, cfg: &GossipConfig) -> Vec<GossipNode> {
-        (0..n)
-            .map(|i| GossipNode::new(NodeId(i), (0..n).map(NodeId), cfg.clone()))
-            .collect()
+        (0..n).map(|i| GossipNode::new(NodeId(i), (0..n).map(NodeId), cfg.clone())).collect()
     }
 
     #[test]
@@ -128,9 +124,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         sim.node_mut(NodeId(5)).crashed = true;
         sim.run_until(SimTime::from_secs(8));
-        let detectors = (0..5)
-            .filter(|&i| sim.node(NodeId(i)).saw_failure_of(NodeId(5)))
-            .count();
+        let detectors = (0..5).filter(|&i| sim.node(NodeId(i)).saw_failure_of(NodeId(5))).count();
         assert_eq!(detectors, 5, "every survivor should detect the crash");
     }
 }

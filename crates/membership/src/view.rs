@@ -135,9 +135,8 @@ impl HierarchyView {
     pub fn from_topology(topo: &Topology, node: NodeId) -> Self {
         let region = topo.region_of(node);
         let own = RegionView::new(region, topo.members_of(region).iter().copied());
-        let parent = topo.parent_of(region).map(|p| {
-            RegionView::new(p, topo.members_of(p).iter().copied())
-        });
+        let parent =
+            topo.parent_of(region).map(|p| RegionView::new(p, topo.members_of(p).iter().copied()));
         HierarchyView { own, parent }
     }
 

@@ -102,8 +102,7 @@ impl LossModel {
                     // The sender's own region always receives the packet at
                     // the sender itself, so a whole-region drop there would
                     // be contradictory; skip region-level loss for it.
-                    let region_lost =
-                        region.id != sender_region && rng.gen_bool(p_region);
+                    let region_lost = region.id != sender_region && rng.gen_bool(p_region);
                     for &m in &region.members {
                         if m == sender {
                             continue;
@@ -123,7 +122,6 @@ impl LossModel {
         missed
     }
 }
-
 
 /// A stateful per-receiver Gilbert–Elliott channel.
 ///
@@ -250,20 +248,12 @@ impl DeliveryPlan {
 
     /// Iterator over the nodes that receive the packet.
     pub fn holders(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.received
-            .iter()
-            .enumerate()
-            .filter(|(_, &r)| r)
-            .map(|(i, _)| NodeId(i as u32))
+        self.received.iter().enumerate().filter(|(_, &r)| r).map(|(i, _)| NodeId(i as u32))
     }
 
     /// Iterator over the nodes that miss the packet.
     pub fn missers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.received
-            .iter()
-            .enumerate()
-            .filter(|(_, &r)| !r)
-            .map(|(i, _)| NodeId(i as u32))
+        self.received.iter().enumerate().filter(|(_, &r)| !r).map(|(i, _)| NodeId(i as u32))
     }
 }
 
@@ -271,9 +261,9 @@ impl DeliveryPlan {
 mod tests {
     use super::*;
     use crate::rng::SeedSequence;
+    use crate::time::SimDuration;
     use crate::topology::presets::paper_region;
     use crate::topology::TopologyBuilder;
-    use crate::time::SimDuration;
 
     #[test]
     fn none_never_drops() {
@@ -375,12 +365,8 @@ mod tests {
     fn delivery_plan_from_model_respects_sender() {
         let topo = paper_region(20);
         let mut rng = SeedSequence::new(6).rng_for(0);
-        let plan = DeliveryPlan::from_model(
-            &topo,
-            NodeId(4),
-            &LossModel::Bernoulli { p: 1.0 },
-            &mut rng,
-        );
+        let plan =
+            DeliveryPlan::from_model(&topo, NodeId(4), &LossModel::Bernoulli { p: 1.0 }, &mut rng);
         assert_eq!(plan.holder_count(), 1);
         assert!(plan.receives(NodeId(4)));
     }

@@ -9,8 +9,30 @@
 //! Determinism: all randomness is derived from the seed passed to
 //! [`Sim::new`]; events at equal instants fire in scheduling order. Running
 //! the same simulation twice produces byte-identical traces.
-
-use std::collections::HashSet;
+//!
+//! ## Hot-path design
+//!
+//! The event loop is allocation-free in steady state:
+//!
+//! * Side effects buffered during a callback go into a **per-`Sim` scratch
+//!   op buffer** that is drained and reused, instead of a fresh
+//!   `Vec` per callback.
+//! * Timers live in a **slab with generation counters**
+//!   ([`TimerId`] packs `(slot, generation)`): cancellation bumps the
+//!   generation and recycles the slot immediately — no tombstone set
+//!   grows, and the stale heap entry is skipped when it surfaces.
+//! * Multi-destination sends ([`Ctx::send_many`], [`Ctx::send_group`])
+//!   enqueue **one op** carrying the message once plus a target range in a
+//!   reused arena; per-destination copies are shallow clones made only
+//!   when each delivery event is scheduled. With an `Arc`-backed payload
+//!   type (e.g. `bytes::Bytes`) a regional multicast therefore never
+//!   copies payload bytes.
+//!
+//! [`Sim::new_reference`] builds the same simulator with the
+//! straightforward strategies instead (allocate per callback, one op per
+//! destination). It is kept as an executable specification: the
+//! differential tests assert byte-identical traces between the two, and
+//! `BENCH_sim_core.json` reports the speedup of the default path over it.
 
 use rand::rngs::StdRng;
 
@@ -21,8 +43,72 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
 
 /// A handle for cancelling a pending timer.
+///
+/// Packs a slab slot and its generation; a `TimerId` is invalidated the
+/// moment its timer fires or is cancelled, so stale handles are harmless.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
+
+impl TimerId {
+    fn pack(slot: u32, gen: u32) -> Self {
+        TimerId((u64::from(slot) << 32) | u64::from(gen))
+    }
+
+    fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
+/// Slab of timer slots with generation counters.
+///
+/// A slot's generation is **odd while armed** and even while free; arming
+/// bumps it to odd, firing or cancelling bumps it to even and recycles the
+/// slot. A [`TimerId`] matches only the exact `(slot, generation)` it was
+/// issued for, so heap entries for cancelled timers die on pop without any
+/// tombstone collection. Memory is bounded by the peak number of
+/// *concurrently armed* timers, not by the total ever set.
+#[derive(Debug, Default)]
+pub(crate) struct TimerSlab {
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Arms a fresh timer and returns its handle.
+    pub(crate) fn arm(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.gens.push(0);
+                (self.gens.len() - 1) as u32
+            }
+        };
+        let gen = self.gens[slot as usize].wrapping_add(1);
+        self.gens[slot as usize] = gen;
+        debug_assert!(gen & 1 == 1, "armed generation must be odd");
+        TimerId::pack(slot, gen)
+    }
+
+    /// Retires `id` (fire or cancel). Returns `true` if it was live —
+    /// i.e. armed and neither fired nor cancelled before.
+    pub(crate) fn retire(&mut self, id: TimerId) -> bool {
+        let (slot, gen) = id.unpack();
+        match self.gens.get_mut(slot as usize) {
+            Some(cur) if *cur == gen && gen & 1 == 1 => {
+                *cur = gen.wrapping_add(1);
+                self.free.push(slot);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of slots ever created (== peak concurrently armed timers).
+    #[cfg(test)]
+    pub(crate) fn slot_count(&self) -> usize {
+        self.gens.len()
+    }
+}
 
 /// Application logic hosted on a simulated node.
 ///
@@ -47,9 +133,17 @@ pub trait SimNode {
 
 /// Buffered side effects produced during one callback.
 enum Op<M> {
+    /// Unicast to one destination.
     Send { to: NodeId, msg: M },
-    SetTimer { id: u64, token: u64, at: SimTime },
-    Cancel { id: u64 },
+    /// One message to a contiguous range of the target arena.
+    SendMany { start: u32, len: u32, msg: M },
+    /// One message to every topology node except the caller.
+    SendGroup { msg: M },
+    /// Schedule `token` on the caller at `at`.
+    SetTimer { id: TimerId, token: u64, at: SimTime },
+    /// Reference mode only: record a cancellation tombstone (the
+    /// pre-refactor cancellation path).
+    Cancel { id: TimerId },
 }
 
 /// The execution context handed to node callbacks.
@@ -61,8 +155,13 @@ pub struct Ctx<'a, M> {
     self_id: NodeId,
     topo: &'a Topology,
     rng: &'a mut StdRng,
-    ops: Vec<Op<M>>,
-    next_timer_id: &'a mut u64,
+    ops: &'a mut Vec<Op<M>>,
+    targets: &'a mut Vec<NodeId>,
+    timers: &'a mut TimerSlab,
+    /// When false (reference mode), multi-destination sends degrade to one
+    /// op per destination with an eager clone — the straightforward
+    /// implementation the default path is benchmarked against.
+    fanout_ops: bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -96,36 +195,82 @@ impl<'a, M> Ctx<'a, M> {
         self.ops.push(Op::Send { to, msg });
     }
 
-    /// Sends a copy of `msg` to every node in `to` (loss applies per copy).
+    /// Sends a copy of `msg` to every node in `to` (loss applies per
+    /// copy). Alias of [`Ctx::send_many`], kept for source compatibility.
     pub fn send_all<I: IntoIterator<Item = NodeId>>(&mut self, to: I, msg: M)
     where
         M: Clone,
     {
-        for node in to {
-            if node != self.self_id {
-                self.send(node, msg.clone());
+        self.send_many(to, msg);
+    }
+
+    /// Fan-out send: a copy of `msg` to every node in `to` other than the
+    /// caller (loss and latency apply per destination).
+    ///
+    /// The fast path enqueues **one** op holding `msg` once and the target
+    /// list in a reused arena; copies are shallow clones made as each
+    /// delivery event is scheduled. Use this for regional multicasts.
+    pub fn send_many<I: IntoIterator<Item = NodeId>>(&mut self, to: I, msg: M)
+    where
+        M: Clone,
+    {
+        if !self.fanout_ops {
+            // Reference mode: the historical one-op-per-destination path.
+            for node in to {
+                if node != self.self_id {
+                    self.ops.push(Op::Send { to: node, msg: msg.clone() });
+                }
             }
+            return;
         }
+        let start = self.targets.len();
+        let self_id = self.self_id;
+        self.targets.extend(to.into_iter().filter(|&n| n != self_id));
+        let len = self.targets.len() - start;
+        if len == 0 {
+            return; // nothing was appended to the arena
+        }
+        self.ops.push(Op::SendMany { start: start as u32, len: len as u32, msg });
+    }
+
+    /// Group-wide fan-out: a copy of `msg` to every topology node except
+    /// the caller. One op regardless of group size.
+    pub fn send_group(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        if !self.fanout_ops {
+            let n = self.topo.node_count() as u32;
+            self.send_many((0..n).map(NodeId), msg);
+            return;
+        }
+        self.ops.push(Op::SendGroup { msg });
     }
 
     /// Schedules `token` to fire on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
-        let id = *self.next_timer_id;
-        *self.next_timer_id += 1;
+        let id = self.timers.arm();
         self.ops.push(Op::SetTimer { id, token, at: self.now + delay });
-        TimerId(id)
+        id
     }
 
     /// Cancels a previously set timer. Cancelling an already-fired timer is
     /// a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.ops.push(Op::Cancel { id: id.0 });
+        if self.fanout_ops {
+            // Fast path: bump the slot generation; the pending heap entry
+            // dies on pop, and the slot is immediately reusable.
+            self.timers.retire(id);
+        } else {
+            // Reference mode: the historical tombstone-set path.
+            self.ops.push(Op::Cancel { id });
+        }
     }
 }
 
 enum SimEvent<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, token: u64, id: u64 },
+    Timer { node: NodeId, token: u64, id: TimerId },
 }
 
 /// Aggregate network-level counters for one simulation run.
@@ -143,6 +288,9 @@ pub struct NetCounters {
     pub timers_fired: u64,
     /// Total events processed.
     pub events_processed: u64,
+    /// Multi-destination fan-out operations executed
+    /// ([`Ctx::send_many`] / [`Ctx::send_group`] with at least one target).
+    pub fanouts: u64,
 }
 
 /// The deterministic discrete-event simulator.
@@ -178,14 +326,23 @@ pub struct Sim<N: SimNode> {
     rngs: Vec<StdRng>,
     queue: EventQueue<SimEvent<N::Msg>>,
     now: SimTime,
-    cancelled: HashSet<u64>,
-    next_timer_id: u64,
+    timers: TimerSlab,
     unicast_loss: LossModel,
     loss_rng: StdRng,
     counters: NetCounters,
     #[allow(clippy::type_complexity)]
     drop_filter: Option<Box<dyn FnMut(NodeId, NodeId, &N::Msg) -> bool>>,
     started: bool,
+    /// Reference mode only: the pre-refactor cancellation tombstones,
+    /// consulted on every timer pop. Unused (empty) on the fast path.
+    cancelled: std::collections::HashSet<u64>,
+    /// Reused callback side-effect buffer (empty between dispatches).
+    scratch_ops: Vec<Op<N::Msg>>,
+    /// Reused fan-out target arena (empty between dispatches).
+    scratch_targets: Vec<NodeId>,
+    /// False in reference mode: allocate per callback, one op per
+    /// destination (see [`Sim::new_reference`]).
+    optimized: bool,
 }
 
 impl<N: SimNode> std::fmt::Debug for Sim<N> {
@@ -195,6 +352,7 @@ impl<N: SimNode> std::fmt::Debug for Sim<N> {
             .field("nodes", &self.nodes.len())
             .field("pending_events", &self.queue.len())
             .field("counters", &self.counters)
+            .field("optimized", &self.optimized)
             .finish_non_exhaustive()
     }
 }
@@ -218,6 +376,28 @@ impl<N: SimNode> Sim<N> {
     /// Panics if `nodes.len()` does not match the topology's node count.
     #[must_use]
     pub fn new(topo: Topology, nodes: Vec<N>, seed: u64) -> Self {
+        Self::with_mode(topo, nodes, seed, true)
+    }
+
+    /// Creates a simulator running the **reference** event loop: a fresh
+    /// op buffer is allocated for every callback and fan-out sends clone
+    /// the message once per destination — the straightforward
+    /// implementation this module's optimized hot path replaced.
+    ///
+    /// Observable behavior (traces, counters except
+    /// [`NetCounters::fanouts`], RNG streams) is identical to [`Sim::new`]
+    /// by construction, which the differential tests assert. Kept for
+    /// those tests and as the baseline of `BENCH_sim_core.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the topology's node count.
+    #[must_use]
+    pub fn new_reference(topo: Topology, nodes: Vec<N>, seed: u64) -> Self {
+        Self::with_mode(topo, nodes, seed, false)
+    }
+
+    fn with_mode(topo: Topology, nodes: Vec<N>, seed: u64, optimized: bool) -> Self {
         assert_eq!(
             nodes.len(),
             topo.node_count(),
@@ -231,13 +411,16 @@ impl<N: SimNode> Sim<N> {
             rngs,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            cancelled: HashSet::new(),
-            next_timer_id: 0,
+            timers: TimerSlab::default(),
             unicast_loss: LossModel::None,
             loss_rng: seq.rng_for(u64::MAX / 2),
             counters: NetCounters::default(),
             drop_filter: None,
             started: false,
+            cancelled: std::collections::HashSet::new(),
+            scratch_ops: Vec::new(),
+            scratch_targets: Vec::new(),
+            optimized,
         }
     }
 
@@ -307,7 +490,8 @@ impl<N: SimNode> Sim<N> {
 
     /// Injects one multicast transmission according to a [`DeliveryPlan`]:
     /// every plan holder other than `from` receives `msg` at
-    /// `at + one_way_latency(from, holder)`.
+    /// `at + one_way_latency(from, holder)`. Copies are shallow clones of
+    /// the same message value.
     pub fn inject_multicast_plan(
         &mut self,
         from: NodeId,
@@ -320,7 +504,7 @@ impl<N: SimNode> Sim<N> {
                 continue;
             }
             let arrive = at + self.topo.one_way_latency(from, to);
-            self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg: clone_msg(msg) });
+            self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg: msg.clone() });
         }
     }
 
@@ -338,15 +522,14 @@ impl<N: SimNode> Sim<N> {
             if to == from {
                 continue;
             }
-            self.queue.schedule(at, SimEvent::Deliver { to, from, msg: clone_msg(msg) });
+            self.queue.schedule(at, SimEvent::Deliver { to, from, msg: msg.clone() });
         }
     }
 
     /// Schedules an external timer on `node` at absolute time `at` — used
     /// by experiments to trigger scripted actions (e.g. a member leaving).
     pub fn schedule_external_timer(&mut self, node: NodeId, token: u64, at: SimTime) {
-        let id = self.next_timer_id;
-        self.next_timer_id += 1;
+        let id = self.timers.arm();
         self.counters.timers_set += 1;
         self.queue.schedule(at, SimEvent::Timer { node, token, id });
     }
@@ -367,25 +550,55 @@ impl<N: SimNode> Sim<N> {
         self.start();
         loop {
             let Some((at, event)) = self.queue.pop() else { return false };
-            debug_assert!(at >= self.now, "time went backwards");
-            match event {
-                SimEvent::Deliver { to, from, msg } => {
-                    self.now = at;
-                    self.counters.delivered += 1;
-                    self.counters.events_processed += 1;
-                    self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, msg));
-                    return true;
+            if self.dispatch_event(at, event) {
+                return true;
+            }
+        }
+    }
+
+    /// Like [`Sim::step`], but never dispatches an event scheduled after
+    /// `limit` — cancelled timers at or before `limit` are consumed
+    /// without letting a later event run early.
+    fn step_before(&mut self, limit: SimTime) -> bool {
+        self.start();
+        loop {
+            match self.queue.peek_time() {
+                Some(at) if at <= limit => {}
+                _ => return false,
+            }
+            let (at, event) = self.queue.pop().expect("peeked above");
+            if self.dispatch_event(at, event) {
+                return true;
+            }
+        }
+    }
+
+    /// Dispatches one popped event; returns `false` if it was a cancelled
+    /// timer (consumed silently, clock untouched).
+    fn dispatch_event(&mut self, at: SimTime, event: SimEvent<N::Msg>) -> bool {
+        debug_assert!(at >= self.now, "time went backwards");
+        match event {
+            SimEvent::Deliver { to, from, msg } => {
+                self.now = at;
+                self.counters.delivered += 1;
+                self.counters.events_processed += 1;
+                self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, msg));
+                true
+            }
+            SimEvent::Timer { node, token, id } => {
+                if !self.optimized && self.cancelled.remove(&id.0) {
+                    // Reference mode: tombstoned; free the slot too.
+                    self.timers.retire(id);
+                    return false;
                 }
-                SimEvent::Timer { node, token, id } => {
-                    if self.cancelled.remove(&id) {
-                        continue; // cancelled; consume silently without advancing time
-                    }
-                    self.now = at;
-                    self.counters.timers_fired += 1;
-                    self.counters.events_processed += 1;
-                    self.dispatch_with(node.index(), |n, ctx| n.on_timer(ctx, token));
-                    return true;
+                if !self.timers.retire(id) {
+                    return false; // cancelled; consume silently
                 }
+                self.now = at;
+                self.counters.timers_fired += 1;
+                self.counters.events_processed += 1;
+                self.dispatch_with(node.index(), |n, ctx| n.on_timer(ctx, token));
+                true
             }
         }
     }
@@ -399,13 +612,7 @@ impl<N: SimNode> Sim<N> {
     /// Processes every event scheduled at or before `t`, then advances the
     /// clock to exactly `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        self.start();
-        while let Some(at) = self.queue.peek_time() {
-            if at > t {
-                break;
-            }
-            self.step();
-        }
+        while self.step_before(t) {}
         if self.now < t {
             self.now = t;
         }
@@ -415,13 +622,7 @@ impl<N: SimNode> Sim<N> {
     /// Returns the time of the last processed event (or the current time if
     /// nothing ran).
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
-        self.start();
-        while let Some(at) = self.queue.peek_time() {
-            if at > limit {
-                break;
-            }
-            self.step();
-        }
+        while self.step_before(limit) {}
         self.now
     }
 
@@ -435,50 +636,95 @@ impl<N: SimNode> Sim<N> {
     where
         F: FnOnce(&mut N, &mut Ctx<'_, N::Msg>),
     {
-        let mut ops = Vec::new();
+        // In the optimized mode these take the (empty) per-`Sim` scratch
+        // buffers, preserving their capacity across dispatches; in
+        // reference mode fresh vectors are allocated every callback.
+        let (mut ops, mut targets) = if self.optimized {
+            debug_assert!(self.scratch_ops.is_empty() && self.scratch_targets.is_empty());
+            (std::mem::take(&mut self.scratch_ops), std::mem::take(&mut self.scratch_targets))
+        } else {
+            (Vec::new(), Vec::new())
+        };
         {
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: NodeId(idx as u32),
                 topo: &self.topo,
                 rng: &mut self.rngs[idx],
-                ops: Vec::new(),
-                next_timer_id: &mut self.next_timer_id,
+                ops: &mut ops,
+                targets: &mut targets,
+                timers: &mut self.timers,
+                fanout_ops: self.optimized,
             };
             f(&mut self.nodes[idx], &mut ctx);
-            std::mem::swap(&mut ops, &mut ctx.ops);
         }
         let from = NodeId(idx as u32);
-        for op in ops {
+        for op in ops.drain(..) {
             match op {
-                Op::Send { to, msg } => {
-                    self.counters.unicasts_sent += 1;
-                    let filtered = self
-                        .drop_filter
-                        .as_mut()
-                        .is_some_and(|f| f(from, to, &msg));
-                    let lost = filtered || self.unicast_loss.drops_unicast(&mut self.loss_rng);
-                    if lost {
-                        self.counters.unicasts_dropped += 1;
-                        continue;
+                Op::Send { to, msg } => self.transmit(from, to, msg),
+                Op::SendMany { start, len, msg } => {
+                    self.counters.fanouts += 1;
+                    let range = start as usize..(start + len) as usize;
+                    let mut msg = Some(msg);
+                    for (i, &to) in targets[range].iter().enumerate() {
+                        // The last destination takes the original message;
+                        // the rest take shallow clones.
+                        let copy = if i + 1 == len as usize {
+                            msg.take().expect("consumed only once")
+                        } else {
+                            msg.as_ref().expect("taken only at the end").clone()
+                        };
+                        self.transmit(from, to, copy);
                     }
-                    let arrive = self.now + self.topo.one_way_latency(from, to);
-                    self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg });
+                }
+                Op::SendGroup { msg } => {
+                    self.counters.fanouts += 1;
+                    let n = self.topo.node_count() as u32;
+                    let destinations = n - 1; // everyone but the caller
+                    let mut msg = Some(msg);
+                    let mut sent = 0u32;
+                    for to in (0..n).map(NodeId) {
+                        if to == from {
+                            continue;
+                        }
+                        sent += 1;
+                        let copy = if sent == destinations {
+                            msg.take().expect("consumed only once")
+                        } else {
+                            msg.as_ref().expect("taken only at the end").clone()
+                        };
+                        self.transmit(from, to, copy);
+                    }
                 }
                 Op::SetTimer { id, token, at } => {
                     self.counters.timers_set += 1;
                     self.queue.schedule(at, SimEvent::Timer { node: from, token, id });
                 }
                 Op::Cancel { id } => {
-                    self.cancelled.insert(id);
+                    self.cancelled.insert(id.0);
                 }
             }
         }
+        if self.optimized {
+            targets.clear();
+            self.scratch_ops = ops;
+            self.scratch_targets = targets;
+        }
     }
-}
 
-fn clone_msg<M: Clone>(m: &M) -> M {
-    m.clone()
+    /// Applies counters, the drop filter, and the loss model to one
+    /// unicast copy, scheduling its delivery if it survives.
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
+        self.counters.unicasts_sent += 1;
+        let filtered = self.drop_filter.as_mut().is_some_and(|f| f(from, to, &msg));
+        let lost = filtered || self.unicast_loss.drops_unicast(&mut self.loss_rng);
+        if lost {
+            self.counters.unicasts_dropped += 1;
+            return;
+        }
+        let arrive = self.now + self.topo.one_way_latency(from, to);
+        self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg });
+    }
 }
 
 #[cfg(test)]
@@ -707,5 +953,197 @@ mod tests {
     fn node_count_mismatch_panics() {
         let topo = paper_region(3);
         let _ = Sim::new(topo, probes(2), 0);
+    }
+
+    /// A node that fans out to the whole region on start.
+    struct RegionCaster;
+    impl SimNode for RegionCaster {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.self_id() == NodeId(0) {
+                let n = ctx.topology().node_count() as u32;
+                ctx.send_many((0..n).map(NodeId), 9);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+        fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+    }
+
+    #[test]
+    fn send_many_reaches_everyone_but_self() {
+        let topo = paper_region(6);
+        let mut sim = Sim::new(topo, (0..6).map(|_| RegionCaster).collect(), 10);
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.counters().unicasts_sent, 5);
+        assert_eq!(sim.counters().delivered, 5);
+        assert_eq!(sim.counters().fanouts, 1);
+    }
+
+    #[test]
+    fn send_group_matches_send_many_over_topology() {
+        struct GroupCaster;
+        impl SimNode for GroupCaster {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if ctx.self_id() == NodeId(2) {
+                    ctx.send_group(1);
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+        }
+        let topo = paper_region(5);
+        let mut sim = Sim::new(topo, (0..5).map(|_| GroupCaster).collect(), 11);
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.counters().unicasts_sent, 4);
+        assert_eq!(sim.counters().delivered, 4);
+    }
+
+    #[test]
+    fn reference_mode_produces_identical_observables() {
+        type PacketTrace = Vec<Vec<(SimTime, NodeId, u32)>>;
+        fn run(reference: bool) -> (PacketTrace, NetCounters) {
+            let topo = paper_region(8);
+            let mut sim = if reference {
+                Sim::new_reference(topo, probes(8), 77)
+            } else {
+                Sim::new(topo, probes(8), 77)
+            };
+            sim.set_unicast_loss(LossModel::Bernoulli { p: 0.2 });
+            sim.inject(NodeId(3), NodeId(0), 5, SimTime::ZERO);
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            let mut counters = sim.counters();
+            counters.fanouts = 0; // the only counter allowed to differ
+            let traces = (0..8).map(|i| sim.node(NodeId(i)).packets.clone()).collect();
+            (traces, counters)
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn run_until_never_dispatches_past_horizon() {
+        // A cancelled timer inside the horizon must not let run_until
+        // dispatch the next (later) event early.
+        struct DecoyNode {
+            fired: Vec<SimTime>,
+        }
+        impl SimNode for DecoyNode {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                let decoy = ctx.set_timer(SimDuration::from_millis(5), 1);
+                ctx.cancel_timer(decoy);
+                ctx.set_timer(SimDuration::from_millis(50), 2);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: u64) {
+                self.fired.push(ctx.now());
+            }
+        }
+        for reference in [false, true] {
+            let topo = paper_region(1);
+            let nodes = vec![DecoyNode { fired: vec![] }];
+            let mut sim = if reference {
+                Sim::new_reference(topo, nodes, 1)
+            } else {
+                Sim::new(topo, nodes, 1)
+            };
+            // Horizon between the cancelled decoy (5ms) and the real
+            // timer (50ms): nothing may fire, clock lands exactly on 10ms.
+            sim.run_until(SimTime::from_millis(10));
+            assert!(sim.node(NodeId(0)).fired.is_empty(), "fired early (reference={reference})");
+            assert_eq!(sim.now(), SimTime::from_millis(10));
+            sim.run_until(SimTime::from_millis(60));
+            assert_eq!(sim.node(NodeId(0)).fired, vec![SimTime::from_millis(50)]);
+        }
+    }
+
+    #[test]
+    fn timer_slab_reuses_slots() {
+        let mut slab = TimerSlab::default();
+        let a = slab.arm();
+        let b = slab.arm();
+        assert!(slab.retire(a));
+        assert!(!slab.retire(a), "double retire is a no-op");
+        let c = slab.arm(); // reuses a's slot with a new generation
+        assert_ne!(a, c);
+        assert_eq!(slab.slot_count(), 2);
+        assert!(slab.retire(b));
+        assert!(slab.retire(c));
+        // Peak concurrency was 2; the slab never grew past it.
+        for _ in 0..100 {
+            let id = slab.arm();
+            assert!(slab.retire(id));
+        }
+        assert!(slab.slot_count() <= 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    /// Generator language for slab operations: arm a new timer, or retire
+    /// (fire/cancel) the k-th oldest live one / a stale handle.
+    #[derive(Debug, Clone)]
+    enum SlabOp {
+        Arm,
+        RetireLive(usize),
+        RetireStale(usize),
+    }
+
+    fn arb_slab_op() -> impl Strategy<Value = SlabOp> {
+        prop_oneof![
+            Just(SlabOp::Arm),
+            (0usize..64).prop_map(SlabOp::RetireLive),
+            (0usize..64).prop_map(SlabOp::RetireStale),
+        ]
+    }
+
+    proptest! {
+        /// The slab agrees with a naive model under arbitrary arm/cancel
+        /// interleavings: retire succeeds exactly once per issued handle,
+        /// stale handles never resolve, and memory stays bounded by the
+        /// peak number of concurrently live timers.
+        #[test]
+        fn slab_matches_model(ops in proptest::collection::vec(arb_slab_op(), 0..300)) {
+            let mut slab = TimerSlab::default();
+            let mut live: Vec<TimerId> = Vec::new();
+            let mut retired: Vec<TimerId> = Vec::new();
+            let mut seen: HashSet<TimerId> = HashSet::new();
+            let mut peak = 0usize;
+            for op in ops {
+                match op {
+                    SlabOp::Arm => {
+                        let id = slab.arm();
+                        prop_assert!(seen.insert(id), "handle {id:?} reissued while observable");
+                        live.push(id);
+                        peak = peak.max(live.len());
+                    }
+                    SlabOp::RetireLive(k) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let id = live.remove(k % live.len());
+                        prop_assert!(slab.retire(id), "live handle must retire");
+                        retired.push(id);
+                    }
+                    SlabOp::RetireStale(k) => {
+                        if retired.is_empty() {
+                            continue;
+                        }
+                        let id = retired[k % retired.len()];
+                        prop_assert!(!slab.retire(id), "stale handle must not retire");
+                    }
+                }
+            }
+            prop_assert!(slab.slot_count() <= peak.max(1), "slab grew past peak concurrency");
+            // Every still-live handle retires exactly once.
+            for id in live {
+                prop_assert!(slab.retire(id));
+                prop_assert!(!slab.retire(id));
+            }
+        }
     }
 }

@@ -170,7 +170,15 @@ impl Summary {
     #[must_use]
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, median: 0.0, p99: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                median: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));

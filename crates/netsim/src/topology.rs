@@ -375,10 +375,9 @@ impl TopologyBuilder {
         }
         let latency = match self.matrix {
             Some(m) => LatencyModel::Matrix { regions: m },
-            None => LatencyModel::RegionBased {
-                intra_one_way: self.intra,
-                inter_one_way: self.inter,
-            },
+            None => {
+                LatencyModel::RegionBased { intra_one_way: self.intra, inter_one_way: self.inter }
+            }
         };
         Topology::new(regions, latency)
     }
@@ -434,7 +433,12 @@ pub mod presets {
     ///
     /// Panics if `region_size` is zero.
     #[must_use]
-    pub fn region_tree(region_size: usize, fanout: usize, depth: usize, inter_one_way: SimDuration) -> Topology {
+    pub fn region_tree(
+        region_size: usize,
+        fanout: usize,
+        depth: usize,
+        inter_one_way: SimDuration,
+    ) -> Topology {
         let mut builder = TopologyBuilder::new().inter_region_one_way(inter_one_way);
         builder = builder.region(region_size, None);
         let mut frontier = vec![0usize];
@@ -518,11 +522,9 @@ mod tests {
             RegionSpec { id: RegionId(0), parent: Some(RegionId(1)), members: vec![NodeId(0)] },
             RegionSpec { id: RegionId(1), parent: Some(RegionId(0)), members: vec![NodeId(1)] },
         ];
-        let err = Topology::new(
-            regions,
-            LatencyModel::Uniform { one_way: SimDuration::from_millis(1) },
-        )
-        .unwrap_err();
+        let err =
+            Topology::new(regions, LatencyModel::Uniform { one_way: SimDuration::from_millis(1) })
+                .unwrap_err();
         assert!(matches!(err, TopologyError::CyclicHierarchy(_)));
     }
 

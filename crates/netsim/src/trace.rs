@@ -47,7 +47,13 @@ impl TraceRecorder {
     }
 
     /// Records an event.
-    pub fn record(&mut self, at: SimTime, node: NodeId, kind: &'static str, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        kind: &'static str,
+        detail: impl Into<String>,
+    ) {
         *self.counters.entry(kind).or_insert(0) += 1;
         if self.enabled {
             self.entries.push(TraceEntry { at, node, kind, detail: detail.into() });

@@ -96,9 +96,10 @@ impl GroupSpec {
     pub fn view_for(&self, node: NodeId) -> HierarchyView {
         let region = self.region_of(node).expect("node is a member");
         let own = RegionView::new(region, self.members_of(region).map(|m| m.node));
-        let parent = self.parents.get(&region).map(|&p| {
-            RegionView::new(p, self.members_of(p).map(|m| m.node))
-        });
+        let parent = self
+            .parents
+            .get(&region)
+            .map(|&p| RegionView::new(p, self.members_of(p).map(|m| m.node)));
         HierarchyView::new(own, parent)
     }
 
@@ -155,7 +156,10 @@ mod tests {
     #[should_panic(expected = "duplicate member")]
     fn duplicate_member_rejected() {
         let mut spec = GroupSpec::new();
-        spec.add_member(NodeId(0), addr(9200), RegionId(0))
-            .add_member(NodeId(0), addr(9201), RegionId(0));
+        spec.add_member(NodeId(0), addr(9200), RegionId(0)).add_member(
+            NodeId(0),
+            addr(9201),
+            RegionId(0),
+        );
     }
 }

@@ -8,23 +8,28 @@
 //! * an **event loop thread** owning the [`Receiver`] (and the [`Sender`]
 //!   role, if any), a monotonic clock mapped onto [`SimTime`], and a
 //!   timer heap for the protocol's [`TimerKind`]s;
-//! * a command channel for the application: multicast payloads, leave,
+//! * a command path for the application: multicast payloads, leave,
 //!   shutdown.
 //!
+//! Packets and application commands are multiplexed onto **one**
+//! `std::sync::mpsc` channel, so the event loop is a single
+//! `recv_timeout` wait — no external channel crates are needed.
+//!
 //! IP multicast is emulated by unicast fan-out (no multicast routing is
-//! assumed); a test hook can drop the initial transmission to selected
+//! assumed): each packet is **encoded once** and the same wire bytes are
+//! written to every destination, mirroring the zero-copy fan-out of the
+//! simulator. A test hook can drop the initial transmission to selected
 //! members to exercise recovery over real sockets.
 
 use std::collections::BinaryHeap;
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{self, Receiver as ChanReceiver, Sender as ChanSender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver as ChanReceiver, Sender as ChanSender};
-use parking_lot::Mutex;
 
 use rrmp_core::events::{Action, Event, TimerKind};
 use rrmp_core::ids::MessageId;
@@ -42,6 +47,12 @@ enum Command {
     Multicast(Bytes),
     Leave,
     Shutdown,
+}
+
+/// Everything the event loop can wake up for.
+enum Input {
+    Packet(NodeId, Packet),
+    Cmd(Command),
 }
 
 /// A message delivered to the application.
@@ -85,7 +96,7 @@ type DropFilter = dyn Fn(NodeId) -> bool + Send;
 /// `udp_localhost` example for an end-to-end walkthrough.
 pub struct UdpNode {
     node: NodeId,
-    cmd_tx: ChanSender<Command>,
+    input_tx: ChanSender<Input>,
     delivered_rx: ChanReceiver<Delivery>,
     loop_handle: Option<JoinHandle<()>>,
     recv_handle: Option<JoinHandle<()>>,
@@ -125,9 +136,8 @@ impl UdpNode {
         cfg.validate().expect("invalid protocol config");
         assert!(spec.addr_of(node).is_some(), "{node} not in group spec");
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
-        let (pkt_tx, pkt_rx) = unbounded::<(NodeId, Packet)>();
-        let (cmd_tx, cmd_rx) = unbounded::<Command>();
-        let (delivered_tx, delivered_rx) = bounded::<Delivery>(4096);
+        let (input_tx, input_rx) = mpsc::channel::<Input>();
+        let (delivered_tx, delivered_rx) = mpsc::sync_channel::<Delivery>(4096);
         let shutdown = Arc::new(AtomicBool::new(false));
         let initial_drop: Arc<Mutex<Option<Box<DropFilter>>>> = Arc::new(Mutex::new(None));
 
@@ -135,6 +145,7 @@ impl UdpNode {
         let recv_socket = socket.try_clone()?;
         let recv_spec = spec.clone();
         let recv_shutdown = Arc::clone(&shutdown);
+        let pkt_tx = input_tx.clone();
         let recv_handle = std::thread::Builder::new()
             .name(format!("rrmp-udp-recv-{node}"))
             .spawn(move || {
@@ -145,7 +156,7 @@ impl UdpNode {
                             let Some(from) = recv_spec.node_at(from_addr) else { continue };
                             match Packet::decode(Bytes::copy_from_slice(&buf[..len])) {
                                 Ok(packet) => {
-                                    if pkt_tx.send((from, packet)).is_err() {
+                                    if pkt_tx.send(Input::Packet(from, packet)).is_err() {
                                         break;
                                     }
                                 }
@@ -165,166 +176,29 @@ impl UdpNode {
             .expect("spawn recv thread");
 
         // Event loop thread.
-        let view = spec.view_for(node);
         let loop_shutdown = Arc::clone(&shutdown);
         let loop_drop = Arc::clone(&initial_drop);
         let loop_handle = std::thread::Builder::new()
             .name(format!("rrmp-udp-loop-{node}"))
             .spawn(move || {
-                let epoch = Instant::now();
-                let now_sim = |at: Instant| {
-                    SimTime::from_micros(at.duration_since(epoch).as_micros() as u64)
-                };
-                let mut receiver = Receiver::new(node, view, cfg.clone(), seed);
-                let mut sender = is_sender.then(|| Sender::new(node, cfg.session_interval));
-                let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
-                let mut timer_seq = 0u64;
-
-                let push_timer = |timers: &mut BinaryHeap<TimerEntry>,
-                                      seq: &mut u64,
-                                      delay: rrmp_netsim::time::SimDuration,
-                                      kind: TimerKind| {
-                    let at = Instant::now() + Duration::from(delay);
-                    *seq += 1;
-                    timers.push(TimerEntry { at, seq: *seq, kind });
-                };
-
-                let send_packet = |to: NodeId, packet: &Packet| {
-                    if let Some(addr) = spec.addr_of(to) {
-                        let _ = socket.send_to(&packet.encode(), addr);
-                    }
-                };
-
-                // Execute a batch of receiver actions.
-                let execute = |actions: Vec<Action>,
-                               timers: &mut BinaryHeap<TimerEntry>,
-                               timer_seq: &mut u64,
-                               receiver: &Receiver| {
-                    for action in actions {
-                        match action {
-                            Action::Send { to, packet } => send_packet(to, &packet),
-                            Action::MulticastRegion { packet } => {
-                                for m in receiver.view().own().members() {
-                                    if m != node {
-                                        send_packet(m, &packet);
-                                    }
-                                }
-                            }
-                            Action::Deliver { id, payload } => {
-                                let _ = delivered_tx.try_send(Delivery { id, payload });
-                            }
-                            Action::SetTimer { delay, kind } => {
-                                push_timer(timers, timer_seq, delay, kind);
-                            }
-                        }
-                    }
-                };
-
-                // Start-up actions.
-                let actions = receiver.on_start();
-                execute(actions, &mut timers, &mut timer_seq, &receiver);
-                if let Some(s) = &sender {
-                    for a in s.on_start() {
-                        if let SenderAction::Protocol(Action::SetTimer { delay, kind }) = a {
-                            push_timer(&mut timers, &mut timer_seq, delay, kind);
-                        }
-                    }
-                }
-
-                loop {
-                    if loop_shutdown.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    // Fire due timers.
-                    let now = Instant::now();
-                    while timers.peek().is_some_and(|t| t.at <= now) {
-                        let entry = timers.pop().expect("peeked");
-                        if entry.kind == TimerKind::SessionTick {
-                            if let Some(s) = &sender {
-                                for a in s.on_session_tick() {
-                                    match a {
-                                        SenderAction::MulticastGroup { packet } => {
-                                            for m in spec.members() {
-                                                if m.node != node {
-                                                    send_packet(m.node, &packet);
-                                                }
-                                            }
-                                        }
-                                        SenderAction::Protocol(Action::SetTimer { delay, kind }) => {
-                                            push_timer(&mut timers, &mut timer_seq, delay, kind);
-                                        }
-                                        SenderAction::Protocol(_) => {}
-                                    }
-                                }
-                            }
-                            continue;
-                        }
-                        let actions =
-                            receiver.handle(Event::Timer(entry.kind), now_sim(entry.at.max(epoch)));
-                        execute(actions, &mut timers, &mut timer_seq, &receiver);
-                    }
-                    // Wait for work until the next timer deadline.
-                    let timeout = timers
-                        .peek()
-                        .map(|t| t.at.saturating_duration_since(Instant::now()))
-                        .unwrap_or(Duration::from_millis(20))
-                        .min(Duration::from_millis(20));
-                    crossbeam::channel::select! {
-                        recv(pkt_rx) -> msg => {
-                            if let Ok((from, packet)) = msg {
-                                let actions = receiver
-                                    .handle(Event::Packet { from, packet }, now_sim(Instant::now()));
-                                execute(actions, &mut timers, &mut timer_seq, &receiver);
-                            }
-                        }
-                        recv(cmd_rx) -> cmd => {
-                            match cmd {
-                                Ok(Command::Multicast(payload)) => {
-                                    let Some(s) = sender.as_mut() else { continue };
-                                    let (id, actions) = s.multicast(payload.clone());
-                                    for a in actions {
-                                        if let SenderAction::MulticastGroup { packet } = a {
-                                            let drop = loop_drop.lock();
-                                            for m in spec.members() {
-                                                if m.node == node {
-                                                    continue;
-                                                }
-                                                let dropped = drop
-                                                    .as_ref()
-                                                    .is_some_and(|f| f(m.node));
-                                                if !dropped {
-                                                    send_packet(m.node, &packet);
-                                                }
-                                            }
-                                        }
-                                    }
-                                    // The sender holds its own message.
-                                    let self_packet = Packet::Data(
-                                        rrmp_core::packet::DataPacket::new(id, payload),
-                                    );
-                                    let actions = receiver.handle(
-                                        Event::Packet { from: node, packet: self_packet },
-                                        now_sim(Instant::now()),
-                                    );
-                                    execute(actions, &mut timers, &mut timer_seq, &receiver);
-                                }
-                                Ok(Command::Leave) => {
-                                    let actions =
-                                        receiver.handle(Event::Leave, now_sim(Instant::now()));
-                                    execute(actions, &mut timers, &mut timer_seq, &receiver);
-                                }
-                                Ok(Command::Shutdown) | Err(_) => break,
-                            }
-                        }
-                        default(timeout) => {}
-                    }
-                }
+                event_loop(EventLoop {
+                    socket,
+                    spec,
+                    node,
+                    cfg,
+                    is_sender,
+                    seed,
+                    input_rx,
+                    delivered_tx,
+                    shutdown: loop_shutdown,
+                    initial_drop: loop_drop,
+                });
             })
             .expect("spawn event loop thread");
 
         Ok(UdpNode {
             node,
-            cmd_tx,
+            input_tx,
             delivered_rx,
             loop_handle: Some(loop_handle),
             recv_handle: Some(recv_handle),
@@ -342,7 +216,7 @@ impl UdpNode {
     /// Multicasts `payload` to the group (sender role only; ignored
     /// otherwise).
     pub fn multicast(&self, payload: impl Into<Bytes>) {
-        let _ = self.cmd_tx.send(Command::Multicast(payload.into()));
+        let _ = self.input_tx.send(Input::Cmd(Command::Multicast(payload.into())));
     }
 
     /// Installs a drop filter applied to the **initial** multicast only
@@ -351,7 +225,11 @@ impl UdpNode {
     where
         F: Fn(NodeId) -> bool + Send + 'static,
     {
-        *self.initial_drop.lock() = filter.map(|f| Box::new(f) as Box<DropFilter>);
+        // A panicking user filter poisons the lock on the event-loop
+        // thread; recover the guard so the application thread keeps
+        // working (matching the pre-std-Mutex behavior).
+        *self.initial_drop.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            filter.map(|f| Box::new(f) as Box<DropFilter>);
     }
 
     /// Receives the next delivered message, waiting up to `timeout`.
@@ -368,7 +246,7 @@ impl UdpNode {
 
     /// Initiates a voluntary leave (long-term buffers are handed off).
     pub fn leave(&self) {
-        let _ = self.cmd_tx.send(Command::Leave);
+        let _ = self.input_tx.send(Input::Cmd(Command::Leave));
     }
 
     /// Stops the node's threads.
@@ -378,7 +256,7 @@ impl UdpNode {
 
     fn shutdown_inner(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        let _ = self.cmd_tx.send(Command::Shutdown);
+        let _ = self.input_tx.send(Input::Cmd(Command::Shutdown));
         if let Some(h) = self.loop_handle.take() {
             let _ = h.join();
         }
@@ -393,6 +271,177 @@ impl Drop for UdpNode {
         // C-DTOR-BLOCK: prefer an explicit `shutdown()`; the destructor
         // still stops the threads, signalling first so joins are brief.
         self.shutdown_inner();
+    }
+}
+
+/// Everything the event loop thread owns.
+struct EventLoop {
+    socket: UdpSocket,
+    spec: GroupSpec,
+    node: NodeId,
+    cfg: ProtocolConfig,
+    is_sender: bool,
+    seed: u64,
+    input_rx: ChanReceiver<Input>,
+    delivered_tx: SyncSender<Delivery>,
+    shutdown: Arc<AtomicBool>,
+    initial_drop: Arc<Mutex<Option<Box<DropFilter>>>>,
+}
+
+fn event_loop(ctx: EventLoop) {
+    let EventLoop {
+        socket,
+        spec,
+        node,
+        cfg,
+        is_sender,
+        seed,
+        input_rx,
+        delivered_tx,
+        shutdown,
+        initial_drop,
+    } = ctx;
+    let epoch = Instant::now();
+    let now_sim = |at: Instant| SimTime::from_micros(at.duration_since(epoch).as_micros() as u64);
+    let mut receiver = Receiver::new(node, spec.view_for(node), cfg.clone(), seed);
+    let mut sender = is_sender.then(|| Sender::new(node, cfg.session_interval));
+    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+
+    let push_timer = |timers: &mut BinaryHeap<TimerEntry>,
+                      seq: &mut u64,
+                      delay: rrmp_netsim::time::SimDuration,
+                      kind: TimerKind| {
+        let at = Instant::now() + Duration::from(delay);
+        *seq += 1;
+        timers.push(TimerEntry { at, seq: *seq, kind });
+    };
+
+    // Unicast: encode and transmit to one member.
+    let send_packet = |to: NodeId, packet: &Packet| {
+        if let Some(addr) = spec.addr_of(to) {
+            let _ = socket.send_to(&packet.encode(), addr);
+        }
+    };
+    // Fan-out: encode once, write the same wire bytes to every listed
+    // member (the caller excluded) for which `keep` returns true.
+    let fan_out = |packet: &Packet,
+                   members: &mut dyn Iterator<Item = NodeId>,
+                   keep: &dyn Fn(NodeId) -> bool| {
+        let wire = packet.encode();
+        for m in members {
+            if m != node && keep(m) {
+                if let Some(addr) = spec.addr_of(m) {
+                    let _ = socket.send_to(&wire, addr);
+                }
+            }
+        }
+    };
+
+    // Execute a batch of receiver actions.
+    let execute = |actions: Vec<Action>,
+                   timers: &mut BinaryHeap<TimerEntry>,
+                   timer_seq: &mut u64,
+                   receiver: &Receiver| {
+        for action in actions {
+            match action {
+                Action::Send { to, packet } => send_packet(to, &packet),
+                Action::MulticastRegion { packet } => {
+                    fan_out(&packet, &mut receiver.view().own().members(), &|_| true);
+                }
+                Action::Deliver { id, payload } => {
+                    let _ = delivered_tx.try_send(Delivery { id, payload });
+                }
+                Action::SetTimer { delay, kind } => {
+                    push_timer(timers, timer_seq, delay, kind);
+                }
+            }
+        }
+    };
+
+    // Start-up actions.
+    let actions = receiver.on_start();
+    execute(actions, &mut timers, &mut timer_seq, &receiver);
+    if let Some(s) = &sender {
+        for a in s.on_start() {
+            if let SenderAction::Protocol(Action::SetTimer { delay, kind }) = a {
+                push_timer(&mut timers, &mut timer_seq, delay, kind);
+            }
+        }
+    }
+
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        // Fire due timers.
+        let now = Instant::now();
+        while timers.peek().is_some_and(|t| t.at <= now) {
+            let entry = timers.pop().expect("peeked");
+            if entry.kind == TimerKind::SessionTick {
+                if let Some(s) = &sender {
+                    for a in s.on_session_tick() {
+                        match a {
+                            SenderAction::MulticastGroup { packet } => {
+                                fan_out(
+                                    &packet,
+                                    &mut spec.members().iter().map(|m| m.node),
+                                    &|_| true,
+                                );
+                            }
+                            SenderAction::Protocol(Action::SetTimer { delay, kind }) => {
+                                push_timer(&mut timers, &mut timer_seq, delay, kind);
+                            }
+                            SenderAction::Protocol(_) => {}
+                        }
+                    }
+                }
+                continue;
+            }
+            let actions = receiver.handle(Event::Timer(entry.kind), now_sim(entry.at.max(epoch)));
+            execute(actions, &mut timers, &mut timer_seq, &receiver);
+        }
+        // Wait for work until the next timer deadline.
+        let timeout = timers
+            .peek()
+            .map(|t| t.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        match input_rx.recv_timeout(timeout) {
+            Ok(Input::Packet(from, packet)) => {
+                let actions =
+                    receiver.handle(Event::Packet { from, packet }, now_sim(Instant::now()));
+                execute(actions, &mut timers, &mut timer_seq, &receiver);
+            }
+            Ok(Input::Cmd(Command::Multicast(payload))) => {
+                let Some(s) = sender.as_mut() else { continue };
+                let (id, actions) = s.multicast(payload.clone());
+                for a in actions {
+                    if let SenderAction::MulticastGroup { packet } = a {
+                        let drop =
+                            initial_drop.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        fan_out(&packet, &mut spec.members().iter().map(|m| m.node), &|m| {
+                            !drop.as_ref().is_some_and(|f| f(m))
+                        });
+                    }
+                }
+                // The sender holds its own message.
+                let self_packet = Packet::Data(rrmp_core::packet::DataPacket::new(id, payload));
+                let actions = receiver.handle(
+                    Event::Packet { from: node, packet: self_packet },
+                    now_sim(Instant::now()),
+                );
+                execute(actions, &mut timers, &mut timer_seq, &receiver);
+            }
+            Ok(Input::Cmd(Command::Leave)) => {
+                let actions = receiver.handle(Event::Leave, now_sim(Instant::now()));
+                execute(actions, &mut timers, &mut timer_seq, &receiver);
+            }
+            Ok(Input::Cmd(Command::Shutdown)) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
     }
 }
 
@@ -438,8 +487,15 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(i, (sock, _))| {
-                UdpNode::start(sock, spec.clone(), NodeId(i as u32), fast_cfg(), i == 0, 42 + i as u64)
-                    .expect("start node")
+                UdpNode::start(
+                    sock,
+                    spec.clone(),
+                    NodeId(i as u32),
+                    fast_cfg(),
+                    i == 0,
+                    42 + i as u64,
+                )
+                .expect("start node")
             })
             .collect();
         nodes[0].multicast(&b"over the wire"[..]);
@@ -463,8 +519,15 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(i, (sock, _))| {
-                UdpNode::start(sock, spec.clone(), NodeId(i as u32), fast_cfg(), i == 0, 77 + i as u64)
-                    .expect("start node")
+                UdpNode::start(
+                    sock,
+                    spec.clone(),
+                    NodeId(i as u32),
+                    fast_cfg(),
+                    i == 0,
+                    77 + i as u64,
+                )
+                .expect("start node")
             })
             .collect();
         // Node 3 misses every initial multicast; it must recover through

@@ -41,7 +41,14 @@ fn main() -> std::io::Result<()> {
         .into_iter()
         .enumerate()
         .map(|(i, sock)| {
-            UdpNode::start(sock, spec.clone(), NodeId(i as u32), cfg.clone(), i == 0, 1000 + i as u64)
+            UdpNode::start(
+                sock,
+                spec.clone(),
+                NodeId(i as u32),
+                cfg.clone(),
+                i == 0,
+                1000 + i as u64,
+            )
         })
         .collect::<Result<_, _>>()?;
 

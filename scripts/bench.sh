@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproducible hot-path benchmark run.
+#
+# Builds the workspace in release mode, runs the criterion microbenchmarks
+# (human-readable), then the sim_core differential benchmark, which writes
+# BENCH_sim_core.json at the repository root: events/sec and
+# multicasts/sec for the optimized event loop vs the pre-refactor
+# reference implementation, plus a peak-RSS proxy.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_sim_core.json}"
+
+echo "== criterion microbenchmarks (micro_core) =="
+cargo bench -p rrmp-bench --bench micro_core
+
+echo
+echo "== sim_core differential benchmark =="
+cargo run --release -p rrmp-bench --bin sim_core_bench "$OUT"
+
+echo "wrote $OUT"

@@ -10,9 +10,8 @@ use rrmp::prelude::*;
 
 #[test]
 fn all_schemes_recover_the_same_workload() {
-    let loss = |topo: &rrmp::netsim::topology::Topology| {
-        DeliveryPlan::only(topo, (0..15).map(NodeId))
-    };
+    let loss =
+        |topo: &rrmp::netsim::topology::Topology| DeliveryPlan::only(topo, (0..15).map(NodeId));
     let horizon = SimTime::from_secs(3);
 
     let topo = presets::paper_region(30);
@@ -147,13 +146,8 @@ fn heterogeneity_two_phase_releases_fast_members_early() {
     assert!(net.all_delivered(id), "slow region must still recover");
     let mut fast_release = Vec::new();
     for i in 0..20u32 {
-        let rec = net
-            .node(NodeId(i))
-            .receiver()
-            .metrics()
-            .buffer_record(id)
-            .copied()
-            .expect("record");
+        let rec =
+            net.node(NodeId(i)).receiver().metrics().buffer_record(id).copied().expect("record");
         if let Some(d) = rec.short_term_duration() {
             fast_release.push(d.as_millis_f64());
         }
@@ -210,10 +204,7 @@ fn no_request_probability_matches_simulation() {
     }
     let simulated = holder_got_none as f64 / trials as f64;
     let analytic = no_request_probability(n, p);
-    assert!(
-        (simulated - analytic).abs() < 0.01,
-        "simulated {simulated} vs analytic {analytic}"
-    );
+    assert!((simulated - analytic).abs() < 0.01, "simulated {simulated} vs analytic {analytic}");
 }
 
 #[test]
@@ -236,8 +227,5 @@ fn no_bufferer_probability_matches_protocol_monte_carlo() {
     }
     let observed = f64::from(zero) / f64::from(runs);
     let analytic = no_bufferer_probability(c); // ~0.135
-    assert!(
-        (observed - analytic).abs() < 0.09,
-        "observed {observed} vs e^-C {analytic}"
-    );
+    assert!((observed - analytic).abs() < 0.09, "observed {observed} vs e^-C {analytic}");
 }

@@ -17,18 +17,10 @@ fn idle_transition_waits_for_requests_to_stop() {
     net.run_until(SimTime::from_millis(39));
     assert_eq!(net.node(holder).receiver().store().phase(id), Some(Phase::Short));
     net.run_until(SimTime::from_secs(2));
-    let rec = net
-        .node(holder)
-        .receiver()
-        .metrics()
-        .buffer_record(id)
-        .copied()
-        .expect("record exists");
+    let rec =
+        net.node(holder).receiver().metrics().buffer_record(id).copied().expect("record exists");
     let dur = rec.short_term_duration().expect("idled").as_millis_f64();
-    assert!(
-        dur > 40.0,
-        "holder of a message 19 others miss idled too early: {dur}ms"
-    );
+    assert!(dur > 40.0, "holder of a message 19 others miss idled too early: {dur}ms");
     assert_eq!(net.received_count(id), 20);
 }
 
@@ -67,10 +59,7 @@ fn long_term_count_concentrates_around_c() {
     net.run_until(horizon);
     let total: usize = ids.iter().map(|&id| net.long_term_count(id)).sum();
     let mean = total as f64 / ids.len() as f64;
-    assert!(
-        (3.5..8.5).contains(&mean),
-        "mean long-term bufferers {mean} too far from C = 6"
-    );
+    assert!((3.5..8.5).contains(&mean), "mean long-term bufferers {mean} too far from C = 6");
     // And the short-term phase is over everywhere.
     let shorts: usize = ids.iter().map(|&id| net.short_buffered_count(id)).sum();
     assert_eq!(shorts, 0);
@@ -118,10 +107,7 @@ fn serving_requests_keeps_long_term_entries_alive() {
         );
     }
     net.run_until(SimTime::from_millis(1100));
-    assert!(
-        net.node(NodeId(2)).receiver().store().contains(id),
-        "served entry must not expire"
-    );
+    assert!(net.node(NodeId(2)).receiver().store().contains(id), "served entry must not expire");
     // Unused members expired theirs long ago.
     assert!(net.long_term_count(id) < 10);
 }
@@ -139,9 +125,7 @@ fn two_phase_buffers_far_less_than_keep_all() {
         }
         net.run_until(SimTime::from_secs(3));
         let now = net.now();
-        net.nodes()
-            .map(|(_, n)| n.receiver().store().byte_time_integral(now))
-            .sum::<u128>()
+        net.nodes().map(|(_, n)| n.receiver().store().byte_time_integral(now)).sum::<u128>()
     };
     let two_phase = run(BufferPolicy::TwoPhase);
     let keep_all = run(BufferPolicy::KeepAll);
@@ -157,10 +141,7 @@ fn bounded_buffers_evict_but_protocol_still_recovers() {
     // with loss forces evictions, yet redundancy (C long-term bufferers
     // per message spread across members) keeps recovery working.
     let topo = presets::paper_region(40);
-    let cfg = ProtocolConfig::builder()
-        .buffer_capacity(Some(2048))
-        .build()
-        .expect("valid");
+    let cfg = ProtocolConfig::builder().buffer_capacity(Some(2048)).build().expect("valid");
     let mut net = RrmpNetwork::new(topo, cfg, 8);
     net.set_multicast_loss(LossModel::Bernoulli { p: 0.15 });
     let mut ids = Vec::new();
@@ -238,22 +219,14 @@ fn fixed_time_policy_ignores_feedback() {
     // feedback rule exists to prevent.
     let hold = SimDuration::from_millis(40);
     let topo = presets::paper_region(30);
-    let cfg = ProtocolConfig::builder()
-        .policy(BufferPolicy::FixedTime { hold })
-        .build()
-        .expect("valid");
+    let cfg =
+        ProtocolConfig::builder().policy(BufferPolicy::FixedTime { hold }).build().expect("valid");
     let mut net = RrmpNetwork::new(topo, cfg, 7);
     let holder = NodeId(0);
     let id = net.seed_message_with_holders(&b"rigid"[..], &[holder]);
     net.run_until(SimTime::from_secs(3));
     // The sole holder discarded at exactly `hold`, regardless of demand.
-    let rec = net
-        .node(holder)
-        .receiver()
-        .metrics()
-        .buffer_record(id)
-        .copied()
-        .expect("record");
+    let rec = net.node(holder).receiver().metrics().buffer_record(id).copied().expect("record");
     assert_eq!(
         rec.short_term_duration().map(|d| d.as_millis_f64()),
         Some(40.0),

@@ -164,9 +164,7 @@ fn late_joiner_respects_recovery_floor() {
     // contract — set the floor and verify no recovery below it even when
     // newer traffic reveals higher sequence numbers.
     let sender = net.sender_node();
-    net.node_mut(NodeId(9))
-        .receiver_mut()
-        .set_recovery_floor(sender, SeqNo(5));
+    net.node_mut(NodeId(9)).receiver_mut().set_recovery_floor(sender, SeqNo(5));
     let id6 = net.multicast_with_plan(&b"new"[..], &DeliveryPlan::all(net.topology()));
     net.run_until(SimTime::from_secs(1));
     assert!(net.node(NodeId(9)).has_delivered(id6));

@@ -31,7 +31,12 @@ fn search_succeeds_with_single_bufferer() {
         net.preload(NodeId(i), id, &b"needle"[..], state);
     }
     // The downstream origin asks a non-bufferer.
-    net.inject_packet(NodeId(3), NodeId(n as u32), Packet::RemoteRequest { msg: id }, SimTime::ZERO);
+    net.inject_packet(
+        NodeId(3),
+        NodeId(n as u32),
+        Packet::RemoteRequest { msg: id },
+        SimTime::ZERO,
+    );
     net.run_until_quiescent(SimTime::from_secs(4));
     assert!(net.node(NodeId(n as u32)).has_delivered(id), "origin must get the repair");
     assert!(net.first_remote_repair_at(id).is_some());
@@ -51,7 +56,12 @@ fn search_gives_up_gracefully_with_zero_bufferers() {
     for i in 0..n as u32 {
         net.preload(NodeId(i), id, &b"gone"[..], PreloadState::ReceivedDiscarded);
     }
-    net.inject_packet(NodeId(3), NodeId(n as u32), Packet::RemoteRequest { msg: id }, SimTime::ZERO);
+    net.inject_packet(
+        NodeId(3),
+        NodeId(n as u32),
+        Packet::RemoteRequest { msg: id },
+        SimTime::ZERO,
+    );
     net.run_until(SimTime::from_secs(5));
     assert!(!net.node(NodeId(n as u32)).has_delivered(id));
     assert!(net.total_counter(|c| c.recovery_gave_up) > 0);
@@ -81,7 +91,12 @@ fn search_found_suppresses_redundant_probing() {
         let state = if i < 20 { PreloadState::LongTerm } else { PreloadState::ReceivedDiscarded };
         net.preload(NodeId(i), id, &b"many"[..], state);
     }
-    net.inject_packet(NodeId(25), NodeId(n as u32), Packet::RemoteRequest { msg: id }, SimTime::ZERO);
+    net.inject_packet(
+        NodeId(25),
+        NodeId(n as u32),
+        Packet::RemoteRequest { msg: id },
+        SimTime::ZERO,
+    );
     net.run_until_quiescent(SimTime::from_secs(2));
     assert!(net.node(NodeId(n as u32)).has_delivered(id));
     let forwards = net.total_counter(|c| c.search_forwards);
@@ -91,12 +106,20 @@ fn search_found_suppresses_redundant_probing() {
 #[test]
 fn handoff_chain_survives_sequential_leaves() {
     // The long-term bufferers leave one after another; each handoff must
-    // keep at least one copy alive in the region.
-    let topo = presets::paper_region(30);
-    let cfg = ProtocolConfig::builder().c(2.0).build().expect("valid");
-    let mut net = RrmpNetwork::new(topo, cfg, 14);
-    let id = net.multicast_with_plan(&b"relay"[..], &DeliveryPlan::all(net.topology()));
-    net.run_until(SimTime::from_millis(200));
+    // keep at least one copy alive in the region. The premise needs at
+    // least one member to win the C/n long-term retention draw, which any
+    // single seed misses with probability ~e^-C; scan a few seeds
+    // (deterministically) for one where the premise holds.
+    let (mut net, id) = (14..64)
+        .find_map(|seed| {
+            let topo = presets::paper_region(30);
+            let cfg = ProtocolConfig::builder().c(2.0).build().expect("valid");
+            let mut net = RrmpNetwork::new(topo, cfg, seed);
+            let id = net.multicast_with_plan(&b"relay"[..], &DeliveryPlan::all(net.topology()));
+            net.run_until(SimTime::from_millis(200));
+            (net.long_term_count(id) >= 1).then_some((net, id))
+        })
+        .expect("some seed yields a long-term bufferer");
     for round in 0..5 {
         let holders: Vec<NodeId> = net
             .nodes()
@@ -170,18 +193,14 @@ fn gossip_detector_feeds_view_updates() {
         cleanup_after: SimDuration::from_secs(1),
     };
     let topo = presets::paper_region(8);
-    let nodes: Vec<GossipNode> = (0..8)
-        .map(|i| GossipNode::new(NodeId(i), (0..8).map(NodeId), cfg.clone()))
-        .collect();
+    let nodes: Vec<GossipNode> =
+        (0..8).map(|i| GossipNode::new(NodeId(i), (0..8).map(NodeId), cfg.clone())).collect();
     let mut sim = Sim::new(topo, nodes, 17);
     sim.run_until(SimTime::from_secs(2));
     sim.node_mut(NodeId(7)).crashed = true;
     sim.run_until(SimTime::from_secs(6));
     for i in 0..7u32 {
-        assert!(
-            sim.node(NodeId(i)).saw_failure_of(NodeId(7)),
-            "member {i} missed the crash"
-        );
+        assert!(sim.node(NodeId(i)).saw_failure_of(NodeId(7)), "member {i} missed the crash");
         // No false positives against live members.
         for j in 0..7u32 {
             let falsely = sim

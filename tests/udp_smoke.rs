@@ -13,9 +13,8 @@ use rrmp::udp::{GroupSpec, UdpNode};
 #[test]
 fn two_regions_over_loopback_with_regional_loss() {
     // Region 0: nodes 0..3 (sender = 0); region 1: nodes 3..5.
-    let sockets: Vec<UdpSocket> = (0..5)
-        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
-        .collect();
+    let sockets: Vec<UdpSocket> =
+        (0..5).map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind")).collect();
     let mut spec = GroupSpec::new();
     for (i, s) in sockets.iter().enumerate() {
         let region = if i < 3 { RegionId(0) } else { RegionId(1) };
@@ -32,8 +31,15 @@ fn two_regions_over_loopback_with_regional_loss() {
         .into_iter()
         .enumerate()
         .map(|(i, sock)| {
-            UdpNode::start(sock, spec.clone(), NodeId(i as u32), cfg.clone(), i == 0, 500 + i as u64)
-                .expect("start")
+            UdpNode::start(
+                sock,
+                spec.clone(),
+                NodeId(i as u32),
+                cfg.clone(),
+                i == 0,
+                500 + i as u64,
+            )
+            .expect("start")
         })
         .collect();
 
@@ -67,9 +73,8 @@ fn leave_hands_off_over_real_sockets() {
     // A member that buffered long-term leaves gracefully; its handoff
     // must reach another member over the wire (observable as the group
     // still being able to serve the message afterwards).
-    let sockets: Vec<UdpSocket> = (0..4)
-        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
-        .collect();
+    let sockets: Vec<UdpSocket> =
+        (0..4).map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind")).collect();
     let mut spec = GroupSpec::new();
     for (i, s) in sockets.iter().enumerate() {
         spec.add_member(NodeId(i as u32), s.local_addr().expect("addr"), RegionId(0));
@@ -86,8 +91,15 @@ fn leave_hands_off_over_real_sockets() {
         .into_iter()
         .enumerate()
         .map(|(i, sock)| {
-            UdpNode::start(sock, spec.clone(), NodeId(i as u32), cfg.clone(), i == 0, 900 + i as u64)
-                .expect("start")
+            UdpNode::start(
+                sock,
+                spec.clone(),
+                NodeId(i as u32),
+                cfg.clone(),
+                i == 0,
+                900 + i as u64,
+            )
+            .expect("start")
         })
         .collect();
     nodes[0].multicast(&b"to-be-handed-off"[..]);

@@ -1,0 +1,513 @@
+//! Minimal in-tree implementation of the `bytes` crate API used by this
+//! workspace (the build environment has no registry access).
+//!
+//! Semantics match upstream `bytes` where it matters for RRMP:
+//!
+//! * [`Bytes`] is a **cheaply cloneable, immutable** byte buffer. Cloning
+//!   and slicing never copy payload bytes — they bump an [`Arc`] refcount
+//!   and adjust a view window. This is what makes multicast fan-out
+//!   zero-copy: one packet payload shared by every destination.
+//! * [`BytesMut`] is a growable buffer that [`BytesMut::freeze`]s into a
+//!   `Bytes` without copying.
+//! * [`Buf`] / [`BufMut`] provide the big-endian cursor reads/writes the
+//!   wire codec uses.
+//!
+//! Only the surface the workspace consumes is implemented; anything else
+//! from upstream `bytes` is intentionally absent.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// Clones share the same backing allocation; [`Bytes::slice`] and
+/// [`Bytes::split_to`] produce views into it without copying.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from static storage — no allocation at all.
+    Static(&'static [u8]),
+    /// A window `[off, off + len)` into a shared allocation.
+    Shared { buf: Arc<Vec<u8>>, off: usize, len: usize },
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Static(&[])
+    }
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    #[must_use]
+    pub const fn new() -> Self {
+        Bytes { repr: Repr::Static(&[]) }
+    }
+
+    /// Creates a `Bytes` viewing a static slice (no allocation).
+    #[must_use]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { repr: Repr::Static(bytes) }
+    }
+
+    /// Copies `data` into a new shared allocation.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Static(s) => s.len(),
+            Repr::Shared { len, .. } => *len,
+        }
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the view as a plain slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared { buf, off, len } => &buf[*off..*off + *len],
+        }
+    }
+
+    /// Returns a sub-view of `self` for the given range **without copying**
+    /// (the result shares the backing allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice {start}..{end} out of bounds");
+        match &self.repr {
+            Repr::Static(s) => Bytes { repr: Repr::Static(&s[start..end]) },
+            Repr::Shared { buf, off, .. } => Bytes {
+                repr: Repr::Shared { buf: Arc::clone(buf), off: off + start, len: end - start },
+            },
+        }
+    }
+
+    /// Splits the view at `at`: `self` keeps `[at, len)` and the returned
+    /// `Bytes` holds `[0, at)`. No bytes are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        let head = self.slice(0..at);
+        *self = self.slice(at..self.len());
+        head
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes { repr: Repr::Shared { buf: Arc::new(v), off: 0, len } }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A unique, growable byte buffer that freezes into [`Bytes`] without
+/// copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes pre-allocated.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Clears the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`]. The written bytes
+    /// are moved, not copied.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Splits off and returns the written contents as a fresh `BytesMut`,
+    /// leaving `self` empty. Mirrors the upstream `split()` used for
+    /// encode loops that hand off each packet as it is finished.
+    #[must_use]
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { buf: std::mem::take(&mut self.buf) }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.buf), f)
+    }
+}
+
+/// Read access to a cursor over a contiguous byte buffer.
+///
+/// Multi-byte reads are big-endian, matching the wire codec. Reads past the
+/// end panic (callers bounds-check with [`Buf::remaining`] first).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as a slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    /// Copies `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        *self = self.slice(cnt..self.len());
+    }
+}
+
+/// Write access to a growable byte buffer. Multi-byte writes are
+/// big-endian, matching the wire codec.
+pub trait BufMut {
+    /// Appends a raw slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        // Same backing pointer — no copy happened.
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn slice_and_split_are_views() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = a.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(mid.as_slice().as_ptr(), unsafe { a.as_slice().as_ptr().add(2) });
+        let mut rest = a.clone();
+        let head = rest.split_to(2);
+        assert_eq!(&head[..], &[0, 1]);
+        assert_eq!(&rest[..], &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn static_bytes_do_not_allocate() {
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(&s[..], b"hello");
+        assert_eq!(s.slice(1..3), Bytes::from_static(b"el"));
+    }
+
+    #[test]
+    fn freeze_moves_without_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32(0xDEAD_BEEF);
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_slice().as_ptr(), ptr);
+        assert_eq!(&b[..], &0xDEAD_BEEF_u32.to_be_bytes());
+    }
+
+    #[test]
+    fn buf_cursor_roundtrip() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_u16(513);
+        m.put_u32(70_000);
+        m.put_u64(1 << 40);
+        m.put_slice(b"xyz");
+        let mut b = m.freeze();
+        assert_eq!(b.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 513);
+        assert_eq!(b.get_u32(), 70_000);
+        assert_eq!(b.get_u64(), 1 << 40);
+        let tail = b.split_to(3);
+        assert_eq!(&tail[..], b"xyz");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn split_hands_off_written_bytes() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"abc");
+        let first = m.split().freeze();
+        assert_eq!(&first[..], b"abc");
+        assert!(m.is_empty());
+        m.put_slice(b"de");
+        assert_eq!(&m.split().freeze()[..], b"de");
+    }
+}
