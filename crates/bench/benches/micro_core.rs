@@ -64,9 +64,22 @@ fn bench_interval_set(c: &mut Criterion) {
 }
 
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/schedule_pop_10k", |b| {
+    c.bench_function("event_queue/wheel_schedule_pop_10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros(i * 7919 % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("event_queue/reference_heap_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = rrmp_netsim::event::ReferenceEventQueue::new();
             for i in 0..10_000u64 {
                 q.schedule(SimTime::from_micros(i * 7919 % 100_000), i);
             }

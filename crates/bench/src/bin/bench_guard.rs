@@ -1,0 +1,94 @@
+//! Bench-regression guard: compares a freshly generated
+//! `BENCH_sim_core.json` against a committed baseline and flags any
+//! workload whose speedup dropped below 0.9x of the recorded value.
+//!
+//! ```text
+//! cargo run --release -p rrmp-bench --bin bench_guard <fresh.json> <baseline.json> [--warn-only]
+//! ```
+//!
+//! Exits non-zero on a regression unless `--warn-only` is given, in which
+//! case it only emits GitHub Actions `::warning::` annotations (CI runners
+//! are noisy; a hard gate there would flake). Workloads present in only
+//! one file are reported but never fail the check, so adding or retiring
+//! workloads doesn't break the guard.
+
+use std::process::ExitCode;
+
+/// Fraction of the baseline speedup a fresh run must reach.
+const THRESHOLD: f64 = 0.9;
+
+/// Extracts `(workload, speedup)` pairs from the fixed JSON layout
+/// `sim_core_bench` writes: each workload opens with `"<name>": {` inside
+/// the `"workloads"` object and carries a `"speedup": <float>` line.
+fn parse_speedups(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim_start().starts_with(": {") && name != "workloads" {
+                    current = Some(name.to_string());
+                }
+            }
+        }
+        if let Some(value) = trimmed.strip_prefix("\"speedup\":") {
+            if let (Some(name), Ok(speedup)) =
+                (current.take(), value.trim().trim_end_matches(',').parse::<f64>())
+            {
+                out.push((name, speedup));
+            }
+        }
+    }
+    out
+}
+
+fn read_speedups(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_guard: cannot read {path}: {e}"));
+    let parsed = parse_speedups(&text);
+    assert!(!parsed.is_empty(), "bench_guard: no workload speedups found in {path}");
+    parsed
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let warn_only = args.iter().any(|a| a == "--warn-only");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [fresh_path, baseline_path] = files[..] else {
+        eprintln!("usage: bench_guard <fresh.json> <baseline.json> [--warn-only]");
+        return ExitCode::from(2);
+    };
+
+    let fresh = read_speedups(fresh_path);
+    let baseline = read_speedups(baseline_path);
+    let mut regressed = false;
+
+    for (name, base) in &baseline {
+        let Some((_, new)) = fresh.iter().find(|(n, _)| n == name) else {
+            println!("::warning::bench_guard: workload '{name}' missing from {fresh_path}");
+            continue;
+        };
+        let floor = base * THRESHOLD;
+        if *new < floor {
+            regressed = true;
+            println!(
+                "::warning::bench_guard: '{name}' speedup regressed: {new:.3}x < {floor:.3}x \
+                 (baseline {base:.3}x * {THRESHOLD})"
+            );
+        } else {
+            println!("bench_guard: '{name}' ok: {new:.3}x vs baseline {base:.3}x");
+        }
+    }
+    for (name, new) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("bench_guard: '{name}' is new ({new:.3}x), no baseline to compare");
+        }
+    }
+
+    if regressed && !warn_only {
+        eprintln!("bench_guard: FAILED — at least one workload fell below {THRESHOLD}x baseline");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

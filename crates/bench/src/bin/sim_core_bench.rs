@@ -24,6 +24,13 @@
 //!   allocated, growing buffer per packet (the historical `encode`).
 //! * `rrmp_e2e` — the full protocol recovering a half-lost multicast
 //!   stream, optimized end to end vs the reference host and event loop.
+//! * `queue_ops` — a raw schedule/pop storm with thousands of pending
+//!   events: the hierarchical timing wheel vs the reference `BinaryHeap`
+//!   queue, including capacity reuse across runs via `clear`.
+//! * `multi_run_reuse` — twelve back-to-back experiment runs, both arms
+//!   on the optimized loop: one network `reset` between runs (warm
+//!   queue/slab allocations) vs constructing a fresh network per run —
+//!   the ratio isolates the reuse effect itself.
 //!
 //! Every workload is deterministic per seed; optimized and reference
 //! modes process byte-identical event sequences (asserted by the
@@ -39,6 +46,7 @@ use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::{MessageId, SeqNo};
 use rrmp_core::packet::{DataPacket, Packet};
 use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::event::{EventQueue, ReferenceEventQueue};
 use rrmp_netsim::loss::DeliveryPlan;
 use rrmp_netsim::sim::{Ctx, Sim, SimNode};
 use rrmp_netsim::time::{SimDuration, SimTime};
@@ -253,6 +261,108 @@ fn rrmp_workload(optimized: bool) -> (f64, u64) {
     })
 }
 
+// ----- workload 6: raw queue schedule/pop storm -----------------------------
+
+/// The common surface of both event-queue implementations.
+trait BenchQueue: Default {
+    fn schedule(&mut self, at: SimTime, v: u64);
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+    fn clear(&mut self);
+}
+
+impl BenchQueue for EventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, v: u64) {
+        EventQueue::schedule(self, at, v);
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self);
+    }
+}
+
+impl BenchQueue for ReferenceEventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, v: u64) {
+        ReferenceEventQueue::schedule(self, at, v);
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        ReferenceEventQueue::pop(self)
+    }
+    fn clear(&mut self) {
+        ReferenceEventQueue::clear(self);
+    }
+}
+
+/// Sim-shaped queue churn at large-group scale: hold ~32k pending events,
+/// pop the frontier and schedule a replacement at a deterministic
+/// pseudo-random delay, across eight runs reusing one queue (`clear`
+/// keeps allocations warm). Counts one unit of work per schedule+pop pair.
+fn queue_ops_workload<Q: BenchQueue>() -> (f64, u64) {
+    const PENDING: u64 = 32_768;
+    const CHURN: u64 = 120_000;
+    fn next(lcg: &mut u64) -> u64 {
+        *lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *lcg >> 33
+    }
+    best_secs(3, || {
+        let mut q = Q::default();
+        let mut ops = 0u64;
+        for run in 0..8u64 {
+            q.clear();
+            let mut lcg = 0x243F_6A88_85A3_08D3u64 ^ run;
+            for i in 0..PENDING {
+                q.schedule(SimTime::from_micros(next(&mut lcg) % 5_000_000), i);
+            }
+            for i in 0..CHURN {
+                let (t, _) = q.pop().expect("queue holds pending events");
+                let delta = 1 + next(&mut lcg) % 5_000_000;
+                q.schedule(SimTime::from_micros(t.as_micros() + delta), i);
+                ops += 1;
+            }
+            while q.pop().is_some() {}
+        }
+        ops
+    })
+}
+
+// ----- workload 7: multi-run experiment reuse -------------------------------
+
+fn one_experiment_run(net: &mut RrmpNetwork) -> u64 {
+    let plan = DeliveryPlan::only(net.topology(), (0..30).map(NodeId));
+    net.multicast_with_plan(&b"reuse-run"[..], &plan);
+    net.run_until(SimTime::from_millis(400));
+    net.net_counters().events_processed
+}
+
+/// Twelve identical experiment runs, both arms on the optimized event
+/// loop so the ratio isolates the reuse effect itself. Optimized: one
+/// network, `reset` between runs — queue and timer-slab allocations stay
+/// warm. Baseline: the pre-`reset` usage pattern, a fresh network
+/// (topology build, protocol state, cold queue) per run.
+fn multi_run_reuse_workload(reuse: bool) -> (f64, u64) {
+    const RUNS: u64 = 12;
+    best_secs(3, || {
+        let cfg = ProtocolConfig::paper_defaults();
+        let mut events = 0u64;
+        if reuse {
+            let mut net = RrmpNetwork::new(presets::paper_region(60), cfg, 5);
+            for run in 0..RUNS {
+                if run > 0 {
+                    net.reset(5);
+                }
+                events += one_experiment_run(&mut net);
+            }
+        } else {
+            for _ in 0..RUNS {
+                let mut net = RrmpNetwork::new(presets::paper_region(60), cfg.clone(), 5);
+                events += one_experiment_run(&mut net);
+            }
+        }
+        events
+    })
+}
+
 // ----- reporting -------------------------------------------------------------
 
 /// Peak resident set (VmHWM) in kB from /proc — a cheap RSS proxy.
@@ -353,10 +463,34 @@ fn main() {
         work: events,
     });
 
+    eprintln!("queue_ops: 32768-pending schedule/pop storm, wheel vs heap ...");
+    let (opt_s, ops) = queue_ops_workload::<EventQueue<u64>>();
+    let (ref_s, ref_ops) = queue_ops_workload::<ReferenceEventQueue<u64>>();
+    assert_eq!(ops, ref_ops, "both queues must do identical work");
+    comparisons.push(Comparison {
+        name: "queue_ops",
+        unit: "ops/sec",
+        optimized_rate: ops as f64 / opt_s,
+        reference_rate: ops as f64 / ref_s,
+        work: ops,
+    });
+
+    eprintln!("multi_run_reuse: 12 runs, warm reset vs fresh construction (both optimized) ...");
+    let (opt_s, events) = multi_run_reuse_workload(true);
+    let (ref_s, ref_events) = multi_run_reuse_workload(false);
+    assert_eq!(events, ref_events, "both modes must process identical event counts");
+    comparisons.push(Comparison {
+        name: "multi_run_reuse",
+        unit: "events/sec",
+        optimized_rate: events as f64 / opt_s,
+        reference_rate: events as f64 / ref_s,
+        work: events,
+    });
+
     let rss = peak_rss_kb();
     let body = comparisons.iter().map(Comparison::json).collect::<Vec<_>>().join(",\n");
     let json = format!(
-        "{{\n  \"benchmark\": \"sim_core\",\n  \"description\": \"optimized zero-allocation event loop + zero-copy fan-out vs faithful pre-refactor baselines (identical deterministic workloads)\",\n  \"peak_rss_proxy_kb\": {rss},\n  \"workloads\": {{\n{body}\n  }}\n}}\n"
+        "{{\n  \"benchmark\": \"sim_core\",\n  \"description\": \"timing-wheel scheduler + batched regional delivery + zero-allocation event loop vs faithful pre-refactor baselines (identical deterministic workloads)\",\n  \"peak_rss_proxy_kb\": {rss},\n  \"workloads\": {{\n{body}\n  }}\n}}\n"
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
 

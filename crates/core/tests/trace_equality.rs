@@ -147,6 +147,53 @@ fn churn_with_handoffs_traces_match() {
 }
 
 #[test]
+fn lossy_unicast_fanout_traces_match() {
+    // Unicast (request/repair) loss forces the batched fan-out scheduler
+    // to consume the loss RNG per destination — in exactly the reference
+    // path's draw order — while retries exercise deep recovery paths.
+    for seed in [11u64, 23] {
+        assert_trace_equal(
+            || presets::figure1_chain([10, 10, 10], SimDuration::from_millis(25)),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                net.sim_mut().set_unicast_loss(LossModel::Bernoulli { p: 0.15 });
+                let plan = DeliveryPlan::all_but(net.topology(), (10..20).map(NodeId));
+                net.multicast_with_plan(&b"lossy-fanout"[..], &plan);
+                net.run_until(SimTime::from_secs(3));
+            },
+        );
+    }
+}
+
+#[test]
+fn region_correlated_stream_traces_match() {
+    // A multi-region stream under region-correlated initial loss: the
+    // injected multicasts group holders into per-latency batches (one
+    // batch per region distance) and regional repair multicasts expand
+    // lazily at delivery time.
+    for seed in [31u64, 59] {
+        assert_trace_equal(
+            || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                net.set_multicast_loss(LossModel::RegionCorrelated {
+                    p_region: 0.3,
+                    p_member: 0.1,
+                });
+                for _ in 0..4 {
+                    net.multicast(&b"regional-stream"[..]);
+                    let next = net.now() + SimDuration::from_millis(40);
+                    net.run_until(next);
+                }
+                net.run_until(SimTime::from_secs(3));
+            },
+        );
+    }
+}
+
+#[test]
 fn session_driven_tail_loss_traces_match() {
     assert_trace_equal(
         || presets::paper_region(30),

@@ -13,7 +13,9 @@
 //!
 //! * [`time`] — integer-microsecond simulated clock ([`time::SimTime`]).
 //! * [`rng`] — reproducible per-node RNG streams from one experiment seed.
-//! * [`event`] — the `(time, insertion-order)` event queue.
+//! * [`event`] — the `(time, insertion-order)` event queue: a hierarchical
+//!   timing wheel, plus the retained heap-based reference implementation
+//!   the differential tests compare against.
 //! * [`topology`] — nodes, regions, the error-recovery hierarchy, latency
 //!   models, and presets matching the paper's setups.
 //! * [`loss`] — multicast/unicast loss models and explicit

@@ -12,31 +12,40 @@
 //!
 //! ## Hot-path design
 //!
-//! The event loop is allocation-free in steady state:
+//! The event loop is allocation-free and queue-cheap in steady state:
 //!
+//! * Events are ordered by a **hierarchical timing wheel**
+//!   ([`crate::event::EventQueue`]): O(1) amortized schedule/pop, event
+//!   payloads in a generation-counted slab, exact `(time, seq)` pop order.
 //! * Side effects buffered during a callback go into a **per-`Sim` scratch
 //!   op buffer** that is drained and reused, instead of a fresh
 //!   `Vec` per callback.
 //! * Timers live in a **slab with generation counters**
 //!   ([`TimerId`] packs `(slot, generation)`): cancellation bumps the
 //!   generation and recycles the slot immediately — no tombstone set
-//!   grows, and the stale heap entry is skipped when it surfaces.
-//! * Multi-destination sends ([`Ctx::send_many`], [`Ctx::send_group`])
-//!   enqueue **one op** carrying the message once plus a target range in a
-//!   reused arena; per-destination copies are shallow clones made only
-//!   when each delivery event is scheduled. With an `Arc`-backed payload
-//!   type (e.g. `bytes::Bytes`) a regional multicast therefore never
-//!   copies payload bytes.
+//!   grows, and the stale queue entry is skipped when it surfaces.
+//! * Multi-destination sends ([`Ctx::send_many`], [`Ctx::send_group`]) and
+//!   injected multicast plans schedule **one region-timed batch event per
+//!   distinct arrival time** instead of one queue entry per destination.
+//!   Loss and drop-filter decisions are made per destination at schedule
+//!   time (the reference RNG stream, byte for byte); the batch expands
+//!   lazily when it fires, delivering destinations back to back in the
+//!   order the reference queue would have popped them. Target vectors are
+//!   pooled, and with an `Arc`-backed payload type (e.g. `bytes::Bytes`) a
+//!   regional multicast never copies payload bytes.
+//! * [`Sim::reset`] re-arms the same simulator for another run while the
+//!   queue, slab, and scratch buffers keep their allocations warm.
 //!
 //! [`Sim::new_reference`] builds the same simulator with the
-//! straightforward strategies instead (allocate per callback, one op per
-//! destination). It is kept as an executable specification: the
-//! differential tests assert byte-identical traces between the two, and
-//! `BENCH_sim_core.json` reports the speedup of the default path over it.
+//! straightforward strategies instead (heap-based reference queue,
+//! allocate per callback, one queue entry per destination). It is kept as
+//! an executable specification: the differential tests assert
+//! byte-identical traces between the two, and `BENCH_sim_core.json`
+//! reports the speedup of the default path over it.
 
 use rand::rngs::StdRng;
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, ReferenceEventQueue};
 use crate::loss::{DeliveryPlan, LossModel};
 use crate::rng::SeedSequence;
 use crate::time::{SimDuration, SimTime};
@@ -103,10 +112,79 @@ impl TimerSlab {
         }
     }
 
+    /// Clears every timer for a fresh run while keeping the slot
+    /// allocation: armed generations are bumped to even (retired) and all
+    /// slots re-enter the free list, so outstanding [`TimerId`]s die and
+    /// the slab's memory stays warm across [`Sim::reset`].
+    pub(crate) fn reset(&mut self) {
+        self.free.clear();
+        for (slot, gen) in self.gens.iter_mut().enumerate() {
+            if *gen & 1 == 1 {
+                *gen = gen.wrapping_add(1);
+            }
+            self.free.push(slot as u32);
+        }
+    }
+
     /// Number of slots ever created (== peak concurrently armed timers).
     #[cfg(test)]
     pub(crate) fn slot_count(&self) -> usize {
         self.gens.len()
+    }
+}
+
+/// The event queue behind a [`Sim`]: the timing-wheel [`EventQueue`] on
+/// the optimized path, the retained heap-based [`ReferenceEventQueue`] in
+/// reference mode — the pairing the trace-equality tests exercise.
+enum SimQueue<E> {
+    Wheel(EventQueue<E>),
+    Reference(ReferenceEventQueue<E>),
+}
+
+impl<E> SimQueue<E> {
+    fn schedule(&mut self, at: SimTime, event: E) {
+        match self {
+            SimQueue::Wheel(q) => q.schedule(at, event),
+            SimQueue::Reference(q) => q.schedule(at, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            SimQueue::Wheel(q) => q.pop(),
+            SimQueue::Reference(q) => q.pop(),
+        }
+    }
+
+    /// Peek-gated pop: an event past `limit` is never removed (and so
+    /// never re-inserted) — one queue operation at the horizon.
+    fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self {
+            SimQueue::Wheel(q) => q.pop_at_or_before(limit),
+            SimQueue::Reference(q) => q.pop_at_or_before(limit),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            SimQueue::Wheel(q) => q.peek_time(),
+            SimQueue::Reference(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SimQueue::Wheel(q) => q.len(),
+            SimQueue::Reference(q) => q.len(),
+        }
+    }
+
+    /// Drops pending events; both backends keep their allocations.
+    fn clear(&mut self) {
+        match self {
+            SimQueue::Wheel(q) => q.clear(),
+            SimQueue::Reference(q) => q.clear(),
+        }
     }
 }
 
@@ -269,8 +347,26 @@ impl<'a, M> Ctx<'a, M> {
 }
 
 enum SimEvent<M> {
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, token: u64, id: TimerId },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+    /// One region-timed batch: every node in `targets` receives a copy of
+    /// `msg` at this event's instant, in target order. Scheduled by the
+    /// optimized fan-out path (one queue entry per distinct arrival time
+    /// instead of one per destination) and expanded lazily at delivery;
+    /// the target vector is recycled through the `Sim`'s pool.
+    DeliverBatch {
+        from: NodeId,
+        targets: Vec<NodeId>,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+        id: TimerId,
+    },
 }
 
 /// Aggregate network-level counters for one simulation run.
@@ -291,6 +387,9 @@ pub struct NetCounters {
     /// Multi-destination fan-out operations executed
     /// ([`Ctx::send_many`] / [`Ctx::send_group`] with at least one target).
     pub fanouts: u64,
+    /// Packets delivered by expanding a region-timed batch event (a subset
+    /// of [`NetCounters::delivered`]; always zero in reference mode).
+    pub batched_deliveries: u64,
 }
 
 /// The deterministic discrete-event simulator.
@@ -324,7 +423,7 @@ pub struct Sim<N: SimNode> {
     topo: Topology,
     nodes: Vec<N>,
     rngs: Vec<StdRng>,
-    queue: EventQueue<SimEvent<N::Msg>>,
+    queue: SimQueue<SimEvent<N::Msg>>,
     now: SimTime,
     timers: TimerSlab,
     unicast_loss: LossModel,
@@ -340,6 +439,11 @@ pub struct Sim<N: SimNode> {
     scratch_ops: Vec<Op<N::Msg>>,
     /// Reused fan-out target arena (empty between dispatches).
     scratch_targets: Vec<NodeId>,
+    /// Recycled target vectors for batch delivery events.
+    target_pool: Vec<Vec<NodeId>>,
+    /// Reused arrival-time grouping buffer for fan-out scheduling (empty
+    /// between fan-outs; the inner vectors come from `target_pool`).
+    scratch_groups: Vec<(SimTime, Vec<NodeId>)>,
     /// False in reference mode: allocate per callback, one op per
     /// destination (see [`Sim::new_reference`]).
     optimized: bool,
@@ -409,7 +513,11 @@ impl<N: SimNode> Sim<N> {
             topo,
             nodes,
             rngs,
-            queue: EventQueue::new(),
+            queue: if optimized {
+                SimQueue::Wheel(EventQueue::new())
+            } else {
+                SimQueue::Reference(ReferenceEventQueue::new())
+            },
             now: SimTime::ZERO,
             timers: TimerSlab::default(),
             unicast_loss: LossModel::None,
@@ -420,8 +528,48 @@ impl<N: SimNode> Sim<N> {
             cancelled: std::collections::HashSet::new(),
             scratch_ops: Vec::new(),
             scratch_targets: Vec::new(),
+            target_pool: Vec::new(),
+            scratch_groups: Vec::new(),
             optimized,
         }
+    }
+
+    /// Resets the simulator for a fresh run over the **same topology**:
+    /// replaces the nodes, re-derives every RNG stream from `seed`, zeroes
+    /// the clock and counters, and clears the event queue and timer slab
+    /// **without dropping their allocations** — a reused `Sim` starts its
+    /// next run at full capacity instead of re-growing from empty (the
+    /// pattern repeated bench iterations and multi-run experiments use).
+    /// The loss model and drop filter are retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the topology's node count.
+    pub fn reset(&mut self, nodes: Vec<N>, seed: u64) {
+        assert_eq!(
+            nodes.len(),
+            self.topo.node_count(),
+            "need exactly one node implementation per topology node"
+        );
+        let seq = SeedSequence::new(seed);
+        self.nodes = nodes;
+        self.rngs.clear();
+        self.rngs.extend((0..self.nodes.len()).map(|i| seq.rng_for(i as u64)));
+        self.loss_rng = seq.rng_for(u64::MAX / 2);
+        self.queue.clear();
+        self.timers.reset();
+        self.now = SimTime::ZERO;
+        self.counters = NetCounters::default();
+        self.started = false;
+        self.cancelled.clear();
+    }
+
+    /// Whether this simulator runs the optimized event loop
+    /// ([`Sim::new`]) as opposed to the reference one
+    /// ([`Sim::new_reference`]).
+    #[must_use]
+    pub fn is_optimized(&self) -> bool {
+        self.optimized
     }
 
     /// Sets the loss model applied to every unicast send (default: none —
@@ -499,13 +647,29 @@ impl<N: SimNode> Sim<N> {
         plan: &DeliveryPlan,
         at: SimTime,
     ) {
+        if !self.optimized {
+            for to in plan.holders() {
+                if to == from {
+                    continue;
+                }
+                let arrive = at + self.topo.one_way_latency(from, to);
+                self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg: msg.clone() });
+            }
+            return;
+        }
+        // Optimized path: one region-timed batch event per distinct
+        // arrival time instead of one queue entry per holder.
+        debug_assert!(self.scratch_groups.is_empty());
+        let mut groups = std::mem::take(&mut self.scratch_groups);
         for to in plan.holders() {
             if to == from {
                 continue;
             }
             let arrive = at + self.topo.one_way_latency(from, to);
-            self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg: msg.clone() });
+            self.group_target(&mut groups, arrive, to);
         }
+        self.flush_groups(from, msg.clone(), &mut groups);
+        self.scratch_groups = groups;
     }
 
     /// Injects a multicast where every holder receives `msg` at exactly
@@ -518,12 +682,26 @@ impl<N: SimNode> Sim<N> {
         plan: &DeliveryPlan,
         at: SimTime,
     ) {
+        if !self.optimized {
+            for to in plan.holders() {
+                if to == from {
+                    continue;
+                }
+                self.queue.schedule(at, SimEvent::Deliver { to, from, msg: msg.clone() });
+            }
+            return;
+        }
+        // Every holder shares the instant `at`: a single batch event.
+        debug_assert!(self.scratch_groups.is_empty());
+        let mut groups = std::mem::take(&mut self.scratch_groups);
         for to in plan.holders() {
             if to == from {
                 continue;
             }
-            self.queue.schedule(at, SimEvent::Deliver { to, from, msg: msg.clone() });
+            self.group_target(&mut groups, at, to);
         }
+        self.flush_groups(from, msg.clone(), &mut groups);
+        self.scratch_groups = groups;
     }
 
     /// Schedules an external timer on `node` at absolute time `at` — used
@@ -558,15 +736,14 @@ impl<N: SimNode> Sim<N> {
 
     /// Like [`Sim::step`], but never dispatches an event scheduled after
     /// `limit` — cancelled timers at or before `limit` are consumed
-    /// without letting a later event run early.
+    /// without letting a later event run early. The horizon check is a
+    /// peek-gated pop: an event past `limit` is never removed from the
+    /// queue (and so never re-inserted), costing one queue operation at
+    /// the boundary.
     fn step_before(&mut self, limit: SimTime) -> bool {
         self.start();
         loop {
-            match self.queue.peek_time() {
-                Some(at) if at <= limit => {}
-                _ => return false,
-            }
-            let (at, event) = self.queue.pop().expect("peeked above");
+            let Some((at, event)) = self.queue.pop_at_or_before(limit) else { return false };
             if self.dispatch_event(at, event) {
                 return true;
             }
@@ -583,6 +760,30 @@ impl<N: SimNode> Sim<N> {
                 self.counters.delivered += 1;
                 self.counters.events_processed += 1;
                 self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, msg));
+                true
+            }
+            SimEvent::DeliverBatch { from, mut targets, msg } => {
+                // Lazy expansion: the per-destination deliveries the
+                // reference path would have scheduled individually run
+                // here back to back, in target order — the same order the
+                // reference queue would pop their consecutive sequence
+                // numbers.
+                self.now = at;
+                let last = targets.len() - 1;
+                let mut msg = Some(msg);
+                for (i, &to) in targets.iter().enumerate() {
+                    let copy = if i == last {
+                        msg.take().expect("consumed only once")
+                    } else {
+                        msg.as_ref().expect("taken only at the end").clone()
+                    };
+                    self.counters.delivered += 1;
+                    self.counters.events_processed += 1;
+                    self.counters.batched_deliveries += 1;
+                    self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, copy));
+                }
+                targets.clear();
+                self.target_pool.push(targets);
                 true
             }
             SimEvent::Timer { node, token, id } => {
@@ -665,36 +866,12 @@ impl<N: SimNode> Sim<N> {
                 Op::SendMany { start, len, msg } => {
                     self.counters.fanouts += 1;
                     let range = start as usize..(start + len) as usize;
-                    let mut msg = Some(msg);
-                    for (i, &to) in targets[range].iter().enumerate() {
-                        // The last destination takes the original message;
-                        // the rest take shallow clones.
-                        let copy = if i + 1 == len as usize {
-                            msg.take().expect("consumed only once")
-                        } else {
-                            msg.as_ref().expect("taken only at the end").clone()
-                        };
-                        self.transmit(from, to, copy);
-                    }
+                    self.transmit_fanout(from, targets[range].iter().copied(), msg);
                 }
                 Op::SendGroup { msg } => {
                     self.counters.fanouts += 1;
                     let n = self.topo.node_count() as u32;
-                    let destinations = n - 1; // everyone but the caller
-                    let mut msg = Some(msg);
-                    let mut sent = 0u32;
-                    for to in (0..n).map(NodeId) {
-                        if to == from {
-                            continue;
-                        }
-                        sent += 1;
-                        let copy = if sent == destinations {
-                            msg.take().expect("consumed only once")
-                        } else {
-                            msg.as_ref().expect("taken only at the end").clone()
-                        };
-                        self.transmit(from, to, copy);
-                    }
+                    self.transmit_fanout(from, (0..n).map(NodeId).filter(|&to| to != from), msg);
                 }
                 Op::SetTimer { id, token, at } => {
                     self.counters.timers_set += 1;
@@ -709,6 +886,82 @@ impl<N: SimNode> Sim<N> {
             targets.clear();
             self.scratch_ops = ops;
             self.scratch_targets = targets;
+        }
+    }
+
+    /// Applies counters, the drop filter, and the loss model to every
+    /// fan-out destination **in destination order** — consuming the exact
+    /// RNG draw sequence of the reference per-destination path — then
+    /// schedules the survivors as one region-timed batch event per
+    /// distinct arrival time instead of one queue entry each. The batch
+    /// expands back into per-destination deliveries when it fires.
+    fn transmit_fanout<I>(&mut self, from: NodeId, targets: I, msg: N::Msg)
+    where
+        I: Iterator<Item = NodeId>,
+    {
+        debug_assert!(self.scratch_groups.is_empty());
+        let mut groups = std::mem::take(&mut self.scratch_groups);
+        for to in targets {
+            self.counters.unicasts_sent += 1;
+            let filtered = self.drop_filter.as_mut().is_some_and(|f| f(from, to, &msg));
+            let lost = filtered || self.unicast_loss.drops_unicast(&mut self.loss_rng);
+            if lost {
+                self.counters.unicasts_dropped += 1;
+                continue;
+            }
+            let arrive = self.now + self.topo.one_way_latency(from, to);
+            self.group_target(&mut groups, arrive, to);
+        }
+        self.flush_groups(from, msg, &mut groups);
+        self.scratch_groups = groups;
+    }
+
+    /// Appends `to` to the arrival-time group for `arrive`, opening a new
+    /// pooled group if this is the first destination with that latency.
+    fn group_target(
+        &mut self,
+        groups: &mut Vec<(SimTime, Vec<NodeId>)>,
+        arrive: SimTime,
+        to: NodeId,
+    ) {
+        match groups.iter_mut().find(|(t, _)| *t == arrive) {
+            Some((_, batch)) => batch.push(to),
+            None => {
+                let mut batch = self.target_pool.pop().unwrap_or_default();
+                debug_assert!(batch.is_empty());
+                batch.push(to);
+                groups.push((arrive, batch));
+            }
+        }
+    }
+
+    /// Schedules one event per arrival-time group — a plain delivery for a
+    /// single destination, a batch otherwise — in first-destination order,
+    /// with the last group taking the original message and the rest
+    /// shallow clones. Leaves `groups` empty with its capacity intact.
+    fn flush_groups(
+        &mut self,
+        from: NodeId,
+        msg: N::Msg,
+        groups: &mut Vec<(SimTime, Vec<NodeId>)>,
+    ) {
+        let n = groups.len();
+        let mut msg = Some(msg);
+        for (i, (arrive, mut batch)) in groups.drain(..).enumerate() {
+            let copy = if i + 1 == n {
+                msg.take().expect("consumed only once")
+            } else {
+                msg.as_ref().expect("taken only at the end").clone()
+            };
+            if batch.len() == 1 {
+                let to = batch[0];
+                batch.clear();
+                self.target_pool.push(batch);
+                self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg: copy });
+            } else {
+                self.queue
+                    .schedule(arrive, SimEvent::DeliverBatch { from, targets: batch, msg: copy });
+            }
         }
     }
 
@@ -977,6 +1230,58 @@ mod tests {
         assert_eq!(sim.counters().unicasts_sent, 5);
         assert_eq!(sim.counters().delivered, 5);
         assert_eq!(sim.counters().fanouts, 1);
+        // A single-region fan-out is one batch event covering all five
+        // destinations.
+        assert_eq!(sim.counters().batched_deliveries, 5);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn far_future_timer_crosses_wheel_horizon() {
+        // ~27.8 simulated hours: past the 64^6-microsecond wheel range, so
+        // the event takes the overflow path. Both modes must agree.
+        let far = SimTime::from_secs(100_000);
+        for reference in [false, true] {
+            let topo = paper_region(1);
+            let mut sim = if reference {
+                Sim::new_reference(topo, probes(1), 11)
+            } else {
+                Sim::new(topo, probes(1), 11)
+            };
+            sim.schedule_external_timer(NodeId(0), 9, far);
+            sim.schedule_external_timer(NodeId(0), 1, SimTime::from_millis(1));
+            sim.run_until_quiescent(SimTime::MAX);
+            assert_eq!(
+                sim.node(NodeId(0)).timers,
+                vec![(SimTime::from_millis(1), 1), (far, 9)],
+                "reference={reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_reuses_queue_capacity() {
+        fn run(sim: &mut Sim<RegionCaster>) -> NetCounters {
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            sim.counters()
+        }
+        let topo = paper_region(40);
+        let mut sim = Sim::new(topo, (0..40).map(|_| RegionCaster).collect(), 12);
+        let first = run(&mut sim);
+        let warmed = match &sim.queue {
+            SimQueue::Wheel(q) => q.allocated_capacity(),
+            SimQueue::Reference(_) => unreachable!("Sim::new builds the wheel"),
+        };
+        sim.reset((0..40).map(|_| RegionCaster).collect(), 12);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.counters(), NetCounters::default());
+        let second = run(&mut sim);
+        assert_eq!(first, second, "identical seed must replay identically");
+        let after = match &sim.queue {
+            SimQueue::Wheel(q) => q.allocated_capacity(),
+            SimQueue::Reference(_) => unreachable!(),
+        };
+        assert_eq!(after, warmed, "reset must keep the queue's allocations warm");
     }
 
     #[test]
@@ -1013,7 +1318,9 @@ mod tests {
             sim.inject(NodeId(3), NodeId(0), 5, SimTime::ZERO);
             sim.run_until_quiescent(SimTime::from_secs(1));
             let mut counters = sim.counters();
-            counters.fanouts = 0; // the only counter allowed to differ
+            // The only counters allowed to differ between modes.
+            counters.fanouts = 0;
+            counters.batched_deliveries = 0;
             let traces = (0..8).map(|i| sim.node(NodeId(i)).packets.clone()).collect();
             (traces, counters)
         }
@@ -1144,6 +1451,95 @@ mod proptests {
                 prop_assert!(slab.retire(id));
                 prop_assert!(!slab.retire(id));
             }
+        }
+    }
+
+    /// One scripted reaction to a timer firing: cancel some still-pending
+    /// timers (picked by index into the live list), then arm new ones with
+    /// the given delays (microseconds; zero means "this same instant").
+    #[derive(Debug, Clone)]
+    struct ScriptStep {
+        cancels: Vec<usize>,
+        delays: Vec<u64>,
+    }
+
+    /// A node that replays a [`ScriptStep`] script, one step per timer
+    /// firing, recording the observable `(time, token)` trace.
+    struct ScriptNode {
+        script: Vec<ScriptStep>,
+        step: usize,
+        live: Vec<(u64, TimerId)>,
+        next_token: u64,
+        fired: Vec<(SimTime, u64)>,
+    }
+
+    impl ScriptNode {
+        fn new(script: Vec<ScriptStep>) -> Self {
+            ScriptNode { script, step: 0, live: Vec::new(), next_token: 0, fired: Vec::new() }
+        }
+
+        fn arm(&mut self, ctx: &mut Ctx<'_, ()>, delay_us: u64) {
+            let token = self.next_token;
+            self.next_token += 1;
+            let id = ctx.set_timer(SimDuration::from_micros(delay_us), token);
+            self.live.push((token, id));
+        }
+    }
+
+    impl SimNode for ScriptNode {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.arm(ctx, 1);
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: u64) {
+            self.fired.push((ctx.now(), token));
+            self.live.retain(|&(t, _)| t != token);
+            let Some(step) = self.script.get(self.step).cloned() else { return };
+            self.step += 1;
+            for k in step.cancels {
+                if self.live.is_empty() {
+                    break;
+                }
+                let (_, id) = self.live.remove(k % self.live.len());
+                ctx.cancel_timer(id);
+            }
+            for d in step.delays {
+                self.arm(ctx, d);
+            }
+        }
+    }
+
+    fn arb_script_step() -> impl Strategy<Value = ScriptStep> {
+        (proptest::collection::vec(0usize..8, 0..3), proptest::collection::vec(0u64..5_000, 0..4))
+            .prop_map(|(cancels, delays)| ScriptStep { cancels, delays })
+    }
+
+    proptest! {
+        /// Differential: random interleaved timer schedule/cancel/fire
+        /// scripts observe the identical `(time, token)` trace and
+        /// counters on the timing-wheel simulator and the heap-based
+        /// reference (which also uses the historical tombstone-set
+        /// cancellation path).
+        #[test]
+        fn timer_scripts_match_reference(
+            script in proptest::collection::vec(arb_script_step(), 0..30),
+        ) {
+            fn run(script: Vec<ScriptStep>, reference: bool) -> (Vec<(SimTime, u64)>, NetCounters) {
+                let topo = crate::topology::presets::paper_region(1);
+                let nodes = vec![ScriptNode::new(script)];
+                let mut sim = if reference {
+                    Sim::new_reference(topo, nodes, 77)
+                } else {
+                    Sim::new(topo, nodes, 77)
+                };
+                sim.run_until_quiescent(SimTime::MAX);
+                let fired = sim.node(NodeId(0)).fired.clone();
+                (fired, sim.counters())
+            }
+            let optimized = run(script.clone(), false);
+            let reference = run(script, true);
+            prop_assert_eq!(optimized, reference);
         }
     }
 }

@@ -5,6 +5,11 @@
 //! are provided: [`SimTime`], an absolute instant since the start of a
 //! simulation, and [`SimDuration`], a span between instants.
 //!
+//! The microsecond is also the scheduler's native granularity: the
+//! timing-wheel event queue (`rrmp_netsim::event`) uses one microsecond as
+//! its level-0 tick, so every representable instant is an exact wheel
+//! position and no rounding can reorder events.
+//!
 //! ```
 //! use rrmp_netsim::time::{SimTime, SimDuration};
 //!

@@ -3,15 +3,30 @@
 #
 # Builds the workspace in release mode, runs the criterion microbenchmarks
 # (human-readable), then the sim_core differential benchmark, which writes
-# BENCH_sim_core.json at the repository root: events/sec and
-# multicasts/sec for the optimized event loop vs the pre-refactor
-# reference implementation, plus a peak-RSS proxy.
+# BENCH_sim_core.json at the repository root: events/sec, multicasts/sec,
+# and queue ops/sec for the optimized timing-wheel event loop vs the
+# pre-refactor reference implementation, plus a peak-RSS proxy.
+#
+# If a committed BENCH_sim_core.json baseline exists, the run finishes
+# with the bench_guard regression check: any workload whose speedup fell
+# below 0.9x of the recorded value is flagged. The guard warns by default
+# (wall-clock benches are noisy on shared machines); set
+# BENCH_GUARD_STRICT=1 to make a regression fail this script, or
+# BENCH_GUARD_SKIP=1 to skip it (CI runs the guard as its own step).
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_sim_core.json}"
+
+# Snapshot the committed baseline before (possibly) overwriting it.
+BASELINE_SNAPSHOT=""
+if [[ -f BENCH_sim_core.json ]]; then
+  BASELINE_SNAPSHOT="$(mktemp)"
+  cp BENCH_sim_core.json "$BASELINE_SNAPSHOT"
+  trap 'rm -f "$BASELINE_SNAPSHOT"' EXIT
+fi
 
 echo "== criterion microbenchmarks (micro_core) =="
 cargo bench -p rrmp-bench --bench micro_core
@@ -21,3 +36,14 @@ echo "== sim_core differential benchmark =="
 cargo run --release -p rrmp-bench --bin sim_core_bench "$OUT"
 
 echo "wrote $OUT"
+
+if [[ -n "$BASELINE_SNAPSHOT" && "${BENCH_GUARD_SKIP:-0}" != "1" ]]; then
+  echo
+  echo "== bench_guard: fresh speedups vs committed baseline =="
+  GUARD_FLAGS="--warn-only"
+  if [[ "${BENCH_GUARD_STRICT:-0}" == "1" ]]; then
+    GUARD_FLAGS=""
+  fi
+  # shellcheck disable=SC2086
+  cargo run --release -p rrmp-bench --bin bench_guard "$OUT" "$BASELINE_SNAPSHOT" $GUARD_FLAGS
+fi
