@@ -46,7 +46,7 @@ use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::{MessageId, SeqNo};
 use rrmp_core::packet::{DataPacket, Packet};
 use rrmp_core::prelude::ProtocolConfig;
-use rrmp_netsim::event::{EventQueue, ReferenceEventQueue};
+use rrmp_netsim::event::{EventQueue, ReferenceEventQueue, Scheduler};
 use rrmp_netsim::loss::DeliveryPlan;
 use rrmp_netsim::sim::{Ctx, Sim, SimNode};
 use rrmp_netsim::time::{SimDuration, SimTime};
@@ -263,42 +263,13 @@ fn rrmp_workload(optimized: bool) -> (f64, u64) {
 
 // ----- workload 6: raw queue schedule/pop storm -----------------------------
 
-/// The common surface of both event-queue implementations.
-trait BenchQueue: Default {
-    fn schedule(&mut self, at: SimTime, v: u64);
-    fn pop(&mut self) -> Option<(SimTime, u64)>;
-    fn clear(&mut self);
-}
-
-impl BenchQueue for EventQueue<u64> {
-    fn schedule(&mut self, at: SimTime, v: u64) {
-        EventQueue::schedule(self, at, v);
-    }
-    fn pop(&mut self) -> Option<(SimTime, u64)> {
-        EventQueue::pop(self)
-    }
-    fn clear(&mut self) {
-        EventQueue::clear(self);
-    }
-}
-
-impl BenchQueue for ReferenceEventQueue<u64> {
-    fn schedule(&mut self, at: SimTime, v: u64) {
-        ReferenceEventQueue::schedule(self, at, v);
-    }
-    fn pop(&mut self) -> Option<(SimTime, u64)> {
-        ReferenceEventQueue::pop(self)
-    }
-    fn clear(&mut self) {
-        ReferenceEventQueue::clear(self);
-    }
-}
-
 /// Sim-shaped queue churn at large-group scale: hold ~32k pending events,
 /// pop the frontier and schedule a replacement at a deterministic
 /// pseudo-random delay, across eight runs reusing one queue (`clear`
 /// keeps allocations warm). Counts one unit of work per schedule+pop pair.
-fn queue_ops_workload<Q: BenchQueue>() -> (f64, u64) {
+/// Both queues are driven through the shared `Scheduler` trait — the
+/// contract the UDP runtime's timer wheel uses too.
+fn queue_ops_workload<Q: Scheduler<u64> + Default>() -> (f64, u64) {
     const PENDING: u64 = 32_768;
     const CHURN: u64 = 120_000;
     fn next(lcg: &mut u64) -> u64 {
@@ -360,6 +331,37 @@ fn multi_run_reuse_workload(reuse: bool) -> (f64, u64) {
             }
         }
         events
+    })
+}
+
+// ----- workload 8: parallel per-region simulation ---------------------------
+
+/// A 32-region × 2048-member group (64 members per region, all regions
+/// children of the sender's) recovering a region-correlated lossy
+/// multicast stream on the **sharded** engine: mostly intra-region repair
+/// traffic — the regime conservative-window parallelism targets — with
+/// cross-region remote recovery keeping the mailboxes busy.
+fn parallel_regions_run(shards: usize) -> (f64, u64) {
+    best_secs(2, || {
+        let mut builder = rrmp_netsim::topology::TopologyBuilder::new()
+            .inter_region_one_way(SimDuration::from_millis(25))
+            .region(64, None);
+        for _ in 1..32 {
+            builder = builder.region(64, Some(0));
+        }
+        let topo = builder.build().expect("valid 32-region topology");
+        let mut net = RrmpNetwork::with_shards(topo, ProtocolConfig::paper_defaults(), 7, shards);
+        net.set_multicast_loss(rrmp_netsim::loss::LossModel::RegionCorrelated {
+            p_region: 0.25,
+            p_member: 0.05,
+        });
+        for _ in 0..6 {
+            net.multicast(&b"parallel-regions-payload"[..]);
+            let next = net.now() + SimDuration::from_millis(40);
+            net.run_until(next);
+        }
+        net.run_until(SimTime::from_secs(2));
+        net.net_counters().events_processed
     })
 }
 
@@ -485,6 +487,31 @@ fn main() {
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,
         work: events,
+    });
+
+    eprintln!("parallel_regions: 32 regions x 2048 members, shard count sweep ...");
+    let mut shard_rates = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (secs, events) = parallel_regions_run(shards);
+        let rate = events as f64 / secs;
+        eprintln!("  shards={shards}: {rate:.0} events/sec ({events} events)");
+        shard_rates.push((shards, rate, events));
+    }
+    let (_, seq_rate, seq_events) = shard_rates[0];
+    for &(shards, _, events) in &shard_rates[1..] {
+        assert_eq!(
+            events, seq_events,
+            "sharded run at {shards} shards diverged from the sequential oracle"
+        );
+    }
+    let &(_, four_rate, _) =
+        shard_rates.iter().find(|&&(s, _, _)| s == 4).expect("4-shard arm runs");
+    comparisons.push(Comparison {
+        name: "parallel_regions",
+        unit: "events/sec",
+        optimized_rate: four_rate,
+        reference_rate: seq_rate,
+        work: seq_events,
     });
 
     let rss = peak_rss_kb();

@@ -18,7 +18,7 @@
 //! byte counts, and a byte×time integral) used by the buffering-cost
 //! experiments.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use bytes::Bytes;
 use rrmp_netsim::time::{SimDuration, SimTime};
@@ -65,6 +65,13 @@ impl BufferEntry {
 #[derive(Debug, Clone, Default)]
 pub struct MessageStore {
     entries: HashMap<MessageId, BufferEntry>,
+    /// Use-time-ordered index over **long-phase** entries only, keyed by
+    /// `(last_use, id)`. Kept in lockstep by every mutation of a long
+    /// entry's `last_use`, it answers the three long-phase sweeps without
+    /// scanning the whole store: `expire_long_into` walks the stale
+    /// prefix, `take_all_long` enumerates exactly the long entries, and
+    /// capacity eviction reads the LRU long entry from the front.
+    long_by_use: BTreeSet<(SimTime, MessageId)>,
     short_count: usize,
     long_count: usize,
     bytes: usize,
@@ -108,12 +115,18 @@ impl MessageStore {
         let mut evicted = Vec::new();
         while self.bytes + incoming > cap && !self.entries.is_empty() {
             // Oldest last_use; long-term entries strictly before short.
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(id, e)| (e.phase == Phase::Short, e.last_use, **id))
-                .map(|(&id, _)| id)
-                .expect("non-empty");
+            // The LRU long-term entry is the front of the use-time index;
+            // only a store with no long-term entries at all scans (the
+            // short population, the last-resort victims).
+            let victim = match self.long_by_use.iter().next() {
+                Some(&(_, id)) => id,
+                None => self
+                    .entries
+                    .iter()
+                    .min_by_key(|(id, e)| (e.last_use, **id))
+                    .map(|(&id, _)| id)
+                    .expect("non-empty"),
+            };
             self.discard(victim, now);
             evicted.push(victim);
         }
@@ -201,6 +214,7 @@ impl MessageStore {
         self.advance_accounting(now);
         self.bytes += data.len();
         self.long_count += 1;
+        self.long_by_use.insert((now, id));
         self.entries.insert(
             id,
             BufferEntry {
@@ -223,7 +237,13 @@ impl MessageStore {
         match self.entries.get_mut(&id) {
             Some(e) => {
                 e.last_request = e.last_request.max(now);
-                e.last_use = e.last_use.max(now);
+                if now > e.last_use {
+                    if e.phase == Phase::Long {
+                        self.long_by_use.remove(&(e.last_use, id));
+                        self.long_by_use.insert((now, id));
+                    }
+                    e.last_use = now;
+                }
                 true
             }
             None => false,
@@ -234,7 +254,13 @@ impl MessageStore {
     /// refreshes only the long-term use clock.
     pub fn note_use(&mut self, id: MessageId, now: SimTime) {
         if let Some(e) = self.entries.get_mut(&id) {
-            e.last_use = e.last_use.max(now);
+            if now > e.last_use {
+                if e.phase == Phase::Long {
+                    self.long_by_use.remove(&(e.last_use, id));
+                    self.long_by_use.insert((now, id));
+                }
+                e.last_use = now;
+            }
         }
     }
 
@@ -276,6 +302,7 @@ impl MessageStore {
             Some(e) if e.phase == Phase::Short => {
                 e.phase = Phase::Long;
                 e.idled_at = Some(now);
+                self.long_by_use.insert((e.last_use, id));
                 self.short_count -= 1;
                 self.long_count += 1;
                 true
@@ -291,26 +318,51 @@ impl MessageStore {
         self.bytes -= e.data.len();
         match e.phase {
             Phase::Short => self.short_count -= 1,
-            Phase::Long => self.long_count -= 1,
+            Phase::Long => {
+                self.long_count -= 1;
+                self.long_by_use.remove(&(e.last_use, id));
+            }
         }
         Some(e)
     }
 
     /// Removes long-phase entries unused for at least `timeout`; returns
-    /// their ids.
+    /// their ids. Allocating convenience wrapper around
+    /// [`MessageStore::expire_long_into`].
     pub fn expire_long(&mut self, now: SimTime, timeout: SimDuration) -> Vec<MessageId> {
-        let expired: Vec<MessageId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.phase == Phase::Long && now.saturating_since(e.last_use) >= timeout)
-            .map(|(&id, _)| id)
-            .collect();
-        let mut sorted = expired;
-        sorted.sort();
-        for &id in &sorted {
+        let mut expired = Vec::new();
+        self.expire_long_into(now, timeout, &mut expired);
+        expired
+    }
+
+    /// Appends the ids of long-phase entries unused for at least
+    /// `timeout` to `expired` (in ascending id order, matching the
+    /// historical contract) and discards them. The periodic long-term
+    /// sweep calls this with a caller-owned scratch buffer: the cost is
+    /// O(expired) index walks — not a scan of every buffered entry — and
+    /// zero allocation in the steady state where nothing expires.
+    pub fn expire_long_into(
+        &mut self,
+        now: SimTime,
+        timeout: SimDuration,
+        expired: &mut Vec<MessageId>,
+    ) {
+        // `now - last_use >= timeout` ⇔ `last_use <= now - timeout`; with
+        // `timeout > now` nothing can qualify (saturating arithmetic).
+        let Some(cutoff) = now.as_micros().checked_sub(timeout.as_micros()) else { return };
+        let cutoff = SimTime::from_micros(cutoff);
+        let start = expired.len();
+        for &(last_use, id) in &self.long_by_use {
+            if last_use > cutoff {
+                break; // index is use-time-ordered: the rest are fresher
+            }
+            expired.push(id);
+        }
+        expired[start..].sort_unstable();
+        let (_, stale) = expired.split_at(start);
+        for &id in stale {
             self.discard(id, now);
         }
-        sorted
     }
 
     /// Discards every entry (a crash losing its memory). Returns how many
@@ -325,15 +377,11 @@ impl MessageStore {
     }
 
     /// Removes and returns every long-phase entry (for leave-time handoff),
-    /// in id order.
+    /// in id order. Enumerates only the long-phase index — a store full
+    /// of short-term entries pays nothing for a leaver's handoff.
     pub fn take_all_long(&mut self, now: SimTime) -> Vec<(MessageId, Bytes)> {
-        let mut ids: Vec<MessageId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.phase == Phase::Long)
-            .map(|(&id, _)| id)
-            .collect();
-        ids.sort();
+        let mut ids: Vec<MessageId> = self.long_by_use.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
         ids.into_iter()
             .map(|id| {
                 let e = self.discard(id, now).expect("id just enumerated");
@@ -492,6 +540,27 @@ mod tests {
     }
 
     #[test]
+    fn expire_long_into_reuses_scratch_and_respects_refreshes() {
+        let mut s = MessageStore::new();
+        s.insert_long(mid(1), payload(1), t(0));
+        s.insert_long(mid(2), payload(1), t(0));
+        s.insert_long(mid(3), payload(1), t(0));
+        // Refresh 2 late and 1 via a request (both reorder the index).
+        s.note_use(mid(2), t(500));
+        s.note_request(mid(1), t(600));
+        let mut scratch = Vec::new();
+        s.expire_long_into(t(1000), SimDuration::from_millis(1000), &mut scratch);
+        assert_eq!(scratch, vec![mid(3)], "only the never-refreshed entry expires");
+        scratch.clear();
+        // A timeout longer than `now` can expire nothing.
+        s.expire_long_into(t(1000), SimDuration::from_secs(10), &mut scratch);
+        assert!(scratch.is_empty());
+        s.expire_long_into(t(2000), SimDuration::from_millis(1000), &mut scratch);
+        assert_eq!(scratch, vec![mid(1), mid(2)], "ascending id order");
+        assert!(s.is_empty());
+    }
+
+    #[test]
     fn take_all_long_drains_only_long() {
         let mut s = MessageStore::new();
         s.insert_short(mid(1), payload(1), t(0));
@@ -590,8 +659,11 @@ mod proptests {
         InsertShort(u64, usize),
         InsertLong(u64, usize),
         Request(u64),
+        Use(u64),
         Promote(u64),
         Discard(u64),
+        ExpireLong(u64),
+        TakeAllLong,
     }
 
     fn arb_op() -> impl Strategy<Value = Op> {
@@ -599,26 +671,60 @@ mod proptests {
             (0u64..20, 0usize..64).prop_map(|(i, n)| Op::InsertShort(i, n)),
             (0u64..20, 0usize..64).prop_map(|(i, n)| Op::InsertLong(i, n)),
             (0u64..20).prop_map(Op::Request),
+            (0u64..20).prop_map(Op::Use),
             (0u64..20).prop_map(Op::Promote),
             (0u64..20).prop_map(Op::Discard),
+            (0u64..50).prop_map(Op::ExpireLong),
+            Just(Op::TakeAllLong),
         ]
     }
 
     proptest! {
-        /// Counters (short/long/bytes/len) always agree with the entry map
+        /// Counters (short/long/bytes/len) always agree with the entry
+        /// map, the long-phase use-time index always mirrors the long
+        /// entries exactly, and the index-driven sweeps (`expire_long`,
+        /// `take_all_long`) match what a naive full scan would compute —
         /// under any operation sequence.
         #[test]
         fn accounting_is_consistent(ops in proptest::collection::vec(arb_op(), 0..200)) {
             let mut s = MessageStore::new();
             let mid = |i: u64| MessageId::new(NodeId(0), SeqNo(i));
             for (step, op) in ops.into_iter().enumerate() {
-                let now = SimTime::from_micros(step as u64);
+                let now = SimTime::from_micros(step as u64 * 3);
                 match op {
                     Op::InsertShort(i, n) => { s.insert_short(mid(i), Bytes::from(vec![0; n]), now); }
                     Op::InsertLong(i, n) => { s.insert_long(mid(i), Bytes::from(vec![0; n]), now); }
                     Op::Request(i) => { s.note_request(mid(i), now); }
+                    Op::Use(i) => { s.note_use(mid(i), now); }
                     Op::Promote(i) => { s.promote_to_long(mid(i), now); }
                     Op::Discard(i) => { s.discard(mid(i), now); }
+                    Op::ExpireLong(timeout_us) => {
+                        let timeout = SimDuration::from_micros(timeout_us);
+                        // Naive model: scan every entry the way the
+                        // pre-index implementation did.
+                        let mut naive: Vec<MessageId> = s
+                            .iter()
+                            .filter(|(_, e)| {
+                                e.phase == Phase::Long
+                                    && now.saturating_since(e.last_use) >= timeout
+                            })
+                            .map(|(&id, _)| id)
+                            .collect();
+                        naive.sort();
+                        let expired = s.expire_long(now, timeout);
+                        prop_assert_eq!(expired, naive);
+                    }
+                    Op::TakeAllLong => {
+                        let mut naive: Vec<MessageId> = s
+                            .iter()
+                            .filter(|(_, e)| e.phase == Phase::Long)
+                            .map(|(&id, _)| id)
+                            .collect();
+                        naive.sort();
+                        let taken = s.take_all_long(now);
+                        let ids: Vec<MessageId> = taken.iter().map(|&(id, _)| id).collect();
+                        prop_assert_eq!(ids, naive);
+                    }
                 }
                 let shorts = s.iter().filter(|(_, e)| e.phase == Phase::Short).count();
                 let longs = s.iter().filter(|(_, e)| e.phase == Phase::Long).count();
@@ -628,6 +734,16 @@ mod proptests {
                 prop_assert_eq!(s.bytes(), bytes);
                 prop_assert_eq!(s.len(), shorts + longs);
                 prop_assert!(s.peak_entries() >= s.len());
+                // The use-time index holds exactly the long entries, each
+                // under its current last_use key.
+                let mut index_ids: Vec<(SimTime, MessageId)> = s
+                    .iter()
+                    .filter(|(_, e)| e.phase == Phase::Long)
+                    .map(|(&id, e)| (e.last_use, id))
+                    .collect();
+                index_ids.sort();
+                let index: Vec<(SimTime, MessageId)> = s.long_by_use.iter().copied().collect();
+                prop_assert_eq!(index, index_ids);
             }
         }
     }

@@ -12,7 +12,8 @@ use std::collections::HashMap;
 
 use rrmp_membership::view::HierarchyView;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
-use rrmp_netsim::sim::{Ctx, Sim, SimNode};
+use rrmp_netsim::shard::ShardedSim;
+use rrmp_netsim::sim::{Ctx, NetCounters, Sim, SimNode};
 use rrmp_netsim::time::SimTime;
 use rrmp_netsim::topology::{NodeId, Topology};
 
@@ -253,11 +254,148 @@ impl SimNode for RrmpNode {
     }
 }
 
+/// The simulation engine hosting an [`RrmpNetwork`]: the single-queue
+/// [`Sim`] (optimized or reference mode), or the conservatively parallel
+/// region-sharded [`ShardedSim`]. Every harness operation delegates; the
+/// two engines share the node type, the `Ctx` API, and the topology.
+// One engine lives per network (never in collections), so the size gap
+// between the variants costs nothing; boxing would put a pointer chase on
+// every harness call instead.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum SimEngine {
+    Single(Sim<RrmpNode>),
+    Sharded(ShardedSim<RrmpNode>),
+}
+
+impl SimEngine {
+    fn topology(&self) -> &Topology {
+        match self {
+            SimEngine::Single(s) => s.topology(),
+            SimEngine::Sharded(s) => s.topology(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            SimEngine::Single(s) => s.now(),
+            SimEngine::Sharded(s) => s.now(),
+        }
+    }
+
+    fn counters(&self) -> NetCounters {
+        match self {
+            SimEngine::Single(s) => s.counters(),
+            SimEngine::Sharded(s) => s.counters(),
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &RrmpNode {
+        match self {
+            SimEngine::Single(s) => s.node(id),
+            SimEngine::Sharded(s) => s.node(id),
+        }
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut RrmpNode {
+        match self {
+            SimEngine::Single(s) => s.node_mut(id),
+            SimEngine::Sharded(s) => s.node_mut(id),
+        }
+    }
+
+    fn nodes(&self) -> impl Iterator<Item = (NodeId, &RrmpNode)> {
+        self.topology().nodes().map(move |id| (id, self.node(id)))
+    }
+
+    fn inject(&mut self, to: NodeId, from: NodeId, msg: Packet, at: SimTime) {
+        match self {
+            SimEngine::Single(s) => s.inject(to, from, msg, at),
+            SimEngine::Sharded(s) => s.inject(to, from, msg, at),
+        }
+    }
+
+    fn inject_multicast_plan(
+        &mut self,
+        from: NodeId,
+        msg: &Packet,
+        plan: &DeliveryPlan,
+        at: SimTime,
+    ) {
+        match self {
+            SimEngine::Single(s) => s.inject_multicast_plan(from, msg, plan, at),
+            SimEngine::Sharded(s) => s.inject_multicast_plan(from, msg, plan, at),
+        }
+    }
+
+    fn schedule_external_timer(&mut self, node: NodeId, token: u64, at: SimTime) {
+        match self {
+            SimEngine::Single(s) => s.schedule_external_timer(node, token, at),
+            SimEngine::Sharded(s) => s.schedule_external_timer(node, token, at),
+        }
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        match self {
+            SimEngine::Single(s) => s.run_until(t),
+            SimEngine::Sharded(s) => s.run_until(t),
+        }
+    }
+
+    fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+        match self {
+            SimEngine::Single(s) => s.run_until_quiescent(limit),
+            SimEngine::Sharded(s) => s.run_until_quiescent(limit),
+        }
+    }
+
+    fn set_unicast_loss(&mut self, model: LossModel) {
+        match self {
+            SimEngine::Single(s) => s.set_unicast_loss(model),
+            SimEngine::Sharded(s) => s.set_unicast_loss(model),
+        }
+    }
+
+    fn reset(&mut self, nodes: Vec<RrmpNode>, seed: u64) {
+        match self {
+            SimEngine::Single(s) => s.reset(nodes, seed),
+            SimEngine::Sharded(s) => s.reset(nodes, seed),
+        }
+    }
+
+    fn is_optimized(&self) -> bool {
+        match self {
+            SimEngine::Single(s) => s.is_optimized(),
+            SimEngine::Sharded(_) => true,
+        }
+    }
+}
+
+/// Shard count taken from the `RRMP_SIM_SHARDS` environment variable
+/// (default 1 — the sequential windowed engine). Traces are identical at
+/// every value; the variable only chooses the degree of parallelism, so
+/// CI runs the whole suite under `RRMP_SIM_SHARDS=4` as a determinism
+/// check.
+/// # Panics
+///
+/// Panics on a set-but-invalid value (unparsable or zero): a determinism
+/// job that silently fell back to one shard would go green while testing
+/// nothing.
+fn shards_from_env() -> usize {
+    match std::env::var("RRMP_SIM_SHARDS") {
+        Err(_) => 1,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("RRMP_SIM_SHARDS must be a positive integer, got {v:?}"),
+        },
+    }
+}
+
 /// A complete simulated RRMP group: topology, one sender, one receiver per
 /// node, and experiment conveniences.
 #[derive(Debug)]
 pub struct RrmpNetwork {
-    sim: Sim<RrmpNode>,
+    sim: SimEngine,
     sender_node: NodeId,
     multicast_loss: LossModel,
     /// Retained so [`RrmpNetwork::reset`] can rebuild the protocol state.
@@ -319,6 +457,57 @@ impl RrmpNetwork {
         Self::with_senders_mode(topo, cfg, seed, &[NodeId(0)], false)
     }
 
+    /// Builds a group hosted on the **conservatively parallel** sharded
+    /// engine ([`ShardedSim`]), with the shard count taken from the
+    /// `RRMP_SIM_SHARDS` environment variable (default 1). Traces are
+    /// byte-identical at every shard count — the variable only picks the
+    /// degree of parallelism.
+    ///
+    /// Note the sharded engine's windowed semantics differ from
+    /// [`RrmpNetwork::new`]'s single event queue (per-sender unicast-loss
+    /// RNG streams, canonical cross-region merge order), so a sharded run
+    /// is compared against sharded runs, not against the single-queue
+    /// engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    #[must_use]
+    pub fn new_sharded(topo: Topology, cfg: ProtocolConfig, seed: u64) -> Self {
+        Self::with_shards(topo, cfg, seed, shards_from_env())
+    }
+
+    /// Like [`RrmpNetwork::new_sharded`] with an explicit shard count
+    /// (clamped to the region count; a region never splits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or `shards` is zero.
+    #[must_use]
+    pub fn with_shards(topo: Topology, cfg: ProtocolConfig, seed: u64, shards: usize) -> Self {
+        cfg.validate().expect("invalid protocol config");
+        assert!(shards >= 1, "need at least one shard");
+        let senders = [NodeId(0)];
+        let nodes = Self::build_nodes(&topo, &cfg, seed, &senders, true);
+        RrmpNetwork {
+            sim: SimEngine::Sharded(ShardedSim::new(topo, nodes, seed, shards)),
+            sender_node: senders[0],
+            multicast_loss: LossModel::None,
+            cfg,
+            senders: senders.to_vec(),
+        }
+    }
+
+    /// Number of shards the engine runs on (1 for the single-queue
+    /// engines).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        match &self.sim {
+            SimEngine::Single(_) => 1,
+            SimEngine::Sharded(s) => s.shards(),
+        }
+    }
+
     fn with_senders_mode(
         topo: Topology,
         cfg: ProtocolConfig,
@@ -333,9 +522,9 @@ impl RrmpNetwork {
         }
         let nodes = Self::build_nodes(&topo, &cfg, seed, senders, optimized);
         let sim = if optimized {
-            Sim::new(topo, nodes, seed)
+            SimEngine::Single(Sim::new(topo, nodes, seed))
         } else {
-            Sim::new_reference(topo, nodes, seed)
+            SimEngine::Single(Sim::new_reference(topo, nodes, seed))
         };
         RrmpNetwork {
             sim,
@@ -382,15 +571,36 @@ impl RrmpNetwork {
         self.sim.reset(nodes, seed);
     }
 
+    /// Sets the loss model applied to unicast sends (requests, repairs),
+    /// on whichever engine hosts the group. The sharded engine draws from
+    /// per-sender-node streams, the single-queue engines from one global
+    /// stream — deterministic either way, but not comparable across
+    /// engine kinds.
+    pub fn set_unicast_loss(&mut self, model: LossModel) {
+        self.sim.set_unicast_loss(model);
+    }
+
     /// The simulated topology.
     #[must_use]
     pub fn topology(&self) -> &Topology {
         self.sim.topology()
     }
 
-    /// The underlying simulator (full control for advanced experiments).
+    /// The underlying single-queue simulator (full control for advanced
+    /// experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a network built with [`RrmpNetwork::new_sharded`] /
+    /// [`RrmpNetwork::with_shards`] — use the engine-agnostic harness
+    /// methods (e.g. [`RrmpNetwork::set_unicast_loss`]) there.
     pub fn sim_mut(&mut self) -> &mut Sim<RrmpNode> {
-        &mut self.sim
+        match &mut self.sim {
+            SimEngine::Single(s) => s,
+            SimEngine::Sharded(_) => {
+                panic!("sim_mut(): sharded networks have no single-queue Sim")
+            }
+        }
     }
 
     /// The sender's node id.
@@ -812,6 +1022,45 @@ mod tests {
             (net.delivered_count(id2), net.net_counters()),
             "a reset network must replay the same seed identically"
         );
+    }
+
+    #[test]
+    fn sharded_engine_recovers_identically_at_every_shard_count() {
+        fn run(shards: usize) -> (usize, NetCounters, u64) {
+            let topo = presets::figure1_chain([6, 6, 6], SimDuration::from_millis(25));
+            let mut net = RrmpNetwork::with_shards(topo, cfg(), 9, shards);
+            // Region 1 misses entirely: recovery crosses shard boundaries.
+            let plan = DeliveryPlan::all_but(net.topology(), (6..12).map(NodeId));
+            let id = net.multicast_with_plan(&b"shard"[..], &plan);
+            net.run_until(SimTime::from_secs(2));
+            assert!(net.all_delivered(id), "delivered {}", net.delivered_count(id));
+            (
+                net.delivered_count(id),
+                net.net_counters(),
+                net.total_counter(|c| c.repairs_sent_remote),
+            )
+        }
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(3));
+        // More shards than regions clamps to the region count.
+        assert_eq!(sequential, run(16));
+    }
+
+    #[test]
+    fn sharded_reset_replays_identically() {
+        let topo = presets::figure1_chain([5, 5, 5], SimDuration::from_millis(25));
+        let mut net = RrmpNetwork::with_shards(topo, cfg(), 13, 3);
+        let plan = DeliveryPlan::only(net.topology(), (0..5).map(NodeId));
+        let id = net.multicast_with_plan(&b"reuse"[..], &plan);
+        net.run_until(SimTime::from_secs(2));
+        let first = (net.delivered_count(id), net.net_counters());
+        net.reset(13);
+        assert_eq!(net.now(), SimTime::ZERO);
+        assert_eq!(net.net_counters(), Default::default());
+        let id2 = net.multicast_with_plan(&b"reuse"[..], &plan);
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(first, (net.delivered_count(id2), net.net_counters()));
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub struct Receiver {
     rng: StdRng,
     metrics: Metrics,
     left: bool,
+    /// Reused id buffer for the periodic long-term expiry sweep
+    /// ([`MessageStore::expire_long_into`]) — the idle-timer path
+    /// allocates nothing in the steady state.
+    expire_scratch: Vec<MessageId>,
 }
 
 impl Receiver {
@@ -142,6 +146,7 @@ impl Receiver {
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(record),
             left: false,
+            expire_scratch: Vec::new(),
         }
     }
 
@@ -781,10 +786,15 @@ impl Receiver {
                 }
             }
             TimerKind::LongTermSweep => {
-                for id in self.store.expire_long(now, self.cfg.long_term_timeout) {
+                let mut expired = std::mem::take(&mut self.expire_scratch);
+                debug_assert!(expired.is_empty());
+                self.store.expire_long_into(now, self.cfg.long_term_timeout, &mut expired);
+                for &id in &expired {
                     self.metrics.counters.long_term_expired += 1;
                     self.metrics.buffer_record_mut(id).discarded_at = Some(now);
                 }
+                expired.clear();
+                self.expire_scratch = expired;
                 // Piggy-back garbage collection of expired search memory
                 // and of exhausted searches old enough that their origins
                 // must have retried elsewhere.

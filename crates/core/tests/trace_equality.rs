@@ -193,6 +193,124 @@ fn region_correlated_stream_traces_match() {
     }
 }
 
+/// Runs `scenario` on the **sharded** engine at shard counts 1, 2, and 4
+/// and asserts byte-identical traces: `shards = 1` is the sequential
+/// oracle of the conservative-window engine, and every parallel layout
+/// must reproduce it exactly (same per-node deliveries, same counters,
+/// same RNG draws).
+fn assert_sharded_trace_equal<F>(
+    topo_of: impl Fn() -> Topology,
+    cfg: ProtocolConfig,
+    seed: u64,
+    scenario: F,
+) where
+    F: Fn(&mut RrmpNetwork),
+{
+    let mut sequential = RrmpNetwork::with_shards(topo_of(), cfg.clone(), seed, 1);
+    assert_eq!(sequential.shards(), 1);
+    scenario(&mut sequential);
+    let oracle = trace_of(&sequential);
+    for shards in [2usize, 4] {
+        let mut net = RrmpNetwork::with_shards(topo_of(), cfg.clone(), seed, shards);
+        scenario(&mut net);
+        assert_eq!(
+            oracle,
+            trace_of(&net),
+            "sharded run diverged from the sequential oracle (shards {}, seed {seed})",
+            net.shards()
+        );
+    }
+}
+
+#[test]
+fn sharded_hierarchical_recovery_traces_match() {
+    // Region 1 misses the multicast entirely: remote recovery crosses
+    // region (and shard) boundaries, and the regional repair multicast
+    // exercises the intra-shard batch path.
+    for seed in [3u64, 42] {
+        assert_sharded_trace_equal(
+            || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                let plan = DeliveryPlan::all_but(net.topology(), (8..16).map(NodeId));
+                net.multicast_with_plan(&b"regional"[..], &plan);
+                net.run_until(SimTime::from_secs(2));
+            },
+        );
+    }
+}
+
+#[test]
+fn sharded_lossy_stream_traces_match() {
+    // A multi-region stream under region-correlated initial loss plus
+    // unicast loss: every cross-shard mailbox merge and per-sender loss
+    // stream is exercised over repeated windows.
+    for seed in [7u64, 31] {
+        assert_sharded_trace_equal(
+            || presets::region_tree(6, 2, 2, SimDuration::from_millis(25)),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                net.set_multicast_loss(LossModel::RegionCorrelated {
+                    p_region: 0.3,
+                    p_member: 0.1,
+                });
+                net.set_unicast_loss(LossModel::Bernoulli { p: 0.1 });
+                for _ in 0..4 {
+                    net.multicast(&b"sharded-stream"[..]);
+                    let next = net.now() + SimDuration::from_millis(40);
+                    net.run_until(next);
+                }
+                net.run_until(SimTime::from_secs(3));
+            },
+        );
+    }
+}
+
+#[test]
+fn env_selected_shard_count_matches_sequential_oracle() {
+    // `RRMP_SIM_SHARDS` (the CI matrix knob) picks the layout for
+    // `new_sharded`; whatever its value, the trace must match the
+    // explicit shards=1 oracle byte for byte.
+    let topo_of = || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25));
+    let scenario = |net: &mut RrmpNetwork| {
+        net.set_unicast_loss(LossModel::Bernoulli { p: 0.1 });
+        let plan = DeliveryPlan::all_but(net.topology(), (8..16).map(NodeId));
+        net.multicast_with_plan(&b"env-shards"[..], &plan);
+        net.run_until(SimTime::from_secs(2));
+    };
+    let mut oracle = RrmpNetwork::with_shards(topo_of(), ProtocolConfig::paper_defaults(), 5, 1);
+    scenario(&mut oracle);
+    let mut env_net = RrmpNetwork::new_sharded(topo_of(), ProtocolConfig::paper_defaults(), 5);
+    scenario(&mut env_net);
+    assert_eq!(
+        trace_of(&oracle),
+        trace_of(&env_net),
+        "RRMP_SIM_SHARDS={} diverged from the sequential oracle",
+        env_net.shards()
+    );
+}
+
+#[test]
+fn sharded_churn_with_handoffs_traces_match() {
+    // Leaves and crashes drive external timers and handoff unicasts
+    // through the sharded engine.
+    assert_sharded_trace_equal(
+        || presets::figure1_chain([7, 7, 7], SimDuration::from_millis(25)),
+        ProtocolConfig::builder().c(1000.0).build().expect("valid config"),
+        8,
+        |net| {
+            let plan = DeliveryPlan::all(net.topology());
+            net.multicast_with_plan(&b"churn"[..], &plan);
+            net.run_until(SimTime::from_millis(200));
+            net.schedule_leave(NodeId(3), SimTime::from_millis(250));
+            net.schedule_crash(NodeId(9), SimTime::from_millis(300));
+            net.run_until(SimTime::from_millis(600));
+        },
+    );
+}
+
 #[test]
 fn session_driven_tail_loss_traces_match() {
     assert_trace_equal(

@@ -35,6 +35,84 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// The shared event-scheduler contract: events pop in `(time, insertion
+/// sequence)` order.
+///
+/// Implemented by the production timing wheel ([`EventQueue`]) and the
+/// retained heap-based reference ([`ReferenceEventQueue`]), so every host
+/// of the wheel — the simulator drivers here, the UDP runtime's timer
+/// queue in `rrmp-udp`, the differential benchmarks — programs against
+/// one interface and one implementation instead of growing private timer
+/// heaps.
+pub trait Scheduler<E> {
+    /// Schedules `event` to fire at `at`.
+    fn schedule(&mut self, at: SimTime, event: E);
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Pops the earliest event only if it fires at or before `limit` — a
+    /// peek-then-pop, never a pop-and-re-push.
+    fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)>;
+
+    /// The firing time of the earliest pending event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all pending events, keeping allocations where the
+    /// implementation can.
+    fn clear(&mut self);
+}
+
+impl<E> Scheduler<E> for EventQueue<E> {
+    fn schedule(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule(self, at, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        EventQueue::pop_at_or_before(self, limit)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self);
+    }
+}
+
+impl<E> Scheduler<E> for ReferenceEventQueue<E> {
+    fn schedule(&mut self, at: SimTime, event: E) {
+        ReferenceEventQueue::schedule(self, at, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        ReferenceEventQueue::pop(self)
+    }
+    fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        ReferenceEventQueue::pop_at_or_before(self, limit)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        ReferenceEventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        ReferenceEventQueue::len(self)
+    }
+    fn clear(&mut self) {
+        ReferenceEventQueue::clear(self);
+    }
+}
+
 /// log2 of the slot count per wheel level.
 const SLOT_BITS: u32 = 6;
 /// Slots per level.

@@ -21,6 +21,9 @@
 //! * [`loss`] — multicast/unicast loss models and explicit
 //!   [`loss::DeliveryPlan`]s for controlled experiments.
 //! * [`sim`] — the driver: host any [`sim::SimNode`] implementation.
+//! * [`shard`] — the conservatively parallel driver: regions partitioned
+//!   over shards advancing under a time-window barrier, traces
+//!   byte-identical at every shard count.
 //! * [`trace`] / [`stats`] — event traces, counters, histograms, summaries,
 //!   and time series for building the paper's figures.
 //!
@@ -56,6 +59,7 @@
 pub mod event;
 pub mod loss;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -64,8 +68,10 @@ pub mod trace;
 
 /// Convenient glob-import of the most used simulator types.
 pub mod prelude {
+    pub use crate::event::Scheduler;
     pub use crate::loss::{DeliveryPlan, LossModel};
     pub use crate::rng::SeedSequence;
+    pub use crate::shard::ShardedSim;
     pub use crate::sim::{Ctx, Sim, SimNode, TimerId};
     pub use crate::stats::{OnlineStats, Summary, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};

@@ -1,0 +1,1278 @@
+//! Parallel per-region simulation under a conservative time-window barrier.
+//!
+//! Regions only interact through inter-region latencies, so a shard that
+//! owns a subset of regions can advance independently up to
+//! `global_lower_bound + lookahead`, where the lookahead is the minimum
+//! one-way latency between any two distinct regions
+//! ([`Topology::lookahead`]): no cross-region packet sent inside the
+//! current window can arrive before the window ends. This is classic
+//! conservative (Chandy–Misra-style) parallel discrete-event simulation,
+//! specialized to the region hierarchy of the RRMP system model.
+//!
+//! ## Execution model
+//!
+//! A [`ShardedSim`] partitions the topology's regions over `shards` shards
+//! (round-robin by region index; a region never splits). Each shard owns
+//! its own timing wheel, payload slab, timer slab, scratch buffers, and
+//! the RNG streams of its nodes — there is **no shared mutable state**
+//! between shards during a window. The run loop is a sequence of windows:
+//!
+//! 1. the coordinator computes the global lower bound `lb` (earliest
+//!    pending event across all shards and undelivered mailboxes);
+//! 2. every shard processes its local events in `[lb, lb + lookahead)`
+//!    (one scoped worker thread per shard when `shards > 1`, inline
+//!    otherwise);
+//! 3. cross-region sends produced during the window were buffered into
+//!    per-shard-pair **mailboxes** (each written by exactly one shard and
+//!    read by exactly one shard); at the barrier they are merged into the
+//!    destination shard's wheel in `(arrive, source region, emission
+//!    seq)` order.
+//!
+//! ## Determinism
+//!
+//! A parallel run's trace is **byte-identical to the sequential
+//! (`shards = 1`) run at any shard count**, by construction:
+//!
+//! * a region is always wholly inside one shard, so intra-region events
+//!   are scheduled and popped in an order determined only by that
+//!   region's own deterministic history — interleaving with other
+//!   regions hosted on the same shard cannot reorder two events of the
+//!   same region (the wheel's `(time, seq)` order restricted to one
+//!   region's events is the region's own insertion order);
+//! * every RNG stream is per-node (including the unicast-loss stream,
+//!   which the single-`Sim` engine draws from one global generator), so
+//!   no draw depends on cross-region event interleaving;
+//! * cross-region messages are tagged with their source region and a
+//!   per-source-region emission counter and merged at barriers in that
+//!   canonical order, which does not depend on how regions are grouped
+//!   into shards, or on thread scheduling;
+//! * window boundaries themselves are a function of the global event-time
+//!   structure only, so the barrier at which a message merges is also
+//!   layout-independent.
+//!
+//! The price of the windowed semantics is that they are *not* the
+//! single-queue semantics of [`Sim`](crate::sim::Sim): two same-instant
+//! events in different regions may dispatch in a different relative order
+//! (which no per-node observable can see), and cross-region ties at one
+//! instant resolve in canonical merge order rather than global send
+//! order. `ShardedSim` is therefore its own engine with `shards = 1` as
+//! its sequential oracle; the trace-equality suite asserts byte-identical
+//! traces across shard counts 1/2/4.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use crate::event::EventQueue;
+use crate::loss::{DeliveryPlan, LossModel};
+use crate::rng::SeedSequence;
+use crate::sim::{Ctx, NetCounters, Op, SimEvent, SimNode, TimerSlab};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, RegionId, Topology};
+
+/// The per-node unicast-loss RNG stream id: disjoint from the per-node
+/// protocol streams (`0..n`) and from the single-`Sim` global loss stream
+/// (`u64::MAX / 2`).
+fn loss_stream(node: NodeId) -> u64 {
+    (1u64 << 63) | u64::from(node.0)
+}
+
+/// A cross-region send buffered in a mailbox until the next barrier.
+///
+/// `(arrive, src_region, emit_seq)` is the canonical merge key: it is
+/// assigned by the *sending region's* deterministic execution, so the
+/// merged order cannot depend on the shard layout or thread scheduling.
+struct CrossEvent<M> {
+    arrive: SimTime,
+    src_region: u16,
+    emit_seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// A deterministic per-packet drop predicate (return `true` to drop).
+/// Shards consult it concurrently, hence `Fn + Send + Sync`.
+pub type DropFilter<M> = dyn Fn(NodeId, NodeId, &M) -> bool + Send + Sync;
+
+/// Read-only environment shared by every shard during a window.
+struct ShardEnv<'a, M> {
+    topo: &'a Topology,
+    region_shard: &'a [u32],
+    unicast_loss: &'a LossModel,
+    drop_filter: Option<&'a DropFilter<M>>,
+}
+
+/// One shard: a subset of regions with private queue, timers, RNGs,
+/// scratch buffers, and outgoing mailboxes.
+struct ShardState<N: SimNode> {
+    /// Global ids of the nodes this shard owns, ascending.
+    node_ids: Vec<NodeId>,
+    nodes: Vec<N>,
+    rngs: Vec<StdRng>,
+    /// Per-node unicast-loss streams (the single-`Sim` engine uses one
+    /// global stream, which would make draws depend on cross-shard event
+    /// interleaving).
+    loss_rngs: Vec<StdRng>,
+    /// Global node index → local index (`u32::MAX` when not owned).
+    local_of: Vec<u32>,
+    queue: EventQueue<SimEvent<N::Msg>>,
+    timers: TimerSlab,
+    counters: NetCounters,
+    now: SimTime,
+    scratch_ops: Vec<Op<N::Msg>>,
+    scratch_targets: Vec<NodeId>,
+    target_pool: Vec<Vec<NodeId>>,
+    scratch_groups: Vec<(SimTime, Vec<NodeId>)>,
+    /// Cross-region sends awaiting the next barrier, one mailbox per
+    /// destination shard. Each mailbox has a single producer (this shard)
+    /// and a single consumer (the destination, via the coordinator).
+    outboxes: Vec<Vec<CrossEvent<N::Msg>>>,
+    /// Per-source-region emission counters (indexed by global region id;
+    /// only this shard's regions ever advance).
+    emit_seqs: Vec<u64>,
+}
+
+impl<N: SimNode> ShardState<N> {
+    /// Processes every local event at or before `limit`.
+    fn run_window(&mut self, env: &ShardEnv<'_, N::Msg>, limit: SimTime) {
+        while let Some((at, event)) = self.queue.pop_at_or_before(limit) {
+            self.dispatch_event(env, at, event);
+        }
+    }
+
+    /// Schedules a sorted inbox batch into the local wheel — the barrier
+    /// half of the mailbox protocol.
+    fn accept_inbox(&mut self, inbox: Vec<CrossEvent<N::Msg>>) {
+        for e in inbox {
+            self.queue.schedule(e.arrive, SimEvent::Deliver { to: e.to, from: e.from, msg: e.msg });
+        }
+    }
+
+    fn dispatch_event(&mut self, env: &ShardEnv<'_, N::Msg>, at: SimTime, event: SimEvent<N::Msg>) {
+        debug_assert!(at >= self.now, "time went backwards inside a shard");
+        match event {
+            SimEvent::Deliver { to, from, msg } => {
+                self.now = at;
+                self.counters.delivered += 1;
+                self.counters.events_processed += 1;
+                let local = self.local_of[to.index()] as usize;
+                self.dispatch_with(env, local, |node, ctx| node.on_packet(ctx, from, msg));
+            }
+            SimEvent::DeliverBatch { from, mut targets, msg } => {
+                self.now = at;
+                crate::sim::expand_batch(&targets, msg, |to, copy| {
+                    self.counters.delivered += 1;
+                    self.counters.events_processed += 1;
+                    self.counters.batched_deliveries += 1;
+                    let local = self.local_of[to.index()] as usize;
+                    self.dispatch_with(env, local, |node, ctx| node.on_packet(ctx, from, copy));
+                });
+                targets.clear();
+                self.target_pool.push(targets);
+            }
+            SimEvent::Timer { node, token, id } => {
+                if !self.timers.retire(id) {
+                    return; // cancelled; consume silently
+                }
+                self.now = at;
+                self.counters.timers_fired += 1;
+                self.counters.events_processed += 1;
+                let local = self.local_of[node.index()] as usize;
+                self.dispatch_with(env, local, |n, ctx| n.on_timer(ctx, token));
+            }
+        }
+    }
+
+    fn dispatch_with<F>(&mut self, env: &ShardEnv<'_, N::Msg>, local: usize, f: F)
+    where
+        F: FnOnce(&mut N, &mut Ctx<'_, N::Msg>),
+    {
+        debug_assert!(self.scratch_ops.is_empty() && self.scratch_targets.is_empty());
+        let mut ops = std::mem::take(&mut self.scratch_ops);
+        let mut targets = std::mem::take(&mut self.scratch_targets);
+        let from = self.node_ids[local];
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: from,
+                topo: env.topo,
+                rng: &mut self.rngs[local],
+                ops: &mut ops,
+                targets: &mut targets,
+                timers: &mut self.timers,
+                fanout_ops: true,
+            };
+            f(&mut self.nodes[local], &mut ctx);
+        }
+        for op in ops.drain(..) {
+            match op {
+                Op::Send { to, msg } => self.transmit(env, local, from, to, msg),
+                Op::SendMany { start, len, msg } => {
+                    self.counters.fanouts += 1;
+                    let range = start as usize..(start + len) as usize;
+                    self.transmit_fanout(env, local, from, targets[range].iter().copied(), msg);
+                }
+                Op::SendGroup { msg } => {
+                    self.counters.fanouts += 1;
+                    let n = env.topo.node_count() as u32;
+                    self.transmit_fanout(
+                        env,
+                        local,
+                        from,
+                        (0..n).map(NodeId).filter(|&to| to != from),
+                        msg,
+                    );
+                }
+                Op::SetTimer { id, token, at } => {
+                    self.counters.timers_set += 1;
+                    self.queue.schedule(at, SimEvent::Timer { node: from, token, id });
+                }
+                Op::Cancel { .. } => {
+                    unreachable!("sharded shards always run the generation-slab cancel path")
+                }
+            }
+        }
+        targets.clear();
+        self.scratch_ops = ops;
+        self.scratch_targets = targets;
+    }
+
+    /// Routes one surviving send: same-region destinations go straight
+    /// into the local wheel, cross-region destinations into the mailbox
+    /// for the destination's shard (even when that is this shard — the
+    /// canonical barrier order must not depend on the layout).
+    fn route(
+        &mut self,
+        env: &ShardEnv<'_, N::Msg>,
+        src_region: RegionId,
+        arrive: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: N::Msg,
+    ) {
+        if env.topo.region_of(to) == src_region {
+            self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg });
+        } else {
+            let emit = &mut self.emit_seqs[src_region.index()];
+            let emit_seq = *emit;
+            *emit += 1;
+            let dest = env.region_shard[env.topo.region_of(to).index()] as usize;
+            self.outboxes[dest].push(CrossEvent {
+                arrive,
+                src_region: src_region.0,
+                emit_seq,
+                from,
+                to,
+                msg,
+            });
+        }
+    }
+
+    fn transmit(
+        &mut self,
+        env: &ShardEnv<'_, N::Msg>,
+        local_from: usize,
+        from: NodeId,
+        to: NodeId,
+        msg: N::Msg,
+    ) {
+        self.counters.unicasts_sent += 1;
+        let filtered = env.drop_filter.is_some_and(|f| f(from, to, &msg));
+        let lost = filtered || env.unicast_loss.drops_unicast(&mut self.loss_rngs[local_from]);
+        if lost {
+            self.counters.unicasts_dropped += 1;
+            return;
+        }
+        let arrive = self.now + env.topo.one_way_latency(from, to);
+        self.route(env, env.topo.region_of(from), arrive, from, to, msg);
+    }
+
+    /// Fan-out with per-destination loss draws in destination order from
+    /// the **sender's** loss stream; same-region survivors batch per
+    /// arrival time exactly like `Sim`, cross-region survivors go to the
+    /// mailboxes one event each.
+    fn transmit_fanout<I>(
+        &mut self,
+        env: &ShardEnv<'_, N::Msg>,
+        local_from: usize,
+        from: NodeId,
+        targets: I,
+        msg: N::Msg,
+    ) where
+        I: Iterator<Item = NodeId>,
+    {
+        debug_assert!(self.scratch_groups.is_empty());
+        let mut groups = std::mem::take(&mut self.scratch_groups);
+        let src_region = env.topo.region_of(from);
+        for to in targets {
+            self.counters.unicasts_sent += 1;
+            let filtered = env.drop_filter.is_some_and(|f| f(from, to, &msg));
+            let lost = filtered || env.unicast_loss.drops_unicast(&mut self.loss_rngs[local_from]);
+            if lost {
+                self.counters.unicasts_dropped += 1;
+                continue;
+            }
+            let arrive = self.now + env.topo.one_way_latency(from, to);
+            if env.topo.region_of(to) == src_region {
+                crate::sim::group_fanout_target(&mut self.target_pool, &mut groups, arrive, to);
+            } else {
+                self.route(env, src_region, arrive, from, to, msg.clone());
+            }
+        }
+        // Flush the same-region arrival groups — the exact grouping and
+        // clone discipline `Sim` uses, via the shared helpers.
+        crate::sim::flush_fanout_groups(from, msg, &mut groups, &mut self.target_pool, |at, ev| {
+            self.queue.schedule(at, ev);
+        });
+        self.scratch_groups = groups;
+    }
+}
+
+/// The inclusive end of a window opening at the global lower bound `lb`,
+/// capped at `limit` — shared by the inline and threaded drivers so the
+/// conservative bound can never diverge between the sequential oracle and
+/// a parallel run.
+fn window_end(lookahead: Option<SimDuration>, lb: SimTime, limit: SimTime) -> SimTime {
+    match lookahead {
+        // `lb + L - 1` inclusive: a message sent at `s <= lb + L - 1`
+        // arrives at `s + d >= lb + L`, strictly after the window.
+        Some(l) if !l.is_zero() => lb.saturating_add(l - SimDuration::from_micros(1)).min(limit),
+        // Zero lookahead: degrade to one instant per window (correct,
+        // sequentially slow — conservative parallelism has nothing to
+        // exploit). `None` means a single region: no cross-region traffic
+        // can exist, so the window may span the whole run.
+        Some(_) => lb,
+        None => limit,
+    }
+}
+
+/// One window command sent to a shard worker: schedule the (pre-sorted)
+/// inbox batch, then process everything at or before `limit`.
+struct WindowCmd<M> {
+    limit: SimTime,
+    inbox: Vec<CrossEvent<M>>,
+}
+
+/// A worker's barrier report: its drained mailboxes and the time of its
+/// next local event.
+struct WindowReport<M> {
+    shard: usize,
+    outboxes: Vec<Vec<CrossEvent<M>>>,
+    next_time: Option<SimTime>,
+}
+
+/// The conservatively parallel, region-sharded discrete-event simulator.
+///
+/// Hosts the same [`SimNode`] implementations as [`Sim`](crate::sim::Sim)
+/// with the same [`Ctx`] API. `shards = 1` is the sequential special
+/// case: no worker threads are spawned and the (single) mailbox is
+/// drained inline — it defines the canonical trace that every parallel
+/// run reproduces byte for byte. See the [module docs](self) for the
+/// windowed execution model and the determinism argument.
+pub struct ShardedSim<N: SimNode> {
+    topo: Topology,
+    states: Vec<ShardState<N>>,
+    /// Region index → owning shard.
+    region_shard: Vec<u32>,
+    /// Node index → owning shard.
+    node_shard: Vec<u32>,
+    lookahead: Option<SimDuration>,
+    unicast_loss: LossModel,
+    drop_filter: Option<Arc<DropFilter<N::Msg>>>,
+    now: SimTime,
+    started: bool,
+    /// Reused cross-event staging buffer for inline barrier merges.
+    merge_scratch: Vec<CrossEvent<N::Msg>>,
+}
+
+impl<N: SimNode> std::fmt::Debug for ShardedSim<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("now", &self.now)
+            .field("shards", &self.states.len())
+            .field("lookahead", &self.lookahead)
+            .field(
+                "pending_events",
+                &self
+                    .states
+                    .iter()
+                    .map(|s| s.queue.len() + s.outboxes.iter().map(Vec::len).sum::<usize>())
+                    .sum::<usize>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// Round-robin assignment of regions to shards. Any deterministic
+/// assignment yields the same traces (that is the point of the canonical
+/// mailbox order); round-robin balances equally sized regions exactly.
+fn partition_regions(topo: &Topology, shards: usize) -> Vec<u32> {
+    let shards = shards.clamp(1, topo.region_count().max(1));
+    (0..topo.region_count()).map(|r| (r % shards) as u32).collect()
+}
+
+impl<N> ShardedSim<N>
+where
+    N: SimNode + Send,
+    N::Msg: Send,
+{
+    /// Creates a sharded simulator over `topo` hosting `nodes` (one per
+    /// [`NodeId`], in order), partitioned into at most `shards` shards
+    /// (clamped to the region count; a region never splits). All
+    /// randomness derives from `seed`; traces are identical for every
+    /// value of `shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the topology's node count.
+    #[must_use]
+    pub fn new(topo: Topology, nodes: Vec<N>, seed: u64, shards: usize) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topo.node_count(),
+            "need exactly one node implementation per topology node"
+        );
+        let region_shard = partition_regions(&topo, shards);
+        let shard_count = region_shard.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        let node_shard: Vec<u32> =
+            topo.nodes().map(|n| region_shard[topo.region_of(n).index()]).collect();
+        let lookahead = topo.lookahead();
+        let mut sim = ShardedSim {
+            states: Vec::with_capacity(shard_count),
+            region_shard,
+            node_shard,
+            lookahead,
+            unicast_loss: LossModel::None,
+            drop_filter: None,
+            now: SimTime::ZERO,
+            started: false,
+            merge_scratch: Vec::new(),
+            topo,
+        };
+        sim.build_states(nodes, seed, shard_count);
+        sim
+    }
+
+    /// Distributes `nodes` into fresh per-shard states.
+    fn build_states(&mut self, nodes: Vec<N>, seed: u64, shard_count: usize) {
+        let seq = SeedSequence::new(seed);
+        let node_count = self.topo.node_count();
+        let region_count = self.topo.region_count();
+        self.states = (0..shard_count)
+            .map(|_| ShardState {
+                node_ids: Vec::new(),
+                nodes: Vec::new(),
+                rngs: Vec::new(),
+                loss_rngs: Vec::new(),
+                local_of: vec![u32::MAX; node_count],
+                queue: EventQueue::new(),
+                timers: TimerSlab::default(),
+                counters: NetCounters::default(),
+                now: SimTime::ZERO,
+                scratch_ops: Vec::new(),
+                scratch_targets: Vec::new(),
+                target_pool: Vec::new(),
+                scratch_groups: Vec::new(),
+                outboxes: (0..shard_count).map(|_| Vec::new()).collect(),
+                emit_seqs: vec![0; region_count],
+            })
+            .collect();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            let st = &mut self.states[self.node_shard[i] as usize];
+            st.local_of[i] = st.nodes.len() as u32;
+            st.node_ids.push(id);
+            st.nodes.push(node);
+            st.rngs.push(seq.rng_for(i as u64));
+            st.loss_rngs.push(seq.rng_for(loss_stream(id)));
+        }
+    }
+
+    /// Resets for a fresh run over the same topology and shard layout:
+    /// replaces the nodes, re-derives every RNG stream from `seed`, and
+    /// clears queues, timers, mailboxes, and counters while keeping their
+    /// allocations warm (per-shard [`EventQueue::clear`] semantics). The
+    /// loss model and drop filter are retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the topology's node count.
+    pub fn reset(&mut self, nodes: Vec<N>, seed: u64) {
+        assert_eq!(
+            nodes.len(),
+            self.topo.node_count(),
+            "need exactly one node implementation per topology node"
+        );
+        let seq = SeedSequence::new(seed);
+        for st in &mut self.states {
+            st.nodes.clear();
+            st.rngs.clear();
+            st.loss_rngs.clear();
+            st.queue.clear();
+            st.timers.reset();
+            st.counters = NetCounters::default();
+            st.now = SimTime::ZERO;
+            for ob in &mut st.outboxes {
+                ob.clear();
+            }
+            for e in &mut st.emit_seqs {
+                *e = 0;
+            }
+        }
+        for (i, node) in nodes.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            let st = &mut self.states[self.node_shard[i] as usize];
+            debug_assert_eq!(st.local_of[i] as usize, st.nodes.len());
+            st.nodes.push(node);
+            st.rngs.push(seq.rng_for(i as u64));
+            st.loss_rngs.push(seq.rng_for(loss_stream(id)));
+        }
+        self.now = SimTime::ZERO;
+        self.started = false;
+    }
+
+    /// Number of shards actually in use.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The window length: `Some(min inter-region one-way latency)`, or
+    /// `None` for a single-region topology (one unbounded window).
+    #[must_use]
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// Sets the loss model applied to every unicast send. Unlike the
+    /// single-queue engine, draws come from **per-sender-node** streams
+    /// (a global stream would make draws depend on the shard layout).
+    pub fn set_unicast_loss(&mut self, model: LossModel) {
+        self.unicast_loss = model;
+    }
+
+    /// Installs a deterministic drop filter consulted for every packet
+    /// (return `true` to drop). Shards consult it concurrently, so it
+    /// must be `Fn + Send + Sync` — pure decision logic only.
+    pub fn set_drop_filter<F>(&mut self, f: F)
+    where
+        F: Fn(NodeId, NodeId, &N::Msg) -> bool + Send + Sync + 'static,
+    {
+        self.drop_filter = Some(Arc::new(f));
+    }
+
+    /// Current simulated time (the conservative global clock).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Aggregated network counters across all shards.
+    #[must_use]
+    pub fn counters(&self) -> NetCounters {
+        let mut total = NetCounters::default();
+        for st in &self.states {
+            // Exhaustive destructuring: adding a field to `NetCounters`
+            // without aggregating it here is a compile error, not a
+            // silent zero.
+            let NetCounters {
+                unicasts_sent,
+                unicasts_dropped,
+                delivered,
+                timers_set,
+                timers_fired,
+                events_processed,
+                fanouts,
+                batched_deliveries,
+            } = st.counters;
+            total.unicasts_sent += unicasts_sent;
+            total.unicasts_dropped += unicasts_dropped;
+            total.delivered += delivered;
+            total.timers_set += timers_set;
+            total.timers_fired += timers_fired;
+            total.events_processed += events_processed;
+            total.fanouts += fanouts;
+            total.batched_deliveries += batched_deliveries;
+        }
+        total
+    }
+
+    /// Number of pending events (wheels plus undelivered mailboxes).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| s.queue.len() + s.outboxes.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &N {
+        let st = &self.states[self.node_shard[id.index()] as usize];
+        &st.nodes[st.local_of[id.index()] as usize]
+    }
+
+    /// Mutable access to a node (between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        let st = &mut self.states[self.node_shard[id.index()] as usize];
+        let local = st.local_of[id.index()] as usize;
+        &mut st.nodes[local]
+    }
+
+    /// Iterates over all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.topo.nodes().map(move |id| (id, self.node(id)))
+    }
+
+    /// Injects a packet from `from` arriving at `to` at absolute time
+    /// `at`, bypassing latency, loss, and the mailboxes (injection order
+    /// is the experiment script's call order, which is layout-invariant).
+    pub fn inject(&mut self, to: NodeId, from: NodeId, msg: N::Msg, at: SimTime) {
+        let st = &mut self.states[self.node_shard[to.index()] as usize];
+        st.queue.schedule(at, SimEvent::Deliver { to, from, msg });
+    }
+
+    /// Injects one multicast transmission according to a
+    /// [`DeliveryPlan`]: every plan holder other than `from` receives
+    /// `msg` at `at + one_way_latency(from, holder)`.
+    pub fn inject_multicast_plan(
+        &mut self,
+        from: NodeId,
+        msg: &N::Msg,
+        plan: &DeliveryPlan,
+        at: SimTime,
+    ) {
+        for to in plan.holders() {
+            if to == from {
+                continue;
+            }
+            let arrive = at + self.topo.one_way_latency(from, to);
+            self.inject(to, from, msg.clone(), arrive);
+        }
+    }
+
+    /// Injects a multicast where every holder receives `msg` at exactly
+    /// `at` (zero latency).
+    pub fn inject_simultaneous(
+        &mut self,
+        from: NodeId,
+        msg: &N::Msg,
+        plan: &DeliveryPlan,
+        at: SimTime,
+    ) {
+        for to in plan.holders() {
+            if to == from {
+                continue;
+            }
+            self.inject(to, from, msg.clone(), at);
+        }
+    }
+
+    /// Schedules an external timer on `node` at absolute time `at`.
+    pub fn schedule_external_timer(&mut self, node: NodeId, token: u64, at: SimTime) {
+        let st = &mut self.states[self.node_shard[node.index()] as usize];
+        let id = st.timers.arm();
+        st.counters.timers_set += 1;
+        st.queue.schedule(at, SimEvent::Timer { node, token, id });
+    }
+
+    /// Runs each node's [`SimNode::on_start`] callback (at most once),
+    /// then delivers any cross-region sends they produced.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let Self { ref topo, ref region_shard, ref unicast_loss, ref drop_filter, .. } = *self;
+        let env =
+            ShardEnv { topo, region_shard, unicast_loss, drop_filter: drop_filter.as_deref() };
+        for st in &mut self.states {
+            for local in 0..st.nodes.len() {
+                st.dispatch_with(&env, local, |node, ctx| node.on_start(ctx));
+            }
+        }
+    }
+
+    /// Earliest pending wheel event across shards (mailboxes must have
+    /// been routed first).
+    fn min_peek(&self) -> Option<SimTime> {
+        self.states.iter().filter_map(|s| s.queue.peek_time()).min()
+    }
+
+    /// Drains every mailbox into its destination wheel in canonical
+    /// `(arrive, src_region, emit_seq)` order — the inline barrier.
+    fn route_mailboxes(&mut self) {
+        for j in 0..self.states.len() {
+            let mut batch = std::mem::take(&mut self.merge_scratch);
+            debug_assert!(batch.is_empty());
+            for i in 0..self.states.len() {
+                batch.append(&mut self.states[i].outboxes[j]);
+            }
+            batch.sort_unstable_by_key(|e| (e.arrive, e.src_region, e.emit_seq));
+            let dest = &mut self.states[j];
+            for e in batch.drain(..) {
+                dest.queue
+                    .schedule(e.arrive, SimEvent::Deliver { to: e.to, from: e.from, msg: e.msg });
+            }
+            self.merge_scratch = batch;
+        }
+    }
+
+    /// Processes every event at or before `t`, then advances the clock to
+    /// exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.advance(t);
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Runs until no events remain or the clock would pass `limit`.
+    /// Returns the time of the last processed event (or the current time
+    /// if nothing ran).
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+        self.advance(limit);
+        self.now
+    }
+
+    /// The window loop: picks the sequential or threaded driver.
+    fn advance(&mut self, limit: SimTime) {
+        self.start();
+        if self.states.len() == 1 {
+            self.advance_inline(limit);
+        } else {
+            self.advance_parallel(limit);
+        }
+        // Monotone global clock: `processed` only reflects events at or
+        // before past limits, and a run with an earlier horizon than a
+        // previous one must not rewind `now` (matching `Sim`).
+        let processed = self.states.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO);
+        self.now = self.now.max(processed);
+    }
+
+    /// Sequential window loop: the `shards = 1` special case (also used
+    /// as the oracle in tests). No threads, no channel traffic; the
+    /// mailbox merge is an inline sort of this shard's own cross-region
+    /// sends.
+    fn advance_inline(&mut self, limit: SimTime) {
+        loop {
+            self.route_mailboxes();
+            let Some(lb) = self.min_peek() else { break };
+            if lb > limit {
+                break;
+            }
+            let end = window_end(self.lookahead, lb, limit);
+            let Self { ref topo, ref region_shard, ref unicast_loss, ref drop_filter, .. } = *self;
+            let env =
+                ShardEnv { topo, region_shard, unicast_loss, drop_filter: drop_filter.as_deref() };
+            for st in &mut self.states {
+                st.run_window(&env, end);
+            }
+        }
+    }
+
+    /// Threaded window loop: one scoped worker per shard, coordinated by
+    /// this thread through per-shard command channels and one report
+    /// channel. Shard states move into the workers for the duration of
+    /// the call and return through the scope's join handles.
+    fn advance_parallel(&mut self, limit: SimTime) {
+        self.route_mailboxes();
+        match self.min_peek() {
+            // Nothing to run before the horizon: don't pay shards x
+            // (thread spawn + channel setup + join) for zero windows —
+            // the cost profile scripts that step a sim in small
+            // increments would otherwise hit on every no-op call.
+            None => return,
+            Some(lb) if lb > limit => return,
+            Some(_) => {}
+        }
+        let n = self.states.len();
+        let mut next_times: Vec<Option<SimTime>> =
+            self.states.iter().map(|s| s.queue.peek_time()).collect();
+        let mut pending: Vec<Vec<CrossEvent<N::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let states = std::mem::take(&mut self.states);
+        let Self { ref topo, ref region_shard, ref unicast_loss, ref drop_filter, .. } = *self;
+        let loss = unicast_loss.clone();
+        let filter = drop_filter.clone();
+        let lookahead = self.lookahead;
+
+        let recovered = std::thread::scope(|scope| {
+            let (report_tx, report_rx) = mpsc::channel::<WindowReport<N::Msg>>();
+            let mut cmd_txs = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for (i, mut st) in states.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd<N::Msg>>();
+                let report = report_tx.clone();
+                let loss = &loss;
+                let filter = filter.as_deref();
+                handles.push(scope.spawn(move || {
+                    let env =
+                        ShardEnv { topo, region_shard, unicast_loss: loss, drop_filter: filter };
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        st.accept_inbox(cmd.inbox);
+                        st.run_window(&env, cmd.limit);
+                        let outboxes = st.outboxes.iter_mut().map(std::mem::take).collect();
+                        let sent = report.send(WindowReport {
+                            shard: i,
+                            outboxes,
+                            next_time: st.queue.peek_time(),
+                        });
+                        if sent.is_err() {
+                            break;
+                        }
+                    }
+                    st
+                }));
+                cmd_txs.push(cmd_tx);
+            }
+            drop(report_tx);
+
+            'windows: loop {
+                let mut lb = next_times.iter().flatten().min().copied();
+                for batch in &pending {
+                    // Batches are sorted: the head holds the minimum arrival.
+                    if let Some(e) = batch.first() {
+                        lb = Some(lb.map_or(e.arrive, |t| t.min(e.arrive)));
+                    }
+                }
+                let Some(lb) = lb else { break };
+                if lb > limit {
+                    break;
+                }
+                let end = window_end(lookahead, lb, limit);
+                for (j, tx) in cmd_txs.iter().enumerate() {
+                    let cmd = WindowCmd { limit: end, inbox: std::mem::take(&mut pending[j]) };
+                    if tx.send(cmd).is_err() {
+                        // The worker's receiver is gone: it panicked. Bail
+                        // out to the joins below, which rethrow its panic.
+                        break 'windows;
+                    }
+                }
+                let mut reported = 0;
+                while reported < n {
+                    match report_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                        Ok(rep) => {
+                            next_times[rep.shard] = rep.next_time;
+                            for (j, mut out) in rep.outboxes.into_iter().enumerate() {
+                                pending[j].append(&mut out);
+                            }
+                            reported += 1;
+                        }
+                        // A worker that finished before its command channel
+                        // closed has panicked; waiting for its report would
+                        // hang forever. Fall through to the joins, which
+                        // rethrow the panic.
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if handles.iter().any(|h| h.is_finished()) {
+                                break 'windows;
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break 'windows,
+                    }
+                }
+                for batch in &mut pending {
+                    batch.sort_unstable_by_key(|e| (e.arrive, e.src_region, e.emit_seq));
+                }
+            }
+
+            drop(cmd_txs); // closes the command channels; workers return
+            let mut states = Vec::with_capacity(n);
+            for h in handles {
+                match h.join() {
+                    Ok(st) => states.push(st),
+                    // Propagate a node-callback panic with its original
+                    // payload instead of deadlocking the barrier.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            (states, pending)
+        });
+        let (mut states, pending) = recovered;
+        // Leftover cross-region events past `limit`: schedule them now so
+        // the wheel insertion order matches the inline driver's final
+        // barrier (batches are already canonically sorted).
+        for (j, batch) in pending.into_iter().enumerate() {
+            states[j].accept_inbox(batch);
+        }
+        self.states = states;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+    use crate::topology::{presets, TopologyBuilder};
+    use rand::Rng;
+
+    /// Node that records everything it observes.
+    #[derive(Default)]
+    struct Probe {
+        packets: Vec<(SimTime, NodeId, u32)>,
+        timers: Vec<(SimTime, u64)>,
+    }
+
+    impl SimNode for Probe {
+        type Msg = u32;
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            self.packets.push((ctx.now(), from, msg));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, token: u64) {
+            self.timers.push((ctx.now(), token));
+        }
+    }
+
+    fn probes(n: usize) -> Vec<Probe> {
+        (0..n).map(|_| Probe::default()).collect()
+    }
+
+    fn two_region_topo() -> Topology {
+        TopologyBuilder::new()
+            .intra_region_one_way(SimDuration::from_millis(5))
+            .inter_region_one_way(SimDuration::from_millis(20))
+            .region(2, None)
+            .region(2, Some(0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn latencies_respected_across_regions() {
+        for shards in [1usize, 2] {
+            let mut sim = ShardedSim::new(two_region_topo(), probes(4), 1, shards);
+            assert_eq!(sim.shards(), shards);
+            assert_eq!(sim.lookahead(), Some(SimDuration::from_millis(20)));
+            sim.inject(NodeId(1), NodeId(0), 7, SimTime::ZERO);
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            assert_eq!(sim.node(NodeId(1)).packets, vec![(SimTime::ZERO, NodeId(0), 7)]);
+        }
+    }
+
+    /// Forwards a hop counter to a pseudo-random node (often crossing
+    /// regions), exercising cross-region routing, per-node RNG streams,
+    /// and mailbox merges.
+    struct Gossiper {
+        log: Vec<(SimTime, NodeId, u32)>,
+    }
+
+    impl SimNode for Gossiper {
+        type Msg = u32;
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            self.log.push((ctx.now(), from, msg));
+            if msg > 0 {
+                let n = ctx.topology().node_count() as u32;
+                let mut to = NodeId(ctx.rng().gen_range(0..n));
+                if to == ctx.self_id() {
+                    to = NodeId((to.0 + 1) % n);
+                }
+                ctx.send(to, msg - 1);
+            }
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+    }
+
+    type Trace = Vec<Vec<(SimTime, NodeId, u32)>>;
+
+    fn gossip_trace(shards: usize, seed: u64, loss: bool) -> (Trace, NetCounters) {
+        let topo = presets::region_tree(4, 2, 2, SimDuration::from_millis(25));
+        let n = topo.node_count();
+        let nodes = (0..n).map(|_| Gossiper { log: Vec::new() }).collect();
+        let mut sim = ShardedSim::new(topo, nodes, seed, shards);
+        if loss {
+            sim.set_unicast_loss(LossModel::Bernoulli { p: 0.2 });
+        }
+        sim.inject(NodeId(0), NodeId(3), 200, SimTime::ZERO);
+        sim.inject(NodeId(9), NodeId(0), 150, SimTime::from_millis(3));
+        sim.run_until_quiescent(SimTime::from_secs(60));
+        let traces = (0..n as u32).map(|i| sim.node(NodeId(i)).log.clone()).collect();
+        (traces, sim.counters())
+    }
+
+    #[test]
+    fn gossip_traces_identical_across_shard_counts() {
+        for seed in [1u64, 42, 99] {
+            let one = gossip_trace(1, seed, true);
+            for shards in [2usize, 3, 4, 7] {
+                assert_eq!(one, gossip_trace(shards, seed, true), "shards={shards} seed={seed}");
+            }
+        }
+    }
+
+    /// Fans out to the whole group on start; exercises cross-region
+    /// fan-out splitting (local batch + mailbox per remote destination).
+    struct GroupCaster {
+        got: Vec<(SimTime, NodeId, u32)>,
+    }
+
+    impl SimNode for GroupCaster {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.self_id() == NodeId(0) {
+                ctx.send_group(9);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            self.got.push((ctx.now(), from, msg));
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+    }
+
+    #[test]
+    fn group_fanout_crosses_shards() {
+        for shards in [1usize, 2, 4] {
+            let topo = TopologyBuilder::new()
+                .inter_region_one_way(SimDuration::from_millis(25))
+                .region(3, None)
+                .region(3, Some(0))
+                .region(3, Some(0))
+                .region(3, Some(1))
+                .build()
+                .unwrap();
+            let nodes = (0..12).map(|_| GroupCaster { got: Vec::new() }).collect();
+            let mut sim = ShardedSim::new(topo, nodes, 5, shards);
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            let c = sim.counters();
+            assert_eq!(c.unicasts_sent, 11, "shards={shards}");
+            assert_eq!(c.delivered, 11, "shards={shards}");
+            // Same-region destinations arrive at 5ms, the rest at 25ms.
+            assert_eq!(sim.node(NodeId(1)).got, vec![(SimTime::from_millis(5), NodeId(0), 9)]);
+            assert_eq!(sim.node(NodeId(11)).got, vec![(SimTime::from_millis(25), NodeId(0), 9)]);
+        }
+    }
+
+    #[test]
+    fn single_region_matches_plain_sim() {
+        // No cross-region traffic and no loss draws: the sharded engine
+        // and the single-queue engine see identical schedules.
+        let run_sharded = || {
+            let mut sim = ShardedSim::new(presets::paper_region(6), probes(6), 3, 4);
+            assert_eq!(sim.shards(), 1, "single region clamps to one shard");
+            sim.inject(NodeId(2), NodeId(0), 4, SimTime::from_millis(1));
+            sim.schedule_external_timer(NodeId(5), 77, SimTime::from_millis(2));
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            (sim.node(NodeId(2)).packets.clone(), sim.node(NodeId(5)).timers.clone())
+        };
+        let run_plain = || {
+            let mut sim = Sim::new(presets::paper_region(6), probes(6), 3);
+            sim.inject(NodeId(2), NodeId(0), 4, SimTime::from_millis(1));
+            sim.schedule_external_timer(NodeId(5), 77, SimTime::from_millis(2));
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            (sim.node(NodeId(2)).packets.clone(), sim.node(NodeId(5)).timers.clone())
+        };
+        assert_eq!(run_sharded(), run_plain());
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let mut sim = ShardedSim::new(two_region_topo(), probes(4), 8, 2);
+        sim.inject(NodeId(1), NodeId(0), 1, SimTime::from_millis(10));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        assert!(sim.node(NodeId(1)).packets.is_empty());
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.node(NodeId(1)).packets.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn clock_is_monotone_across_run_calls() {
+        for shards in [1usize, 2] {
+            let mut sim = ShardedSim::new(two_region_topo(), probes(4), 8, shards);
+            sim.run_until(SimTime::from_millis(10));
+            assert_eq!(sim.now(), SimTime::from_millis(10));
+            // A run with an earlier horizon must not rewind the clock
+            // (matching `Sim::run_until`).
+            sim.run_until(SimTime::from_millis(5));
+            assert_eq!(sim.now(), SimTime::from_millis(10), "shards={shards}");
+            let end = sim.run_until_quiescent(SimTime::from_millis(3));
+            assert_eq!(end, SimTime::from_millis(10), "shards={shards}");
+        }
+    }
+
+    /// Panics on its first packet — the worker-failure path.
+    struct Bomb;
+    impl SimNode for Bomb {
+        type Msg = u32;
+        fn on_packet(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {
+            panic!("boom: node callback failed");
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: u64) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "boom: node callback failed")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let nodes = (0..4).map(|_| Bomb).collect();
+        let mut sim = ShardedSim::new(two_region_topo(), nodes, 1, 2);
+        // Deliver into the second shard so a worker thread panics
+        // mid-window; the coordinator must rethrow, not hang at the
+        // barrier.
+        sim.inject(NodeId(2), NodeId(0), 1, SimTime::from_millis(1));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let topo = presets::region_tree(3, 2, 1, SimDuration::from_millis(25));
+        let n = topo.node_count();
+        let mk = || (0..n).map(|_| Gossiper { log: Vec::new() }).collect::<Vec<_>>();
+        let mut sim = ShardedSim::new(topo, mk(), 11, 3);
+        sim.inject(NodeId(0), NodeId(1), 60, SimTime::ZERO);
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        let first: Vec<_> = (0..n as u32).map(|i| sim.node(NodeId(i)).log.clone()).collect();
+        let counters = sim.counters();
+        sim.reset(mk(), 11);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.counters(), NetCounters::default());
+        sim.inject(NodeId(0), NodeId(1), 60, SimTime::ZERO);
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        let second: Vec<_> = (0..n as u32).map(|i| sim.node(NodeId(i)).log.clone()).collect();
+        assert_eq!(first, second);
+        assert_eq!(counters, sim.counters());
+    }
+
+    #[test]
+    fn drop_filter_applies_in_every_layout() {
+        for shards in [1usize, 2] {
+            let nodes = (0..4).map(|_| GroupCaster { got: Vec::new() }).collect();
+            let mut sim = ShardedSim::new(two_region_topo(), nodes, 9, shards);
+            sim.set_drop_filter(|_, to, _| to == NodeId(3));
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            let c = sim.counters();
+            assert_eq!(c.unicasts_sent, 3, "shards={shards}");
+            assert_eq!(c.unicasts_dropped, 1, "shards={shards}");
+            assert!(sim.node(NodeId(3)).got.is_empty());
+            assert_eq!(sim.node(NodeId(2)).got.len(), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use proptest::prelude::*;
+
+    /// One scripted action: after `delay_us`, send `payload` to the
+    /// `target`-th other node (unicast) or fan out to `fanout` successive
+    /// nodes — targets freely cross region and shard boundaries.
+    #[derive(Debug, Clone)]
+    struct Step {
+        delay_us: u64,
+        target: u32,
+        fanout: u8,
+        payload: u32,
+    }
+
+    /// Replays its script one step per timer fire and logs every packet
+    /// it receives — the observable `(time, seq)` pop order.
+    struct ScriptNode {
+        script: Vec<Step>,
+        step: usize,
+        log: Vec<(SimTime, NodeId, u32)>,
+    }
+
+    impl SimNode for ScriptNode {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if !self.script.is_empty() {
+                ctx.set_timer(SimDuration::from_micros(self.script[0].delay_us), 0);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            self.log.push((ctx.now(), from, msg));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _: u64) {
+            let Some(step) = self.script.get(self.step).cloned() else { return };
+            self.step += 1;
+            let n = ctx.topology().node_count() as u32;
+            let me = ctx.self_id();
+            if step.fanout == 0 {
+                let mut to = NodeId(step.target % n);
+                if to == me {
+                    to = NodeId((to.0 + 1) % n);
+                }
+                ctx.send(to, step.payload);
+            } else {
+                let targets: Vec<NodeId> = (0..u32::from(step.fanout) + 1)
+                    .map(|k| NodeId((step.target + k) % n))
+                    .filter(|&t| t != me)
+                    .collect();
+                ctx.send_many(targets, step.payload);
+            }
+            if let Some(next) = self.script.get(self.step) {
+                ctx.set_timer(SimDuration::from_micros(next.delay_us), 0);
+            }
+        }
+    }
+
+    fn arb_step() -> impl Strategy<Value = Step> {
+        (0u64..120_000, 0u32..64, 0u8..4, 0u32..1000).prop_map(
+            |(delay_us, target, fanout, payload)| Step { delay_us, target, fanout, payload },
+        )
+    }
+
+    fn arb_scripts() -> impl Strategy<Value = Vec<Vec<Step>>> {
+        // 12 nodes over 4 regions (3 each); up to 6 steps per node.
+        proptest::collection::vec(proptest::collection::vec(arb_step(), 0..6), 12..13)
+    }
+
+    type Trace = Vec<Vec<(SimTime, NodeId, u32)>>;
+
+    fn run_scripts(scripts: &[Vec<Step>], shards: usize, lossy: bool) -> (Trace, NetCounters) {
+        let topo = TopologyBuilder::new()
+            .intra_region_one_way(SimDuration::from_millis(1))
+            .inter_region_one_way(SimDuration::from_millis(10))
+            .region(3, None)
+            .region(3, Some(0))
+            .region(3, Some(0))
+            .region(3, Some(2))
+            .build()
+            .unwrap();
+        let nodes = scripts
+            .iter()
+            .map(|s| ScriptNode { script: s.clone(), step: 0, log: Vec::new() })
+            .collect();
+        let mut sim = ShardedSim::new(topo, nodes, 4242, shards);
+        if lossy {
+            sim.set_unicast_loss(LossModel::Bernoulli { p: 0.25 });
+        }
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let traces = (0..12u32).map(|i| sim.node(NodeId(i)).log.clone()).collect();
+        (traces, sim.counters())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The satellite contract: random cross-region send scripts pop
+        /// in identical `(time, seq)` order — observed as byte-identical
+        /// per-node `(time, from, payload)` traces — under 1, 2, and 4
+        /// shards, with and without unicast loss.
+        #[test]
+        fn mailbox_merge_is_layout_invariant(scripts in arb_scripts(), lossy in any::<bool>()) {
+            let sequential = run_scripts(&scripts, 1, lossy);
+            let two = run_scripts(&scripts, 2, lossy);
+            prop_assert_eq!(&sequential, &two, "2 shards diverged");
+            let four = run_scripts(&scripts, 4, lossy);
+            prop_assert_eq!(&sequential, &four, "4 shards diverged");
+        }
+    }
+}

@@ -209,8 +209,10 @@ pub trait SimNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64);
 }
 
-/// Buffered side effects produced during one callback.
-enum Op<M> {
+/// Buffered side effects produced during one callback. Shared with the
+/// sharded simulator ([`crate::shard`]), whose shards drain the same op
+/// language from the same [`Ctx`].
+pub(crate) enum Op<M> {
     /// Unicast to one destination.
     Send { to: NodeId, msg: M },
     /// One message to a contiguous range of the target arena.
@@ -229,17 +231,17 @@ enum Op<M> {
 /// Provides the current time, the node's own identity and RNG, the shared
 /// topology, and the means to send packets and set timers.
 pub struct Ctx<'a, M> {
-    now: SimTime,
-    self_id: NodeId,
-    topo: &'a Topology,
-    rng: &'a mut StdRng,
-    ops: &'a mut Vec<Op<M>>,
-    targets: &'a mut Vec<NodeId>,
-    timers: &'a mut TimerSlab,
+    pub(crate) now: SimTime,
+    pub(crate) self_id: NodeId,
+    pub(crate) topo: &'a Topology,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) ops: &'a mut Vec<Op<M>>,
+    pub(crate) targets: &'a mut Vec<NodeId>,
+    pub(crate) timers: &'a mut TimerSlab,
     /// When false (reference mode), multi-destination sends degrade to one
     /// op per destination with an eager clone — the straightforward
     /// implementation the default path is benchmarked against.
-    fanout_ops: bool,
+    pub(crate) fanout_ops: bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -346,7 +348,83 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
-enum SimEvent<M> {
+/// Appends `to` to the arrival-time group for `arrive`, opening a new
+/// pooled group if this is the first destination with that latency.
+///
+/// Shared by both engines ([`Sim`] and [`crate::shard::ShardedSim`]): the
+/// grouping discipline decides batch membership and batch order, which
+/// the byte-identical-trace guarantees depend on — one implementation,
+/// not two hand-synced copies.
+pub(crate) fn group_fanout_target(
+    target_pool: &mut Vec<Vec<NodeId>>,
+    groups: &mut Vec<(SimTime, Vec<NodeId>)>,
+    arrive: SimTime,
+    to: NodeId,
+) {
+    match groups.iter_mut().find(|(t, _)| *t == arrive) {
+        Some((_, batch)) => batch.push(to),
+        None => {
+            let mut batch = target_pool.pop().unwrap_or_default();
+            debug_assert!(batch.is_empty());
+            batch.push(to);
+            groups.push((arrive, batch));
+        }
+    }
+}
+
+/// Schedules one event per arrival-time group — a plain delivery for a
+/// single destination, a batch otherwise — in first-destination order,
+/// with the last group taking the original message and the rest shallow
+/// clones. Leaves `groups` empty with its capacity intact. Shared by both
+/// engines (see [`group_fanout_target`]).
+pub(crate) fn flush_fanout_groups<M: Clone>(
+    from: NodeId,
+    msg: M,
+    groups: &mut Vec<(SimTime, Vec<NodeId>)>,
+    target_pool: &mut Vec<Vec<NodeId>>,
+    mut schedule: impl FnMut(SimTime, SimEvent<M>),
+) {
+    let n = groups.len();
+    let mut msg = Some(msg);
+    for (i, (arrive, mut batch)) in groups.drain(..).enumerate() {
+        let copy = if i + 1 == n {
+            msg.take().expect("consumed only once")
+        } else {
+            msg.as_ref().expect("taken only at the end").clone()
+        };
+        if batch.len() == 1 {
+            let to = batch[0];
+            batch.clear();
+            target_pool.push(batch);
+            schedule(arrive, SimEvent::Deliver { to, from, msg: copy });
+        } else {
+            schedule(arrive, SimEvent::DeliverBatch { from, targets: batch, msg: copy });
+        }
+    }
+}
+
+/// Hands each batch target a copy of `msg` in target order, the **last**
+/// taking the original (with an `Arc`-backed payload the batch never deep
+/// copies). This is the lazy expansion of a region-timed batch event —
+/// the same clone discipline on both engines.
+pub(crate) fn expand_batch<M: Clone>(
+    targets: &[NodeId],
+    msg: M,
+    mut deliver: impl FnMut(NodeId, M),
+) {
+    let last = targets.len() - 1;
+    let mut msg = Some(msg);
+    for (i, &to) in targets.iter().enumerate() {
+        let copy = if i == last {
+            msg.take().expect("consumed only once")
+        } else {
+            msg.as_ref().expect("taken only at the end").clone()
+        };
+        deliver(to, copy);
+    }
+}
+
+pub(crate) enum SimEvent<M> {
     Deliver {
         to: NodeId,
         from: NodeId,
@@ -666,9 +744,11 @@ impl<N: SimNode> Sim<N> {
                 continue;
             }
             let arrive = at + self.topo.one_way_latency(from, to);
-            self.group_target(&mut groups, arrive, to);
+            group_fanout_target(&mut self.target_pool, &mut groups, arrive, to);
         }
-        self.flush_groups(from, msg.clone(), &mut groups);
+        flush_fanout_groups(from, msg.clone(), &mut groups, &mut self.target_pool, |at, ev| {
+            self.queue.schedule(at, ev);
+        });
         self.scratch_groups = groups;
     }
 
@@ -698,9 +778,11 @@ impl<N: SimNode> Sim<N> {
             if to == from {
                 continue;
             }
-            self.group_target(&mut groups, at, to);
+            group_fanout_target(&mut self.target_pool, &mut groups, at, to);
         }
-        self.flush_groups(from, msg.clone(), &mut groups);
+        flush_fanout_groups(from, msg.clone(), &mut groups, &mut self.target_pool, |at, ev| {
+            self.queue.schedule(at, ev);
+        });
         self.scratch_groups = groups;
     }
 
@@ -769,19 +851,12 @@ impl<N: SimNode> Sim<N> {
                 // reference queue would pop their consecutive sequence
                 // numbers.
                 self.now = at;
-                let last = targets.len() - 1;
-                let mut msg = Some(msg);
-                for (i, &to) in targets.iter().enumerate() {
-                    let copy = if i == last {
-                        msg.take().expect("consumed only once")
-                    } else {
-                        msg.as_ref().expect("taken only at the end").clone()
-                    };
+                expand_batch(&targets, msg, |to, copy| {
                     self.counters.delivered += 1;
                     self.counters.events_processed += 1;
                     self.counters.batched_deliveries += 1;
                     self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, copy));
-                }
+                });
                 targets.clear();
                 self.target_pool.push(targets);
                 true
@@ -910,59 +985,12 @@ impl<N: SimNode> Sim<N> {
                 continue;
             }
             let arrive = self.now + self.topo.one_way_latency(from, to);
-            self.group_target(&mut groups, arrive, to);
+            group_fanout_target(&mut self.target_pool, &mut groups, arrive, to);
         }
-        self.flush_groups(from, msg, &mut groups);
+        flush_fanout_groups(from, msg, &mut groups, &mut self.target_pool, |at, ev| {
+            self.queue.schedule(at, ev);
+        });
         self.scratch_groups = groups;
-    }
-
-    /// Appends `to` to the arrival-time group for `arrive`, opening a new
-    /// pooled group if this is the first destination with that latency.
-    fn group_target(
-        &mut self,
-        groups: &mut Vec<(SimTime, Vec<NodeId>)>,
-        arrive: SimTime,
-        to: NodeId,
-    ) {
-        match groups.iter_mut().find(|(t, _)| *t == arrive) {
-            Some((_, batch)) => batch.push(to),
-            None => {
-                let mut batch = self.target_pool.pop().unwrap_or_default();
-                debug_assert!(batch.is_empty());
-                batch.push(to);
-                groups.push((arrive, batch));
-            }
-        }
-    }
-
-    /// Schedules one event per arrival-time group — a plain delivery for a
-    /// single destination, a batch otherwise — in first-destination order,
-    /// with the last group taking the original message and the rest
-    /// shallow clones. Leaves `groups` empty with its capacity intact.
-    fn flush_groups(
-        &mut self,
-        from: NodeId,
-        msg: N::Msg,
-        groups: &mut Vec<(SimTime, Vec<NodeId>)>,
-    ) {
-        let n = groups.len();
-        let mut msg = Some(msg);
-        for (i, (arrive, mut batch)) in groups.drain(..).enumerate() {
-            let copy = if i + 1 == n {
-                msg.take().expect("consumed only once")
-            } else {
-                msg.as_ref().expect("taken only at the end").clone()
-            };
-            if batch.len() == 1 {
-                let to = batch[0];
-                batch.clear();
-                self.target_pool.push(batch);
-                self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg: copy });
-            } else {
-                self.queue
-                    .schedule(arrive, SimEvent::DeliverBatch { from, targets: batch, msg: copy });
-            }
-        }
     }
 
     /// Applies counters, the drop filter, and the loss model to one

@@ -279,6 +279,33 @@ impl Topology {
     pub fn latency_model(&self) -> &LatencyModel {
         &self.latency
     }
+
+    /// The conservative-parallelism **lookahead**: the minimum one-way
+    /// latency between any two *distinct* regions, or `None` for a
+    /// single-region topology (which has no inter-region traffic at all).
+    ///
+    /// This is the window length of the sharded simulator
+    /// ([`crate::shard::ShardedSim`]): a shard that has processed every
+    /// event before `t + lookahead` cannot receive a cross-region packet
+    /// earlier than that, so shards may advance through `[t, t+lookahead)`
+    /// without synchronizing.
+    #[must_use]
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        if self.region_count() <= 1 {
+            return None;
+        }
+        match &self.latency {
+            LatencyModel::Uniform { one_way } => Some(*one_way),
+            LatencyModel::RegionBased { inter_one_way, .. } => Some(*inter_one_way),
+            LatencyModel::Matrix { regions } => regions
+                .iter()
+                .enumerate()
+                .flat_map(|(i, row)| {
+                    row.iter().enumerate().filter(move |(j, _)| *j != i).map(|(_, d)| *d)
+                })
+                .min(),
+        }
+    }
 }
 
 /// Incremental builder for [`Topology`].
@@ -563,6 +590,41 @@ mod tests {
         // Every non-root region has a parent.
         let orphans = topo.regions().filter(|r| r.parent.is_none()).count();
         assert_eq!(orphans, 1);
+    }
+
+    #[test]
+    fn lookahead_is_min_inter_region_latency() {
+        // Single region: no inter-region traffic, no lookahead.
+        assert_eq!(presets::paper_region(4).lookahead(), None);
+        // Region-based: the inter-region latency.
+        let topo = TopologyBuilder::new()
+            .inter_region_one_way(SimDuration::from_millis(25))
+            .region(2, None)
+            .region(2, Some(0))
+            .build()
+            .unwrap();
+        assert_eq!(topo.lookahead(), Some(SimDuration::from_millis(25)));
+        // Matrix: the minimum off-diagonal entry (diagonals excluded).
+        let ms = SimDuration::from_millis;
+        let topo = TopologyBuilder::new()
+            .latency_matrix(vec![
+                vec![ms(1), ms(30), ms(40)],
+                vec![ms(12), ms(1), ms(50)],
+                vec![ms(60), ms(70), ms(1)],
+            ])
+            .region(1, None)
+            .region(1, Some(0))
+            .region(1, Some(0))
+            .build()
+            .unwrap();
+        assert_eq!(topo.lookahead(), Some(ms(12)));
+        // Uniform applies between regions too.
+        let regions = vec![
+            RegionSpec { id: RegionId(0), parent: None, members: vec![NodeId(0)] },
+            RegionSpec { id: RegionId(1), parent: Some(RegionId(0)), members: vec![NodeId(1)] },
+        ];
+        let topo = Topology::new(regions, LatencyModel::Uniform { one_way: ms(7) }).unwrap();
+        assert_eq!(topo.lookahead(), Some(ms(7)));
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //!   with the shared wire codec, and handing `(from, Packet)` pairs to the
 //!   event loop;
 //! * an **event loop thread** owning the [`Receiver`] (and the [`Sender`]
-//!   role, if any), a monotonic clock mapped onto [`SimTime`], and a
-//!   timer heap for the protocol's [`TimerKind`]s;
+//!   role, if any), a monotonic clock mapped onto [`SimTime`], and the
+//!   shared hierarchical **timing wheel** (`rrmp_netsim::event`, whose
+//!   [`rrmp_netsim::event::Scheduler`] trait names the shared contract)
+//!   for the protocol's [`TimerKind`]s — the same scheduler
+//!   implementation the simulator runs on, keyed by microseconds since
+//!   the loop's epoch;
 //! * a command path for the application: multicast payloads, leave,
 //!   shutdown.
 //!
@@ -21,7 +25,6 @@
 //! simulator. A test hook can drop the initial transmission to selected
 //! members to exercise recovery over real sockets.
 
-use std::collections::BinaryHeap;
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver as ChanReceiver, Sender as ChanSender, SyncSender};
@@ -37,6 +40,7 @@ use rrmp_core::packet::Packet;
 use rrmp_core::prelude::ProtocolConfig;
 use rrmp_core::receiver::Receiver;
 use rrmp_core::sender::{Sender, SenderAction};
+use rrmp_netsim::event::EventQueue;
 use rrmp_netsim::time::SimTime;
 use rrmp_netsim::topology::NodeId;
 
@@ -64,31 +68,14 @@ pub struct Delivery {
     pub payload: Bytes,
 }
 
-struct TimerEntry {
-    at: Instant,
-    seq: u64,
-    kind: TimerKind,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by (time, seq).
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 type DropFilter = dyn Fn(NodeId) -> bool + Send;
+
+/// The event loop's timer queue: the shared timing wheel keyed by
+/// [`SimTime`] microseconds since the loop's epoch. Same-deadline timers
+/// fire in scheduling order (the wheel's `(time, seq)` contract), exactly
+/// as the retired `BinaryHeap<TimerEntry>` ordered them — without a
+/// hand-rolled entry type or O(log n) pushes.
+type TimerWheel = EventQueue<TimerKind>;
 
 /// A group member running over real UDP sockets.
 ///
@@ -303,19 +290,17 @@ fn event_loop(ctx: EventLoop) {
     } = ctx;
     let epoch = Instant::now();
     let now_sim = |at: Instant| SimTime::from_micros(at.duration_since(epoch).as_micros() as u64);
+    // Maps a wheel deadline back onto the monotonic clock for the
+    // channel-wait timeout.
+    let instant_of = |at: SimTime| epoch + Duration::from_micros(at.as_micros());
     let mut receiver = Receiver::new(node, spec.view_for(node), cfg.clone(), seed);
     let mut sender = is_sender.then(|| Sender::new(node, cfg.session_interval));
-    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
+    let mut timers = TimerWheel::new();
 
-    let push_timer = |timers: &mut BinaryHeap<TimerEntry>,
-                      seq: &mut u64,
-                      delay: rrmp_netsim::time::SimDuration,
-                      kind: TimerKind| {
-        let at = Instant::now() + Duration::from(delay);
-        *seq += 1;
-        timers.push(TimerEntry { at, seq: *seq, kind });
-    };
+    let push_timer =
+        |timers: &mut TimerWheel, delay: rrmp_netsim::time::SimDuration, kind: TimerKind| {
+            timers.schedule(now_sim(Instant::now()) + delay, kind);
+        };
 
     // Unicast: encode and transmit to one member.
     let send_packet = |to: NodeId, packet: &Packet| {
@@ -339,10 +324,7 @@ fn event_loop(ctx: EventLoop) {
     };
 
     // Execute a batch of receiver actions.
-    let execute = |actions: Vec<Action>,
-                   timers: &mut BinaryHeap<TimerEntry>,
-                   timer_seq: &mut u64,
-                   receiver: &Receiver| {
+    let execute = |actions: Vec<Action>, timers: &mut TimerWheel, receiver: &Receiver| {
         for action in actions {
             match action {
                 Action::Send { to, packet } => send_packet(to, &packet),
@@ -353,7 +335,7 @@ fn event_loop(ctx: EventLoop) {
                     let _ = delivered_tx.try_send(Delivery { id, payload });
                 }
                 Action::SetTimer { delay, kind } => {
-                    push_timer(timers, timer_seq, delay, kind);
+                    push_timer(timers, delay, kind);
                 }
             }
         }
@@ -361,11 +343,11 @@ fn event_loop(ctx: EventLoop) {
 
     // Start-up actions.
     let actions = receiver.on_start();
-    execute(actions, &mut timers, &mut timer_seq, &receiver);
+    execute(actions, &mut timers, &receiver);
     if let Some(s) = &sender {
         for a in s.on_start() {
             if let SenderAction::Protocol(Action::SetTimer { delay, kind }) = a {
-                push_timer(&mut timers, &mut timer_seq, delay, kind);
+                push_timer(&mut timers, delay, kind);
             }
         }
     }
@@ -374,11 +356,12 @@ fn event_loop(ctx: EventLoop) {
         if shutdown.load(Ordering::Relaxed) {
             break;
         }
-        // Fire due timers.
-        let now = Instant::now();
-        while timers.peek().is_some_and(|t| t.at <= now) {
-            let entry = timers.pop().expect("peeked");
-            if entry.kind == TimerKind::SessionTick {
+        // Fire due timers. Timers armed while handling one (including
+        // zero delays) are picked up within the same sweep, as the old
+        // heap's peek-loop did.
+        let now = now_sim(Instant::now());
+        while let Some((at, kind)) = timers.pop_at_or_before(now) {
+            if kind == TimerKind::SessionTick {
                 if let Some(s) = &sender {
                     for a in s.on_session_tick() {
                         match a {
@@ -390,7 +373,7 @@ fn event_loop(ctx: EventLoop) {
                                 );
                             }
                             SenderAction::Protocol(Action::SetTimer { delay, kind }) => {
-                                push_timer(&mut timers, &mut timer_seq, delay, kind);
+                                push_timer(&mut timers, delay, kind);
                             }
                             SenderAction::Protocol(_) => {}
                         }
@@ -398,20 +381,20 @@ fn event_loop(ctx: EventLoop) {
                 }
                 continue;
             }
-            let actions = receiver.handle(Event::Timer(entry.kind), now_sim(entry.at.max(epoch)));
-            execute(actions, &mut timers, &mut timer_seq, &receiver);
+            let actions = receiver.handle(Event::Timer(kind), at);
+            execute(actions, &mut timers, &receiver);
         }
         // Wait for work until the next timer deadline.
         let timeout = timers
-            .peek()
-            .map(|t| t.at.saturating_duration_since(Instant::now()))
+            .peek_time()
+            .map(|at| instant_of(at).saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(20))
             .min(Duration::from_millis(20));
         match input_rx.recv_timeout(timeout) {
             Ok(Input::Packet(from, packet)) => {
                 let actions =
                     receiver.handle(Event::Packet { from, packet }, now_sim(Instant::now()));
-                execute(actions, &mut timers, &mut timer_seq, &receiver);
+                execute(actions, &mut timers, &receiver);
             }
             Ok(Input::Cmd(Command::Multicast(payload))) => {
                 let Some(s) = sender.as_mut() else { continue };
@@ -431,11 +414,11 @@ fn event_loop(ctx: EventLoop) {
                     Event::Packet { from: node, packet: self_packet },
                     now_sim(Instant::now()),
                 );
-                execute(actions, &mut timers, &mut timer_seq, &receiver);
+                execute(actions, &mut timers, &receiver);
             }
             Ok(Input::Cmd(Command::Leave)) => {
                 let actions = receiver.handle(Event::Leave, now_sim(Instant::now()));
-                execute(actions, &mut timers, &mut timer_seq, &receiver);
+                execute(actions, &mut timers, &receiver);
             }
             Ok(Input::Cmd(Command::Shutdown)) | Err(mpsc::RecvTimeoutError::Disconnected) => {
                 break;

@@ -5,7 +5,11 @@
 # (human-readable), then the sim_core differential benchmark, which writes
 # BENCH_sim_core.json at the repository root: events/sec, multicasts/sec,
 # and queue ops/sec for the optimized timing-wheel event loop vs the
-# pre-refactor reference implementation, plus a peak-RSS proxy.
+# pre-refactor reference implementation, plus a peak-RSS proxy. The
+# parallel_regions workload sweeps the sharded engine over shard counts
+# 1/2/4/8 on a 32-region / 2048-member topology (events/sec per count on
+# stderr; the JSON records 4 shards vs the sequential shards=1 oracle,
+# guarded warn-only like every workload).
 #
 # If a committed BENCH_sim_core.json baseline exists, the run finishes
 # with the bench_guard regression check: any workload whose speedup fell
