@@ -5,7 +5,6 @@
 //! so the `ablation_buffer_policies` experiment can print one table across
 //! all schemes.
 
-use rrmp_core::ids::MessageId;
 use rrmp_netsim::time::SimTime;
 
 /// Cost/latency metrics of one buffering-scheme run.
@@ -80,20 +79,15 @@ pub fn mean_latency_ms(deliveries: &[SimTime], sent_at: SimTime) -> Option<f64> 
 }
 
 /// Deterministic 64-bit hash of `(member, message)` used by the
-/// hash-buffering baseline — both the requester and the bufferer sides
-/// must agree on it, so it lives here.
-#[must_use]
-pub fn bufferer_hash(member: rrmp_netsim::topology::NodeId, msg: MessageId) -> u64 {
-    let mut state = (u64::from(member.0) << 32)
-        ^ (u64::from(msg.source.0).rotate_left(17))
-        ^ msg.seq.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    rrmp_netsim::rng::splitmix64(&mut state)
-}
+/// hash-buffering baseline. The canonical implementation moved to
+/// [`rrmp_core::policy`] with the ported hash policy; the legacy stack
+/// re-uses it so both sides keep agreeing byte for byte.
+pub use rrmp_core::policy::bufferer_hash;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrmp_core::ids::SeqNo;
+    use rrmp_core::ids::{MessageId, SeqNo};
     use rrmp_netsim::topology::NodeId;
 
     #[test]

@@ -10,6 +10,12 @@
 //! designated bufferer. The scheme needs no search traffic — but it is
 //! topology-blind: requests routinely cross high-latency links, the
 //! weakness that motivated RRMP's regional design.
+//!
+//! **Status**: this standalone stack is the *legacy differential oracle*.
+//! The scheme now runs as a policy over the shared engine
+//! ([`rrmp_core::policy::HashBufferers`], see [`crate::ported`]); the
+//! `policy_differential` test asserts the ported policy reproduces this
+//! implementation's [`RunReport`] metrics on identical seeds.
 
 use std::collections::HashMap;
 
@@ -23,7 +29,7 @@ use rrmp_netsim::sim::{Ctx, Sim, SimNode};
 use rrmp_netsim::time::{SimDuration, SimTime};
 use rrmp_netsim::topology::{NodeId, Topology};
 
-use crate::common::{bufferer_hash, mean_latency_ms, RunReport};
+use crate::common::{mean_latency_ms, RunReport};
 
 /// Wire messages of the hash-buffering baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,15 +70,11 @@ impl Default for HashConfig {
     }
 }
 
-/// The `k` designated bufferers for `msg` among `members` (the `k`
-/// smallest `hash(member, msg)` values; ties broken by id).
-#[must_use]
-pub fn designated_bufferers(members: &[NodeId], msg: MessageId, k: usize) -> Vec<NodeId> {
-    let mut scored: Vec<(u64, NodeId)> =
-        members.iter().map(|&m| (bufferer_hash(m, msg), m)).collect();
-    scored.sort();
-    scored.into_iter().take(k).map(|(_, m)| m).collect()
-}
+/// The `k` designated bufferers for `msg` among `members`. Canonical
+/// implementation in [`rrmp_core::policy`], shared with the ported
+/// [`HashBufferers`](rrmp_core::policy::HashBufferers) policy so both
+/// protocol stacks always select the same sets.
+pub use rrmp_core::policy::designated_bufferers;
 
 /// One member of the hash-buffering baseline protocol.
 #[derive(Debug)]

@@ -13,8 +13,16 @@
 //! * [`sender_based`] — the strawman of §1: all recovery through the
 //!   sender, demonstrating the message-implosion problem.
 //!
+//! The hash-based and sender-based schemes also run as **policies over
+//! the shared protocol engine** ([`rrmp_core::policy`], glue in
+//! [`ported`]) — one engine, many buffering algorithms, every scenario
+//! generator and both simulation engines available to each. The
+//! standalone stacks here remain as *differential oracles*: the
+//! `policy_differential` test asserts the ported policies reproduce
+//! their [`RunReport`] metrics on identical seeds.
+//!
 //! Two further baselines come directly from `rrmp-core`'s
-//! [`BufferPolicy`](rrmp_core::config::BufferPolicy): fixed-time buffering
+//! [`PolicyKind`](rrmp_core::policy::PolicyKind): fixed-time buffering
 //! (Bimodal Multicast's policy, §2) and keep-everything.
 //!
 //! All networks produce a [`common::RunReport`] with identical metrics so
@@ -25,6 +33,7 @@
 
 pub mod common;
 pub mod hash_buffering;
+pub mod ported;
 pub mod sender_based;
 pub mod stability;
 pub mod tree_rmtp;

@@ -1,0 +1,110 @@
+//! Baseline schemes as policies over the **shared** protocol engine.
+//!
+//! The legacy modules of this crate ([`crate::hash_buffering`],
+//! [`crate::sender_based`]) are complete parallel protocol stacks — their
+//! own packet enums, nodes, and networks — that cannot run on the sharded
+//! engine, the churn scenarios, or the policy-sensitive benches. The
+//! ported path replaces all of that with a [`PolicyKind`] selection on
+//! the one [`RrmpNetwork`] engine; this module holds the glue the
+//! comparisons need:
+//!
+//! * [`policy_config`] — a [`ProtocolConfig`] mirroring the legacy
+//!   baselines' parameters (no periodic session ticks, the 60 ms direct
+//!   request timeout, `k = 6` designated bufferers);
+//! * [`multicast_with_session`] — the legacy injection pattern: one
+//!   multicast plus a one-shot session advertisement to every member the
+//!   plan skips, so missers detect the loss immediately;
+//! * [`rrmp_report`] — the [`RunReport`] builder over an [`RrmpNetwork`],
+//!   shared with the A1 ablation table.
+//!
+//! The `policy_differential` integration test asserts that runs through
+//! this module reproduce the legacy stacks' `RunReport`s bit for bit on
+//! identical seeds (single-region topologies, where uniform latency makes
+//! the metrics independent of which equally-viable peer a random draw
+//! picks).
+
+use bytes::Bytes;
+use rrmp_core::harness::RrmpNetwork;
+use rrmp_core::ids::MessageId;
+use rrmp_core::packet::Packet;
+use rrmp_core::policy::PolicyKind;
+use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::loss::DeliveryPlan;
+use rrmp_netsim::time::SimTime;
+
+use crate::common::{mean_latency_ms, RunReport};
+
+/// A [`ProtocolConfig`] running `kind` with the legacy baselines'
+/// comparison parameters: no periodic session ticks (the legacy stacks
+/// advertise once per multicast instead) and the legacy 60 ms direct
+/// request timeout with 6 designated bufferers.
+#[must_use]
+pub fn policy_config(kind: PolicyKind) -> ProtocolConfig {
+    ProtocolConfig::builder()
+        .policy(kind)
+        .periodic_sessions(false)
+        .build()
+        .expect("baseline policy config is valid")
+}
+
+/// Multicasts `payload` with an explicit initial-delivery plan and
+/// advertises it via a one-shot session message to every member the plan
+/// skips (the sender excluded) — exactly the legacy baselines' injection
+/// pattern, so loss detection starts at the same instant in both stacks.
+pub fn multicast_with_session(
+    net: &mut RrmpNetwork,
+    payload: impl Into<Bytes>,
+    plan: &DeliveryPlan,
+) -> MessageId {
+    let now = net.now();
+    let sender = net.sender_node();
+    let id = net.multicast_with_plan(payload, plan);
+    let session = Packet::Session { source: sender, high: id.seq };
+    let skipped: Vec<_> =
+        net.topology().nodes().filter(|&n| !plan.receives(n) && n != sender).collect();
+    for n in skipped {
+        net.inject_packet(n, sender, session.clone(), now);
+    }
+    id
+}
+
+/// Builds a [`RunReport`] from an RRMP network (mirrors the legacy
+/// baselines' report builders, so rows are directly comparable).
+#[must_use]
+pub fn rrmp_report(
+    scheme: &'static str,
+    net: &RrmpNetwork,
+    ids: &[MessageId],
+    sent_at: &[SimTime],
+) -> RunReport {
+    let now = net.now();
+    let members = net.topology().node_count();
+    let fully = net.nodes().filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m))).count();
+    let byte_time_total: u128 =
+        net.nodes().map(|(_, n)| n.receiver().store().byte_time_integral(now)).sum();
+    let peaks: Vec<usize> = net.nodes().map(|(_, n)| n.receiver().store().peak_entries()).collect();
+    let mut latencies = Vec::new();
+    let mut residual = 0usize;
+    for (i, &id) in ids.iter().enumerate() {
+        let sent = sent_at.get(i).copied().unwrap_or(SimTime::ZERO);
+        for (_, n) in net.nodes() {
+            match n.delivered().iter().find(|&&(_, d)| d == id) {
+                // Normalize to a per-message recovery duration.
+                Some(&(at, _)) if at > sent => latencies.push(SimTime::ZERO + (at - sent)),
+                Some(_) => {}
+                None => residual += 1,
+            }
+        }
+    }
+    RunReport {
+        scheme,
+        fully_delivered_members: fully,
+        members,
+        byte_time_total,
+        peak_entries_max: peaks.iter().copied().max().unwrap_or(0),
+        peak_entries_mean: peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64,
+        packets_sent: net.net_counters().unicasts_sent,
+        mean_recovery_latency_ms: mean_latency_ms(&latencies, SimTime::ZERO),
+        residual_losses: residual,
+    }
+}

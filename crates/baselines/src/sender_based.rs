@@ -7,9 +7,16 @@
 //! the whole session and answers every NACK itself. The implosion
 //! measurement is the packet load concentrated at the sender, compared
 //! with RRMP's spread-out recovery traffic.
+//!
+//! **Status**: this standalone stack is the *legacy differential oracle*.
+//! The scheme now runs as a policy over the shared engine
+//! ([`rrmp_core::policy::SenderBased`], see [`crate::ported`]); the
+//! `policy_differential` test asserts the ported policy reproduces this
+//! implementation's [`RunReport`] metrics on identical seeds.
 
 use std::collections::HashMap;
 
+use crate::common::{mean_latency_ms, RunReport};
 use bytes::Bytes;
 use rrmp_core::buffer::MessageStore;
 use rrmp_core::ids::{MessageId, SeqNo};
@@ -181,6 +188,7 @@ pub struct SenderBasedNetwork {
     sim: Sim<SenderBasedNode>,
     sender: NodeId,
     next_seq: SeqNo,
+    sent_at: HashMap<MessageId, SimTime>,
 }
 
 impl SenderBasedNetwork {
@@ -190,7 +198,12 @@ impl SenderBasedNetwork {
         let nodes =
             topo.nodes().map(|id| SenderBasedNode::new(id, NodeId(0), cfg.clone())).collect();
         let sim = Sim::new(topo, nodes, seed);
-        SenderBasedNetwork { sim, sender: NodeId(0), next_seq: SeqNo::FIRST }
+        SenderBasedNetwork {
+            sim,
+            sender: NodeId(0),
+            next_seq: SeqNo::FIRST,
+            sent_at: HashMap::new(),
+        }
     }
 
     /// The simulated topology.
@@ -215,6 +228,7 @@ impl SenderBasedNetwork {
         let id = MessageId::new(self.sender, self.next_seq);
         self.next_seq = self.next_seq.next();
         let now = self.sim.now();
+        self.sent_at.insert(id, now);
         let data = SenderBasedPacket::Data(DataPacket::new(id, payload.into()));
         self.sim.inject(self.sender, self.sender, data.clone(), now);
         let mut without_sender = plan.clone();
@@ -261,6 +275,45 @@ impl SenderBasedNetwork {
     #[must_use]
     pub fn node(&self, id: NodeId) -> &SenderBasedNode {
         self.sim.node(id)
+    }
+
+    /// Builds the comparison report over `ids` (mirrors the other
+    /// baselines' report builders; the differential oracle surface).
+    #[must_use]
+    pub fn report(&self, ids: &[MessageId]) -> RunReport {
+        let now = self.sim.now();
+        let members = self.sim.topology().node_count();
+        let fully =
+            self.sim.nodes().filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m))).count();
+        let byte_time_total: u128 =
+            self.sim.nodes().map(|(_, n)| n.store().byte_time_integral(now)).sum();
+        let peaks: Vec<usize> = self.sim.nodes().map(|(_, n)| n.store().peak_entries()).collect();
+        let mut latencies = Vec::new();
+        let mut residual = 0usize;
+        for &id in ids {
+            let sent = self.sent_at.get(&id).copied().unwrap_or(SimTime::ZERO);
+            for (_, n) in self.sim.nodes() {
+                match n.delivered().iter().find(|&&(_, d)| d == id) {
+                    Some(&(at, _)) if at > sent => {
+                        // Normalize to a per-message recovery duration.
+                        latencies.push(SimTime::ZERO + (at - sent));
+                    }
+                    Some(_) => {}
+                    None => residual += 1,
+                }
+            }
+        }
+        RunReport {
+            scheme: "sender-based",
+            fully_delivered_members: fully,
+            members,
+            byte_time_total,
+            peak_entries_max: peaks.iter().copied().max().unwrap_or(0),
+            peak_entries_mean: peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64,
+            packets_sent: self.sim.counters().unicasts_sent,
+            mean_recovery_latency_ms: mean_latency_ms(&latencies, SimTime::ZERO),
+            residual_losses: residual,
+        }
     }
 }
 

@@ -1,0 +1,157 @@
+//! Differential tests: the hash-based and sender-based schemes, ported as
+//! policies over the shared RRMP engine, must reproduce the **legacy
+//! standalone stacks'** `RunReport` metrics on identical seeds.
+//!
+//! The scenarios run on single-region topologies (uniform intra-region
+//! latency) with every designated bufferer receiving the initial
+//! multicast, so the reported metrics — delivery counts, buffer
+//! byte×time, peak occupancy, packet counts, recovery latency, residual
+//! losses — are fully determined by the scheme, not by which
+//! equally-viable peer a random draw picks. Under those conditions the
+//! two implementations must agree *exactly*; any drift means the port
+//! changed the algorithm.
+
+use rrmp_baselines::ported::{multicast_with_session, policy_config, rrmp_report};
+use rrmp_baselines::{
+    designated_bufferers, HashConfig, HashNetwork, SenderBasedConfig, SenderBasedNetwork,
+};
+use rrmp_core::harness::RrmpNetwork;
+use rrmp_core::ids::{MessageId, SeqNo};
+use rrmp_core::policy::PolicyKind;
+use rrmp_netsim::loss::DeliveryPlan;
+use rrmp_netsim::time::{SimDuration, SimTime};
+use rrmp_netsim::topology::{presets, NodeId, Topology};
+
+const N: usize = 30;
+
+fn mid(seq: u64) -> MessageId {
+    MessageId::new(NodeId(0), SeqNo(seq))
+}
+
+fn topo() -> Topology {
+    presets::paper_region(N)
+}
+
+/// Per-message plans where every designated bufferer (k = 6) receives the
+/// initial multicast and a fixed set of other members misses it.
+fn hash_plans(messages: u64) -> Vec<DeliveryPlan> {
+    let members: Vec<NodeId> = (0..N as u32).map(NodeId).collect();
+    (1..=messages)
+        .map(|seq| {
+            let mut holders = designated_bufferers(&members, mid(seq), 6);
+            holders.extend((0..8).map(NodeId)); // sender + a few more holders
+            DeliveryPlan::only(&topo(), holders)
+        })
+        .collect()
+}
+
+#[test]
+fn hash_policy_matches_legacy_reports() {
+    for seed in [3u64, 21] {
+        let plans = hash_plans(3);
+
+        // Legacy oracle: the standalone HashNetwork stack.
+        let mut legacy = HashNetwork::new(topo(), HashConfig::default(), seed);
+        let mut legacy_ids = Vec::new();
+        for plan in &plans {
+            legacy_ids.push(legacy.multicast_with_plan(&b"diff"[..], plan));
+            let next = legacy.now() + SimDuration::from_millis(100);
+            legacy.run_until(next);
+        }
+        legacy.run_until(SimTime::from_secs(2));
+        let legacy_report = legacy.report(&legacy_ids);
+
+        // Ported: the same scheme as a policy on the shared engine.
+        let mut net = RrmpNetwork::new(topo(), policy_config(PolicyKind::HashBufferers), seed);
+        let mut ids = Vec::new();
+        let mut sent = Vec::new();
+        for plan in &plans {
+            sent.push(net.now());
+            ids.push(multicast_with_session(&mut net, &b"diff"[..], plan));
+            let next = net.now() + SimDuration::from_millis(100);
+            net.run_until(next);
+        }
+        net.run_until(SimTime::from_secs(2));
+        let ported_report = rrmp_report("hash-determ", &net, &ids, &sent);
+
+        assert_eq!(ids, legacy_ids, "both stacks assign the same message ids");
+        assert_eq!(
+            ported_report, legacy_report,
+            "ported hash policy diverged from the legacy stack (seed {seed})"
+        );
+        assert_eq!(ported_report.fully_delivered_members, N, "everyone recovers");
+        assert!(ported_report.packets_sent > 0, "recovery traffic flowed");
+    }
+}
+
+#[test]
+fn sender_based_policy_matches_legacy_reports() {
+    for seed in [5u64, 17] {
+        // Everyone except the sender and a few holders misses each
+        // message: all recovery funnels through node 0.
+        let plans: Vec<DeliveryPlan> =
+            (0..3).map(|_| DeliveryPlan::only(&topo(), (0..5).map(NodeId))).collect();
+
+        let mut legacy = SenderBasedNetwork::new(topo(), SenderBasedConfig::default(), seed);
+        let mut legacy_ids = Vec::new();
+        for plan in &plans {
+            legacy_ids.push(legacy.multicast_with_plan(&b"diff"[..], plan));
+            let next = legacy.now() + SimDuration::from_millis(100);
+            legacy.run_until(next);
+        }
+        legacy.run_until(SimTime::from_secs(2));
+        let legacy_report = legacy.report(&legacy_ids);
+
+        let mut net = RrmpNetwork::new(topo(), policy_config(PolicyKind::SenderBased), seed);
+        let mut ids = Vec::new();
+        let mut sent = Vec::new();
+        for plan in &plans {
+            sent.push(net.now());
+            ids.push(multicast_with_session(&mut net, &b"diff"[..], plan));
+            let next = net.now() + SimDuration::from_millis(100);
+            net.run_until(next);
+        }
+        net.run_until(SimTime::from_secs(2));
+        let ported_report = rrmp_report("sender-based", &net, &ids, &sent);
+
+        assert_eq!(ids, legacy_ids);
+        assert_eq!(
+            ported_report, legacy_report,
+            "ported sender-based policy diverged from the legacy stack (seed {seed})"
+        );
+        assert_eq!(ported_report.fully_delivered_members, N);
+        // The implosion signature survives the port: only the sender buffers.
+        assert_eq!(ported_report.peak_entries_max, 3, "sender holds the session");
+        assert!(ported_report.peak_entries_mean < 0.2);
+    }
+}
+
+#[test]
+fn ported_policies_run_under_churn_and_on_the_sharded_engine() {
+    // What the legacy stacks never could: hash buffering under scripted
+    // churn, on the conservatively parallel engine, with identical traces
+    // at every shard count.
+    fn run(shards: usize) -> (usize, usize, u64) {
+        let topo = presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25));
+        let cfg = policy_config(PolicyKind::HashBufferers);
+        let mut net = RrmpNetwork::with_shards(topo, cfg, 11, shards);
+        let plan = DeliveryPlan::all_but(net.topology(), (8..14).map(NodeId));
+        let id = multicast_with_session(&mut net, &b"churn"[..], &plan);
+        net.run_until(SimTime::from_millis(300));
+        // A designated bufferer leaves: the duty hands off to the
+        // best-ranked survivor instead of vanishing.
+        let members: Vec<NodeId> = net.topology().nodes().collect();
+        let bufferers = designated_bufferers(&members, id, 6);
+        net.schedule_leave(bufferers[0], SimTime::from_millis(350));
+        net.run_until(SimTime::from_secs(2));
+        (net.delivered_count(id), net.buffered_count(id), net.total_counter(|c| c.handoffs_sent))
+    }
+    let sequential = run(1);
+    assert_eq!(sequential.0, 24, "everyone delivered");
+    assert!(sequential.2 >= 1, "leaver handed off its designated copy");
+    // The handoff routes to the next-ranked designated member, which may
+    // already hold a copy (duty merges) — so k-1 survivors is the floor.
+    assert!(sequential.1 >= 5, "designated copies survive the leave: {sequential:?}");
+    assert_eq!(sequential, run(2), "sharded run must match the sequential oracle");
+    assert_eq!(sequential, run(4), "sharded run must match the sequential oracle");
+}

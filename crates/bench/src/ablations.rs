@@ -3,14 +3,13 @@
 //! idle-threshold sweep (A4), churn/handoff (A5), and the C trade-off (A6).
 
 use rand::SeedableRng;
-use rrmp_baselines::common::{mean_latency_ms, RunReport};
+use rrmp_baselines::common::RunReport;
 use rrmp_baselines::{
     HashConfig, HashNetwork, StabilityConfig, StabilityNetwork, TreeConfig, TreeNetwork,
 };
 use rrmp_core::harness::RrmpNetwork;
-use rrmp_core::ids::MessageId;
 use rrmp_core::packet::Packet;
-use rrmp_core::prelude::{BufferPolicy, ProtocolConfig};
+use rrmp_core::prelude::{PolicyKind, ProtocolConfig};
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
 use rrmp_netsim::stats::OnlineStats;
 use rrmp_netsim::time::{SimDuration, SimTime};
@@ -66,50 +65,13 @@ fn draw_plans(topo: &Topology, workload: &PolicyWorkload, seed: u64) -> Vec<Deli
         .collect()
 }
 
-/// Builds a [`RunReport`] from an RRMP network (mirrors the baselines'
-/// report builders).
-#[must_use]
-pub fn rrmp_report(
-    scheme: &'static str,
-    net: &RrmpNetwork,
-    ids: &[MessageId],
-    sent_at: &[SimTime],
-) -> RunReport {
-    let now = net.now();
-    let members = net.topology().node_count();
-    let fully = net.nodes().filter(|(_, n)| ids.iter().all(|&m| n.has_delivered(m))).count();
-    let byte_time_total: u128 =
-        net.nodes().map(|(_, n)| n.receiver().store().byte_time_integral(now)).sum();
-    let peaks: Vec<usize> = net.nodes().map(|(_, n)| n.receiver().store().peak_entries()).collect();
-    let mut latencies = Vec::new();
-    let mut residual = 0usize;
-    for (i, &id) in ids.iter().enumerate() {
-        let sent = sent_at.get(i).copied().unwrap_or(SimTime::ZERO);
-        for (_, n) in net.nodes() {
-            match n.delivered().iter().find(|&&(_, d)| d == id) {
-                // Normalize to a per-message recovery duration.
-                Some(&(at, _)) if at > sent => latencies.push(SimTime::ZERO + (at - sent)),
-                Some(_) => {}
-                None => residual += 1,
-            }
-        }
-    }
-    RunReport {
-        scheme,
-        fully_delivered_members: fully,
-        members,
-        byte_time_total,
-        peak_entries_max: peaks.iter().copied().max().unwrap_or(0),
-        peak_entries_mean: peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64,
-        packets_sent: net.net_counters().unicasts_sent,
-        mean_recovery_latency_ms: mean_latency_ms(&latencies, SimTime::ZERO),
-        residual_losses: residual,
-    }
-}
+/// Builds a [`RunReport`] from an RRMP network. Canonical implementation
+/// in [`rrmp_baselines::ported`], shared with the differential tests.
+pub use rrmp_baselines::ported::rrmp_report;
 
 fn run_rrmp_policy(
     scheme: &'static str,
-    policy: BufferPolicy,
+    policy: PolicyKind,
     workload: &PolicyWorkload,
     seed: u64,
 ) -> RunReport {
@@ -132,18 +94,23 @@ fn run_rrmp_policy(
 
 /// A1: compares the paper's two-phase scheme against fixed-time,
 /// keep-everything, hash-deterministic, stability-detection and tree/RMTP
-/// buffering on the identical lossy workload.
+/// buffering on the identical lossy workload. The hash and sender-based
+/// schemes additionally appear **as policies on the shared engine**
+/// (`hash-policy`, `sender-policy` rows) — same table, one engine.
 #[must_use]
 pub fn ablation_buffer_policies(workload: &PolicyWorkload, seed: u64) -> Vec<RunReport> {
-    let mut reports = Vec::new();
-    reports.push(run_rrmp_policy("two-phase", BufferPolicy::TwoPhase, workload, seed));
-    reports.push(run_rrmp_policy(
-        "fixed-500ms",
-        BufferPolicy::FixedTime { hold: SimDuration::from_millis(500) },
-        workload,
-        seed,
-    ));
-    reports.push(run_rrmp_policy("keep-all", BufferPolicy::KeepAll, workload, seed));
+    let mut reports = vec![
+        run_rrmp_policy("two-phase", PolicyKind::TwoPhase, workload, seed),
+        run_rrmp_policy(
+            "fixed-500ms",
+            PolicyKind::FixedTime { hold: SimDuration::from_millis(500) },
+            workload,
+            seed,
+        ),
+        run_rrmp_policy("keep-all", PolicyKind::KeepAll, workload, seed),
+        run_rrmp_policy("hash-policy", PolicyKind::HashBufferers, workload, seed),
+        run_rrmp_policy("sender-policy", PolicyKind::SenderBased, workload, seed),
+    ];
 
     // Hash-deterministic baseline.
     {
@@ -626,7 +593,7 @@ mod tests {
             drain: SimDuration::from_secs(2),
         };
         let reports = ablation_buffer_policies(&workload, 66);
-        assert_eq!(reports.len(), 6);
+        assert_eq!(reports.len(), 8);
         for r in &reports {
             assert_eq!(
                 r.fully_delivered_members, r.members,

@@ -3,14 +3,19 @@
 //! workload whose speedup dropped below 0.9x of the recorded value.
 //!
 //! ```text
-//! cargo run --release -p rrmp-bench --bin bench_guard <fresh.json> <baseline.json> [--warn-only]
+//! cargo run --release -p rrmp-bench --bin bench_guard \
+//!     <fresh.json> <baseline.json> [--warn-only] [--enforce=a,b,c]
 //! ```
 //!
 //! Exits non-zero on a regression unless `--warn-only` is given, in which
 //! case it only emits GitHub Actions `::warning::` annotations (CI runners
-//! are noisy; a hard gate there would flake). Workloads present in only
-//! one file are reported but never fail the check, so adding or retiring
-//! workloads doesn't break the guard.
+//! are noisy; a hard gate there would flake). `--enforce=` names workloads
+//! that fail the check even under `--warn-only` — the stable,
+//! low-variance workloads (raw queue ops, fan-out, index queries) are
+//! gated hard in CI while the noisy end-to-end and parallelism workloads
+//! stay warn-only. Workloads present in only one file are reported but
+//! never fail the check, so adding or retiring workloads doesn't break
+//! the guard.
 
 use std::process::ExitCode;
 
@@ -54,15 +59,46 @@ fn read_speedups(path: &str) -> Vec<(String, f64)> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let warn_only = args.iter().any(|a| a == "--warn-only");
+    let enforced: Vec<String> = args
+        .iter()
+        .filter_map(|a| a.strip_prefix("--enforce="))
+        .flat_map(|list| list.split(','))
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let [fresh_path, baseline_path] = files[..] else {
-        eprintln!("usage: bench_guard <fresh.json> <baseline.json> [--warn-only]");
+        eprintln!(
+            "usage: bench_guard <fresh.json> <baseline.json> [--warn-only] [--enforce=a,b,c]"
+        );
         return ExitCode::from(2);
     };
 
     let fresh = read_speedups(fresh_path);
     let baseline = read_speedups(baseline_path);
+
+    // An enforced name that matches nothing would silently turn the hard
+    // gate into a no-op (e.g. after a workload rename) — fail loudly
+    // instead, like the unknown-RRMP_POLICY panic.
+    let mut unknown_enforced = false;
+    for name in &enforced {
+        let known = baseline.iter().any(|(n, _)| n == name) && fresh.iter().any(|(n, _)| n == name);
+        if !known {
+            unknown_enforced = true;
+            println!(
+                "::error::bench_guard: enforced workload '{name}' not present in both files — \
+                 the gate would test nothing"
+            );
+        }
+    }
+    if unknown_enforced {
+        eprintln!("bench_guard: FAILED — --enforce names a workload missing from the results");
+        return ExitCode::FAILURE;
+    }
+
     let mut regressed = false;
+    let mut enforced_regressed = false;
 
     for (name, base) in &baseline {
         let Some((_, new)) = fresh.iter().find(|(n, _)| n == name) else {
@@ -72,9 +108,13 @@ fn main() -> ExitCode {
         let floor = base * THRESHOLD;
         if *new < floor {
             regressed = true;
+            let hard = enforced.iter().any(|e| e == name);
+            enforced_regressed |= hard;
+            let level = if hard { "error" } else { "warning" };
             println!(
-                "::warning::bench_guard: '{name}' speedup regressed: {new:.3}x < {floor:.3}x \
-                 (baseline {base:.3}x * {THRESHOLD})"
+                "::{level}::bench_guard: '{name}' speedup regressed: {new:.3}x < {floor:.3}x \
+                 (baseline {base:.3}x * {THRESHOLD}{})",
+                if hard { ", enforced" } else { "" }
             );
         } else {
             println!("bench_guard: '{name}' ok: {new:.3}x vs baseline {base:.3}x");
@@ -86,6 +126,10 @@ fn main() -> ExitCode {
         }
     }
 
+    if enforced_regressed {
+        eprintln!("bench_guard: FAILED — an enforced workload fell below {THRESHOLD}x baseline");
+        return ExitCode::FAILURE;
+    }
     if regressed && !warn_only {
         eprintln!("bench_guard: FAILED — at least one workload fell below {THRESHOLD}x baseline");
         return ExitCode::FAILURE;

@@ -41,16 +41,19 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rrmp_baselines::ported::{multicast_with_session, policy_config};
+use rrmp_baselines::{HashConfig, HashNetwork, SenderBasedConfig, SenderBasedNetwork};
 use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::{MessageId, SeqNo};
 use rrmp_core::packet::{DataPacket, Packet};
+use rrmp_core::policy::PolicyKind;
 use rrmp_core::prelude::ProtocolConfig;
 use rrmp_netsim::event::{EventQueue, ReferenceEventQueue, Scheduler};
-use rrmp_netsim::loss::DeliveryPlan;
+use rrmp_netsim::loss::{DeliveryPlan, LossModel};
 use rrmp_netsim::sim::{Ctx, Sim, SimNode};
 use rrmp_netsim::time::{SimDuration, SimTime};
-use rrmp_netsim::topology::{presets, NodeId};
+use rrmp_netsim::topology::{presets, NodeId, Topology};
 
 /// Best-of-`runs` wall seconds for `f` (which must do identical work each
 /// call). Returns `(best_seconds, work_items)`.
@@ -365,6 +368,136 @@ fn parallel_regions_run(shards: usize) -> (f64, u64) {
     })
 }
 
+// ----- workload 9: policy × group size × loss-rate matrix --------------------
+
+const MATRIX_POLICIES: [PolicyKind; 3] =
+    [PolicyKind::TwoPhase, PolicyKind::HashBufferers, PolicyKind::SenderBased];
+const MATRIX_SIZES: [usize; 2] = [40, 160];
+const MATRIX_LOSS: [f64; 2] = [0.05, 0.25];
+const MATRIX_MESSAGES: usize = 6;
+
+/// Per-message delivery plans drawn once per combo, so the shared-engine
+/// and legacy-stack arms see the identical loss pattern.
+fn matrix_plans(topo: &Topology, loss: f64, seed: u64) -> Vec<DeliveryPlan> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let model = LossModel::Bernoulli { p: loss };
+    (0..MATRIX_MESSAGES)
+        .map(|_| DeliveryPlan::from_model(topo, NodeId(0), &model, &mut rng))
+        .collect()
+}
+
+/// One lossy-stream run; returns the total delivered count (the checksum
+/// both arms must agree on). `Net` abstracts over the three stacks via
+/// closures below.
+fn matrix_drive<Net>(
+    plans: &[DeliveryPlan],
+    net: &mut Net,
+    mut cast: impl FnMut(&mut Net, &DeliveryPlan),
+    mut run_until: impl FnMut(&mut Net, SimTime),
+    mut now: impl FnMut(&Net) -> SimTime,
+) {
+    for plan in plans {
+        cast(net, plan);
+        let next = now(net) + SimDuration::from_millis(40);
+        run_until(net, next);
+    }
+    let horizon = now(net) + SimDuration::from_secs(1);
+    run_until(net, horizon);
+}
+
+/// The policy-matrix sweep on ONE protocol engine: every algorithm as a
+/// [`PolicyKind`] over the shared (timing-wheel) `RrmpNetwork`.
+fn policy_matrix_shared_engine() -> (f64, u64) {
+    best_secs(3, || {
+        let mut delivered = 0u64;
+        for kind in MATRIX_POLICIES {
+            for n in MATRIX_SIZES {
+                for loss in MATRIX_LOSS {
+                    let topo = presets::paper_region(n);
+                    let plans = matrix_plans(&topo, loss, n as u64 ^ (loss * 100.0) as u64);
+                    let mut net = RrmpNetwork::new(topo, policy_config(kind), 7);
+                    let mut ids = Vec::new();
+                    matrix_drive(
+                        &plans,
+                        &mut net,
+                        |net, plan| ids.push(multicast_with_session(net, &b"matrix"[..], plan)),
+                        |net, t| net.run_until(t),
+                        |net| net.now(),
+                    );
+                    delivered += ids.iter().map(|&id| net.delivered_count(id) as u64).sum::<u64>();
+                }
+            }
+        }
+        delivered
+    })
+}
+
+/// The same sweep the pre-refactor way: one duplicated protocol stack per
+/// algorithm (reference event loop for two-phase, the standalone
+/// `HashNetwork` / `SenderBasedNetwork` baselines for the others).
+fn policy_matrix_legacy_stacks() -> (f64, u64) {
+    best_secs(3, || {
+        let mut delivered = 0u64;
+        for kind in MATRIX_POLICIES {
+            for n in MATRIX_SIZES {
+                for loss in MATRIX_LOSS {
+                    let topo = presets::paper_region(n);
+                    let plans = matrix_plans(&topo, loss, n as u64 ^ (loss * 100.0) as u64);
+                    match kind {
+                        PolicyKind::TwoPhase => {
+                            let mut net = RrmpNetwork::new_reference(topo, policy_config(kind), 7);
+                            let mut ids = Vec::new();
+                            matrix_drive(
+                                &plans,
+                                &mut net,
+                                |net, plan| {
+                                    ids.push(multicast_with_session(net, &b"matrix"[..], plan));
+                                },
+                                |net, t| net.run_until(t),
+                                |net| net.now(),
+                            );
+                            delivered +=
+                                ids.iter().map(|&id| net.delivered_count(id) as u64).sum::<u64>();
+                        }
+                        PolicyKind::HashBufferers => {
+                            let mut net = HashNetwork::new(topo, HashConfig::default(), 7);
+                            let mut ids = Vec::new();
+                            matrix_drive(
+                                &plans,
+                                &mut net,
+                                |net, plan| {
+                                    ids.push(net.multicast_with_plan(&b"matrix"[..], plan));
+                                },
+                                |net, t| net.run_until(t),
+                                |net| net.now(),
+                            );
+                            delivered +=
+                                ids.iter().map(|&id| net.delivered_count(id) as u64).sum::<u64>();
+                        }
+                        _ => {
+                            let mut net =
+                                SenderBasedNetwork::new(topo, SenderBasedConfig::default(), 7);
+                            let mut ids = Vec::new();
+                            matrix_drive(
+                                &plans,
+                                &mut net,
+                                |net, plan| {
+                                    ids.push(net.multicast_with_plan(&b"matrix"[..], plan));
+                                },
+                                |net, t| net.run_until(t),
+                                |net| net.now(),
+                            );
+                            delivered +=
+                                ids.iter().map(|&id| net.delivered_count(id) as u64).sum::<u64>();
+                        }
+                    }
+                }
+            }
+        }
+        delivered
+    })
+}
+
 // ----- reporting -------------------------------------------------------------
 
 /// Peak resident set (VmHWM) in kB from /proc — a cheap RSS proxy.
@@ -487,6 +620,21 @@ fn main() {
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,
         work: events,
+    });
+
+    eprintln!("policy_matrix: policy x group size x loss rate, shared engine vs legacy stacks ...");
+    let (opt_s, delivered) = policy_matrix_shared_engine();
+    let (ref_s, ref_delivered) = policy_matrix_legacy_stacks();
+    assert_eq!(
+        delivered, ref_delivered,
+        "shared-engine and legacy-stack sweeps must deliver identical message counts"
+    );
+    comparisons.push(Comparison {
+        name: "policy_matrix",
+        unit: "deliveries/sec",
+        optimized_rate: delivered as f64 / opt_s,
+        reference_rate: delivered as f64 / ref_s,
+        work: delivered,
     });
 
     eprintln!("parallel_regions: 32 regions x 2048 members, shard count sweep ...");

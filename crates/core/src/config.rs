@@ -17,23 +17,7 @@
 
 use rrmp_netsim::time::SimDuration;
 
-/// Which buffer-management policy a receiver runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub enum BufferPolicy {
-    /// The paper's contribution: feedback-based short-term buffering with
-    /// idle threshold `T`, then randomized long-term buffering with
-    /// expected `C` bufferers per region.
-    TwoPhase,
-    /// Bimodal-Multicast-style baseline: every member buffers each message
-    /// for a fixed duration, ignoring request feedback.
-    FixedTime {
-        /// How long every member holds every message.
-        hold: SimDuration,
-    },
-    /// Never discard (an RMTP-like upper bound on buffering cost).
-    KeepAll,
-}
+pub use crate::policy::PolicyKind;
 
 /// Errors from [`ProtocolConfig::validate`].
 #[derive(Debug, Clone, PartialEq)]
@@ -110,7 +94,21 @@ pub struct ProtocolConfig {
     /// Safety cap on search forwards per member per message.
     pub max_search_attempts: u32,
     /// The buffering policy (the paper's two-phase scheme by default).
-    pub policy: BufferPolicy,
+    /// [`PolicyKind::build`] turns the selector into the
+    /// [`BufferPolicy`](crate::policy::BufferPolicy) implementation each
+    /// receiver runs.
+    pub policy: PolicyKind,
+    /// Designated bufferers per message under
+    /// [`PolicyKind::HashBufferers`].
+    pub hash_bufferers: usize,
+    /// Retry timer of the direct pull phases ported from the baselines
+    /// (hash-based and sender-based requests, which may cross regions and
+    /// therefore need a worst-case-RTT budget rather than the local one).
+    pub direct_request_timeout: SimDuration,
+    /// Whether the sender role multicasts periodic session messages.
+    /// Disabled by differential harnesses that mirror the legacy
+    /// baselines' one-shot session advertisement per multicast.
+    pub periodic_sessions: bool,
     /// Optional hard cap on buffered payload bytes per member. When set,
     /// inserts evict least-recently-used long-term entries first (§1's
     /// bounded-space scenario). `None` (default) means unbounded, the
@@ -145,7 +143,10 @@ impl ProtocolConfig {
             max_local_attempts: 200,
             max_remote_attempts: 200,
             max_search_attempts: 200,
-            policy: BufferPolicy::TwoPhase,
+            policy: PolicyKind::TwoPhase,
+            hash_bufferers: 6,
+            direct_request_timeout: SimDuration::from_millis(60),
+            periodic_sessions: true,
             buffer_capacity: None,
             remote_requests_refresh_idle: true,
             record_events: true,
@@ -178,6 +179,7 @@ impl ProtocolConfig {
             (self.long_term_timeout, "long_term_timeout"),
             (self.long_term_sweep_interval, "long_term_sweep_interval"),
             (self.session_interval, "session_interval"),
+            (self.direct_request_timeout, "direct_request_timeout"),
         ] {
             if d.is_zero() {
                 return Err(ConfigError::ZeroDuration(name));
@@ -187,6 +189,7 @@ impl ProtocolConfig {
             (self.max_local_attempts, "max_local_attempts"),
             (self.max_remote_attempts, "max_remote_attempts"),
             (self.max_search_attempts, "max_search_attempts"),
+            (self.hash_bufferers as u32, "hash_bufferers"),
         ] {
             if a == 0 {
                 return Err(ConfigError::ZeroAttempts(name));
@@ -306,8 +309,26 @@ impl ProtocolConfigBuilder {
     }
 
     /// Sets the buffering policy.
-    pub fn policy(&mut self, p: BufferPolicy) -> &mut Self {
+    pub fn policy(&mut self, p: PolicyKind) -> &mut Self {
         self.cfg.policy = p;
+        self
+    }
+
+    /// Sets the designated-bufferer count of the hash policy.
+    pub fn hash_bufferers(&mut self, k: usize) -> &mut Self {
+        self.cfg.hash_bufferers = k;
+        self
+    }
+
+    /// Sets the direct pull retry timer (hash / sender-based policies).
+    pub fn direct_request_timeout(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.direct_request_timeout = t;
+        self
+    }
+
+    /// Enables or disables the sender's periodic session messages.
+    pub fn periodic_sessions(&mut self, yes: bool) -> &mut Self {
+        self.cfg.periodic_sessions = yes;
         self
     }
 
@@ -352,7 +373,10 @@ mod tests {
         assert_eq!(cfg.local_timeout, SimDuration::from_millis(10));
         assert!((cfg.lambda - 1.0).abs() < f64::EPSILON);
         assert!((cfg.c - 6.0).abs() < f64::EPSILON);
-        assert_eq!(cfg.policy, BufferPolicy::TwoPhase);
+        assert_eq!(cfg.policy, PolicyKind::TwoPhase);
+        assert_eq!(cfg.hash_bufferers, 6);
+        assert_eq!(cfg.direct_request_timeout, SimDuration::from_millis(60));
+        assert!(cfg.periodic_sessions);
     }
 
     #[test]
@@ -361,13 +385,13 @@ mod tests {
             .lambda(2.0)
             .c(3.0)
             .idle_threshold(SimDuration::from_millis(80))
-            .policy(BufferPolicy::FixedTime { hold: SimDuration::from_millis(100) })
+            .policy(PolicyKind::FixedTime { hold: SimDuration::from_millis(100) })
             .build()
             .unwrap();
         assert!((cfg.lambda - 2.0).abs() < f64::EPSILON);
         assert!((cfg.c - 3.0).abs() < f64::EPSILON);
         assert_eq!(cfg.idle_threshold, SimDuration::from_millis(80));
-        assert!(matches!(cfg.policy, BufferPolicy::FixedTime { .. }));
+        assert!(matches!(cfg.policy, PolicyKind::FixedTime { .. }));
     }
 
     #[test]

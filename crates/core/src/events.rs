@@ -23,9 +23,9 @@ pub enum TimerKind {
     /// Retry timer for the remote recovery phase of a missing message.
     RemoteRetry(MessageId),
     /// Idle-threshold check for a buffered message (§3.1) — also used as
-    /// the fixed-hold expiry under [`BufferPolicy::FixedTime`].
+    /// the fixed-hold expiry under [`PolicyKind::FixedTime`].
     ///
-    /// [`BufferPolicy::FixedTime`]: crate::config::BufferPolicy::FixedTime
+    /// [`PolicyKind::FixedTime`]: crate::policy::PolicyKind::FixedTime
     IdleCheck(MessageId),
     /// Retry timer for the bufferer search (§3.3).
     SearchRetry(MessageId),

@@ -22,6 +22,7 @@ use crate::events::{Action, Event, TimerKind};
 use crate::ids::MessageId;
 use crate::interval_set::MessageIdSet;
 use crate::packet::{DataPacket, Packet};
+use crate::policy::PolicyKind;
 use crate::receiver::{PreloadState, Receiver};
 use crate::sender::{Sender, SenderAction};
 
@@ -211,9 +212,13 @@ impl SimNode for RrmpNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
         let mut actions = self.receiver.on_start();
         self.execute(ctx, &mut actions);
-        if let Some(sender) = &self.sender {
-            let actions = sender.on_start();
-            self.execute_sender(ctx, actions);
+        // The session tick is gated so differential harnesses can mirror
+        // the legacy baselines' one-shot session advertisements.
+        if self.receiver.config().periodic_sessions {
+            if let Some(sender) = &self.sender {
+                let actions = sender.on_start();
+                self.execute_sender(ctx, actions);
+            }
         }
     }
 
@@ -391,6 +396,22 @@ fn shards_from_env() -> usize {
     }
 }
 
+/// Returned by [`RrmpNetwork::try_sim_mut`] when the network is hosted on
+/// the sharded engine and therefore has no single-queue [`Sim`] to lend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineMismatch {
+    /// The shard count of the engine actually hosting the network.
+    pub shards: usize,
+}
+
+impl std::fmt::Display for EngineMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "network runs on the sharded engine ({} shards)", self.shards)
+    }
+}
+
+impl std::error::Error for EngineMismatch {}
+
 /// A complete simulated RRMP group: topology, one sender, one receiver per
 /// node, and experiment conveniences.
 #[derive(Debug)]
@@ -498,6 +519,24 @@ impl RrmpNetwork {
         }
     }
 
+    /// Like [`RrmpNetwork::new`], but letting the `RRMP_POLICY`
+    /// environment variable override the configured buffer policy
+    /// (mirroring how `RRMP_SIM_SHARDS` selects the engine for
+    /// [`RrmpNetwork::new_sharded`]). Only call sites that opt in are
+    /// affected, so the CI policy matrix exercises the non-default
+    /// policies without touching tests that assert two-phase behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or `RRMP_POLICY` holds an unknown value.
+    #[must_use]
+    pub fn new_env_policy(topo: Topology, mut cfg: ProtocolConfig, seed: u64) -> Self {
+        if let Some(kind) = PolicyKind::from_env() {
+            cfg.policy = kind;
+        }
+        Self::new(topo, cfg, seed)
+    }
+
     /// Number of shards the engine runs on (1 for the single-queue
     /// engines).
     #[must_use]
@@ -546,10 +585,16 @@ impl RrmpNetwork {
         // Decorrelate receiver RNG streams from the simulator's own streams
         // (which are derived from the unmixed seed).
         let seq = rrmp_netsim::rng::SeedSequence::new(seed ^ 0x5EED_0F88_1122_AA55);
+        let members: Vec<NodeId> = topo.nodes().collect();
         topo.nodes()
             .map(|id| {
                 let view = HierarchyView::from_topology(topo, id);
-                let receiver = Receiver::new(id, view, cfg.clone(), seq.subseed(id.0 as u64));
+                // Build the policy over the *full* group membership (the
+                // harness knows it), so topology-blind policies like hash
+                // placement rank every member, not just own ∪ parent.
+                let policy = cfg.policy.build(id, &members, cfg);
+                let receiver =
+                    Receiver::with_policy(id, view, cfg.clone(), seq.subseed(id.0 as u64), policy);
                 let sender = senders.contains(&id).then(|| Sender::new(id, cfg.session_interval));
                 let mut node = RrmpNode::new(receiver, sender);
                 node.reference_mode = !optimized;
@@ -587,20 +632,35 @@ impl RrmpNetwork {
     }
 
     /// The underlying single-queue simulator (full control for advanced
+    /// experiments), or [`EngineMismatch`] for a network hosted on the
+    /// sharded engine — probe with this instead of `catch_unwind` when a
+    /// test must work against either engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineMismatch`] for a network built with
+    /// [`RrmpNetwork::new_sharded`] / [`RrmpNetwork::with_shards`] — use
+    /// the engine-agnostic harness methods (e.g.
+    /// [`RrmpNetwork::set_unicast_loss`]) there.
+    pub fn try_sim_mut(&mut self) -> Result<&mut Sim<RrmpNode>, EngineMismatch> {
+        match &mut self.sim {
+            SimEngine::Single(s) => Ok(s),
+            SimEngine::Sharded(s) => Err(EngineMismatch { shards: s.shards() }),
+        }
+    }
+
+    /// The underlying single-queue simulator (full control for advanced
     /// experiments).
     ///
     /// # Panics
     ///
     /// Panics for a network built with [`RrmpNetwork::new_sharded`] /
-    /// [`RrmpNetwork::with_shards`] — use the engine-agnostic harness
-    /// methods (e.g. [`RrmpNetwork::set_unicast_loss`]) there.
+    /// [`RrmpNetwork::with_shards`] — use [`RrmpNetwork::try_sim_mut`]
+    /// to probe without unwinding.
     pub fn sim_mut(&mut self) -> &mut Sim<RrmpNode> {
-        match &mut self.sim {
-            SimEngine::Single(s) => s,
-            SimEngine::Sharded(_) => {
-                panic!("sim_mut(): sharded networks have no single-queue Sim")
-            }
-        }
+        self.try_sim_mut().unwrap_or_else(|e| {
+            panic!("sim_mut(): sharded networks have no single-queue Sim ({e})")
+        })
     }
 
     /// The sender's node id.

@@ -12,7 +12,14 @@
 //! ## Architecture
 //!
 //! * [`receiver::Receiver`] — one group member: loss detection, local and
-//!   remote recovery, two-phase buffering, bufferer search, leave handoff.
+//!   remote recovery, buffering, bufferer search, leave handoff. The
+//!   receiver is the shared protocol *engine*; every algorithm-specific
+//!   decision lives in a [`policy::BufferPolicy`].
+//! * [`policy`] — the pluggable buffer-management layer: the paper's
+//!   randomized two-phase algorithm (default, byte-identical to the
+//!   pre-refactor receiver), fixed-time and keep-all ablations, and the
+//!   hash-based / sender-based comparison schemes ported from
+//!   `rrmp-baselines`.
 //! * [`sender::Sender`] — the single multicast source: data and session
 //!   messages.
 //! * [`packet::Packet`] — the wire protocol with a binary codec.
@@ -54,19 +61,21 @@ pub mod interval_set;
 pub mod loss;
 pub mod metrics;
 pub mod packet;
+pub mod policy;
 pub mod receiver;
 pub mod sender;
 
 /// Convenient glob-import of the protocol types.
 pub mod prelude {
     pub use crate::buffer::{MessageStore, Phase};
-    pub use crate::config::{BufferPolicy, ProtocolConfig};
+    pub use crate::config::ProtocolConfig;
     pub use crate::delivery::FifoReorder;
     pub use crate::events::{Action, Event, TimerKind};
     pub use crate::harness::{RrmpNetwork, RrmpNode};
     pub use crate::ids::{MessageId, SeqNo};
     pub use crate::metrics::{BufferRecord, Counters, Metrics, ProtocolEvent};
     pub use crate::packet::{DataPacket, Packet, RepairKind};
+    pub use crate::policy::{BufferPolicy, DataPath, PolicyCtx, PolicyKind};
     pub use crate::receiver::{PreloadState, Receiver};
     pub use crate::sender::{Sender, SenderAction};
 }

@@ -1,0 +1,748 @@
+//! The pluggable buffer-management policy layer.
+//!
+//! The paper is a *comparison of buffer-management algorithms*: randomized
+//! two-phase buffering (§3) against hash-based bufferer placement (the
+//! authors' previous NGC '99 scheme, §3.4) and sender-based ACK/NACK
+//! recovery (§1's implosion strawman). One protocol engine — loss
+//! detection, request/repair plumbing, timers, churn — hosts them all;
+//! a [`BufferPolicy`] owns every algorithm-specific decision:
+//!
+//! * **who buffers** a received payload, and in which phase
+//!   ([`BufferPolicy::on_receive`]);
+//! * **when to promote** short→long or discard at the idle check
+//!   ([`BufferPolicy::on_idle`]);
+//! * **where to hand off** long-term buffers on a voluntary leave
+//!   ([`BufferPolicy::handoff_target`]);
+//! * **whom to query** for a missing message, and how often to retry
+//!   ([`BufferPolicy::pull_target`], [`BufferPolicy::remote_target`]).
+//!
+//! The [`Receiver`](crate::receiver::Receiver) invokes these hooks at
+//! fixed protocol points through a [`PolicyCtx`] that lends out its store,
+//! metrics, membership view, and — crucially — its RNG: the default
+//! [`TwoPhase`] implementation makes exactly the draws, in exactly the
+//! order, that the pre-refactor hard-wired receiver made, so its traces
+//! are byte-identical (pinned by `tests/golden_traces.rs`).
+//!
+//! Engine-level duties stay in the receiver regardless of policy: loss
+//! detection, answering requests from the buffer, waiter relays, the
+//! bufferer search (only ever ignited by the two-phase remote phase), the
+//! regional re-multicast back-off, and the handoff duty-transfer rule
+//! (an arriving [`Packet::Handoff`](crate::packet::Packet::Handoff)
+//! always enters the long-term phase — it *is* the transfer of a
+//! buffering obligation).
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rrmp_membership::view::HierarchyView;
+use rrmp_netsim::time::{SimDuration, SimTime};
+use rrmp_netsim::topology::NodeId;
+
+use crate::buffer::MessageStore;
+use crate::config::ProtocolConfig;
+use crate::events::{Action, TimerKind};
+use crate::ids::MessageId;
+use crate::metrics::Metrics;
+
+/// How a data payload reached a receiver — policies use it to
+/// distinguish initial multicasts from repairs and handoffs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPath {
+    /// The sender's initial multicast (or a self-originated message).
+    Multicast,
+    /// A repair answering a local request.
+    LocalRepair,
+    /// A repair that crossed regions.
+    RemoteRepair,
+    /// A repair multicast within the region.
+    RegionalRepair,
+    /// A long-term buffer handoff from a leaving member.
+    Handoff,
+}
+
+/// Everything a policy hook may read or mutate, lent by the receiver for
+/// the duration of one decision. Field split (rather than `&mut Receiver`)
+/// keeps the borrow checker happy and the policy surface explicit.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// This member's id.
+    pub id: NodeId,
+    /// Current time.
+    pub now: SimTime,
+    /// The protocol configuration.
+    pub cfg: &'a ProtocolConfig,
+    /// The membership view (own + parent region).
+    pub view: &'a HierarchyView,
+    /// The two-phase message store.
+    pub store: &'a mut MessageStore,
+    /// Protocol metrics.
+    pub metrics: &'a mut Metrics,
+    /// The receiver's RNG — the *only* randomness source, so identical
+    /// inputs yield identical behaviour for any policy.
+    pub rng: &'a mut StdRng,
+    /// The action buffer of the event being handled.
+    pub actions: &'a mut Vec<Action>,
+}
+
+impl PolicyCtx<'_> {
+    /// Asks the host to fire `kind` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, kind: TimerKind) {
+        self.actions.push(Action::SetTimer { delay, kind });
+    }
+
+    /// Records capacity evictions in the metrics (shared bookkeeping for
+    /// every policy that inserts through the bounded store paths).
+    pub fn note_evictions(&mut self, evicted: Vec<MessageId>) {
+        for id in evicted {
+            self.metrics.counters.evicted_for_capacity += 1;
+            self.metrics.buffer_record_mut(id).discarded_at = Some(self.now);
+        }
+    }
+
+    /// Inserts `payload` straight into the long-term phase with the
+    /// standard metric bookkeeping — the shape shared by handoff receipt
+    /// and designated-bufferer placement.
+    pub fn enter_long_term(&mut self, id: MessageId, payload: Bytes) {
+        let (_, evicted) = self.store.insert_long_bounded(id, payload, self.now);
+        self.note_evictions(evicted);
+        let rec = self.metrics.buffer_record_mut(id);
+        rec.idled_at = Some(self.now);
+        rec.kept_long_term = true;
+    }
+}
+
+/// One buffer-management algorithm, plugged into the shared protocol
+/// engine. See the module docs for the decision points each hook owns.
+///
+/// Implementations must be deterministic given the [`PolicyCtx`] RNG:
+/// the simulator's trace-equality suites run every policy on the
+/// single-queue *and* sharded engines and require identical outcomes.
+pub trait BufferPolicy: std::fmt::Debug + Send {
+    /// Short name for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// A payload was newly delivered (path tells how); decide who buffers
+    /// it, in which phase, and whether to arm an idle-check timer.
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        path: DataPath,
+    );
+
+    /// The idle-check timer for `msg` fired; decide to re-arm, promote to
+    /// the long-term phase, or discard. Never called unless
+    /// [`BufferPolicy::on_receive`] (or a preload) armed the timer.
+    fn on_idle(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId);
+
+    /// The idle/hold delay armed when a short-term entry is preloaded by
+    /// the experiment harness (mirrors what `on_receive` would arm).
+    fn preload_short_delay(&self, cfg: &ProtocolConfig) -> SimDuration;
+
+    /// Whom to ask next for missing message `msg` (the pull/request
+    /// phase). `None` sends nothing this round; the retry timer is still
+    /// armed by the engine.
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId>;
+
+    /// Retry period of the pull phase.
+    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration;
+
+    /// Whether the λ/n probabilistic remote-recovery phase (§2.2) runs.
+    /// Policies that return `false` never send
+    /// [`Packet::RemoteRequest`](crate::packet::Packet::RemoteRequest)s,
+    /// which also keeps the bufferer search dormant.
+    fn remote_recovery(&self) -> bool {
+        false
+    }
+
+    /// Whom to ask in the parent region this remote round (`None` stays
+    /// silent; the retry timer is still armed, §2.2). Only called when
+    /// [`BufferPolicy::remote_recovery`] is `true` and a parent exists.
+    fn remote_target(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        None
+    }
+
+    /// Where to hand off long-term-buffered `msg` when leaving
+    /// voluntarily (§3.2). `None` drops the copy (a scheme without
+    /// handoff redundancy).
+    fn handoff_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId>;
+
+    /// Disuse timeout after which the periodic sweep discards long-term
+    /// entries; `None` retains them for the whole session.
+    fn long_term_expiry(&self, cfg: &ProtocolConfig) -> Option<SimDuration> {
+        Some(cfg.long_term_timeout)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's algorithm (default) and its feedback-free ablations.
+// ---------------------------------------------------------------------------
+
+/// The paper's randomized two-phase algorithm (§3): feedback-based
+/// short-term buffering with idle threshold `T`, a `C/n` long-term
+/// lottery at the idle transition, random-neighbor pull recovery, the
+/// λ/n remote phase, and random-neighbor handoff on leave.
+///
+/// This is the default policy and reproduces the pre-refactor receiver
+/// bit for bit (same RNG draws in the same order).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoPhase;
+
+impl BufferPolicy for TwoPhase {
+    fn name(&self) -> &'static str {
+        "two-phase"
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        path: DataPath,
+    ) {
+        if path == DataPath::Handoff {
+            ctx.enter_long_term(id, payload.clone());
+            return;
+        }
+        let (_, evicted) = ctx.store.insert_short_bounded(id, payload.clone(), ctx.now);
+        ctx.note_evictions(evicted);
+        let delay = ctx.cfg.idle_threshold;
+        ctx.set_timer(delay, TimerKind::IdleCheck(id));
+    }
+
+    fn on_idle(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) {
+        let Some(activity) = ctx.store.short_last_activity(msg) else { return };
+        let idle_at = activity + ctx.cfg.idle_threshold;
+        if ctx.now < idle_at {
+            // A request refreshed the clock; re-arm for the residue.
+            let residue = idle_at - ctx.now;
+            ctx.set_timer(residue, TimerKind::IdleCheck(msg));
+            return;
+        }
+        // The message is idle (§3.1): decide long-term retention.
+        ctx.metrics.counters.idle_transitions += 1;
+        ctx.metrics.buffer_record_mut(msg).idled_at = Some(ctx.now);
+        let p = ctx.cfg.long_term_probability(ctx.view.own().len());
+        if ctx.rng.gen_bool(p) {
+            ctx.store.promote_to_long(msg, ctx.now);
+            ctx.metrics.counters.long_term_kept += 1;
+            ctx.metrics.buffer_record_mut(msg).kept_long_term = true;
+        } else {
+            ctx.store.discard(msg, ctx.now);
+            ctx.metrics.counters.discarded_at_idle += 1;
+            ctx.metrics.buffer_record_mut(msg).discarded_at = Some(ctx.now);
+        }
+    }
+
+    fn preload_short_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
+        cfg.idle_threshold
+    }
+
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        ctx.view.own().random_other(ctx.rng, ctx.id)
+    }
+
+    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
+        cfg.local_timeout
+    }
+
+    fn remote_recovery(&self) -> bool {
+        true
+    }
+
+    fn remote_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        let region_size = ctx.view.own().len();
+        let p = ctx.cfg.remote_request_probability(region_size);
+        // §2.2: draw the λ/n coin first, then (only on success) the
+        // parent-region member — the historical draw order.
+        if !ctx.rng.gen_bool(p) {
+            return None;
+        }
+        ctx.view.parent().and_then(|parent| parent.random_member(ctx.rng))
+    }
+
+    fn handoff_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        ctx.view.own().random_other(ctx.rng, ctx.id)
+    }
+}
+
+/// Bimodal-Multicast-style ablation: every member buffers each message
+/// for a fixed duration, ignoring request feedback.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedTime {
+    /// How long every member holds every message.
+    pub hold: SimDuration,
+}
+
+impl BufferPolicy for FixedTime {
+    fn name(&self) -> &'static str {
+        "fixed-time"
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        path: DataPath,
+    ) {
+        if path == DataPath::Handoff {
+            ctx.enter_long_term(id, payload.clone());
+            return;
+        }
+        let (_, evicted) = ctx.store.insert_short_bounded(id, payload.clone(), ctx.now);
+        ctx.note_evictions(evicted);
+        ctx.set_timer(self.hold, TimerKind::IdleCheck(id));
+    }
+
+    fn on_idle(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) {
+        // Discard at the deadline regardless of demand — the failure mode
+        // §3.1's feedback rule exists to prevent.
+        if ctx.store.short_last_activity(msg).is_some() {
+            ctx.store.discard(msg, ctx.now);
+            ctx.metrics.counters.discarded_at_idle += 1;
+            let rec = ctx.metrics.buffer_record_mut(msg);
+            rec.idled_at = Some(ctx.now);
+            rec.discarded_at = Some(ctx.now);
+        }
+    }
+
+    fn preload_short_delay(&self, _cfg: &ProtocolConfig) -> SimDuration {
+        self.hold
+    }
+
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        ctx.view.own().random_other(ctx.rng, ctx.id)
+    }
+
+    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
+        cfg.local_timeout
+    }
+
+    fn remote_recovery(&self) -> bool {
+        true
+    }
+
+    fn remote_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId> {
+        TwoPhase.remote_target(ctx, msg)
+    }
+
+    fn handoff_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        ctx.view.own().random_other(ctx.rng, ctx.id)
+    }
+}
+
+/// Never discard (an RMTP-like upper bound on buffering cost).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeepAll;
+
+impl BufferPolicy for KeepAll {
+    fn name(&self) -> &'static str {
+        "keep-all"
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        path: DataPath,
+    ) {
+        if path == DataPath::Handoff {
+            ctx.enter_long_term(id, payload.clone());
+            return;
+        }
+        let (_, evicted) = ctx.store.insert_short_bounded(id, payload.clone(), ctx.now);
+        ctx.note_evictions(evicted);
+        // No idle timer: short-term entries live forever.
+    }
+
+    fn on_idle(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) {}
+
+    fn preload_short_delay(&self, _cfg: &ProtocolConfig) -> SimDuration {
+        SimDuration::ZERO // unused: the idle check is a no-op
+    }
+
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        ctx.view.own().random_other(ctx.rng, ctx.id)
+    }
+
+    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
+        cfg.local_timeout
+    }
+
+    fn remote_recovery(&self) -> bool {
+        true
+    }
+
+    fn remote_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId> {
+        TwoPhase.remote_target(ctx, msg)
+    }
+
+    fn handoff_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        ctx.view.own().random_other(ctx.rng, ctx.id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-based bufferer placement (ported from crates/baselines).
+// ---------------------------------------------------------------------------
+
+/// Deterministic 64-bit hash of `(member, message)` used by hash-based
+/// bufferer placement — requester and bufferer sides must agree on it.
+#[must_use]
+pub fn bufferer_hash(member: NodeId, msg: MessageId) -> u64 {
+    let mut state = (u64::from(member.0) << 32)
+        ^ (u64::from(msg.source.0).rotate_left(17))
+        ^ msg.seq.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rrmp_netsim::rng::splitmix64(&mut state)
+}
+
+/// The `k` designated bufferers for `msg` among `members` (the `k`
+/// smallest `hash(member, msg)` values; ties broken by id).
+#[must_use]
+pub fn designated_bufferers(members: &[NodeId], msg: MessageId, k: usize) -> Vec<NodeId> {
+    let mut scored: Vec<(u64, NodeId)> =
+        members.iter().map(|&m| (bufferer_hash(m, msg), m)).collect();
+    scored.sort();
+    scored.into_iter().take(k).map(|(_, m)| m).collect()
+}
+
+/// Deterministic hash-based bufferer selection — the authors' *previous*
+/// scheme (Ozkasap, van Renesse, Birman, Xiao: "Efficient buffering in
+/// reliable multicast protocols", NGC '99), which the paper's §1 and §3.4
+/// compare against, running on the shared engine.
+///
+/// Every member knows the full group membership. For a message `m`, the
+/// `cfg.hash_bufferers` members with the smallest `hash(member, m)` are
+/// its designated bufferers; everyone computes the set locally. A member
+/// missing `m` pulls it directly from a random designated bufferer —
+/// no search traffic, but topology-blind: requests routinely cross
+/// high-latency links, the weakness that motivated RRMP's regional
+/// design.
+#[derive(Debug, Clone)]
+pub struct HashBufferers {
+    members: Vec<NodeId>,
+    k: usize,
+    /// Reused scratch for the designated-set computation.
+    scratch: Vec<(u64, NodeId)>,
+}
+
+impl HashBufferers {
+    /// Creates the policy for a member knowing the full `members` list.
+    #[must_use]
+    pub fn new(members: Vec<NodeId>, k: usize) -> Self {
+        HashBufferers { members, k, scratch: Vec::new() }
+    }
+
+    /// Whether `who` is among the designated bufferers of `msg`: fewer
+    /// than `k` members hash strictly below it. One O(n) pass — no sort,
+    /// no scratch — since this runs on every data arrival.
+    fn is_designated(&self, who: NodeId, msg: MessageId) -> bool {
+        if self.k >= self.members.len() {
+            return self.members.contains(&who);
+        }
+        let mine = (bufferer_hash(who, msg), who);
+        let mut below = 0usize;
+        let mut member = false;
+        for &m in &self.members {
+            let key = (bufferer_hash(m, msg), m);
+            if key < mine {
+                below += 1;
+                if below >= self.k {
+                    return false;
+                }
+            } else if m == who {
+                member = true;
+            }
+        }
+        member
+    }
+
+    /// Fills `scratch` with `(hash, member)` and partitions the `k`
+    /// designated bufferers into the front (in no particular order):
+    /// selection, not a full sort.
+    fn rank_members(&mut self, msg: MessageId) -> &[(u64, NodeId)] {
+        self.scratch.clear();
+        self.scratch.extend(self.members.iter().map(|&m| (bufferer_hash(m, msg), m)));
+        let k = self.k.min(self.scratch.len());
+        if k > 0 && k < self.scratch.len() {
+            self.scratch.select_nth_unstable(k - 1);
+        }
+        &self.scratch[..k]
+    }
+}
+
+impl BufferPolicy for HashBufferers {
+    fn name(&self) -> &'static str {
+        "hash-determ"
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        path: DataPath,
+    ) {
+        // Only designated members buffer; everyone else keeps nothing
+        // beyond delivery (the NGC '99 design point). A handoff still
+        // transfers the buffering duty.
+        if path == DataPath::Handoff || self.is_designated(ctx.id, id) {
+            ctx.enter_long_term(id, payload.clone());
+        }
+    }
+
+    fn on_idle(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) {}
+
+    fn preload_short_delay(&self, _cfg: &ProtocolConfig) -> SimDuration {
+        SimDuration::ZERO // unused: no short phase
+    }
+
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId> {
+        let me = ctx.id;
+        // Select uniformly among the non-self designated members straight
+        // from the partitioned scratch — no candidates Vec per retry
+        // round (scratch order is deterministic for a fixed member list,
+        // so runs stay reproducible).
+        let designated = self.rank_members(msg);
+        let candidates = designated.iter().filter(|&&(_, m)| m != me).count();
+        if candidates == 0 {
+            return None;
+        }
+        let pick = ctx.rng.gen_range(0..candidates);
+        designated.iter().map(|&(_, m)| m).filter(|&m| m != me).nth(pick)
+    }
+
+    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
+        cfg.direct_request_timeout
+    }
+
+    fn handoff_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId> {
+        // Hand the duty to the best-ranked other member — the node every
+        // requester will (modulo the leaver) route to anyway. A plain
+        // min-scan: no sort, no scratch.
+        let me = ctx.id;
+        self.members
+            .iter()
+            .filter(|&&m| m != me)
+            .map(|&m| (bufferer_hash(m, msg), m))
+            .min()
+            .map(|(_, m)| m)
+    }
+
+    fn long_term_expiry(&self, _cfg: &ProtocolConfig) -> Option<SimDuration> {
+        None // designated copies are retained for the whole session
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sender-based recovery (ported from crates/baselines).
+// ---------------------------------------------------------------------------
+
+/// Sender-based recovery — the strawman the field moved away from, and
+/// the opening motivation of the paper's §1: every receiver NACKs the
+/// original sender directly; the sender buffers the whole session and
+/// answers every NACK itself, concentrating the recovery load that RRMP
+/// spreads out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SenderBased;
+
+impl BufferPolicy for SenderBased {
+    fn name(&self) -> &'static str {
+        "sender-based"
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        path: DataPath,
+    ) {
+        // Only the message's source buffers (its own whole session).
+        if path == DataPath::Handoff || id.source == ctx.id {
+            ctx.enter_long_term(id, payload.clone());
+        }
+    }
+
+    fn on_idle(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) {}
+
+    fn preload_short_delay(&self, _cfg: &ProtocolConfig) -> SimDuration {
+        SimDuration::ZERO // unused: no short phase
+    }
+
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId> {
+        // NACK the source (never ourselves).
+        (msg.source != ctx.id).then_some(msg.source)
+    }
+
+    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
+        cfg.direct_request_timeout
+    }
+
+    fn handoff_target(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        None // no redundancy: a departing sender's buffers are simply lost
+    }
+
+    fn long_term_expiry(&self, _cfg: &ProtocolConfig) -> Option<SimDuration> {
+        None // the sender retains its session
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection.
+// ---------------------------------------------------------------------------
+
+/// Which buffer-management policy a receiver runs — the serializable
+/// selector stored in [`ProtocolConfig::policy`]; [`PolicyKind::build`]
+/// turns it into the [`BufferPolicy`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PolicyKind {
+    /// The paper's contribution: feedback-based short-term buffering with
+    /// idle threshold `T`, then randomized long-term buffering with
+    /// expected `C` bufferers per region.
+    TwoPhase,
+    /// Bimodal-Multicast-style baseline: every member buffers each message
+    /// for a fixed duration, ignoring request feedback.
+    FixedTime {
+        /// How long every member holds every message.
+        hold: SimDuration,
+    },
+    /// Never discard (an RMTP-like upper bound on buffering cost).
+    KeepAll,
+    /// Hash-based designated bufferers (NGC '99), `cfg.hash_bufferers`
+    /// per message over the full membership.
+    HashBufferers,
+    /// All recovery through the message source (§1's implosion strawman).
+    SenderBased,
+}
+
+impl PolicyKind {
+    /// Short name matching [`BufferPolicy::name`] (and the `RRMP_POLICY`
+    /// environment values).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::TwoPhase => "two-phase",
+            PolicyKind::FixedTime { .. } => "fixed-time",
+            PolicyKind::KeepAll => "keep-all",
+            PolicyKind::HashBufferers => "hash",
+            PolicyKind::SenderBased => "sender-based",
+        }
+    }
+
+    /// Builds the policy implementation for member `id` given the full
+    /// `members` list (hash-based placement needs — and copies — the
+    /// whole group; other policies ignore it).
+    #[must_use]
+    pub fn build(
+        &self,
+        _id: NodeId,
+        members: &[NodeId],
+        cfg: &ProtocolConfig,
+    ) -> Box<dyn BufferPolicy> {
+        match *self {
+            PolicyKind::TwoPhase => Box::new(TwoPhase),
+            PolicyKind::FixedTime { hold } => Box::new(FixedTime { hold }),
+            PolicyKind::KeepAll => Box::new(KeepAll),
+            PolicyKind::HashBufferers => {
+                Box::new(HashBufferers::new(members.to_vec(), cfg.hash_bufferers))
+            }
+            PolicyKind::SenderBased => Box::new(SenderBased),
+        }
+    }
+
+    /// The policy selected by the `RRMP_POLICY` environment variable
+    /// (`two-phase`, `hash`, `sender-based`, or `keep-all`), or `None`
+    /// when unset. Mirrors `RRMP_SIM_SHARDS`: only call sites that opt in
+    /// (e.g. [`RrmpNetwork::new_env_policy`]) are affected, so the CI
+    /// matrix can run the whole suite under a non-default policy without
+    /// changing tests that assert two-phase behaviour.
+    ///
+    /// [`RrmpNetwork::new_env_policy`]: crate::harness::RrmpNetwork::new_env_policy
+    ///
+    /// # Panics
+    ///
+    /// Panics on a set-but-unknown value: a policy-matrix CI job that
+    /// silently fell back to the default would go green while testing
+    /// nothing.
+    #[must_use]
+    pub fn from_env() -> Option<PolicyKind> {
+        match std::env::var("RRMP_POLICY") {
+            Err(_) => None,
+            Ok(v) => match v.as_str() {
+                "two-phase" => Some(PolicyKind::TwoPhase),
+                "hash" => Some(PolicyKind::HashBufferers),
+                "sender-based" => Some(PolicyKind::SenderBased),
+                "keep-all" => Some(PolicyKind::KeepAll),
+                _ => panic!(
+                    "RRMP_POLICY must be one of two-phase|hash|sender-based|keep-all, got {v:?}"
+                ),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SeqNo;
+
+    fn mid(seq: u64) -> MessageId {
+        MessageId::new(NodeId(0), SeqNo(seq))
+    }
+
+    #[test]
+    fn designated_set_is_stable_and_sized() {
+        let members: Vec<NodeId> = (0..100).map(NodeId).collect();
+        let a = designated_bufferers(&members, mid(1), 6);
+        let b = designated_bufferers(&members, mid(1), 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        // Different messages select (almost surely) different sets.
+        let c = designated_bufferers(&members, mid(2), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bufferer_hash_is_deterministic_and_spreads() {
+        let msg = mid(1);
+        assert_eq!(bufferer_hash(NodeId(1), msg), bufferer_hash(NodeId(1), msg));
+        let others: std::collections::HashSet<u64> =
+            (0..100u32).map(|m| bufferer_hash(NodeId(m), msg)).collect();
+        assert!(others.len() >= 99, "hash collisions too frequent");
+        assert_ne!(bufferer_hash(NodeId(1), msg), bufferer_hash(NodeId(1), mid(2)));
+    }
+
+    #[test]
+    fn kind_names_and_env_round_trip() {
+        assert_eq!(PolicyKind::TwoPhase.name(), "two-phase");
+        assert_eq!(PolicyKind::HashBufferers.name(), "hash");
+        assert_eq!(PolicyKind::SenderBased.name(), "sender-based");
+        assert_eq!(PolicyKind::KeepAll.name(), "keep-all");
+        assert_eq!(
+            PolicyKind::FixedTime { hold: SimDuration::from_millis(1) }.name(),
+            "fixed-time"
+        );
+    }
+
+    #[test]
+    fn build_matches_kind() {
+        let cfg = ProtocolConfig::paper_defaults();
+        let members: Vec<NodeId> = (0..5).map(NodeId).collect();
+        for (kind, name) in [
+            (PolicyKind::TwoPhase, "two-phase"),
+            (PolicyKind::FixedTime { hold: SimDuration::from_millis(10) }, "fixed-time"),
+            (PolicyKind::KeepAll, "keep-all"),
+            // The hash policy reports the legacy baseline's scheme name.
+            (PolicyKind::HashBufferers, "hash-determ"),
+            (PolicyKind::SenderBased, "sender-based"),
+        ] {
+            let policy = kind.build(NodeId(0), &members, &cfg);
+            assert_eq!(policy.name(), name);
+        }
+    }
+}

@@ -19,6 +19,12 @@
 //! returns [`Action`]s; hosts own sockets, clocks, and timers. All
 //! randomness comes from the RNG supplied at construction, so identical
 //! inputs yield identical behaviour.
+//!
+//! Every algorithm-specific decision — who buffers, when to promote
+//! short→long, where to hand off on leave, whom to query for recovery —
+//! is delegated to the [`BufferPolicy`] built from
+//! [`ProtocolConfig::policy`]; the receiver itself is the shared engine
+//! every buffering algorithm runs on.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -30,28 +36,30 @@ use rrmp_netsim::time::{SimDuration, SimTime};
 use rrmp_netsim::topology::NodeId;
 
 use crate::buffer::MessageStore;
-use crate::config::{BufferPolicy, ProtocolConfig};
+use crate::config::ProtocolConfig;
 use crate::events::{Action, Event, TimerKind};
 use crate::ids::MessageId;
 use crate::loss::LossDetector;
 use crate::metrics::{Metrics, ProtocolEvent};
 use crate::packet::{DataPacket, Packet, RepairKind};
+use crate::policy::{BufferPolicy, DataPath, PolicyCtx};
 
-/// How a data payload reached this receiver — drives the follow-up
-/// behaviour (only remote repairs trigger regional re-multicast; handoffs
-/// enter the long-term buffer directly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DataPath {
-    /// The sender's initial multicast (or a self-originated message).
-    Multicast,
-    /// A repair answering a local request.
-    LocalRepair,
-    /// A repair that crossed regions.
-    RemoteRepair,
-    /// A repair multicast within the region.
-    RegionalRepair,
-    /// A long-term buffer handoff from a leaving member.
-    Handoff,
+/// Builds a [`PolicyCtx`] lending the receiver's state to a policy hook.
+/// A macro (not a method) so the borrow checker sees the disjoint field
+/// borrows next to the `self.policy` call.
+macro_rules! policy_ctx {
+    ($self:ident, $now:expr, $actions:expr) => {
+        PolicyCtx {
+            id: $self.id,
+            now: $now,
+            cfg: &$self.cfg,
+            view: &$self.view,
+            store: &mut $self.store,
+            metrics: &mut $self.metrics,
+            rng: &mut $self.rng,
+            actions: $actions,
+        }
+    };
 }
 
 /// State for preloading a receiver in controlled experiments (Figs 8/9
@@ -114,6 +122,7 @@ pub struct Receiver {
     backoffs: HashMap<MessageId, BackoffState>,
     rng: StdRng,
     metrics: Metrics,
+    policy: Box<dyn BufferPolicy>,
     left: bool,
     /// Reused id buffer for the periodic long-term expiry sweep
     /// ([`MessageStore::expire_long_into`]) — the idle-timer path
@@ -124,8 +133,45 @@ pub struct Receiver {
 impl Receiver {
     /// Creates a receiver for member `id` with membership `view`,
     /// configuration `cfg`, and a deterministic RNG seeded by `seed`.
+    /// The buffer policy is built from [`ProtocolConfig::policy`] over
+    /// the membership visible in `view` (own ∪ parent region); hosts
+    /// that know the full group (like the simulation harness) should use
+    /// [`Receiver::with_policy`] so full-membership policies (hash-based
+    /// placement) see every member.
     #[must_use]
     pub fn new(id: NodeId, view: HierarchyView, cfg: ProtocolConfig, seed: u64) -> Self {
+        // Hash placement requires *globally identical* member lists —
+        // receivers ranking different approximations would pull from
+        // peers that never buffered. With a parent region in view the
+        // own∪parent list is a partial view, so guard the footgun.
+        debug_assert!(
+            !(matches!(cfg.policy, crate::policy::PolicyKind::HashBufferers)
+                && view.parent().is_some()),
+            "PolicyKind::HashBufferers in a multi-region hierarchy needs the full group \
+             membership: build the policy yourself and use Receiver::with_policy"
+        );
+        let mut members: Vec<NodeId> = view
+            .own()
+            .members()
+            .chain(view.parent().into_iter().flat_map(|p| p.members()))
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        let policy = cfg.policy.build(id, &members, &cfg);
+        Self::with_policy(id, view, cfg, seed, policy)
+    }
+
+    /// Like [`Receiver::new`] with an explicitly constructed
+    /// [`BufferPolicy`] — the hook for policies needing state beyond the
+    /// receiver's own view (e.g. the full group membership).
+    #[must_use]
+    pub fn with_policy(
+        id: NodeId,
+        view: HierarchyView,
+        cfg: ProtocolConfig,
+        seed: u64,
+        policy: Box<dyn BufferPolicy>,
+    ) -> Self {
         let record = cfg.record_events;
         let store = match cfg.buffer_capacity {
             Some(cap) => MessageStore::with_capacity(cap),
@@ -145,9 +191,16 @@ impl Receiver {
             backoffs: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(record),
+            policy,
             left: false,
             expire_scratch: Vec::new(),
         }
+    }
+
+    /// The buffer-management policy this receiver runs.
+    #[must_use]
+    pub fn policy(&self) -> &dyn BufferPolicy {
+        &*self.policy
     }
 
     /// This member's id.
@@ -239,7 +292,10 @@ impl Receiver {
         match state {
             PreloadState::ShortTerm => {
                 self.store.insert_short(id, payload, now);
-                vec![Action::SetTimer { delay: self.idle_delay(), kind: TimerKind::IdleCheck(id) }]
+                vec![Action::SetTimer {
+                    delay: self.policy.preload_short_delay(&self.cfg),
+                    kind: TimerKind::IdleCheck(id),
+                }]
             }
             PreloadState::LongTerm => {
                 self.store.insert_long(id, payload, now);
@@ -335,7 +391,7 @@ impl Receiver {
             self.metrics.buffer_record_mut(id).received_at = Some(now);
             self.metrics.record_event(now, id, ProtocolEvent::Delivered);
             actions.push(Action::Deliver { id, payload: data.payload.clone() });
-            self.buffer_new_message(id, data.payload.clone(), path, now, actions);
+            self.buffer_new_message(id, &data.payload, path, now, actions);
             // Any recovery effort for this message is complete.
             self.local_rec.remove(&id);
             self.remote_rec.remove(&id);
@@ -364,42 +420,17 @@ impl Receiver {
         }
     }
 
-    fn idle_delay(&self) -> SimDuration {
-        match self.cfg.policy {
-            BufferPolicy::TwoPhase => self.cfg.idle_threshold,
-            BufferPolicy::FixedTime { hold } => hold,
-            BufferPolicy::KeepAll => SimDuration::ZERO, // unused
-        }
-    }
-
+    /// Delegates the "who buffers, in which phase, with which timer"
+    /// decision for a freshly delivered payload to the policy.
     fn buffer_new_message(
         &mut self,
         id: MessageId,
-        payload: Bytes,
+        payload: &Bytes,
         path: DataPath,
         now: SimTime,
         actions: &mut Vec<Action>,
     ) {
-        if path == DataPath::Handoff {
-            // Take over long-term duty directly.
-            let (_, evicted) = self.store.insert_long_bounded(id, payload, now);
-            self.note_evictions(evicted, now);
-            let rec = self.metrics.buffer_record_mut(id);
-            rec.idled_at = Some(now);
-            rec.kept_long_term = true;
-            return;
-        }
-        let (_, evicted) = self.store.insert_short_bounded(id, payload, now);
-        self.note_evictions(evicted, now);
-        match self.cfg.policy {
-            BufferPolicy::TwoPhase | BufferPolicy::FixedTime { .. } => {
-                actions.push(Action::SetTimer {
-                    delay: self.idle_delay(),
-                    kind: TimerKind::IdleCheck(id),
-                });
-            }
-            BufferPolicy::KeepAll => {}
-        }
+        self.policy.on_receive(&mut policy_ctx!(self, now, actions), id, payload, path);
     }
 
     fn relay_to_waiters(
@@ -423,13 +454,6 @@ impl Receiver {
             });
         }
         self.store.note_use(id, now);
-    }
-
-    fn note_evictions(&mut self, evicted: Vec<MessageId>, now: SimTime) {
-        for id in evicted {
-            self.metrics.counters.evicted_for_capacity += 1;
-            self.metrics.buffer_record_mut(id).discarded_at = Some(now);
-        }
     }
 
     /// The holder recorded by a recently completed search for `msg`, if
@@ -581,13 +605,20 @@ impl Receiver {
             e.insert(RecoveryState::default());
             self.local_attempt(msg, now, actions);
         }
-        if self.view.parent().is_some() && !self.remote_rec.contains_key(&msg) {
+        if self.policy.remote_recovery()
+            && self.view.parent().is_some()
+            && !self.remote_rec.contains_key(&msg)
+        {
             self.remote_rec.insert(msg, RecoveryState::default());
             self.remote_attempt(msg, now, actions);
         }
     }
 
-    fn local_attempt(&mut self, msg: MessageId, _now: SimTime, actions: &mut Vec<Action>) {
+    /// One round of the pull phase: the policy picks the peer to ask
+    /// (random region neighbor for two-phase, a designated bufferer for
+    /// hash placement, the source for sender-based recovery) and the
+    /// retry period.
+    fn local_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
         let Some(state) = self.local_rec.get_mut(&msg) else { return };
         state.attempts += 1;
         if state.attempts > self.cfg.max_local_attempts {
@@ -595,17 +626,17 @@ impl Receiver {
             self.metrics.counters.recovery_gave_up += 1;
             return;
         }
-        if let Some(q) = self.view.own().random_other(&mut self.rng, self.id) {
+        if let Some(q) = self.policy.pull_target(&mut policy_ctx!(self, now, actions), msg) {
             self.metrics.counters.local_requests_sent += 1;
             actions.push(Action::Send { to: q, packet: Packet::LocalRequest { msg } });
         }
         actions.push(Action::SetTimer {
-            delay: self.cfg.local_timeout,
+            delay: self.policy.pull_retry_delay(&self.cfg),
             kind: TimerKind::LocalRetry(msg),
         });
     }
 
-    fn remote_attempt(&mut self, msg: MessageId, _now: SimTime, actions: &mut Vec<Action>) {
+    fn remote_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
         let Some(state) = self.remote_rec.get_mut(&msg) else { return };
         state.attempts += 1;
         if state.attempts > self.cfg.max_remote_attempts {
@@ -613,16 +644,9 @@ impl Receiver {
             self.metrics.counters.recovery_gave_up += 1;
             return;
         }
-        let region_size = self.view.own().len();
-        let p = self.cfg.remote_request_probability(region_size);
-        let send = self.rng.gen_bool(p);
-        if send {
-            if let Some(parent) = self.view.parent() {
-                if let Some(r) = parent.random_member(&mut self.rng) {
-                    self.metrics.counters.remote_requests_sent += 1;
-                    actions.push(Action::Send { to: r, packet: Packet::RemoteRequest { msg } });
-                }
-            }
+        if let Some(r) = self.policy.remote_target(&mut policy_ctx!(self, now, actions), msg) {
+            self.metrics.counters.remote_requests_sent += 1;
+            actions.push(Action::Send { to: r, packet: Packet::RemoteRequest { msg } });
         }
         // §2.2: the timer is set whether or not a request was actually sent.
         actions.push(Action::SetTimer {
@@ -786,15 +810,17 @@ impl Receiver {
                 }
             }
             TimerKind::LongTermSweep => {
-                let mut expired = std::mem::take(&mut self.expire_scratch);
-                debug_assert!(expired.is_empty());
-                self.store.expire_long_into(now, self.cfg.long_term_timeout, &mut expired);
-                for &id in &expired {
-                    self.metrics.counters.long_term_expired += 1;
-                    self.metrics.buffer_record_mut(id).discarded_at = Some(now);
+                if let Some(timeout) = self.policy.long_term_expiry(&self.cfg) {
+                    let mut expired = std::mem::take(&mut self.expire_scratch);
+                    debug_assert!(expired.is_empty());
+                    self.store.expire_long_into(now, timeout, &mut expired);
+                    for &id in &expired {
+                        self.metrics.counters.long_term_expired += 1;
+                        self.metrics.buffer_record_mut(id).discarded_at = Some(now);
+                    }
+                    expired.clear();
+                    self.expire_scratch = expired;
                 }
-                expired.clear();
-                self.expire_scratch = expired;
                 // Piggy-back garbage collection of expired search memory
                 // and of exhausted searches old enough that their origins
                 // must have retried elsewhere.
@@ -817,52 +843,18 @@ impl Receiver {
     }
 
     fn on_idle_check(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
-        match self.cfg.policy {
-            BufferPolicy::TwoPhase => {
-                let Some(activity) = self.store.short_last_activity(msg) else { return };
-                let idle_at = activity + self.cfg.idle_threshold;
-                if now < idle_at {
-                    // A request refreshed the clock; re-arm for the residue.
-                    actions.push(Action::SetTimer {
-                        delay: idle_at - now,
-                        kind: TimerKind::IdleCheck(msg),
-                    });
-                    return;
-                }
-                // The message is idle (§3.1): decide long-term retention.
-                self.metrics.counters.idle_transitions += 1;
-                self.metrics.buffer_record_mut(msg).idled_at = Some(now);
-                let p = self.cfg.long_term_probability(self.view.own().len());
-                if self.rng.gen_bool(p) {
-                    self.store.promote_to_long(msg, now);
-                    self.metrics.counters.long_term_kept += 1;
-                    self.metrics.buffer_record_mut(msg).kept_long_term = true;
-                } else {
-                    self.store.discard(msg, now);
-                    self.metrics.counters.discarded_at_idle += 1;
-                    self.metrics.buffer_record_mut(msg).discarded_at = Some(now);
-                }
-            }
-            BufferPolicy::FixedTime { .. } => {
-                if self.store.short_last_activity(msg).is_some() {
-                    self.store.discard(msg, now);
-                    self.metrics.counters.discarded_at_idle += 1;
-                    let rec = self.metrics.buffer_record_mut(msg);
-                    rec.idled_at = Some(now);
-                    rec.discarded_at = Some(now);
-                }
-            }
-            BufferPolicy::KeepAll => {}
-        }
+        self.policy.on_idle(&mut policy_ctx!(self, now, actions), msg);
     }
 
     // ----- leave -----------------------------------------------------------------
 
     fn on_leave(&mut self, now: SimTime, actions: &mut Vec<Action>) {
-        // §3.2: transfer each long-term-buffered message to a randomly
-        // selected receiver in the region before departing.
+        // §3.2: transfer each long-term-buffered message to a receiver
+        // the policy nominates (a random region member for two-phase, the
+        // best-ranked designated bufferer for hash placement, nobody for
+        // sender-based recovery) before departing.
         for (id, payload) in self.store.take_all_long(now) {
-            if let Some(q) = self.view.own().random_other(&mut self.rng, self.id) {
+            if let Some(q) = self.policy.handoff_target(&mut policy_ctx!(self, now, actions), id) {
                 self.metrics.counters.handoffs_sent += 1;
                 actions.push(Action::Send {
                     to: q,
@@ -877,7 +869,7 @@ impl Receiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ConfigError;
+    use crate::config::{ConfigError, PolicyKind};
     use crate::ids::SeqNo;
     use rrmp_membership::view::RegionView;
     use rrmp_netsim::topology::RegionId;
@@ -1383,7 +1375,7 @@ mod tests {
     #[test]
     fn fixed_time_policy_discards_unconditionally() {
         let cfg = ProtocolConfig::builder()
-            .policy(BufferPolicy::FixedTime { hold: SimDuration::from_millis(100) })
+            .policy(PolicyKind::FixedTime { hold: SimDuration::from_millis(100) })
             .build()
             .unwrap();
         let mut r = root_receiver(cfg);
@@ -1402,7 +1394,7 @@ mod tests {
 
     #[test]
     fn keep_all_policy_never_discards() {
-        let cfg = ProtocolConfig::builder().policy(BufferPolicy::KeepAll).build().unwrap();
+        let cfg = ProtocolConfig::builder().policy(PolicyKind::KeepAll).build().unwrap();
         let mut r = root_receiver(cfg);
         let actions = r.handle(packet_event(0, data(1)), t(0));
         assert!(timers(&actions).iter().all(|k| !matches!(k, TimerKind::IdleCheck(_))));

@@ -11,6 +11,7 @@
 
 use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::MessageId;
+use rrmp_core::policy::PolicyKind;
 use rrmp_core::prelude::ProtocolConfig;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
 use rrmp_netsim::time::{SimDuration, SimTime};
@@ -308,6 +309,78 @@ fn sharded_churn_with_handoffs_traces_match() {
             net.schedule_crash(NodeId(9), SimTime::from_millis(300));
             net.run_until(SimTime::from_millis(600));
         },
+    );
+}
+
+#[test]
+fn ported_policy_traces_match_across_event_loops() {
+    // The baselines ported as policies run on the same engines as the
+    // default algorithm — and must stay byte-identical between the
+    // optimized and reference event loops, like every other policy.
+    for kind in [PolicyKind::HashBufferers, PolicyKind::SenderBased, PolicyKind::KeepAll] {
+        let cfg = ProtocolConfig::builder().policy(kind).build().expect("valid policy config");
+        assert_trace_equal(
+            || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
+            cfg,
+            19,
+            |net| {
+                net.set_multicast_loss(LossModel::Bernoulli { p: 0.2 });
+                for _ in 0..4 {
+                    net.multicast(&b"policy-stream"[..]);
+                    let next = net.now() + SimDuration::from_millis(40);
+                    net.run_until(next);
+                }
+                net.run_until(SimTime::from_secs(2));
+            },
+        );
+    }
+}
+
+#[test]
+fn sharded_ported_policy_traces_match() {
+    // Hash placement is topology-blind: its pulls routinely cross region
+    // (and therefore shard) boundaries, exercising the mailbox merge
+    // under a policy the sharded engine never hosted before.
+    let cfg = ProtocolConfig::builder()
+        .policy(PolicyKind::HashBufferers)
+        .build()
+        .expect("valid policy config");
+    assert_sharded_trace_equal(
+        || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
+        cfg,
+        23,
+        |net| {
+            let plan = DeliveryPlan::all_but(net.topology(), (8..16).map(NodeId));
+            net.multicast_with_plan(&b"sharded-hash"[..], &plan);
+            net.run_until(SimTime::from_secs(2));
+        },
+    );
+}
+
+#[test]
+fn env_selected_policy_matches_reference_loop() {
+    // `RRMP_POLICY` (the CI matrix knob) swaps the buffer policy for
+    // every opted-in construction; whatever its value, the optimized and
+    // reference event loops must agree and the group must fully recover.
+    let mut cfg = ProtocolConfig::paper_defaults();
+    if let Some(kind) = PolicyKind::from_env() {
+        cfg.policy = kind;
+    }
+    let topo_of = || presets::paper_region(30);
+    let scenario = |net: &mut RrmpNetwork| {
+        let plan = DeliveryPlan::only(net.topology(), (0..20).map(NodeId));
+        let id = net.multicast_with_plan(&b"env-policy"[..], &plan);
+        net.run_until(SimTime::from_secs(2));
+        assert!(net.all_delivered(id), "policy must recover: {}", net.delivered_count(id));
+    };
+    let mut optimized = RrmpNetwork::new_env_policy(topo_of(), ProtocolConfig::paper_defaults(), 9);
+    scenario(&mut optimized);
+    let mut reference = RrmpNetwork::new_reference(topo_of(), cfg, 9);
+    scenario(&mut reference);
+    assert_eq!(
+        trace_of(&optimized),
+        trace_of(&reference),
+        "env-selected policy diverged between event loops"
     );
 }
 

@@ -24,6 +24,14 @@
 //! written to every destination, mirroring the zero-copy fan-out of the
 //! simulator. A test hook can drop the initial transmission to selected
 //! members to exercise recovery over real sockets.
+//!
+//! The send path is allocation-free in the steady state: every outgoing
+//! packet is encoded with [`Packet::encode_into`] onto one reused
+//! [`BytesMut`] (the [`Outbox`]), protocol actions accumulate in a reused
+//! scratch vector via [`Receiver::handle_into`], and each wakeup drains
+//! up to a batch of queued inputs before re-checking timers — one timer
+//! sweep and one channel wait amortize over the whole burst instead of
+//! being paid per packet.
 
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,7 +40,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use rrmp_core::events::{Action, Event, TimerKind};
 use rrmp_core::ids::MessageId;
@@ -275,6 +283,49 @@ struct EventLoop {
     initial_drop: Arc<Mutex<Option<Box<DropFilter>>>>,
 }
 
+/// How many queued inputs one wakeup drains before re-checking timers —
+/// bounds how long a packet flood can defer a due timer.
+const MAX_INPUT_BATCH: usize = 64;
+
+/// The reused send path: one wire buffer for every outgoing packet.
+struct Outbox<'a> {
+    socket: &'a UdpSocket,
+    spec: &'a GroupSpec,
+    node: NodeId,
+    /// Reused encode buffer: cleared (capacity kept) per packet.
+    wire: BytesMut,
+}
+
+impl Outbox<'_> {
+    /// Unicast: encode onto the reused buffer and transmit to one member.
+    fn send(&mut self, to: NodeId, packet: &Packet) {
+        if let Some(addr) = self.spec.addr_of(to) {
+            self.wire.clear();
+            packet.encode_into(&mut self.wire);
+            let _ = self.socket.send_to(&self.wire, addr);
+        }
+    }
+
+    /// Fan-out: encode once, write the same wire bytes to every listed
+    /// member (the caller excluded) for which `keep` returns true.
+    fn fan_out(
+        &mut self,
+        packet: &Packet,
+        members: &mut dyn Iterator<Item = NodeId>,
+        keep: &dyn Fn(NodeId) -> bool,
+    ) {
+        self.wire.clear();
+        packet.encode_into(&mut self.wire);
+        for m in members {
+            if m != self.node && keep(m) {
+                if let Some(addr) = self.spec.addr_of(m) {
+                    let _ = self.socket.send_to(&self.wire, addr);
+                }
+            }
+        }
+    }
+}
+
 fn event_loop(ctx: EventLoop) {
     let EventLoop {
         socket,
@@ -293,61 +344,66 @@ fn event_loop(ctx: EventLoop) {
     // Maps a wheel deadline back onto the monotonic clock for the
     // channel-wait timeout.
     let instant_of = |at: SimTime| epoch + Duration::from_micros(at.as_micros());
-    let mut receiver = Receiver::new(node, spec.view_for(node), cfg.clone(), seed);
+    // Build the policy over the *full* group membership (the spec knows
+    // it) so topology-blind policies like hash placement rank every
+    // member — mirroring the simulation harness, and unlike the
+    // own∪parent approximation `Receiver::new` would fall back to.
+    let mut members: Vec<NodeId> = spec.members().iter().map(|m| m.node).collect();
+    members.sort_unstable();
+    members.dedup();
+    let policy = cfg.policy.build(node, &members, &cfg);
+    let mut receiver = Receiver::with_policy(node, spec.view_for(node), cfg.clone(), seed, policy);
     let mut sender = is_sender.then(|| Sender::new(node, cfg.session_interval));
     let mut timers = TimerWheel::new();
+    let mut outbox =
+        Outbox { socket: &socket, spec: &spec, node, wire: BytesMut::with_capacity(2048) };
+    // Reused action scratch: `handle_into` fills it, `execute` drains it.
+    let mut actions: Vec<Action> = Vec::new();
+    // Reused input batch drained from the channel per wakeup.
+    let mut inbox: Vec<Input> = Vec::with_capacity(MAX_INPUT_BATCH);
 
     let push_timer =
         |timers: &mut TimerWheel, delay: rrmp_netsim::time::SimDuration, kind: TimerKind| {
             timers.schedule(now_sim(Instant::now()) + delay, kind);
         };
 
-    // Unicast: encode and transmit to one member.
-    let send_packet = |to: NodeId, packet: &Packet| {
-        if let Some(addr) = spec.addr_of(to) {
-            let _ = socket.send_to(&packet.encode(), addr);
-        }
-    };
-    // Fan-out: encode once, write the same wire bytes to every listed
-    // member (the caller excluded) for which `keep` returns true.
-    let fan_out = |packet: &Packet,
-                   members: &mut dyn Iterator<Item = NodeId>,
-                   keep: &dyn Fn(NodeId) -> bool| {
-        let wire = packet.encode();
-        for m in members {
-            if m != node && keep(m) {
-                if let Some(addr) = spec.addr_of(m) {
-                    let _ = socket.send_to(&wire, addr);
-                }
-            }
-        }
-    };
-
-    // Execute a batch of receiver actions.
-    let execute = |actions: Vec<Action>, timers: &mut TimerWheel, receiver: &Receiver| {
-        for action in actions {
+    // Execute (and drain) a batch of receiver actions.
+    fn execute(
+        actions: &mut Vec<Action>,
+        outbox: &mut Outbox<'_>,
+        timers: &mut TimerWheel,
+        receiver: &Receiver,
+        delivered_tx: &SyncSender<Delivery>,
+        now_of: impl Fn() -> SimTime,
+    ) {
+        for action in actions.drain(..) {
             match action {
-                Action::Send { to, packet } => send_packet(to, &packet),
+                Action::Send { to, packet } => outbox.send(to, &packet),
                 Action::MulticastRegion { packet } => {
-                    fan_out(&packet, &mut receiver.view().own().members(), &|_| true);
+                    outbox.fan_out(&packet, &mut receiver.view().own().members(), &|_| true);
                 }
                 Action::Deliver { id, payload } => {
                     let _ = delivered_tx.try_send(Delivery { id, payload });
                 }
                 Action::SetTimer { delay, kind } => {
-                    push_timer(timers, delay, kind);
+                    timers.schedule(now_of() + delay, kind);
                 }
             }
         }
-    };
+    }
+    let now_of = || now_sim(Instant::now());
 
     // Start-up actions.
-    let actions = receiver.on_start();
-    execute(actions, &mut timers, &receiver);
-    if let Some(s) = &sender {
-        for a in s.on_start() {
-            if let SenderAction::Protocol(Action::SetTimer { delay, kind }) = a {
-                push_timer(&mut timers, delay, kind);
+    actions.extend(receiver.on_start());
+    execute(&mut actions, &mut outbox, &mut timers, &receiver, &delivered_tx, now_of);
+    // Same gate as the simulation harness: a host mirroring the legacy
+    // baselines' one-shot session ads runs without the periodic tick.
+    if cfg.periodic_sessions {
+        if let Some(s) = &sender {
+            for a in s.on_start() {
+                if let SenderAction::Protocol(Action::SetTimer { delay, kind }) = a {
+                    push_timer(&mut timers, delay, kind);
+                }
             }
         }
     }
@@ -366,7 +422,7 @@ fn event_loop(ctx: EventLoop) {
                     for a in s.on_session_tick() {
                         match a {
                             SenderAction::MulticastGroup { packet } => {
-                                fan_out(
+                                outbox.fan_out(
                                     &packet,
                                     &mut spec.members().iter().map(|m| m.node),
                                     &|_| true,
@@ -381,49 +437,100 @@ fn event_loop(ctx: EventLoop) {
                 }
                 continue;
             }
-            let actions = receiver.handle(Event::Timer(kind), at);
-            execute(actions, &mut timers, &receiver);
+            receiver.handle_into(Event::Timer(kind), at, &mut actions);
+            execute(&mut actions, &mut outbox, &mut timers, &receiver, &delivered_tx, now_of);
         }
-        // Wait for work until the next timer deadline.
+        // Wait for work until the next timer deadline, then drain up to a
+        // batch of additional queued inputs in the same wakeup — a burst
+        // of datagrams pays one channel wait and one timer sweep total.
         let timeout = timers
             .peek_time()
             .map(|at| instant_of(at).saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(20))
             .min(Duration::from_millis(20));
+        debug_assert!(inbox.is_empty());
         match input_rx.recv_timeout(timeout) {
-            Ok(Input::Packet(from, packet)) => {
-                let actions =
-                    receiver.handle(Event::Packet { from, packet }, now_sim(Instant::now()));
-                execute(actions, &mut timers, &receiver);
-            }
-            Ok(Input::Cmd(Command::Multicast(payload))) => {
-                let Some(s) = sender.as_mut() else { continue };
-                let (id, actions) = s.multicast(payload.clone());
-                for a in actions {
-                    if let SenderAction::MulticastGroup { packet } = a {
-                        let drop =
-                            initial_drop.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                        fan_out(&packet, &mut spec.members().iter().map(|m| m.node), &|m| {
-                            !drop.as_ref().is_some_and(|f| f(m))
-                        });
+            Ok(first) => {
+                inbox.push(first);
+                while inbox.len() < MAX_INPUT_BATCH {
+                    match input_rx.try_recv() {
+                        Ok(next) => inbox.push(next),
+                        Err(_) => break,
                     }
                 }
-                // The sender holds its own message.
-                let self_packet = Packet::Data(rrmp_core::packet::DataPacket::new(id, payload));
-                let actions = receiver.handle(
-                    Event::Packet { from: node, packet: self_packet },
-                    now_sim(Instant::now()),
-                );
-                execute(actions, &mut timers, &receiver);
             }
-            Ok(Input::Cmd(Command::Leave)) => {
-                let actions = receiver.handle(Event::Leave, now_sim(Instant::now()));
-                execute(actions, &mut timers, &receiver);
-            }
-            Ok(Input::Cmd(Command::Shutdown)) | Err(mpsc::RecvTimeoutError::Disconnected) => {
-                break;
-            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
             Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+        let mut stop = false;
+        for input in inbox.drain(..) {
+            match input {
+                Input::Packet(from, packet) => {
+                    receiver.handle_into(
+                        Event::Packet { from, packet },
+                        now_sim(Instant::now()),
+                        &mut actions,
+                    );
+                    execute(
+                        &mut actions,
+                        &mut outbox,
+                        &mut timers,
+                        &receiver,
+                        &delivered_tx,
+                        now_of,
+                    );
+                }
+                Input::Cmd(Command::Multicast(payload)) => {
+                    let Some(s) = sender.as_mut() else { continue };
+                    let (id, sender_actions) = s.multicast(payload.clone());
+                    for a in sender_actions {
+                        if let SenderAction::MulticastGroup { packet } = a {
+                            let drop = initial_drop
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            outbox.fan_out(
+                                &packet,
+                                &mut spec.members().iter().map(|m| m.node),
+                                &|m| !drop.as_ref().is_some_and(|f| f(m)),
+                            );
+                        }
+                    }
+                    // The sender holds its own message.
+                    let self_packet = Packet::Data(rrmp_core::packet::DataPacket::new(id, payload));
+                    receiver.handle_into(
+                        Event::Packet { from: node, packet: self_packet },
+                        now_sim(Instant::now()),
+                        &mut actions,
+                    );
+                    execute(
+                        &mut actions,
+                        &mut outbox,
+                        &mut timers,
+                        &receiver,
+                        &delivered_tx,
+                        now_of,
+                    );
+                }
+                Input::Cmd(Command::Leave) => {
+                    receiver.handle_into(Event::Leave, now_sim(Instant::now()), &mut actions);
+                    execute(
+                        &mut actions,
+                        &mut outbox,
+                        &mut timers,
+                        &receiver,
+                        &delivered_tx,
+                        now_of,
+                    );
+                }
+                Input::Cmd(Command::Shutdown) => {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        inbox.clear();
+        if stop {
+            break;
         }
     }
 }

@@ -15,7 +15,9 @@
 # with the bench_guard regression check: any workload whose speedup fell
 # below 0.9x of the recorded value is flagged. The guard warns by default
 # (wall-clock benches are noisy on shared machines); set
-# BENCH_GUARD_STRICT=1 to make a regression fail this script, or
+# BENCH_GUARD_STRICT=1 to make any regression fail this script, set
+# BENCH_GUARD_ENFORCE=a,b,c to hard-fail only those workloads (CI gates
+# queue_ops,multicast_fanout,delivered_query this way), or
 # BENCH_GUARD_SKIP=1 to skip it (CI runs the guard as its own step).
 #
 # Usage: scripts/bench.sh [output.json]
@@ -47,6 +49,9 @@ if [[ -n "$BASELINE_SNAPSHOT" && "${BENCH_GUARD_SKIP:-0}" != "1" ]]; then
   GUARD_FLAGS="--warn-only"
   if [[ "${BENCH_GUARD_STRICT:-0}" == "1" ]]; then
     GUARD_FLAGS=""
+  fi
+  if [[ -n "${BENCH_GUARD_ENFORCE:-}" ]]; then
+    GUARD_FLAGS="$GUARD_FLAGS --enforce=${BENCH_GUARD_ENFORCE}"
   fi
   # shellcheck disable=SC2086
   cargo run --release -p rrmp-bench --bin bench_guard "$OUT" "$BASELINE_SNAPSHOT" $GUARD_FLAGS

@@ -17,7 +17,10 @@
 //! * [`membership`] (`rrmp-membership`) — region views and the
 //!   gossip-style failure detector.
 //! * [`baselines`] (`rrmp-baselines`) — the comparison schemes:
-//!   hash-deterministic bufferers, stability detection, tree/RMTP.
+//!   hash-deterministic bufferers, stability detection, tree/RMTP,
+//!   sender-based ACKs. Hash and sender-based also run as *policies*
+//!   over the core engine (`rrmp_core::policy`); the standalone stacks
+//!   here remain as differential oracles.
 //! * [`analysis`] (`rrmp-analysis`) — the paper's closed-form models
 //!   (Poisson bufferer counts, `e^{-C}`, search-time model).
 //! * [`udp`] (`rrmp-udp`) — the same protocol core on real UDP sockets.

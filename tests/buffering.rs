@@ -114,7 +114,7 @@ fn serving_requests_keeps_long_term_entries_alive() {
 
 #[test]
 fn two_phase_buffers_far_less_than_keep_all() {
-    let run = |policy: BufferPolicy| {
+    let run = |policy: PolicyKind| {
         let topo = presets::paper_region(50);
         let cfg = ProtocolConfig::builder().policy(policy).build().expect("valid");
         let mut net = RrmpNetwork::new(topo, cfg, 6);
@@ -127,8 +127,8 @@ fn two_phase_buffers_far_less_than_keep_all() {
         let now = net.now();
         net.nodes().map(|(_, n)| n.receiver().store().byte_time_integral(now)).sum::<u128>()
     };
-    let two_phase = run(BufferPolicy::TwoPhase);
-    let keep_all = run(BufferPolicy::KeepAll);
+    let two_phase = run(PolicyKind::TwoPhase);
+    let keep_all = run(PolicyKind::KeepAll);
     assert!(
         two_phase * 5 < keep_all,
         "two-phase ({two_phase}) should buffer <20% of keep-all ({keep_all}) byte-time"
@@ -220,7 +220,7 @@ fn fixed_time_policy_ignores_feedback() {
     let hold = SimDuration::from_millis(40);
     let topo = presets::paper_region(30);
     let cfg =
-        ProtocolConfig::builder().policy(BufferPolicy::FixedTime { hold }).build().expect("valid");
+        ProtocolConfig::builder().policy(PolicyKind::FixedTime { hold }).build().expect("valid");
     let mut net = RrmpNetwork::new(topo, cfg, 7);
     let holder = NodeId(0);
     let id = net.seed_message_with_holders(&b"rigid"[..], &[holder]);
