@@ -14,6 +14,7 @@
 use rrmp_baselines::ported::{multicast_with_session, policy_config, rrmp_report};
 use rrmp_baselines::{
     designated_bufferers, HashConfig, HashNetwork, SenderBasedConfig, SenderBasedNetwork,
+    StabilityConfig, StabilityNetwork, TreeConfig, TreeNetwork,
 };
 use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::{MessageId, SeqNo};
@@ -127,6 +128,117 @@ fn sender_based_policy_matches_legacy_reports() {
 }
 
 #[test]
+fn stability_policy_matches_legacy_reports() {
+    // Single-misser plans: every pull target a misser draws holds the
+    // message (everyone buffers everything until stability), so the
+    // reported metrics are fully determined by the scheme — request and
+    // repair counts, delivery times, history traffic, and the
+    // stability-driven discard times all line up exactly even though the
+    // two stacks draw from unrelated RNG streams.
+    for seed in [3u64, 29] {
+        let plans: Vec<DeliveryPlan> =
+            (1..=3u32).map(|i| DeliveryPlan::all_but(&topo(), [NodeId(10 + i)])).collect();
+
+        // Legacy oracle: the standalone StabilityNetwork stack.
+        let mut legacy = StabilityNetwork::new(topo(), StabilityConfig::default(), seed);
+        let mut legacy_ids = Vec::new();
+        for plan in &plans {
+            legacy_ids.push(legacy.multicast_with_plan(&b"diff"[..], plan));
+            let next = legacy.now() + SimDuration::from_millis(100);
+            legacy.run_until(next);
+        }
+        legacy.run_until(SimTime::from_secs(2));
+        let legacy_report = legacy.report(&legacy_ids);
+
+        // Ported: the same scheme as a policy on the shared engine.
+        let mut net = RrmpNetwork::new(topo(), policy_config(PolicyKind::Stability), seed);
+        let mut ids = Vec::new();
+        let mut sent = Vec::new();
+        for plan in &plans {
+            sent.push(net.now());
+            ids.push(multicast_with_session(&mut net, &b"diff"[..], plan));
+            let next = net.now() + SimDuration::from_millis(100);
+            net.run_until(next);
+        }
+        net.run_until(SimTime::from_secs(2));
+        let ported_report = rrmp_report("stability", &net, &ids, &sent);
+
+        assert_eq!(ids, legacy_ids, "both stacks assign the same message ids");
+        assert_eq!(
+            ported_report, legacy_report,
+            "ported stability policy diverged from the legacy stack (seed {seed})"
+        );
+        assert_eq!(ported_report.fully_delivered_members, N, "everyone recovers");
+        // The scheme's signature costs survive the port: stable buffers
+        // drained everywhere, and history traffic kept flowing even after
+        // all losses were repaired.
+        for &id in &ids {
+            assert_eq!(net.buffered_count(id), 0, "stable {id:?} must drain");
+        }
+        assert_eq!(
+            net.total_counter(|c| c.history_digests_sent),
+            legacy.history_packets(),
+            "identical standing history overhead"
+        );
+        assert!(net.total_counter(|c| c.stable_discards) >= (N * 3) as u64);
+    }
+}
+
+#[test]
+fn tree_rmtp_policy_matches_legacy_reports() {
+    // The tree scheme draws no randomness at all — NACK targets are the
+    // fixed view-derived repair servers — so whole-region losses are
+    // exactly reproducible, including the parent-server escalation.
+    for seed in [7u64, 23] {
+        let topo_of = || presets::figure1_chain([4, 4, 4], SimDuration::from_millis(25));
+        let plans = [
+            DeliveryPlan::all_but(&topo_of(), (8..12).map(NodeId)), // region 2 entirely
+            DeliveryPlan::all_but(&topo_of(), [NodeId(5), NodeId(9)]), // scattered
+            DeliveryPlan::all(&topo_of()),
+        ];
+
+        let mut legacy = TreeNetwork::new(topo_of(), TreeConfig::default(), seed);
+        let mut legacy_ids = Vec::new();
+        for plan in &plans {
+            legacy_ids.push(legacy.multicast_with_plan(&b"diff"[..], plan));
+            let next = legacy.now() + SimDuration::from_millis(100);
+            legacy.run_until(next);
+        }
+        legacy.run_until(SimTime::from_secs(2));
+        let legacy_report = legacy.report(&legacy_ids);
+
+        let mut net = RrmpNetwork::new(topo_of(), policy_config(PolicyKind::TreeRmtp), seed);
+        let mut ids = Vec::new();
+        let mut sent = Vec::new();
+        for plan in &plans {
+            sent.push(net.now());
+            ids.push(multicast_with_session(&mut net, &b"diff"[..], plan));
+            let next = net.now() + SimDuration::from_millis(100);
+            net.run_until(next);
+        }
+        net.run_until(SimTime::from_secs(2));
+        let ported_report = rrmp_report("tree-rmtp", &net, &ids, &sent);
+
+        assert_eq!(ids, legacy_ids);
+        assert_eq!(
+            ported_report, legacy_report,
+            "ported tree-rmtp policy diverged from the legacy stack (seed {seed})"
+        );
+        assert_eq!(ported_report.fully_delivered_members, 12);
+        // The load-concentration signature survives the port: only the
+        // three repair servers ever buffer, everyone else holds nothing.
+        assert_eq!(ported_report.peak_entries_max, 3, "a server holds the session");
+        assert!(ported_report.peak_entries_mean < 1.0);
+        for server in [0u32, 4, 8] {
+            assert_eq!(net.node(NodeId(server)).receiver().store().len(), 3);
+        }
+        for other in (0..12u32).filter(|n| ![0, 4, 8].contains(n)) {
+            assert_eq!(net.node(NodeId(other)).receiver().store().len(), 0);
+        }
+    }
+}
+
+#[test]
 fn ported_policies_run_under_churn_and_on_the_sharded_engine() {
     // What the legacy stacks never could: hash buffering under scripted
     // churn, on the conservatively parallel engine, with identical traces
@@ -152,6 +264,84 @@ fn ported_policies_run_under_churn_and_on_the_sharded_engine() {
     // The handoff routes to the next-ranked designated member, which may
     // already hold a copy (duty merges) — so k-1 survivors is the floor.
     assert!(sequential.1 >= 5, "designated copies survive the leave: {sequential:?}");
+    assert_eq!(sequential, run(2), "sharded run must match the sequential oracle");
+    assert_eq!(sequential, run(4), "sharded run must match the sequential oracle");
+}
+
+#[test]
+fn stability_policy_runs_under_churn_and_on_the_sharded_engine() {
+    // What the legacy stability stack never could: multi-region groups on
+    // the conservatively parallel engine, and churn that *shrinks the
+    // stability quorum* instead of freezing every buffer on a departed
+    // member's silence.
+    fn run(shards: usize) -> (usize, usize, u64, u64) {
+        let topo = presets::figure1_chain([6, 6, 6], SimDuration::from_millis(25));
+        let cfg = policy_config(PolicyKind::Stability);
+        let mut net = RrmpNetwork::with_shards(topo, cfg, 31, shards);
+        let plan = DeliveryPlan::all_but(net.topology(), [NodeId(9)]);
+        let id = multicast_with_session(&mut net, &b"churn"[..], &plan);
+        net.run_until(SimTime::from_millis(200));
+        // A member leaves mid-session. Its silence must not pin the
+        // group's buffers: the quorum re-derives from the views.
+        net.schedule_leave(NodeId(14), SimTime::from_millis(250));
+        let id2 = {
+            net.run_until(SimTime::from_millis(400));
+            let plan = DeliveryPlan::all_but(net.topology(), [NodeId(3), NodeId(14)]);
+            multicast_with_session(&mut net, &b"churn2"[..], &plan)
+        };
+        net.run_until(SimTime::from_secs(3));
+        (
+            net.delivered_count(id),
+            // Survivors drained both messages once stable — the leaver
+            // no longer gates the frontier.
+            net.buffered_count(id) + net.buffered_count(id2),
+            net.total_counter(|c| c.stable_discards),
+            net.total_counter(|c| c.history_digests_sent),
+        )
+    }
+    let sequential = run(1);
+    assert_eq!(sequential.0, 18, "everyone delivered the pre-churn message");
+    assert_eq!(sequential.1, 0, "stability must drain despite the leave: {sequential:?}");
+    assert!(sequential.2 >= 17 * 2, "discards happened on survivors");
+    assert!(sequential.3 > 100, "history kept flowing");
+    assert_eq!(sequential, run(2), "sharded run must match the sequential oracle");
+    assert_eq!(sequential, run(4), "sharded run must match the sequential oracle");
+}
+
+#[test]
+fn tree_rmtp_policy_runs_under_churn_and_on_the_sharded_engine() {
+    // A repair server leaves: the session hands off to the next-lowest
+    // member, which inherits the role once the views drop the leaver —
+    // and later losses recover through the new server, on every shard
+    // layout identically.
+    fn run(shards: usize) -> (usize, usize, u64, usize) {
+        let topo = presets::figure1_chain([6, 6, 6], SimDuration::from_millis(25));
+        let cfg = policy_config(PolicyKind::TreeRmtp);
+        let mut net = RrmpNetwork::with_shards(topo, cfg, 17, shards);
+        // Region 1 (nodes 6..12) misses entirely; its server (node 6)
+        // fetches from region 0's server and serves its receivers.
+        let plan = DeliveryPlan::all_but(net.topology(), (6..12).map(NodeId));
+        let id = multicast_with_session(&mut net, &b"churn"[..], &plan);
+        net.run_until(SimTime::from_millis(400));
+        // The region-1 server leaves; node 7 inherits role and buffers.
+        net.schedule_leave(NodeId(6), SimTime::from_millis(450));
+        net.run_until(SimTime::from_millis(600));
+        // A fresh loss in region 1 must now recover through node 7.
+        let plan = DeliveryPlan::all_but(net.topology(), [NodeId(8)]);
+        let id2 = multicast_with_session(&mut net, &b"churn2"[..], &plan);
+        net.run_until(SimTime::from_secs(3));
+        (
+            net.delivered_count(id),
+            net.delivered_count(id2),
+            net.total_counter(|c| c.handoffs_sent),
+            net.node(NodeId(7)).receiver().store().len(),
+        )
+    }
+    let sequential = run(1);
+    assert_eq!(sequential.0, 18, "everyone delivered the pre-churn message");
+    assert_eq!(sequential.1, 17, "all survivors delivered the post-churn message");
+    assert!(sequential.2 >= 1, "the leaving server handed its session off");
+    assert_eq!(sequential.3, 2, "node 7 inherited the server duty and buffers");
     assert_eq!(sequential, run(2), "sharded run must match the sequential oracle");
     assert_eq!(sequential, run(4), "sharded run must match the sequential oracle");
 }

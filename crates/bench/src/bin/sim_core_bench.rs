@@ -43,7 +43,10 @@ use std::time::Instant;
 use bytes::{Bytes, BytesMut};
 use rand::{Rng, SeedableRng};
 use rrmp_baselines::ported::{multicast_with_session, policy_config};
-use rrmp_baselines::{HashConfig, HashNetwork, SenderBasedConfig, SenderBasedNetwork};
+use rrmp_baselines::{
+    HashConfig, HashNetwork, SenderBasedConfig, SenderBasedNetwork, StabilityConfig,
+    StabilityNetwork, TreeConfig, TreeNetwork,
+};
 use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::{MessageId, SeqNo};
 use rrmp_core::packet::{DataPacket, Packet};
@@ -370,8 +373,13 @@ fn parallel_regions_run(shards: usize) -> (f64, u64) {
 
 // ----- workload 9: policy × group size × loss-rate matrix --------------------
 
-const MATRIX_POLICIES: [PolicyKind; 3] =
-    [PolicyKind::TwoPhase, PolicyKind::HashBufferers, PolicyKind::SenderBased];
+const MATRIX_POLICIES: [PolicyKind; 5] = [
+    PolicyKind::TwoPhase,
+    PolicyKind::HashBufferers,
+    PolicyKind::SenderBased,
+    PolicyKind::Stability,
+    PolicyKind::TreeRmtp,
+];
 const MATRIX_SIZES: [usize; 2] = [40, 160];
 const MATRIX_LOSS: [f64; 2] = [0.05, 0.25];
 const MATRIX_MESSAGES: usize = 6;
@@ -461,6 +469,37 @@ fn policy_matrix_legacy_stacks() -> (f64, u64) {
                         }
                         PolicyKind::HashBufferers => {
                             let mut net = HashNetwork::new(topo, HashConfig::default(), 7);
+                            let mut ids = Vec::new();
+                            matrix_drive(
+                                &plans,
+                                &mut net,
+                                |net, plan| {
+                                    ids.push(net.multicast_with_plan(&b"matrix"[..], plan));
+                                },
+                                |net, t| net.run_until(t),
+                                |net| net.now(),
+                            );
+                            delivered +=
+                                ids.iter().map(|&id| net.delivered_count(id) as u64).sum::<u64>();
+                        }
+                        PolicyKind::Stability => {
+                            let mut net =
+                                StabilityNetwork::new(topo, StabilityConfig::default(), 7);
+                            let mut ids = Vec::new();
+                            matrix_drive(
+                                &plans,
+                                &mut net,
+                                |net, plan| {
+                                    ids.push(net.multicast_with_plan(&b"matrix"[..], plan));
+                                },
+                                |net, t| net.run_until(t),
+                                |net| net.now(),
+                            );
+                            delivered +=
+                                ids.iter().map(|&id| net.delivered_count(id) as u64).sum::<u64>();
+                        }
+                        PolicyKind::TreeRmtp => {
+                            let mut net = TreeNetwork::new(topo, TreeConfig::default(), 7);
                             let mut ids = Vec::new();
                             matrix_drive(
                                 &plans,

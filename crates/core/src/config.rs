@@ -103,8 +103,13 @@ pub struct ProtocolConfig {
     pub hash_bufferers: usize,
     /// Retry timer of the direct pull phases ported from the baselines
     /// (hash-based and sender-based requests, which may cross regions and
-    /// therefore need a worst-case-RTT budget rather than the local one).
+    /// therefore need a worst-case-RTT budget rather than the local one;
+    /// also the parent-NACK retry of the tree policy's repair servers).
     pub direct_request_timeout: SimDuration,
+    /// How often a history-exchanging policy
+    /// ([`PolicyKind::Stability`]) advertises its delivery digest to the
+    /// group — the standing overhead RRMP's feedback rule avoids.
+    pub history_interval: SimDuration,
     /// Whether the sender role multicasts periodic session messages.
     /// Disabled by differential harnesses that mirror the legacy
     /// baselines' one-shot session advertisement per multicast.
@@ -146,6 +151,7 @@ impl ProtocolConfig {
             policy: PolicyKind::TwoPhase,
             hash_bufferers: 6,
             direct_request_timeout: SimDuration::from_millis(60),
+            history_interval: SimDuration::from_millis(100),
             periodic_sessions: true,
             buffer_capacity: None,
             remote_requests_refresh_idle: true,
@@ -180,6 +186,7 @@ impl ProtocolConfig {
             (self.long_term_sweep_interval, "long_term_sweep_interval"),
             (self.session_interval, "session_interval"),
             (self.direct_request_timeout, "direct_request_timeout"),
+            (self.history_interval, "history_interval"),
         ] {
             if d.is_zero() {
                 return Err(ConfigError::ZeroDuration(name));
@@ -323,6 +330,12 @@ impl ProtocolConfigBuilder {
     /// Sets the direct pull retry timer (hash / sender-based policies).
     pub fn direct_request_timeout(&mut self, t: SimDuration) -> &mut Self {
         self.cfg.direct_request_timeout = t;
+        self
+    }
+
+    /// Sets the history-advertisement interval of stability detection.
+    pub fn history_interval(&mut self, t: SimDuration) -> &mut Self {
+        self.cfg.history_interval = t;
         self
     }
 

@@ -33,6 +33,12 @@ pub enum TimerKind {
     Backoff(MessageId),
     /// Periodic sweep discarding stale long-term entries.
     LongTermSweep,
+    /// Periodic history-advertisement tick (only armed when the buffer
+    /// policy opts into history exchange via
+    /// [`BufferPolicy::history_interval`]).
+    ///
+    /// [`BufferPolicy::history_interval`]: crate::policy::BufferPolicy::history_interval
+    HistoryTick,
     /// Sender session-message tick.
     SessionTick,
 }
@@ -127,10 +133,11 @@ mod tests {
             TimerKind::SearchRetry(msg),
             TimerKind::Backoff(msg),
             TimerKind::LongTermSweep,
+            TimerKind::HistoryTick,
             TimerKind::SessionTick,
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 7);
+        assert_eq!(kinds.len(), 8);
     }
 }

@@ -240,10 +240,10 @@ impl SimNode for RrmpNode {
         }
         if (VIEW_REMOVE_BASE..LEAVE_TOKEN).contains(&token) {
             let node = NodeId((token - VIEW_REMOVE_BASE) as u32);
-            self.receiver.view_mut().own_mut().remove(node);
-            if let Some(parent) = self.receiver.view_mut().parent_mut() {
-                parent.remove(node);
-            }
+            // Through the receiver (not view_mut directly) so the buffer
+            // policy prunes per-member state — a stability quorum must
+            // stop waiting on a departed member.
+            self.receiver.on_membership_removed(node);
             return;
         }
         if let Some(kind) = self.pending_timers.remove(&token) {

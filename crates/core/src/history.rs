@@ -1,0 +1,550 @@
+//! History exchange and repair-role hierarchies.
+//!
+//! Two families of protocols the paper's §1/§6 compares against need
+//! engine surface the two-phase algorithm never uses:
+//!
+//! * **Stability detection** (Guo & Rhee, INFOCOM '00): every member
+//!   buffers every message until it is *stable* — received by the whole
+//!   group — learned by periodically exchanging message-history digests.
+//!   [`HistoryDigest`] is the advertisement (the per-source interval sets
+//!   of everything a member has delivered, carried in
+//!   [`Packet::History`](crate::packet::Packet::History));
+//!   [`StabilityTracker`] folds arriving digests into per-peer ack
+//!   frontiers and answers the group-wide stability question.
+//! * **Tree-based repair servers** (RMTP, JSAC '97): each region
+//!   designates one member as its repair server; receivers NACK their
+//!   server, servers NACK the parent region's server. [`RepairRoles`]
+//!   derives those fixed roles deterministically from the membership
+//!   view (lowest id per region), so every member agrees on them without
+//!   any election traffic — and re-derives them when churn shrinks the
+//!   view.
+//!
+//! Both structures are *policy state*: the
+//! [`BufferPolicy`](crate::policy::BufferPolicy) implementations
+//! `Stability` and `TreeRmtp` own them, and the shared receiver engine
+//! only routes the new packet type and the periodic
+//! [`TimerKind::HistoryTick`](crate::events::TimerKind::HistoryTick) to
+//! the policy hooks.
+
+use std::collections::HashMap;
+
+use rrmp_membership::view::HierarchyView;
+use rrmp_netsim::topology::NodeId;
+
+use crate::ids::SeqNo;
+use crate::loss::LossDetector;
+
+/// One source's entry in a history digest: the inclusive sequence-number
+/// intervals of everything the advertiser has delivered from that source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The message source the intervals are about.
+    pub source: NodeId,
+    /// Sorted, disjoint inclusive `(lo, hi)` sequence intervals.
+    pub intervals: Vec<(SeqNo, SeqNo)>,
+}
+
+impl DigestEntry {
+    /// The contiguous-receipt frontier of this entry: the largest `s`
+    /// such that every sequence `1..=s` is covered ([`SeqNo::NONE`] if
+    /// sequence 1 is missing). Tolerates unnormalized interval lists —
+    /// digests cross the wire, so hostile input must not confuse the
+    /// stability computation into over-reporting.
+    #[must_use]
+    pub fn frontier(&self) -> SeqNo {
+        match self.intervals.first() {
+            Some(&(lo, hi)) if lo.0 <= 1 && hi >= lo => hi,
+            _ => SeqNo::NONE,
+        }
+    }
+}
+
+/// A periodic history advertisement: per-source interval sets of every
+/// message the advertiser has delivered (even if since discarded).
+///
+/// Stability protocols only need the contiguous frontier, but carrying
+/// the full interval set lets peers distinguish "has a gap at `s`" from
+/// "has received nothing past `s`" — the digest doubles as a loss hint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistoryDigest {
+    /// One entry per advertised source, in ascending source order.
+    pub entries: Vec<DigestEntry>,
+}
+
+impl HistoryDigest {
+    /// An empty digest (a member that has received nothing yet still
+    /// advertises, so peers learn it is alive but empty).
+    #[must_use]
+    pub fn new() -> Self {
+        HistoryDigest::default()
+    }
+
+    /// Builds the digest of everything `detector` has ever recorded as
+    /// received, in ascending source order (deterministic wire bytes).
+    ///
+    /// Output is always encodable: sources are capped at
+    /// [`MAX_DIGEST_SOURCES`](crate::packet::MAX_DIGEST_SOURCES) and each
+    /// entry's intervals at
+    /// [`MAX_DIGEST_INTERVALS`](crate::packet::MAX_DIGEST_INTERVALS) —
+    /// truncation keeps the **earliest** intervals, which preserves the
+    /// contiguous frontier stability detection consumes (a pathologically
+    /// fragmented tail only under-reports, never over-reports).
+    #[must_use]
+    pub fn from_detector(detector: &LossDetector) -> Self {
+        let mut sources: Vec<NodeId> = detector.tracked_sources().collect();
+        sources.sort_unstable();
+        sources.truncate(crate::packet::MAX_DIGEST_SOURCES);
+        let entries = sources
+            .into_iter()
+            .map(|source| DigestEntry {
+                source,
+                intervals: detector
+                    .received_intervals(source)
+                    .take(crate::packet::MAX_DIGEST_INTERVALS)
+                    .map(|(lo, hi)| (SeqNo(lo), SeqNo(hi)))
+                    .collect(),
+            })
+            .filter(|e| !e.intervals.is_empty())
+            .collect();
+        HistoryDigest { entries }
+    }
+
+    /// The advertiser's contiguous frontier for `source`
+    /// ([`SeqNo::NONE`] when the source is absent from the digest).
+    #[must_use]
+    pub fn frontier(&self, source: NodeId) -> SeqNo {
+        self.entries.iter().find(|e| e.source == source).map_or(SeqNo::NONE, DigestEntry::frontier)
+    }
+
+    /// Whether the digest advertises nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Per-receiver stability state: the ack frontier last heard from every
+/// peer, folded from arriving [`HistoryDigest`]s, and the group-wide
+/// stability frontier derived from them.
+///
+/// A message is *stable* once every quorum member's contiguous frontier
+/// has passed it; stability protocols discard exactly then — buffers
+/// drain at the pace of the slowest member, the cost the paper's §6
+/// holds against this design.
+///
+/// The group-wide minimum is maintained **incrementally**: per source
+/// the tracker caches the smallest advertised frontier and how many
+/// peers sit exactly on it, so folding a digest in is O(entries) and
+/// [`StabilityTracker::stable_frontier`] is O(1). A full O(peers)
+/// rescan happens only when the *slowest* peer advances — without this,
+/// an n-member group pays O(n) per received digest, O(n³) per history
+/// interval, which is exactly the scaling wall the legacy baseline
+/// stack hit first.
+#[derive(Debug, Clone, Default)]
+pub struct StabilityTracker {
+    /// peer → (source → highest contiguous frontier advertised).
+    frontiers: HashMap<NodeId, HashMap<NodeId, u64>>,
+    /// source → cached minimum over the mentioning peers.
+    by_source: HashMap<NodeId, SourceMin>,
+    /// Reused `(source, old frontier, new frontier)` change list of one
+    /// `record` call.
+    changes: Vec<(NodeId, Option<u64>, u64)>,
+}
+
+/// Cached minimum state of one source's advertised frontiers.
+#[derive(Debug, Clone, Copy, Default)]
+struct SourceMin {
+    /// Smallest frontier any mentioning peer has advertised.
+    min: u64,
+    /// How many mentioning peers sit exactly at `min`.
+    at_min: usize,
+    /// How many peers have mentioned this source at all.
+    mentions: usize,
+}
+
+impl StabilityTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        StabilityTracker::default()
+    }
+
+    /// Folds `digest` from `peer` in: frontiers only ever advance (late
+    /// or reordered digests cannot regress a peer's ack).
+    pub fn record(&mut self, peer: NodeId, digest: &HistoryDigest) {
+        // Phase 1: fold into the per-peer map, remembering what moved
+        // (two phases keep the per-peer borrow away from the min cache).
+        debug_assert!(self.changes.is_empty());
+        let mut changes = std::mem::take(&mut self.changes);
+        let acks = self.frontiers.entry(peer).or_default();
+        for entry in &digest.entries {
+            let f = entry.frontier().0;
+            match acks.entry(entry.source) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(f);
+                    changes.push((entry.source, None, f));
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let old = *slot.get();
+                    if f > old {
+                        slot.insert(f);
+                        changes.push((entry.source, Some(old), f));
+                    }
+                    // else monotone: stale digests change nothing
+                }
+            }
+        }
+        // Phase 2: maintain the per-source min cache.
+        for &(source, old, f) in &changes {
+            match old {
+                None => {
+                    let sm = self.by_source.entry(source).or_default();
+                    if sm.mentions == 0 || f < sm.min {
+                        sm.min = f;
+                        sm.at_min = 1;
+                    } else if f == sm.min {
+                        sm.at_min += 1;
+                    }
+                    sm.mentions += 1;
+                }
+                Some(old) => {
+                    let sm = self.by_source.get_mut(&source).expect("mentioned source");
+                    if old == sm.min {
+                        sm.at_min -= 1;
+                        if sm.at_min == 0 {
+                            // The slowest peer advanced: one O(peers)
+                            // rescan re-establishes the cache.
+                            Self::recompute_min(&self.frontiers, source, sm);
+                        }
+                    }
+                }
+            }
+        }
+        changes.clear();
+        self.changes = changes;
+    }
+
+    fn recompute_min(
+        frontiers: &HashMap<NodeId, HashMap<NodeId, u64>>,
+        source: NodeId,
+        sm: &mut SourceMin,
+    ) {
+        let mut min = u64::MAX;
+        let mut at_min = 0usize;
+        for acks in frontiers.values() {
+            if let Some(&f) = acks.get(&source) {
+                if f < min {
+                    min = f;
+                    at_min = 1;
+                } else if f == min {
+                    at_min += 1;
+                }
+            }
+        }
+        sm.min = min;
+        sm.at_min = at_min;
+    }
+
+    /// Whether at least one digest from `peer` has been heard.
+    #[must_use]
+    pub fn heard_from(&self, peer: NodeId) -> bool {
+        self.frontiers.contains_key(&peer)
+    }
+
+    /// Number of distinct peers heard from (and not since forgotten).
+    #[must_use]
+    pub fn heard_count(&self) -> usize {
+        self.frontiers.len()
+    }
+
+    /// The highest contiguous frontier `peer` has advertised for
+    /// `source` ([`SeqNo::NONE`] before any digest mentioned it).
+    #[must_use]
+    pub fn peer_frontier(&self, peer: NodeId, source: NodeId) -> SeqNo {
+        SeqNo(self.frontiers.get(&peer).and_then(|a| a.get(&source)).copied().unwrap_or(0))
+    }
+
+    /// The group-wide stability frontier for `source` over a quorum of
+    /// `quorum_len` peers: the minimum of `own_frontier` and every
+    /// peer's advertised frontier, or `None` while fewer than
+    /// `quorum_len` peers have been heard from at all. Peers heard from
+    /// but silent about `source` pin the frontier at zero (they have
+    /// received nothing from it). O(1) via the cached per-source
+    /// minimum.
+    #[must_use]
+    pub fn stable_frontier(
+        &self,
+        source: NodeId,
+        own_frontier: SeqNo,
+        quorum_len: usize,
+    ) -> Option<SeqNo> {
+        if self.frontiers.len() < quorum_len {
+            return None;
+        }
+        let peers_min = match self.by_source.get(&source) {
+            // Every quorum peer must have mentioned the source; the
+            // silent ones are at frontier zero by definition.
+            Some(sm) if sm.mentions >= quorum_len => sm.min,
+            // Nobody mentioned it and nobody has to: trivially stable up
+            // to the caller's own frontier (a single-member group).
+            None if quorum_len == 0 => u64::MAX,
+            _ => 0,
+        };
+        Some(own_frontier.min(SeqNo(peers_min)))
+    }
+
+    /// Drops all state about `peer` — a member that left no longer gates
+    /// stability (otherwise the whole group's buffers freeze on it).
+    pub fn forget(&mut self, peer: NodeId) {
+        let Some(acks) = self.frontiers.remove(&peer) else { return };
+        for (source, f) in acks {
+            let Some(sm) = self.by_source.get_mut(&source) else { continue };
+            sm.mentions -= 1;
+            if sm.mentions == 0 {
+                self.by_source.remove(&source);
+            } else if f == sm.min {
+                sm.at_min -= 1;
+                if sm.at_min == 0 {
+                    Self::recompute_min(&self.frontiers, source, sm);
+                }
+            }
+        }
+    }
+}
+
+/// The fixed repair-server hierarchy of tree-based protocols, derived
+/// deterministically from a membership view: a region's repair server is
+/// its **lowest-id member**, and the parent pointer follows the region
+/// hierarchy. Every member derives the same roles from a consistent
+/// view; churn re-derives them as the view shrinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairRoles {
+    /// This region's repair server.
+    pub server: NodeId,
+    /// The parent region's repair server (`None` at the hierarchy root).
+    pub parent_server: Option<NodeId>,
+}
+
+impl RepairRoles {
+    /// Derives the roles visible to the member owning `view`. Returns
+    /// `None` only for an empty own-region view (a member always sees at
+    /// least itself in practice).
+    #[must_use]
+    pub fn from_view(view: &HierarchyView) -> Option<RepairRoles> {
+        let server = view.own().min_member()?;
+        Some(RepairRoles { server, parent_server: view.parent().and_then(|p| p.min_member()) })
+    }
+
+    /// Whether `id` holds the repair-server role.
+    #[must_use]
+    pub fn is_server(&self, id: NodeId) -> bool {
+        self.server == id
+    }
+
+    /// Whom `id` NACKs for a missing message: ordinary receivers ask
+    /// their region's server, the server asks the parent region's server,
+    /// and the root server has nobody above it.
+    #[must_use]
+    pub fn recovery_target(&self, id: NodeId) -> Option<NodeId> {
+        if self.is_server(id) {
+            self.parent_server.filter(|&p| p != id)
+        } else {
+            Some(self.server)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MessageId;
+    use rrmp_membership::view::RegionView;
+    use rrmp_netsim::topology::RegionId;
+
+    fn mid(src: u32, seq: u64) -> MessageId {
+        MessageId::new(NodeId(src), SeqNo(seq))
+    }
+
+    #[test]
+    fn digest_reflects_detector_intervals() {
+        let mut d = LossDetector::new();
+        for seq in [1, 2, 3, 7] {
+            d.on_data(mid(0, seq));
+        }
+        d.on_data(mid(5, 1));
+        let digest = HistoryDigest::from_detector(&d);
+        assert_eq!(digest.entries.len(), 2);
+        assert_eq!(digest.entries[0].source, NodeId(0));
+        assert_eq!(digest.entries[0].intervals, vec![(SeqNo(1), SeqNo(3)), (SeqNo(7), SeqNo(7))]);
+        assert_eq!(digest.frontier(NodeId(0)), SeqNo(3));
+        assert_eq!(digest.frontier(NodeId(5)), SeqNo(1));
+        assert_eq!(digest.frontier(NodeId(9)), SeqNo::NONE);
+    }
+
+    #[test]
+    fn digest_truncates_to_wire_limits_keeping_the_frontier() {
+        let mut d = LossDetector::new();
+        // Every other sequence: one interval each, far past the cap.
+        let n = (crate::packet::MAX_DIGEST_INTERVALS + 50) as u64;
+        for seq in 0..n {
+            d.on_data(mid(0, 1 + 2 * seq));
+        }
+        let digest = HistoryDigest::from_detector(&d);
+        assert_eq!(digest.entries[0].intervals.len(), crate::packet::MAX_DIGEST_INTERVALS);
+        // The earliest intervals survive, so the frontier is intact.
+        assert_eq!(digest.frontier(NodeId(0)), SeqNo(1));
+        // And the truncated digest still encodes/decodes cleanly.
+        let p = crate::packet::Packet::History { digest };
+        assert_eq!(crate::packet::Packet::decode(p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_and_gapped_digests_have_zero_frontier() {
+        assert!(HistoryDigest::new().is_empty());
+        let gapped = DigestEntry { source: NodeId(0), intervals: vec![(SeqNo(2), SeqNo(9))] };
+        assert_eq!(gapped.frontier(), SeqNo::NONE);
+        // Hostile unnormalized intervals never over-report.
+        let bogus = DigestEntry { source: NodeId(0), intervals: vec![(SeqNo(1), SeqNo(0))] };
+        assert_eq!(bogus.frontier(), SeqNo::NONE);
+    }
+
+    fn digest_to(src: NodeId, hi: u64) -> HistoryDigest {
+        HistoryDigest {
+            entries: vec![DigestEntry { source: src, intervals: vec![(SeqNo(1), SeqNo(hi))] }],
+        }
+    }
+
+    #[test]
+    fn tracker_requires_full_quorum_and_advances_monotonically() {
+        let src = NodeId(0);
+        let mut t = StabilityTracker::new();
+        assert_eq!(t.stable_frontier(src, SeqNo(5), 2), None);
+        t.record(NodeId(1), &digest_to(src, 3));
+        assert_eq!(t.stable_frontier(src, SeqNo(5), 2), None, "one quorum peer unheard");
+        t.record(NodeId(2), &digest_to(src, 9));
+        assert_eq!(t.stable_frontier(src, SeqNo(5), 2), Some(SeqNo(3)));
+        // A stale digest cannot regress the frontier.
+        t.record(NodeId(1), &digest_to(src, 1));
+        assert_eq!(t.peer_frontier(NodeId(1), src), SeqNo(3));
+        // The slowest peer advancing re-establishes the cached minimum.
+        t.record(NodeId(1), &digest_to(src, 6));
+        assert_eq!(t.stable_frontier(src, SeqNo(5), 2), Some(SeqNo(5)));
+        assert_eq!(t.stable_frontier(src, SeqNo(99), 2), Some(SeqNo(6)));
+        // A peer heard from but silent about `src` pins stability at 0.
+        t.record(NodeId(3), &HistoryDigest::new());
+        assert_eq!(t.heard_count(), 3);
+        assert_eq!(t.stable_frontier(src, SeqNo(5), 3), Some(SeqNo::NONE));
+    }
+
+    #[test]
+    fn tracker_forget_unblocks_stability() {
+        let src = NodeId(0);
+        let mut t = StabilityTracker::new();
+        t.record(NodeId(1), &digest_to(src, 4));
+        t.record(NodeId(2), &HistoryDigest::new());
+        assert_eq!(t.stable_frontier(src, SeqNo(9), 2), Some(SeqNo::NONE));
+        t.forget(NodeId(2));
+        assert_eq!(t.stable_frontier(src, SeqNo(9), 1), Some(SeqNo(4)));
+        assert!(!t.heard_from(NodeId(2)));
+    }
+
+    #[test]
+    fn tracker_forget_of_slowest_peer_recomputes_minimum() {
+        let src = NodeId(0);
+        let mut t = StabilityTracker::new();
+        t.record(NodeId(1), &digest_to(src, 2));
+        t.record(NodeId(2), &digest_to(src, 7));
+        t.record(NodeId(3), &digest_to(src, 5));
+        assert_eq!(t.stable_frontier(src, SeqNo(9), 3), Some(SeqNo(2)));
+        t.forget(NodeId(1)); // the slowest peer leaves
+        assert_eq!(t.stable_frontier(src, SeqNo(9), 2), Some(SeqNo(5)));
+        t.forget(NodeId(3));
+        assert_eq!(t.stable_frontier(src, SeqNo(9), 1), Some(SeqNo(7)));
+        t.forget(NodeId(2));
+        // An empty quorum is trivially stable up to the own frontier.
+        assert_eq!(t.stable_frontier(src, SeqNo(9), 0), Some(SeqNo(9)));
+    }
+
+    #[test]
+    fn incremental_min_matches_naive_model_under_random_scripts() {
+        // Deterministic pseudo-random op script: record/forget against a
+        // naive max-merge model, comparing the cached frontier after
+        // every step (the at_min/recompute bookkeeping is the part a
+        // unit test alone would miss).
+        let mut state = 0x9E37_79B9_97F4_A7C1u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = StabilityTracker::new();
+        let mut model: HashMap<NodeId, HashMap<NodeId, u64>> = HashMap::new();
+        for _ in 0..4000 {
+            let peer = NodeId((next() % 6) as u32);
+            if next() % 8 == 0 {
+                t.forget(peer);
+                model.remove(&peer);
+            } else {
+                let source = NodeId(100 + (next() % 3) as u32);
+                let hi = next() % 12;
+                let digest = if hi == 0 { HistoryDigest::new() } else { digest_to(source, hi) };
+                t.record(peer, &digest);
+                let acks = model.entry(peer).or_default();
+                if hi > 0 {
+                    let slot = acks.entry(source).or_insert(0);
+                    *slot = (*slot).max(hi);
+                }
+            }
+            for s in [100u32, 101, 102].map(NodeId) {
+                for quorum_len in 0..=6usize {
+                    let naive = if model.len() < quorum_len {
+                        None
+                    } else {
+                        let mentioned: Vec<u64> =
+                            model.values().filter_map(|acks| acks.get(&s).copied()).collect();
+                        let peers_min = if mentioned.len() >= quorum_len {
+                            mentioned.iter().copied().min().unwrap_or(u64::MAX)
+                        } else {
+                            0
+                        };
+                        Some(SeqNo(peers_min.min(7)))
+                    };
+                    assert_eq!(
+                        t.stable_frontier(s, SeqNo(7), quorum_len),
+                        naive,
+                        "tracker diverged from naive model"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_roles_derive_from_view() {
+        let own = RegionView::new(RegionId(1), [NodeId(4), NodeId(5), NodeId(6)]);
+        let parent = RegionView::new(RegionId(0), [NodeId(0), NodeId(1)]);
+        let roles = RepairRoles::from_view(&HierarchyView::new(own, Some(parent))).unwrap();
+        assert_eq!(roles.server, NodeId(4));
+        assert_eq!(roles.parent_server, Some(NodeId(0)));
+        assert!(roles.is_server(NodeId(4)));
+        assert_eq!(roles.recovery_target(NodeId(5)), Some(NodeId(4)));
+        assert_eq!(roles.recovery_target(NodeId(4)), Some(NodeId(0)));
+
+        // The root server has nobody to NACK.
+        let root = RegionView::new(RegionId(0), [NodeId(0), NodeId(1)]);
+        let roles = RepairRoles::from_view(&HierarchyView::new(root, None)).unwrap();
+        assert_eq!(roles.recovery_target(NodeId(0)), None);
+        assert_eq!(roles.recovery_target(NodeId(1)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn repair_roles_rederive_after_churn() {
+        let mut own = RegionView::new(RegionId(1), [NodeId(4), NodeId(5), NodeId(6)]);
+        own.remove(NodeId(4)); // the server left
+        let roles = RepairRoles::from_view(&HierarchyView::new(own, None)).unwrap();
+        assert_eq!(roles.server, NodeId(5), "next-lowest member takes the role");
+        let empty = RegionView::new(RegionId(1), []);
+        assert!(RepairRoles::from_view(&HierarchyView::new(empty, None)).is_none());
+    }
+}

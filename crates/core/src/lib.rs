@@ -56,6 +56,7 @@ pub mod config;
 pub mod delivery;
 pub mod events;
 pub mod harness;
+pub mod history;
 pub mod ids;
 pub mod interval_set;
 pub mod loss;
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::delivery::FifoReorder;
     pub use crate::events::{Action, Event, TimerKind};
     pub use crate::harness::{RrmpNetwork, RrmpNode};
+    pub use crate::history::{HistoryDigest, RepairRoles, StabilityTracker};
     pub use crate::ids::{MessageId, SeqNo};
     pub use crate::metrics::{BufferRecord, Counters, Metrics, ProtocolEvent};
     pub use crate::packet::{DataPacket, Packet, RepairKind};

@@ -159,6 +159,20 @@ impl LossDetector {
             _ => SeqNo::NONE,
         }
     }
+
+    /// Every source the detector has state for, in hash-map order —
+    /// callers wanting determinism (e.g. history-digest construction)
+    /// sort the collected ids.
+    pub fn tracked_sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.sources.keys().copied()
+    }
+
+    /// The inclusive `(lo, hi)` received-sequence intervals recorded for
+    /// `source`, in ascending order — the raw material of a history
+    /// digest (receipt is permanent, so discarded payloads still appear).
+    pub fn received_intervals(&self, source: NodeId) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.sources.get(&source).into_iter().flat_map(|st| st.received.intervals())
+    }
 }
 
 #[cfg(test)]

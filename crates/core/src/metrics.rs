@@ -63,6 +63,13 @@ pub struct Counters {
     pub evicted_for_capacity: u64,
     /// Waiting-list relays performed (repair forwarded on later receipt).
     pub relays_performed: u64,
+    /// History digests advertised (stability detection's standing cost).
+    pub history_digests_sent: u64,
+    /// History digests received from peers.
+    pub history_digests_received: u64,
+    /// Buffer entries discarded because the group-wide stability
+    /// frontier passed them.
+    pub stable_discards: u64,
 }
 
 /// Lifecycle of one message in one member's buffer.

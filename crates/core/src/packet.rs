@@ -1,10 +1,11 @@
 //! RRMP wire messages and their binary codec.
 //!
-//! The protocol exchanges nine packet types: application data (the initial
+//! The protocol exchanges ten packet types: application data (the initial
 //! multicast), sender session messages, local and remote retransmission
 //! requests, unicast repairs, regional repair multicasts, the
-//! search-for-bufferer request/announcement pair, and long-term buffer
-//! handoff on voluntary leave.
+//! search-for-bufferer request/announcement pair, long-term buffer
+//! handoff on voluntary leave, and periodic history-digest
+//! advertisements (stability-detection policies only).
 //!
 //! The codec is a hand-rolled length-checked binary format over
 //! [`bytes`]: one tag byte followed by fixed-width big-endian fields and a
@@ -15,6 +16,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rrmp_netsim::topology::NodeId;
 
+use crate::history::{DigestEntry, HistoryDigest};
 use crate::ids::{MessageId, SeqNo};
 
 /// Application data identified by a [`MessageId`].
@@ -100,6 +102,13 @@ pub enum Packet {
         /// The transferred data.
         data: DataPacket,
     },
+    /// Periodic history advertisement: the per-source interval sets of
+    /// everything the sender has delivered. Stability-detection policies
+    /// exchange these to learn when a message is safe to discard.
+    History {
+        /// The advertised delivery digest.
+        digest: HistoryDigest,
+    },
 }
 
 impl Packet {
@@ -115,7 +124,7 @@ impl Packet {
             | Packet::RemoteRequest { msg }
             | Packet::SearchRequest { msg, .. }
             | Packet::SearchFound { msg, .. } => Some(*msg),
-            Packet::Session { .. } => None,
+            Packet::Session { .. } | Packet::History { .. } => None,
         }
     }
 
@@ -133,6 +142,7 @@ impl Packet {
             Packet::SearchRequest { .. } => "search_request",
             Packet::SearchFound { .. } => "search_found",
             Packet::Handoff { .. } => "handoff",
+            Packet::History { .. } => "history",
         }
     }
 
@@ -153,6 +163,9 @@ impl Packet {
             }
             Packet::SearchRequest { origins, .. } => 1 + MID + 2 + 4 * origins.len(),
             Packet::SearchFound { .. } => 1 + MID + 4,
+            Packet::History { digest } => {
+                1 + 2 + digest.entries.iter().map(|e| 4 + 2 + 16 * e.intervals.len()).sum::<usize>()
+            }
         }
     }
 }
@@ -195,12 +208,17 @@ const TAG_REGIONAL_REPAIR: u8 = 5;
 const TAG_SEARCH_REQUEST: u8 = 6;
 const TAG_SEARCH_FOUND: u8 = 7;
 const TAG_HANDOFF: u8 = 8;
+const TAG_HISTORY: u8 = 9;
 
 /// Maximum accepted payload length (1 MiB) — guards against hostile or
 /// corrupt length fields.
 pub const MAX_PAYLOAD_LEN: usize = 1 << 20;
 /// Maximum accepted origin-list length in a search request.
 pub const MAX_ORIGINS: usize = 1 << 10;
+/// Maximum accepted sources per history digest.
+pub const MAX_DIGEST_SOURCES: usize = 1 << 10;
+/// Maximum accepted intervals per history-digest source entry.
+pub const MAX_DIGEST_INTERVALS: usize = 1 << 12;
 
 fn put_message_id(buf: &mut BytesMut, id: MessageId) {
     buf.put_u32(id.source.0);
@@ -302,6 +320,27 @@ impl Packet {
                 buf.put_u8(TAG_HANDOFF);
                 put_data(buf, data);
             }
+            Packet::History { digest } => {
+                // `HistoryDigest::from_detector` caps itself to these
+                // limits; a hand-built oversized digest would wrap the
+                // u16 counts into a frame every peer rejects, silently
+                // knocking the advertiser out of the stability quorum.
+                debug_assert!(
+                    digest.entries.len() <= MAX_DIGEST_SOURCES
+                        && digest.entries.iter().all(|e| e.intervals.len() <= MAX_DIGEST_INTERVALS),
+                    "history digest exceeds wire limits"
+                );
+                buf.put_u8(TAG_HISTORY);
+                buf.put_u16(digest.entries.len() as u16);
+                for entry in &digest.entries {
+                    buf.put_u32(entry.source.0);
+                    buf.put_u16(entry.intervals.len() as u16);
+                    for &(lo, hi) in &entry.intervals {
+                        buf.put_u64(lo.0);
+                        buf.put_u64(hi.0);
+                    }
+                }
+            }
         }
     }
 
@@ -363,6 +402,34 @@ impl Packet {
                 Packet::SearchFound { msg, holder: NodeId(buf.get_u32()) }
             }
             TAG_HANDOFF => Packet::Handoff { data: get_data(&mut buf)? },
+            TAG_HISTORY => {
+                if buf.remaining() < 2 {
+                    return Err(DecodeError::Truncated);
+                }
+                let n_sources = buf.get_u16() as usize;
+                if n_sources > MAX_DIGEST_SOURCES {
+                    return Err(DecodeError::LengthOverflow);
+                }
+                let mut entries = Vec::with_capacity(n_sources);
+                for _ in 0..n_sources {
+                    if buf.remaining() < 6 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let source = NodeId(buf.get_u32());
+                    let n_intervals = buf.get_u16() as usize;
+                    if n_intervals > MAX_DIGEST_INTERVALS {
+                        return Err(DecodeError::LengthOverflow);
+                    }
+                    if buf.remaining() < n_intervals * 16 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let intervals = (0..n_intervals)
+                        .map(|_| (SeqNo(buf.get_u64()), SeqNo(buf.get_u64())))
+                        .collect();
+                    entries.push(DigestEntry { source, intervals });
+                }
+                Packet::History { digest: HistoryDigest { entries } }
+            }
             t => return Err(DecodeError::UnknownTag(t)),
         };
         if buf.has_remaining() {
@@ -401,6 +468,18 @@ mod tests {
             Packet::SearchRequest { msg: mid(1, 3), origins: vec![] },
             Packet::SearchFound { msg: mid(1, 3), holder: NodeId(4) },
             Packet::Handoff { data: DataPacket::new(mid(1, 2), Bytes::from_static(b"h")) },
+            Packet::History { digest: HistoryDigest::new() },
+            Packet::History {
+                digest: HistoryDigest {
+                    entries: vec![
+                        DigestEntry {
+                            source: NodeId(0),
+                            intervals: vec![(SeqNo(1), SeqNo(5)), (SeqNo(9), SeqNo(9))],
+                        },
+                        DigestEntry { source: NodeId(7), intervals: vec![] },
+                    ],
+                },
+            },
         ]
     }
 
@@ -462,6 +541,22 @@ mod tests {
     }
 
     #[test]
+    fn oversized_digest_rejected() {
+        // Source count past the cap.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_HISTORY);
+        buf.put_u16((MAX_DIGEST_SOURCES + 1) as u16);
+        assert_eq!(Packet::decode(buf.freeze()), Err(DecodeError::LengthOverflow));
+        // Interval count past the cap.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_HISTORY);
+        buf.put_u16(1);
+        buf.put_u32(3);
+        buf.put_u16((MAX_DIGEST_INTERVALS + 1) as u16);
+        assert_eq!(Packet::decode(buf.freeze()), Err(DecodeError::LengthOverflow));
+    }
+
+    #[test]
     fn oversized_payload_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_DATA);
@@ -499,6 +594,15 @@ mod proptests {
             .prop_map(|(id, p)| DataPacket::new(id, Bytes::from(p)))
     }
 
+    fn arb_digest() -> impl Strategy<Value = HistoryDigest> {
+        let entry = (any::<u32>(), proptest::collection::vec((any::<u64>(), any::<u64>()), 0..6))
+            .prop_map(|(src, iv)| DigestEntry {
+                source: NodeId(src),
+                intervals: iv.into_iter().map(|(lo, hi)| (SeqNo(lo), SeqNo(hi))).collect(),
+            });
+        proptest::collection::vec(entry, 0..5).prop_map(|entries| HistoryDigest { entries })
+    }
+
     fn arb_packet() -> impl Strategy<Value = Packet> {
         prop_oneof![
             arb_data().prop_map(Packet::Data),
@@ -520,6 +624,7 @@ mod proptests {
             (arb_message_id(), any::<u32>())
                 .prop_map(|(msg, h)| Packet::SearchFound { msg, holder: NodeId(h) }),
             arb_data().prop_map(|data| Packet::Handoff { data }),
+            arb_digest().prop_map(|digest| Packet::History { digest }),
         ]
     }
 
@@ -536,6 +641,29 @@ mod proptests {
         #[test]
         fn decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
             let _ = Packet::decode(Bytes::from(bytes));
+        }
+
+        /// History digests round-trip exactly; every strict prefix of the
+        /// encoding is rejected as truncated, trailing garbage is
+        /// rejected, and `encoded_len` predicts the wire size.
+        #[test]
+        fn history_digest_roundtrip_and_truncation(digest in arb_digest()) {
+            let p = Packet::History { digest };
+            let encoded = p.encode();
+            prop_assert_eq!(p.encoded_len(), encoded.len());
+            prop_assert_eq!(Packet::decode(encoded.clone()).unwrap(), p.clone());
+            for cut in 0..encoded.len() {
+                prop_assert!(
+                    Packet::decode(encoded.slice(0..cut)).is_err(),
+                    "{}-byte prefix must not decode", cut
+                );
+            }
+            let mut trailing = BytesMut::from(&encoded[..]);
+            trailing.put_u8(0xEE);
+            prop_assert!(matches!(
+                Packet::decode(trailing.freeze()),
+                Err(DecodeError::TrailingBytes(1))
+            ));
         }
 
         /// `encode_into` a reused buffer produces exactly the bytes of

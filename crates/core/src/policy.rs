@@ -41,8 +41,11 @@ use rrmp_netsim::topology::NodeId;
 use crate::buffer::MessageStore;
 use crate::config::ProtocolConfig;
 use crate::events::{Action, TimerKind};
+use crate::history::{HistoryDigest, RepairRoles, StabilityTracker};
 use crate::ids::MessageId;
+use crate::loss::LossDetector;
 use crate::metrics::Metrics;
+use crate::packet::Packet;
 
 /// How a data payload reached a receiver — policies use it to
 /// distinguish initial multicasts from repairs and handoffs.
@@ -73,6 +76,9 @@ pub struct PolicyCtx<'a> {
     pub cfg: &'a ProtocolConfig,
     /// The membership view (own + parent region).
     pub view: &'a HierarchyView,
+    /// The loss detector (read-only): which messages have ever been
+    /// received — the raw material of history digests.
+    pub detector: &'a LossDetector,
     /// The two-phase message store.
     pub store: &'a mut MessageStore,
     /// Protocol metrics.
@@ -145,8 +151,29 @@ pub trait BufferPolicy: std::fmt::Debug + Send {
     /// armed by the engine.
     fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId>;
 
-    /// Retry period of the pull phase.
-    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration;
+    /// Retry period of the pull phase. Receives the full [`PolicyCtx`]
+    /// so role-aware policies can pick per-role budgets (a tree repair
+    /// server retries its parent on a cross-region RTT, its receivers on
+    /// the local one).
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration;
+
+    /// Whether pull requests go out as
+    /// [`Packet::RemoteRequest`](crate::packet::Packet::RemoteRequest)
+    /// instead of `LocalRequest`. A remote request's target registers the
+    /// asker as a waiter and recovers the message itself when it doesn't
+    /// hold it — the semantics a repair-server NACK needs — while a local
+    /// request to a non-holder is simply ignored (§2.2).
+    fn pull_via_remote_request(&self) -> bool {
+        false
+    }
+
+    /// Whether a repair that crossed regions is re-multicast within the
+    /// region behind the randomized back-off (§2.2). Tree-style policies
+    /// turn this off: their repair servers answer each NACK individually
+    /// and never flood the region.
+    fn remulticast_remote_repairs(&self) -> bool {
+        true
+    }
 
     /// Whether the λ/n probabilistic remote-recovery phase (§2.2) runs.
     /// Policies that return `false` never send
@@ -173,6 +200,34 @@ pub trait BufferPolicy: std::fmt::Debug + Send {
     fn long_term_expiry(&self, cfg: &ProtocolConfig) -> Option<SimDuration> {
         Some(cfg.long_term_timeout)
     }
+
+    /// How often this policy advertises its delivery history to the
+    /// group. `None` (the default) arms no history timer at all — the
+    /// hook is zero-cost for policies that never exchange history.
+    fn history_interval(&self, _cfg: &ProtocolConfig) -> Option<SimDuration> {
+        None
+    }
+
+    /// The periodic history tick fired ([`TimerKind::HistoryTick`]);
+    /// emit the advertisements. The engine re-arms the timer. Only
+    /// called when [`BufferPolicy::history_interval`] returned `Some`.
+    fn history_tick(&mut self, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// A peer's history advertisement arrived
+    /// ([`Packet::History`](crate::packet::Packet::History)); fold it
+    /// into whatever stability state the policy keeps.
+    fn on_history_digest(
+        &mut self,
+        _ctx: &mut PolicyCtx<'_>,
+        _from: NodeId,
+        _digest: &HistoryDigest,
+    ) {
+    }
+
+    /// The membership layer removed `node` from this member's views
+    /// (leave or crash). Policies tracking per-member state (stability
+    /// quorums) prune it so a departed member stops gating progress.
+    fn on_member_removed(&mut self, _node: NodeId) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -243,8 +298,8 @@ impl BufferPolicy for TwoPhase {
         ctx.view.own().random_other(ctx.rng, ctx.id)
     }
 
-    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
-        cfg.local_timeout
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration {
+        ctx.cfg.local_timeout
     }
 
     fn remote_recovery(&self) -> bool {
@@ -316,8 +371,8 @@ impl BufferPolicy for FixedTime {
         ctx.view.own().random_other(ctx.rng, ctx.id)
     }
 
-    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
-        cfg.local_timeout
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration {
+        ctx.cfg.local_timeout
     }
 
     fn remote_recovery(&self) -> bool {
@@ -368,8 +423,8 @@ impl BufferPolicy for KeepAll {
         ctx.view.own().random_other(ctx.rng, ctx.id)
     }
 
-    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
-        cfg.local_timeout
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration {
+        ctx.cfg.local_timeout
     }
 
     fn remote_recovery(&self) -> bool {
@@ -515,8 +570,8 @@ impl BufferPolicy for HashBufferers {
         designated.iter().map(|&(_, m)| m).filter(|&m| m != me).nth(pick)
     }
 
-    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
-        cfg.direct_request_timeout
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration {
+        ctx.cfg.direct_request_timeout
     }
 
     fn handoff_target(&mut self, ctx: &mut PolicyCtx<'_>, msg: MessageId) -> Option<NodeId> {
@@ -578,8 +633,8 @@ impl BufferPolicy for SenderBased {
         (msg.source != ctx.id).then_some(msg.source)
     }
 
-    fn pull_retry_delay(&self, cfg: &ProtocolConfig) -> SimDuration {
-        cfg.direct_request_timeout
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration {
+        ctx.cfg.direct_request_timeout
     }
 
     fn handoff_target(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
@@ -588,6 +643,277 @@ impl BufferPolicy for SenderBased {
 
     fn long_term_expiry(&self, _cfg: &ProtocolConfig) -> Option<SimDuration> {
         None // the sender retains its session
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stability detection (ported from crates/baselines/src/stability.rs).
+// ---------------------------------------------------------------------------
+
+/// Stability-detection buffering (Guo & Rhee, INFOCOM '00) — the class of
+/// protocols §1/§6 contrasts with: every member buffers every message
+/// until it is *stable* (received by the whole group), learned by
+/// periodically exchanging history digests
+/// ([`Packet::History`](crate::packet::Packet::History), built from the
+/// loss detector's interval sets and scheduled by the engine's
+/// [`TimerKind::HistoryTick`]).
+///
+/// Costs the paper highlights, all reproduced by the port: standing
+/// history traffic even when nothing is lost, full-group membership
+/// knowledge, and buffers that drain only at the pace of the slowest
+/// member. Churn is handled through [`BufferPolicy::on_member_removed`]:
+/// a departed member leaves the stability quorum instead of freezing it.
+#[derive(Debug, Clone)]
+pub struct Stability {
+    /// The full group membership, ascending (the quorum).
+    members: Vec<NodeId>,
+    /// Per-peer ack frontiers folded from arriving digests.
+    tracker: StabilityTracker,
+    /// Per-source frontier up to which the store was already swept —
+    /// the sweep is skipped entirely unless stability advanced, so a
+    /// digest flood costs O(entries), not O(store) each.
+    swept: std::collections::HashMap<NodeId, u64>,
+    /// Reused scratch for the stable-discard sweep.
+    scratch: Vec<MessageId>,
+}
+
+impl Stability {
+    /// Creates the policy for a member knowing the full `members` list.
+    #[must_use]
+    pub fn new(mut members: Vec<NodeId>) -> Self {
+        // Kept sorted: digest admission binary-searches the quorum.
+        members.sort_unstable();
+        members.dedup();
+        Stability {
+            members,
+            tracker: StabilityTracker::new(),
+            swept: std::collections::HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Peers this member waits on: every other member of the group.
+    fn quorum_len(&self, me: NodeId) -> usize {
+        self.members.len() - usize::from(self.members.contains(&me))
+    }
+
+    /// The group-wide stability frontier for `source` as this member
+    /// currently knows it (`None` while any quorum peer is unheard).
+    #[must_use]
+    pub fn stable_frontier(
+        &self,
+        own: crate::ids::SeqNo,
+        source: NodeId,
+        me: NodeId,
+    ) -> Option<crate::ids::SeqNo> {
+        self.tracker.stable_frontier(source, own, self.quorum_len(me))
+    }
+}
+
+impl BufferPolicy for Stability {
+    fn name(&self) -> &'static str {
+        "stability"
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        _path: DataPath,
+    ) {
+        // Everyone buffers everything until stability — regardless of how
+        // the payload arrived (a handoff is just another copy here).
+        ctx.enter_long_term(id, payload.clone());
+    }
+
+    fn on_idle(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) {}
+
+    fn preload_short_delay(&self, _cfg: &ProtocolConfig) -> SimDuration {
+        SimDuration::ZERO // unused: no short phase
+    }
+
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        // A uniformly random other member (the legacy stack's draw shape:
+        // one gen_range over the non-self members in ascending id order).
+        let me = ctx.id;
+        let candidates = self.members.iter().filter(|&&m| m != me).count();
+        if candidates == 0 {
+            return None;
+        }
+        let pick = ctx.rng.gen_range(0..candidates);
+        self.members.iter().copied().filter(|&m| m != me).nth(pick)
+    }
+
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration {
+        ctx.cfg.local_timeout
+    }
+
+    fn handoff_target(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        None // every member already holds a copy of anything unstable
+    }
+
+    fn long_term_expiry(&self, _cfg: &ProtocolConfig) -> Option<SimDuration> {
+        None // entries drain only through stability detection
+    }
+
+    fn history_interval(&self, cfg: &ProtocolConfig) -> Option<SimDuration> {
+        Some(cfg.history_interval)
+    }
+
+    fn history_tick(&mut self, ctx: &mut PolicyCtx<'_>) {
+        // Advertise the delivery digest to every other member — the
+        // standing overhead this scheme pays even in loss-free sessions.
+        let digest = HistoryDigest::from_detector(ctx.detector);
+        for &m in self.members.iter().filter(|&&m| m != ctx.id) {
+            ctx.metrics.counters.history_digests_sent += 1;
+            ctx.actions
+                .push(Action::Send { to: m, packet: Packet::History { digest: digest.clone() } });
+        }
+    }
+
+    fn on_history_digest(&mut self, ctx: &mut PolicyCtx<'_>, from: NodeId, digest: &HistoryDigest) {
+        // A digest from outside the current membership — typically a
+        // departed member's advertisement still in flight when the view
+        // dropped it — must not (re-)enter the tracker: its stale, never
+        // advancing frontier would pin group stability forever. (The
+        // legacy stack got the same effect by taking the minimum over
+        // its member list only.)
+        if self.members.binary_search(&from).is_err() {
+            return;
+        }
+        self.tracker.record(from, digest);
+        // Only the advertised sources can have newly stabilized, and the
+        // store is swept only when a source's stability frontier actually
+        // advanced past the last sweep — the common digest (nothing new)
+        // costs O(entries), not O(store).
+        let quorum_len = self.quorum_len(ctx.id);
+        debug_assert!(self.scratch.is_empty());
+        let mut stable_ids = std::mem::take(&mut self.scratch);
+        for entry in &digest.entries {
+            let source = entry.source;
+            let own = ctx.detector.contiguous_received(source);
+            let Some(stable) = self.tracker.stable_frontier(source, own, quorum_len) else {
+                continue;
+            };
+            if stable == crate::ids::SeqNo::NONE {
+                continue;
+            }
+            let swept = self.swept.entry(source).or_insert(0);
+            if stable.0 <= *swept {
+                continue; // nothing new can have stabilized
+            }
+            *swept = stable.0;
+            stable_ids.extend(
+                ctx.store
+                    .iter()
+                    .filter(|(id, _)| id.source == source && id.seq <= stable)
+                    .map(|(&id, _)| id),
+            );
+        }
+        for &id in &stable_ids {
+            ctx.store.discard(id, ctx.now);
+            ctx.metrics.counters.stable_discards += 1;
+            ctx.metrics.buffer_record_mut(id).discarded_at = Some(ctx.now);
+        }
+        stable_ids.clear();
+        self.scratch = stable_ids;
+    }
+
+    fn on_member_removed(&mut self, node: NodeId) {
+        // A departed member no longer gates stability; without this, one
+        // leave would freeze every buffer in the group forever.
+        self.members.retain(|&m| m != node);
+        self.tracker.forget(node);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree-based repair servers (ported from crates/baselines/src/tree_rmtp.rs).
+// ---------------------------------------------------------------------------
+
+/// Tree-based repair-server buffering (RMTP-style, JSAC '97) — the
+/// designated-repair-server design §1/§6 argues against: each region's
+/// **repair server** (its lowest-id member, [`RepairRoles`]) buffers the
+/// entire session; ordinary receivers buffer nothing and NACK their
+/// server, and a server missing the message NACKs the parent region's
+/// server. All roles re-derive deterministically from the membership
+/// view, so churn promotes the next-lowest member without any election.
+///
+/// The NACKs ride the engine's pull phase as remote requests
+/// ([`BufferPolicy::pull_via_remote_request`]), giving servers the
+/// waiting-list semantics the scheme needs, and repairs are answered
+/// per-NACK — never region-multicast
+/// ([`BufferPolicy::remulticast_remote_repairs`] is off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeRmtp;
+
+impl TreeRmtp {
+    fn roles(ctx: &PolicyCtx<'_>) -> Option<RepairRoles> {
+        RepairRoles::from_view(ctx.view)
+    }
+}
+
+impl BufferPolicy for TreeRmtp {
+    fn name(&self) -> &'static str {
+        "tree-rmtp"
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        id: MessageId,
+        payload: &Bytes,
+        path: DataPath,
+    ) {
+        // The repair server buffers the whole session (the RMTP
+        // file-transfer model); everyone else keeps nothing beyond
+        // delivery. A handoff still transfers the buffering duty.
+        let is_server = Self::roles(&*ctx).is_some_and(|r| r.is_server(ctx.id));
+        if path == DataPath::Handoff || is_server {
+            ctx.enter_long_term(id, payload.clone());
+        }
+    }
+
+    fn on_idle(&mut self, _ctx: &mut PolicyCtx<'_>, _msg: MessageId) {}
+
+    fn preload_short_delay(&self, _cfg: &ProtocolConfig) -> SimDuration {
+        SimDuration::ZERO // unused: no short phase
+    }
+
+    fn pull_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        Self::roles(&*ctx).and_then(|r| r.recovery_target(ctx.id))
+    }
+
+    fn pull_retry_delay(&self, ctx: &PolicyCtx<'_>) -> SimDuration {
+        // Receivers retry their server on the intra-region RTT; the
+        // server retries the parent region's server on the direct
+        // (worst-case) budget.
+        if Self::roles(ctx).is_some_and(|r| r.is_server(ctx.id)) {
+            ctx.cfg.direct_request_timeout
+        } else {
+            ctx.cfg.local_timeout
+        }
+    }
+
+    fn pull_via_remote_request(&self) -> bool {
+        true // NACK semantics: the server remembers waiters it can't serve
+    }
+
+    fn remulticast_remote_repairs(&self) -> bool {
+        false // servers answer NACKs individually, never region-wide
+    }
+
+    fn handoff_target(&mut self, ctx: &mut PolicyCtx<'_>, _msg: MessageId) -> Option<NodeId> {
+        // A leaving server hands the session to the member that will
+        // inherit the role once the views drop the leaver: the
+        // next-lowest id in the region.
+        let me = ctx.id;
+        ctx.view.own().members().find(|&m| m != me)
+    }
+
+    fn long_term_expiry(&self, _cfg: &ProtocolConfig) -> Option<SimDuration> {
+        None // the repair server retains the session
     }
 }
 
@@ -618,6 +944,12 @@ pub enum PolicyKind {
     HashBufferers,
     /// All recovery through the message source (§1's implosion strawman).
     SenderBased,
+    /// Stability detection via periodic history exchange (INFOCOM '00):
+    /// everyone buffers everything until the whole group has it.
+    Stability,
+    /// Fixed per-region repair servers buffering the entire session
+    /// (RMTP, JSAC '97), NACKed up the region hierarchy.
+    TreeRmtp,
 }
 
 impl PolicyKind {
@@ -631,6 +963,8 @@ impl PolicyKind {
             PolicyKind::KeepAll => "keep-all",
             PolicyKind::HashBufferers => "hash",
             PolicyKind::SenderBased => "sender-based",
+            PolicyKind::Stability => "stability",
+            PolicyKind::TreeRmtp => "tree-rmtp",
         }
     }
 
@@ -652,11 +986,14 @@ impl PolicyKind {
                 Box::new(HashBufferers::new(members.to_vec(), cfg.hash_bufferers))
             }
             PolicyKind::SenderBased => Box::new(SenderBased),
+            PolicyKind::Stability => Box::new(Stability::new(members.to_vec())),
+            PolicyKind::TreeRmtp => Box::new(TreeRmtp),
         }
     }
 
     /// The policy selected by the `RRMP_POLICY` environment variable
-    /// (`two-phase`, `hash`, `sender-based`, or `keep-all`), or `None`
+    /// (`two-phase`, `hash`, `sender-based`, `stability`, `tree-rmtp`,
+    /// or `keep-all`), or `None`
     /// when unset. Mirrors `RRMP_SIM_SHARDS`: only call sites that opt in
     /// (e.g. [`RrmpNetwork::new_env_policy`]) are affected, so the CI
     /// matrix can run the whole suite under a non-default policy without
@@ -677,9 +1014,12 @@ impl PolicyKind {
                 "two-phase" => Some(PolicyKind::TwoPhase),
                 "hash" => Some(PolicyKind::HashBufferers),
                 "sender-based" => Some(PolicyKind::SenderBased),
+                "stability" => Some(PolicyKind::Stability),
+                "tree-rmtp" => Some(PolicyKind::TreeRmtp),
                 "keep-all" => Some(PolicyKind::KeepAll),
                 _ => panic!(
-                    "RRMP_POLICY must be one of two-phase|hash|sender-based|keep-all, got {v:?}"
+                    "RRMP_POLICY must be one of \
+                     two-phase|hash|sender-based|stability|tree-rmtp|keep-all, got {v:?}"
                 ),
             },
         }
@@ -722,6 +1062,8 @@ mod tests {
         assert_eq!(PolicyKind::TwoPhase.name(), "two-phase");
         assert_eq!(PolicyKind::HashBufferers.name(), "hash");
         assert_eq!(PolicyKind::SenderBased.name(), "sender-based");
+        assert_eq!(PolicyKind::Stability.name(), "stability");
+        assert_eq!(PolicyKind::TreeRmtp.name(), "tree-rmtp");
         assert_eq!(PolicyKind::KeepAll.name(), "keep-all");
         assert_eq!(
             PolicyKind::FixedTime { hold: SimDuration::from_millis(1) }.name(),
@@ -740,6 +1082,8 @@ mod tests {
             // The hash policy reports the legacy baseline's scheme name.
             (PolicyKind::HashBufferers, "hash-determ"),
             (PolicyKind::SenderBased, "sender-based"),
+            (PolicyKind::Stability, "stability"),
+            (PolicyKind::TreeRmtp, "tree-rmtp"),
         ] {
             let policy = kind.build(NodeId(0), &members, &cfg);
             assert_eq!(policy.name(), name);

@@ -54,6 +54,7 @@ macro_rules! policy_ctx {
             now: $now,
             cfg: &$self.cfg,
             view: &$self.view,
+            detector: &$self.detector,
             store: &mut $self.store,
             metrics: &mut $self.metrics,
             rng: &mut $self.rng,
@@ -140,14 +141,18 @@ impl Receiver {
     /// placement) see every member.
     #[must_use]
     pub fn new(id: NodeId, view: HierarchyView, cfg: ProtocolConfig, seed: u64) -> Self {
-        // Hash placement requires *globally identical* member lists —
-        // receivers ranking different approximations would pull from
-        // peers that never buffered. With a parent region in view the
-        // own∪parent list is a partial view, so guard the footgun.
+        // Hash placement and stability detection require *globally
+        // identical* member lists — receivers ranking (or awaiting acks
+        // from) different approximations would pull from peers that never
+        // buffered, or wait forever on members they cannot see. With a
+        // parent region in view the own∪parent list is a partial view,
+        // so guard the footgun.
         debug_assert!(
-            !(matches!(cfg.policy, crate::policy::PolicyKind::HashBufferers)
-                && view.parent().is_some()),
-            "PolicyKind::HashBufferers in a multi-region hierarchy needs the full group \
+            !(matches!(
+                cfg.policy,
+                crate::policy::PolicyKind::HashBufferers | crate::policy::PolicyKind::Stability
+            ) && view.parent().is_some()),
+            "full-membership policies in a multi-region hierarchy need the full group \
              membership: build the policy yourself and use Receiver::with_policy"
         );
         let mut members: Vec<NodeId> = view
@@ -222,9 +227,24 @@ impl Receiver {
     }
 
     /// Mutable membership view — used by the host when the failure
-    /// detector or a scripted churn event changes membership.
+    /// detector or a scripted churn event changes membership. Hosts
+    /// removing a departed member should prefer
+    /// [`Receiver::on_membership_removed`], which also lets the policy
+    /// prune per-member state (stability quorums).
     pub fn view_mut(&mut self) -> &mut HierarchyView {
         &mut self.view
+    }
+
+    /// The membership layer dropped `node` (voluntary leave or detected
+    /// crash): removes it from both views and notifies the policy, so
+    /// member-tracking policies (stability quorums, repair roles) adapt
+    /// instead of waiting forever on the departed member.
+    pub fn on_membership_removed(&mut self, node: NodeId) {
+        self.view.own_mut().remove(node);
+        if let Some(parent) = self.view.parent_mut() {
+            parent.remove(node);
+        }
+        self.policy.on_member_removed(node);
     }
 
     /// The message store (buffer occupancy instrumentation).
@@ -260,13 +280,18 @@ impl Receiver {
         self.left = true;
     }
 
-    /// Actions to run at start-up (arms the long-term sweep).
+    /// Actions to run at start-up: arms the long-term sweep and, for
+    /// history-exchanging policies, the periodic history tick.
     #[must_use]
     pub fn on_start(&mut self) -> Vec<Action> {
-        vec![Action::SetTimer {
+        let mut actions = vec![Action::SetTimer {
             delay: self.cfg.long_term_sweep_interval,
             kind: TimerKind::LongTermSweep,
-        }]
+        }];
+        if let Some(interval) = self.policy.history_interval(&self.cfg) {
+            actions.push(Action::SetTimer { delay: interval, kind: TimerKind::HistoryTick });
+        }
+        actions
     }
 
     /// Sets a late-join recovery floor: messages from `source` with
@@ -372,6 +397,10 @@ impl Receiver {
                 self.metrics.counters.handoffs_received += 1;
                 self.on_data(data, DataPath::Handoff, now, actions);
             }
+            Packet::History { digest } => {
+                self.metrics.counters.history_digests_received += 1;
+                self.policy.on_history_digest(&mut policy_ctx!(self, now, actions), from, &digest);
+            }
         }
     }
 
@@ -397,7 +426,7 @@ impl Receiver {
             self.remote_rec.remove(&id);
             self.relay_to_waiters(id, &data.payload, now, actions);
             self.answer_active_search(id, &data.payload, now, actions);
-            if path == DataPath::RemoteRepair {
+            if path == DataPath::RemoteRepair && self.policy.remulticast_remote_repairs() {
                 self.arm_regional_multicast(id, data.payload.clone(), now, actions);
             }
             for m in outcome.newly_missing {
@@ -616,8 +645,10 @@ impl Receiver {
 
     /// One round of the pull phase: the policy picks the peer to ask
     /// (random region neighbor for two-phase, a designated bufferer for
-    /// hash placement, the source for sender-based recovery) and the
-    /// retry period.
+    /// hash placement, the source for sender-based recovery, the repair
+    /// server for tree hierarchies), the request semantics (plain local
+    /// request, or a remote request whose target registers a waiter and
+    /// recovers the message itself), and the retry period.
     fn local_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
         let Some(state) = self.local_rec.get_mut(&msg) else { return };
         state.attempts += 1;
@@ -627,13 +658,16 @@ impl Receiver {
             return;
         }
         if let Some(q) = self.policy.pull_target(&mut policy_ctx!(self, now, actions), msg) {
-            self.metrics.counters.local_requests_sent += 1;
-            actions.push(Action::Send { to: q, packet: Packet::LocalRequest { msg } });
+            if self.policy.pull_via_remote_request() {
+                self.metrics.counters.remote_requests_sent += 1;
+                actions.push(Action::Send { to: q, packet: Packet::RemoteRequest { msg } });
+            } else {
+                self.metrics.counters.local_requests_sent += 1;
+                actions.push(Action::Send { to: q, packet: Packet::LocalRequest { msg } });
+            }
         }
-        actions.push(Action::SetTimer {
-            delay: self.policy.pull_retry_delay(&self.cfg),
-            kind: TimerKind::LocalRetry(msg),
-        });
+        let delay = self.policy.pull_retry_delay(&policy_ctx!(self, now, actions));
+        actions.push(Action::SetTimer { delay, kind: TimerKind::LocalRetry(msg) });
     }
 
     fn remote_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
@@ -835,6 +869,16 @@ impl Receiver {
                     delay: self.cfg.long_term_sweep_interval,
                     kind: TimerKind::LongTermSweep,
                 });
+            }
+            TimerKind::HistoryTick => {
+                // Only ever armed for policies that opted into history
+                // exchange; the engine owns the re-arm so a policy cannot
+                // accidentally kill (or double) its own tick chain.
+                self.policy.history_tick(&mut policy_ctx!(self, now, actions));
+                if let Some(interval) = self.policy.history_interval(&self.cfg) {
+                    actions
+                        .push(Action::SetTimer { delay: interval, kind: TimerKind::HistoryTick });
+                }
             }
             TimerKind::SessionTick => {
                 // Session ticks belong to the Sender; a receiver ignores them.
@@ -1428,6 +1472,136 @@ mod tests {
         let actions = r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(20)); // cap
         assert!(sends(&actions).is_empty());
         assert_eq!(r.metrics().counters.recovery_gave_up, 1);
+    }
+
+    #[test]
+    fn stability_policy_buffers_until_group_stable() {
+        use crate::history::{DigestEntry, HistoryDigest};
+        let cfg = ProtocolConfig::builder().policy(PolicyKind::Stability).build().unwrap();
+        let mut r = root_receiver(cfg);
+        // Start-up arms the history tick alongside the long-term sweep.
+        let start = r.on_start();
+        assert!(start
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::HistoryTick, .. })));
+        r.handle(packet_event(0, data(1)), t(0));
+        assert_eq!(r.store().long_count(), 1, "everyone buffers everything");
+        // The history tick advertises the digest to every other member.
+        let actions = r.handle(Event::Timer(TimerKind::HistoryTick), t(100));
+        let digests: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, p)| matches!(p, Packet::History { .. }))
+            .collect();
+        assert_eq!(digests.len(), 4, "digest to each of the 4 peers");
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::HistoryTick, .. })),
+            "tick re-arms"
+        );
+        assert_eq!(r.metrics().counters.history_digests_sent, 4);
+        // Digests from 3 of 4 peers: not yet stable, nothing discarded.
+        let full = HistoryDigest {
+            entries: vec![DigestEntry { source: SENDER, intervals: vec![(SeqNo(1), SeqNo(1))] }],
+        };
+        for peer in [0u32, 2, 3] {
+            r.handle(packet_event(peer, Packet::History { digest: full.clone() }), t(110));
+        }
+        assert!(r.store().contains(mid(1)), "quorum incomplete: keep buffering");
+        // The last peer's digest completes stability: the entry drains.
+        r.handle(packet_event(4, Packet::History { digest: full }), t(120));
+        assert!(!r.store().contains(mid(1)), "stable message must be discarded");
+        assert_eq!(r.metrics().counters.stable_discards, 1);
+        assert_eq!(r.metrics().counters.history_digests_received, 4);
+    }
+
+    #[test]
+    fn stability_policy_unblocks_when_member_leaves() {
+        use crate::history::{DigestEntry, HistoryDigest};
+        let cfg = ProtocolConfig::builder().policy(PolicyKind::Stability).build().unwrap();
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        let full = HistoryDigest {
+            entries: vec![DigestEntry { source: SENDER, intervals: vec![(SeqNo(1), SeqNo(1))] }],
+        };
+        for peer in [0u32, 2, 3] {
+            r.handle(packet_event(peer, Packet::History { digest: full.clone() }), t(10));
+        }
+        assert!(r.store().contains(mid(1)), "silent member 4 gates stability");
+        // Member 4 departs: the quorum shrinks and the next digest drains
+        // — even though a stale digest of the departed member was still
+        // in flight (it must not re-enter the quorum and pin stability).
+        r.on_membership_removed(NodeId(4));
+        let stale = HistoryDigest {
+            entries: vec![DigestEntry {
+                source: SENDER,
+                // Gap at 1: frontier 0 — would pin stability if admitted.
+                intervals: vec![(SeqNo(2), SeqNo(2))],
+            }],
+        };
+        r.handle(packet_event(4, Packet::History { digest: stale }), t(15));
+        r.handle(packet_event(2, Packet::History { digest: full }), t(20));
+        assert!(!r.store().contains(mid(1)), "departed member must stop gating stability");
+    }
+
+    #[test]
+    fn tree_policy_receivers_nack_their_server() {
+        let cfg = ProtocolConfig::builder().policy(PolicyKind::TreeRmtp).build().unwrap();
+        let mut r = root_receiver(cfg); // self = 1; region 0..5 => server 0
+        let actions = r.handle(packet_event(0, data(1)), t(0));
+        assert_eq!(r.store().len(), 0, "ordinary receivers buffer nothing");
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::IdleCheck(_), .. })),
+            "no short phase, no idle timer"
+        );
+        // A gap NACKs the repair server via a remote request (waiter
+        // semantics at the server), retried on the local budget.
+        let actions = r.handle(packet_event(0, data(3)), t(5));
+        let nacks = sends(&actions);
+        assert!(
+            nacks.iter().any(|(to, p)| **to == NodeId(0)
+                && matches!(p, Packet::RemoteRequest { msg } if *msg == mid(2))),
+            "receiver must NACK its repair server: {actions:?}"
+        );
+        assert_eq!(r.metrics().counters.remote_requests_sent, 1);
+        assert_eq!(r.metrics().counters.local_requests_sent, 0);
+    }
+
+    #[test]
+    fn tree_policy_server_buffers_and_nacks_parent() {
+        // Self = 1 would not be the server; build a view where self IS the
+        // region minimum and a parent region exists.
+        let own = RegionView::new(RegionId(1), (1..5).map(NodeId));
+        let parent = RegionView::new(RegionId(0), (10..13).map(NodeId));
+        let cfg = ProtocolConfig::builder().policy(PolicyKind::TreeRmtp).build().unwrap();
+        let mut r = Receiver::new(NodeId(1), HierarchyView::new(own, Some(parent)), cfg, 42);
+        r.handle(packet_event(0, data(1)), t(0));
+        assert_eq!(r.store().long_count(), 1, "the server buffers the session");
+        // The server's own losses go to the parent region's server.
+        let actions = r.handle(packet_event(0, data(3)), t(5));
+        assert!(
+            sends(&actions).iter().any(|(to, p)| **to == NodeId(10)
+                && matches!(p, Packet::RemoteRequest { msg } if *msg == mid(2))),
+            "server must NACK the parent server: {actions:?}"
+        );
+        // A repair that crossed regions is NOT re-multicast regionally.
+        let actions = r.handle(
+            packet_event(
+                10,
+                Packet::Repair {
+                    data: DataPacket::new(mid(2), payload()),
+                    kind: RepairKind::Remote,
+                },
+            ),
+            t(10),
+        );
+        assert!(
+            actions.iter().all(|a| !matches!(a, Action::MulticastRegion { .. })
+                && !matches!(a, Action::SetTimer { kind: TimerKind::Backoff(_), .. })),
+            "tree servers answer NACKs individually: {actions:?}"
+        );
     }
 
     #[test]

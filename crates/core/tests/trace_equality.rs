@@ -317,7 +317,13 @@ fn ported_policy_traces_match_across_event_loops() {
     // The baselines ported as policies run on the same engines as the
     // default algorithm — and must stay byte-identical between the
     // optimized and reference event loops, like every other policy.
-    for kind in [PolicyKind::HashBufferers, PolicyKind::SenderBased, PolicyKind::KeepAll] {
+    for kind in [
+        PolicyKind::HashBufferers,
+        PolicyKind::SenderBased,
+        PolicyKind::KeepAll,
+        PolicyKind::Stability,
+        PolicyKind::TreeRmtp,
+    ] {
         let cfg = ProtocolConfig::builder().policy(kind).build().expect("valid policy config");
         assert_trace_equal(
             || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
@@ -352,6 +358,48 @@ fn sharded_ported_policy_traces_match() {
         |net| {
             let plan = DeliveryPlan::all_but(net.topology(), (8..16).map(NodeId));
             net.multicast_with_plan(&b"sharded-hash"[..], &plan);
+            net.run_until(SimTime::from_secs(2));
+        },
+    );
+}
+
+#[test]
+fn sharded_history_exchange_policy_traces_match() {
+    // Stability detection floods every shard pair with history unicasts
+    // on each tick — the densest cross-shard mailbox traffic any policy
+    // generates — while the HistoryTick timer chain re-arms per member.
+    let cfg = ProtocolConfig::builder()
+        .policy(PolicyKind::Stability)
+        .build()
+        .expect("valid policy config");
+    assert_sharded_trace_equal(
+        || presets::figure1_chain([6, 6, 6], SimDuration::from_millis(25)),
+        cfg,
+        29,
+        |net| {
+            let plan = DeliveryPlan::all_but(net.topology(), (6..12).map(NodeId));
+            net.multicast_with_plan(&b"sharded-stability"[..], &plan);
+            net.run_until(SimTime::from_secs(2));
+        },
+    );
+}
+
+#[test]
+fn sharded_tree_rmtp_policy_traces_match() {
+    // Repair-server NACK escalation crosses region (and shard)
+    // boundaries twice: receivers → server, server → parent server.
+    let cfg = ProtocolConfig::builder()
+        .policy(PolicyKind::TreeRmtp)
+        .build()
+        .expect("valid policy config");
+    assert_sharded_trace_equal(
+        || presets::figure1_chain([6, 6, 6], SimDuration::from_millis(25)),
+        cfg,
+        37,
+        |net| {
+            let plan = DeliveryPlan::all_but(net.topology(), (6..12).map(NodeId));
+            net.multicast_with_plan(&b"sharded-tree"[..], &plan);
+            net.schedule_leave(NodeId(6), SimTime::from_millis(400));
             net.run_until(SimTime::from_secs(2));
         },
     );

@@ -66,6 +66,15 @@ impl RegionView {
         self.members.iter().copied()
     }
 
+    /// The lowest-id member of the view, if any — the deterministic
+    /// role-assignment rule tree-based repair hierarchies use (every
+    /// member with a consistent view derives the same repair server, and
+    /// churn re-derives the role from the shrunken view).
+    #[must_use]
+    pub fn min_member(&self) -> Option<NodeId> {
+        self.members.iter().next().copied()
+    }
+
     /// Adds `node`; returns `true` if it was not already present.
     pub fn insert(&mut self, node: NodeId) -> bool {
         let added = self.members.insert(node);
@@ -194,6 +203,15 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert!(v.contains(NodeId(2)));
         assert!(!v.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn min_member_follows_churn() {
+        let mut v = view(&[3, 1, 7]);
+        assert_eq!(v.min_member(), Some(NodeId(1)));
+        v.remove(NodeId(1));
+        assert_eq!(v.min_member(), Some(NodeId(3)));
+        assert_eq!(view(&[]).min_member(), None);
     }
 
     #[test]

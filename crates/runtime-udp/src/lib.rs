@@ -13,8 +13,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod group;
 pub mod runtime;
 
+pub use batch::{send_to_many, RecvBatcher};
 pub use group::{GroupSpec, MemberSpec};
 pub use runtime::{Delivery, UdpNode};

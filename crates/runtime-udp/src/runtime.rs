@@ -144,18 +144,24 @@ impl UdpNode {
         let recv_handle = std::thread::Builder::new()
             .name(format!("rrmp-udp-recv-{node}"))
             .spawn(move || {
-                let mut buf = vec![0u8; 64 * 1024];
-                while !recv_shutdown.load(Ordering::Relaxed) {
-                    match recv_socket.recv_from(&mut buf) {
-                        Ok((len, from_addr)) => {
-                            let Some(from) = recv_spec.node_at(from_addr) else { continue };
-                            match Packet::decode(Bytes::copy_from_slice(&buf[..len])) {
-                                Ok(packet) => {
-                                    if pkt_tx.send(Input::Packet(from, packet)).is_err() {
-                                        break;
+                // Batched drain: one recvmmsg per datagram burst on
+                // Linux (MSG_WAITFORONE blocks for the first, grabs the
+                // rest), one recv_from elsewhere — either way the socket
+                // read timeout keeps the shutdown flag polled.
+                let mut batcher = crate::batch::RecvBatcher::new(64 * 1024);
+                'recv: while !recv_shutdown.load(Ordering::Relaxed) {
+                    match batcher.recv_batch(&recv_socket) {
+                        Ok(_) => {
+                            for (bytes, from_addr) in batcher.datagrams() {
+                                let Some(from) = recv_spec.node_at(from_addr) else { continue };
+                                match Packet::decode(Bytes::copy_from_slice(bytes)) {
+                                    Ok(packet) => {
+                                        if pkt_tx.send(Input::Packet(from, packet)).is_err() {
+                                            break 'recv;
+                                        }
                                     }
+                                    Err(_) => continue, // corrupt datagram: drop
                                 }
-                                Err(_) => continue, // corrupt datagram: drop
                             }
                         }
                         Err(e)
@@ -294,6 +300,9 @@ struct Outbox<'a> {
     node: NodeId,
     /// Reused encode buffer: cleared (capacity kept) per packet.
     wire: BytesMut,
+    /// Reused fan-out destination list, handed to the batched send path
+    /// (`sendmmsg` on Linux) in one call per packet.
+    fanout_addrs: Vec<std::net::SocketAddr>,
 }
 
 impl Outbox<'_> {
@@ -307,7 +316,9 @@ impl Outbox<'_> {
     }
 
     /// Fan-out: encode once, write the same wire bytes to every listed
-    /// member (the caller excluded) for which `keep` returns true.
+    /// member (the caller excluded) for which `keep` returns true — as
+    /// one batched `sendmmsg` per [`crate::batch::BATCH`] destinations
+    /// on Linux, a `send_to` loop elsewhere.
     fn fan_out(
         &mut self,
         packet: &Packet,
@@ -316,13 +327,15 @@ impl Outbox<'_> {
     ) {
         self.wire.clear();
         packet.encode_into(&mut self.wire);
+        self.fanout_addrs.clear();
         for m in members {
             if m != self.node && keep(m) {
                 if let Some(addr) = self.spec.addr_of(m) {
-                    let _ = self.socket.send_to(&self.wire, addr);
+                    self.fanout_addrs.push(addr);
                 }
             }
         }
+        crate::batch::send_to_many(self.socket, &self.wire, &self.fanout_addrs);
     }
 }
 
@@ -355,8 +368,13 @@ fn event_loop(ctx: EventLoop) {
     let mut receiver = Receiver::with_policy(node, spec.view_for(node), cfg.clone(), seed, policy);
     let mut sender = is_sender.then(|| Sender::new(node, cfg.session_interval));
     let mut timers = TimerWheel::new();
-    let mut outbox =
-        Outbox { socket: &socket, spec: &spec, node, wire: BytesMut::with_capacity(2048) };
+    let mut outbox = Outbox {
+        socket: &socket,
+        spec: &spec,
+        node,
+        wire: BytesMut::with_capacity(2048),
+        fanout_addrs: Vec::new(),
+    };
     // Reused action scratch: `handle_into` fills it, `execute` drains it.
     let mut actions: Vec<Action> = Vec::new();
     // Reused input batch drained from the channel per wakeup.
