@@ -31,6 +31,23 @@ pub struct RunReport {
     pub mean_recovery_latency_ms: Option<f64>,
     /// Residual losses: `(member, message)` pairs never delivered.
     pub residual_losses: usize,
+    /// Residual pairs whose recovery terminated cleanly at a retry cap
+    /// (the member knows it gave up — bounded, accounted-for loss).
+    pub residual_gave_up: usize,
+    /// Residual pairs with recovery machinery still live at run end (the
+    /// run was cut short, or something is wedged — worth investigating).
+    pub residual_pending: usize,
+    /// Total recovery efforts abandoned at a retry cap, summed over
+    /// members (the protocol `recovery_gave_up` counter; can exceed the
+    /// residual split when an abandoned effort later succeeded through
+    /// another path or a heal re-arm).
+    pub recovery_gave_up: u64,
+    /// Unicast copies dropped by the armed fault plan at the network
+    /// edge (0 when no plan is armed — legacy stacks have no fault
+    /// layer).
+    pub faults_dropped: u64,
+    /// Duplicate copies injected by the armed fault plan.
+    pub faults_duplicated: u64,
 }
 
 impl RunReport {
@@ -38,7 +55,7 @@ impl RunReport {
     #[must_use]
     pub fn table_row(&self) -> String {
         format!(
-            "{:<14} {:>9} {:>16} {:>10} {:>12.1} {:>12} {:>12} {:>9}",
+            "{:<14} {:>9} {:>16} {:>10} {:>12.1} {:>12} {:>12} {:>9} {:>9} {:>8} {:>11}",
             self.scheme,
             format!("{}/{}", self.fully_delivered_members, self.members),
             self.byte_time_total / 1000, // byte·ms
@@ -47,6 +64,11 @@ impl RunReport {
             self.packets_sent,
             self.mean_recovery_latency_ms.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
             self.residual_losses,
+            // The split: gave up cleanly vs still pending at run end.
+            format!("{}/{}", self.residual_gave_up, self.residual_pending),
+            self.recovery_gave_up,
+            // Fault-plan activity at the network edge: drops/duplicates.
+            format!("{}/{}", self.faults_dropped, self.faults_duplicated),
         )
     }
 
@@ -54,7 +76,7 @@ impl RunReport {
     #[must_use]
     pub fn table_header() -> String {
         format!(
-            "{:<14} {:>9} {:>16} {:>10} {:>12} {:>12} {:>12} {:>9}",
+            "{:<14} {:>9} {:>16} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8} {:>11}",
             "scheme",
             "delivered",
             "byte·ms buffered",
@@ -62,7 +84,10 @@ impl RunReport {
             "peak(mean)",
             "pkts",
             "lat(ms)",
-            "residual"
+            "residual",
+            "gaveup/pe",
+            "gaveups",
+            "fault(d/x)"
         )
     }
 }
@@ -102,6 +127,11 @@ mod tests {
             packets_sent: 42,
             mean_recovery_latency_ms: Some(12.3),
             residual_losses: 0,
+            residual_gave_up: 0,
+            residual_pending: 0,
+            recovery_gave_up: 0,
+            faults_dropped: 0,
+            faults_duplicated: 0,
         };
         let header = RunReport::table_header();
         let row = r.table_row();

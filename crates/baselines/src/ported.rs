@@ -85,6 +85,8 @@ pub fn rrmp_report(
     let peaks: Vec<usize> = net.nodes().map(|(_, n)| n.receiver().store().peak_entries()).collect();
     let mut latencies = Vec::new();
     let mut residual = 0usize;
+    let mut residual_gave_up = 0usize;
+    let mut residual_pending = 0usize;
     for (i, &id) in ids.iter().enumerate() {
         let sent = sent_at.get(i).copied().unwrap_or(SimTime::ZERO);
         for (_, n) in net.nodes() {
@@ -92,10 +94,20 @@ pub fn rrmp_report(
                 // Normalize to a per-message recovery duration.
                 Some(&(at, _)) if at > sent => latencies.push(SimTime::ZERO + (at - sent)),
                 Some(_) => {}
-                None => residual += 1,
+                None => {
+                    residual += 1;
+                    // Split residual losses into clean give-ups and
+                    // recovery still live at run end.
+                    if n.receiver().recovery_pending(id) {
+                        residual_pending += 1;
+                    } else {
+                        residual_gave_up += 1;
+                    }
+                }
             }
         }
     }
+    let net_counters = net.net_counters();
     RunReport {
         scheme,
         fully_delivered_members: fully,
@@ -103,8 +115,16 @@ pub fn rrmp_report(
         byte_time_total,
         peak_entries_max: peaks.iter().copied().max().unwrap_or(0),
         peak_entries_mean: peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64,
-        packets_sent: net.net_counters().unicasts_sent,
+        packets_sent: net_counters.unicasts_sent,
         mean_recovery_latency_ms: mean_latency_ms(&latencies, SimTime::ZERO),
         residual_losses: residual,
+        residual_gave_up,
+        residual_pending,
+        recovery_gave_up: net
+            .nodes()
+            .map(|(_, n)| n.receiver().metrics().counters.recovery_gave_up)
+            .sum(),
+        faults_dropped: net_counters.faults_dropped,
+        faults_duplicated: net_counters.faults_duplicated,
     }
 }

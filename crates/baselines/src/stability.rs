@@ -366,6 +366,13 @@ impl StabilityNetwork {
             packets_sent: self.sim.counters().unicasts_sent,
             mean_recovery_latency_ms: mean_latency_ms(&latencies, SimTime::ZERO),
             residual_losses: residual,
+            // The legacy stacks have no give-up accounting or fault
+            // layer: any residual pair counts as still pending.
+            residual_gave_up: 0,
+            residual_pending: residual,
+            recovery_gave_up: 0,
+            faults_dropped: 0,
+            faults_duplicated: 0,
         }
     }
 }

@@ -24,6 +24,11 @@
 //!   allocated, growing buffer per packet (the historical `encode`).
 //! * `rrmp_e2e` — the full protocol recovering a half-lost multicast
 //!   stream, optimized end to end vs the reference host and event loop.
+//! * `fault_path` — the `rrmp_e2e` run unarmed vs armed with an inert
+//!   `FaultPlan` (far-future windows plus a p=0 duplication spanning the
+//!   run): identical traces by construction, so the ratio is the pure
+//!   cost of the per-copy fault hook. Proves the unarmed hook (one
+//!   `Option` check) costs nothing on fault-free runs.
 //! * `queue_ops` — a raw schedule/pop storm with thousands of pending
 //!   events: the hierarchical timing wheel vs the reference `BinaryHeap`
 //!   queue, including capacity reuse across runs via `clear`.
@@ -53,10 +58,11 @@ use rrmp_core::packet::{DataPacket, Packet};
 use rrmp_core::policy::PolicyKind;
 use rrmp_core::prelude::ProtocolConfig;
 use rrmp_netsim::event::{EventQueue, ReferenceEventQueue, Scheduler};
+use rrmp_netsim::fault::FaultPlan;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
 use rrmp_netsim::sim::{Ctx, Sim, SimNode};
 use rrmp_netsim::time::{SimDuration, SimTime};
-use rrmp_netsim::topology::{presets, NodeId, Topology};
+use rrmp_netsim::topology::{presets, NodeId, RegionId, Topology};
 
 /// Best-of-`runs` wall seconds for `f` (which must do identical work each
 /// call). Returns `(best_seconds, work_items)`.
@@ -256,6 +262,39 @@ fn rrmp_workload(optimized: bool) -> (f64, u64) {
         } else {
             RrmpNetwork::new_reference(topo, cfg, 7)
         };
+        for _ in 0..20 {
+            let plan = DeliveryPlan::only(net.topology(), (0..50).map(NodeId));
+            net.multicast_with_plan(&b"bench-payload-bench-payload"[..], &plan);
+            let next = net.now() + SimDuration::from_millis(30);
+            net.run_until(next);
+        }
+        net.run_until(net.now() + SimDuration::from_millis(500));
+        net.net_counters().events_processed
+    })
+}
+
+// ----- workload 5b: fault-hook overhead -------------------------------------
+
+/// The `rrmp_e2e` run again, unarmed vs armed with an inert plan: every
+/// episode either sits in a far-future window (never active, but scanned
+/// per copy) or is a p=0 duplication spanning the whole run (active, so
+/// every surviving copy pays a window check plus a hash-oracle draw, but
+/// no verdict ever changes). Both arms process byte-identical event
+/// sequences; the ratio isolates the fault hook itself. The unarmed arm
+/// is the fast path CI guards: one `Option` check per unicast copy.
+fn fault_path_workload(armed: bool) -> (f64, u64) {
+    best_secs(3, || {
+        let topo = presets::paper_region(100);
+        let cfg = ProtocolConfig::paper_defaults();
+        let mut net = RrmpNetwork::new(topo, cfg, 7);
+        if armed {
+            let far = SimTime::from_secs(10_000);
+            let plan = FaultPlan::new(11)
+                .partition(RegionId(0), RegionId(1), far, far + SimDuration::from_secs(1))
+                .stall(NodeId(5), far, far + SimDuration::from_secs(1))
+                .duplicate(0.0, SimDuration::from_millis(5), SimTime::ZERO, far);
+            net.arm_fault_plan(plan);
+        }
         for _ in 0..20 {
             let plan = DeliveryPlan::only(net.topology(), (0..50).map(NodeId));
             net.multicast_with_plan(&b"bench-payload-bench-payload"[..], &plan);
@@ -631,6 +670,18 @@ fn main() {
     assert_eq!(events, ref_events);
     comparisons.push(Comparison {
         name: "rrmp_e2e",
+        unit: "events/sec",
+        optimized_rate: events as f64 / opt_s,
+        reference_rate: events as f64 / ref_s,
+        work: events,
+    });
+
+    eprintln!("fault_path: rrmp_e2e unarmed vs armed inert fault plan ...");
+    let (opt_s, events) = fault_path_workload(false);
+    let (ref_s, ref_events) = fault_path_workload(true);
+    assert_eq!(events, ref_events, "an inert fault plan must not change the trace");
+    comparisons.push(Comparison {
+        name: "fault_path",
         unit: "events/sec",
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,

@@ -9,8 +9,10 @@
 
 use bytes::Bytes;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rrmp_membership::view::HierarchyView;
+use rrmp_netsim::fault::FaultPlan;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
 use rrmp_netsim::shard::ShardedSim;
 use rrmp_netsim::sim::{Ctx, NetCounters, Sim, SimNode};
@@ -30,6 +32,9 @@ use crate::sender::{Sender, SenderAction};
 const LEAVE_TOKEN: u64 = u64::MAX;
 /// External timer token that crashes a node (no handoff).
 const CRASH_TOKEN: u64 = u64::MAX - 1;
+/// External timer token notifying a node that a fault window healed
+/// (partition, blackout, or stall ended): exhausted recovery re-arms.
+const HEAL_TOKEN: u64 = u64::MAX - 2;
 /// Base for external "remove node X from views" tokens.
 const VIEW_REMOVE_BASE: u64 = 1 << 48;
 
@@ -238,6 +243,16 @@ impl SimNode for RrmpNode {
             self.receiver.crash(ctx.now());
             return;
         }
+        // Must precede the VIEW_REMOVE range check: u64::MAX - 2 falls
+        // inside `VIEW_REMOVE_BASE..LEAVE_TOKEN`.
+        if token == HEAL_TOKEN {
+            let mut actions = std::mem::take(&mut self.action_scratch);
+            debug_assert!(actions.is_empty());
+            self.receiver.on_heal(ctx.now(), &mut actions);
+            self.execute(ctx, &mut actions);
+            self.action_scratch = actions;
+            return;
+        }
         if (VIEW_REMOVE_BASE..LEAVE_TOKEN).contains(&token) {
             let node = NodeId((token - VIEW_REMOVE_BASE) as u32);
             // Through the receiver (not view_mut directly) so the buffer
@@ -361,6 +376,13 @@ impl SimEngine {
         }
     }
 
+    fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        match self {
+            SimEngine::Single(s) => s.set_fault_plan(plan),
+            SimEngine::Sharded(s) => s.set_fault_plan(plan),
+        }
+    }
+
     fn reset(&mut self, nodes: Vec<RrmpNode>, seed: u64) {
         match self {
             SimEngine::Single(s) => s.reset(nodes, seed),
@@ -422,6 +444,10 @@ pub struct RrmpNetwork {
     /// Retained so [`RrmpNetwork::reset`] can rebuild the protocol state.
     cfg: ProtocolConfig,
     senders: Vec<NodeId>,
+    /// Armed fault plan, if any — retained so [`RrmpNetwork::reset`] can
+    /// re-schedule the protocol-side crash and heal timers (the engines
+    /// keep the network-edge half through their own reset).
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl RrmpNetwork {
@@ -516,6 +542,7 @@ impl RrmpNetwork {
             multicast_loss: LossModel::None,
             cfg,
             senders: senders.to_vec(),
+            fault_plan: None,
         }
     }
 
@@ -535,6 +562,87 @@ impl RrmpNetwork {
             cfg.policy = kind;
         }
         Self::new(topo, cfg, seed)
+    }
+
+    /// Like [`RrmpNetwork::new`] with a deterministic [`FaultPlan`] armed
+    /// before the run starts: partitions, blackouts, bursts, and
+    /// duplication apply at the network edge; plan crashes become
+    /// scheduled member crashes; every heal instant notifies every node
+    /// so exhausted recovery re-arms ([`Receiver::on_heal`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    #[must_use]
+    pub fn with_fault_plan(
+        topo: Topology,
+        cfg: ProtocolConfig,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut net = Self::new(topo, cfg, seed);
+        net.arm_fault_plan(plan);
+        net
+    }
+
+    /// Arms `plan` on whichever engine hosts the group and schedules its
+    /// protocol-side consequences (crashes, heal notifications). The plan
+    /// survives [`RrmpNetwork::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started — fault timelines are
+    /// part of the experiment setup, not something to splice into a
+    /// half-run trace.
+    pub fn arm_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(self.sim.now(), SimTime::ZERO, "arm fault plans before the simulation starts");
+        let plan = Arc::new(plan);
+        self.sim.set_fault_plan(Some(plan.clone()));
+        self.fault_plan = Some(plan);
+        self.schedule_fault_protocol_timers();
+    }
+
+    /// Arms the fault plan from the `RRMP_FAULTS` environment variable
+    /// (mirroring `RRMP_SIM_SHARDS` / `RRMP_POLICY`), if set. Returns
+    /// whether a plan was armed, so harnesses can log or skip
+    /// fault-sensitive assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `RRMP_FAULTS` is set but malformed (a chaos job that
+    /// silently ran fault-free would go green while testing nothing), or
+    /// if the simulation has already started.
+    pub fn arm_env_fault_plan(&mut self) -> bool {
+        match FaultPlan::from_env() {
+            Some(plan) => {
+                self.arm_fault_plan(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The armed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_deref()
+    }
+
+    /// Schedules the protocol-side half of the armed fault plan: crashes
+    /// (member disappears, views drop it) and heal notifications on every
+    /// node at each partition/blackout/stall end.
+    fn schedule_fault_protocol_timers(&mut self) {
+        let Some(plan) = self.fault_plan.clone() else { return };
+        for (node, at) in plan.crashes() {
+            self.schedule_crash(node, at);
+        }
+        let heal_times = plan.heal_times();
+        let nodes: Vec<NodeId> = self.sim.topology().nodes().collect();
+        for at in heal_times {
+            for &n in &nodes {
+                self.sim.schedule_external_timer(n, HEAL_TOKEN, at);
+            }
+        }
     }
 
     /// Number of shards the engine runs on (1 for the single-queue
@@ -571,6 +679,7 @@ impl RrmpNetwork {
             multicast_loss: LossModel::None,
             cfg,
             senders: senders.to_vec(),
+            fault_plan: None,
         }
     }
 
@@ -608,12 +717,15 @@ impl RrmpNetwork {
     /// while the simulator keeps its event-queue and timer-slab
     /// allocations warm ([`Sim::reset`]) — the fast path for multi-run
     /// experiments and repeated benchmark iterations. The multicast loss
-    /// model is retained.
+    /// model and any armed fault plan are retained (the engines keep the
+    /// network-edge half; the crash and heal timers are re-scheduled
+    /// here).
     pub fn reset(&mut self, seed: u64) {
         let optimized = self.sim.is_optimized();
         let nodes =
             Self::build_nodes(self.sim.topology(), &self.cfg, seed, &self.senders, optimized);
         self.sim.reset(nodes, seed);
+        self.schedule_fault_protocol_timers();
     }
 
     /// Sets the loss model applied to unicast sends (requests, repairs),

@@ -59,6 +59,10 @@ pub struct Counters {
     pub long_term_expired: u64,
     /// Recovery efforts abandoned after hitting a retry cap.
     pub recovery_gave_up: u64,
+    /// Recovery efforts re-armed by a heal notification (exhausted
+    /// searches restarted, abandoned pulls retried after a partition,
+    /// blackout, or stall window ended).
+    pub heal_rearms: u64,
     /// Buffer entries evicted to respect the configured byte capacity.
     pub evicted_for_capacity: u64,
     /// Waiting-list relays performed (repair forwarded on later receipt).

@@ -280,6 +280,56 @@ impl Receiver {
         self.left = true;
     }
 
+    /// A network fault window healed (partition, blackout, or stall over):
+    /// re-arm recovery machinery that gave up while the fault was active.
+    /// Exhausted searches restart with a fresh attempt budget, and missing
+    /// messages with no active recovery get a new pull round — without
+    /// this, a member cut off long enough to exhaust its retry caps stays
+    /// deaf to the messages it missed even after connectivity returns.
+    pub fn on_heal(&mut self, now: SimTime, actions: &mut Vec<Action>) {
+        if self.left {
+            return;
+        }
+        // HashMap iteration order is not deterministic; sort so the heal
+        // round emits actions in the same order on every engine layout.
+        let mut exhausted: Vec<MessageId> = self
+            .searches
+            .iter()
+            .filter(|(_, s)| s.exhausted_at.is_some())
+            .map(|(&m, _)| m)
+            .collect();
+        exhausted.sort_unstable();
+        for msg in exhausted {
+            if let Some(state) = self.searches.get_mut(&msg) {
+                state.exhausted_at = None;
+                state.attempts = 0;
+                self.metrics.counters.heal_rearms += 1;
+                self.search_attempt(msg, now, actions);
+            }
+        }
+        // `LossDetector::missing` is (source, seq)-ordered, so this loop
+        // is deterministic as-is.
+        for msg in self.detector.missing() {
+            if !self.local_rec.contains_key(&msg)
+                && !self.remote_rec.contains_key(&msg)
+                && !self.searches.contains_key(&msg)
+            {
+                self.metrics.counters.heal_rearms += 1;
+                self.start_recovery(msg, now, actions);
+            }
+        }
+    }
+
+    /// Whether recovery machinery is still actively working on `msg`.
+    /// Distinguishes "still pending" residual losses from ones the
+    /// receiver gave up on cleanly after exhausting its retry caps.
+    #[must_use]
+    pub fn recovery_pending(&self, msg: MessageId) -> bool {
+        self.local_rec.contains_key(&msg)
+            || self.remote_rec.contains_key(&msg)
+            || self.searches.get(&msg).is_some_and(|s| s.exhausted_at.is_none())
+    }
+
     /// Actions to run at start-up: arms the long-term sweep and, for
     /// history-exchanging policies, the periodic history tick.
     #[must_use]

@@ -1,0 +1,334 @@
+//! Chaos harness: randomized — but fully deterministic — fault plans run
+//! under every buffer-management policy, asserting run-level invariants
+//! instead of exact traces:
+//!
+//! * **no panics** — the protocol survives partitions, blackouts, loss
+//!   bursts, duplication, and crash/stall churn on any engine;
+//! * **bounded buffer growth** — no member ever holds more entries than
+//!   messages sent (duplication and replays must not inflate state);
+//! * **post-heal convergence** — once every fault window has healed and
+//!   the run has drained, every *surviving* member has either delivered
+//!   each message or given up on it cleanly (`recovery_gave_up`
+//!   accounting), never left it silently in limbo.
+//!
+//! Plans are generated from fixed seeds via `StdRng`, so a failure
+//! reproduces exactly; the engine honours `RRMP_SIM_SHARDS`, so the CI
+//! chaos matrix re-runs the same plans on the sharded engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrmp_core::harness::RrmpNetwork;
+use rrmp_core::ids::MessageId;
+use rrmp_core::policy::PolicyKind;
+use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::fault::FaultPlan;
+use rrmp_netsim::loss::LossModel;
+use rrmp_netsim::time::{SimDuration, SimTime};
+use rrmp_netsim::topology::{presets, NodeId, RegionId, Topology};
+
+const ALL_POLICIES: [PolicyKind; 7] = [
+    PolicyKind::TwoPhase,
+    PolicyKind::FixedTime { hold: SimDuration::from_millis(500) },
+    PolicyKind::KeepAll,
+    PolicyKind::HashBufferers,
+    PolicyKind::SenderBased,
+    PolicyKind::Stability,
+    PolicyKind::TreeRmtp,
+];
+
+/// Three regions (root + two children) of four members — big enough for
+/// region partitions, remote recovery, and repair hierarchies, small
+/// enough that 21 policy × seed runs stay fast.
+fn chaos_topology() -> Topology {
+    presets::region_tree(4, 2, 1, SimDuration::from_millis(15))
+}
+
+fn chaos_config(policy: PolicyKind) -> ProtocolConfig {
+    ProtocolConfig {
+        policy,
+        // Low enough that members cut off by a fault window exhaust their
+        // retries *during* the window — the post-heal re-arm path is then
+        // the only way back — while still generous under transient loss.
+        max_local_attempts: 12,
+        max_remote_attempts: 12,
+        max_search_attempts: 12,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// A randomized fault plan over `topo`, derived entirely from `seed`.
+/// Node 0 (the sender) is never crashed or stalled — a dead source makes
+/// convergence vacuous — and every window heals before `FLUSH_AT`.
+fn random_plan(seed: u64, topo: &Topology) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+    let regions = topo.region_count() as u16;
+    let nodes = topo.node_count() as u32;
+    let window = |rng: &mut StdRng| {
+        let from = rng.gen_range(100u64..600);
+        let until = from + rng.gen_range(50u64..400);
+        (SimTime::from_millis(from), SimTime::from_millis(until))
+    };
+    let mut plan = FaultPlan::new(seed);
+    for _ in 0..rng.gen_range(1..=2usize) {
+        let a = rng.gen_range(0..regions);
+        let b = (a + rng.gen_range(1..regions)) % regions;
+        let (f, u) = window(&mut rng);
+        plan = plan.partition(RegionId(a), RegionId(b), f, u);
+    }
+    if rng.gen_bool(0.7) {
+        let a = rng.gen_range(0..nodes);
+        let b = (a + rng.gen_range(1..nodes)) % nodes;
+        let (f, u) = window(&mut rng);
+        plan = plan.blackout(NodeId(a), NodeId(b), f, u);
+    }
+    if rng.gen_bool(0.7) {
+        let n = rng.gen_range(1..nodes);
+        let (f, u) = window(&mut rng);
+        plan = plan.stall(NodeId(n), f, u);
+    }
+    if rng.gen_bool(0.5) {
+        let n = rng.gen_range(1..nodes);
+        let at = SimTime::from_millis(rng.gen_range(150u64..800));
+        plan = plan.crash(NodeId(n), at);
+    }
+    {
+        let p = rng.gen_range(0.3..0.9);
+        let region = rng.gen_bool(0.5).then(|| RegionId(rng.gen_range(0..regions)));
+        let (f, u) = window(&mut rng);
+        plan = plan.loss_burst(p, region, f, u);
+    }
+    if rng.gen_bool(0.7) {
+        let p = rng.gen_range(0.1..0.4);
+        let extra = SimDuration::from_millis(rng.gen_range(1u64..5));
+        let (f, u) = window(&mut rng);
+        plan = plan.duplicate(p, extra, f, u);
+    }
+    plan
+}
+
+/// Every fault window in [`random_plan`] ends by 1 s; flush multicasts
+/// after this point guarantee post-heal traffic that exposes any gap.
+const FLUSH_AT: SimTime = SimTime::from_millis(1_050);
+const RUN_END: SimTime = SimTime::from_secs(6);
+
+/// Runs one chaos scenario and returns the network plus the multicast ids.
+fn run_chaos(policy: PolicyKind, seed: u64) -> (RrmpNetwork, Vec<MessageId>) {
+    let topo = chaos_topology();
+    let plan = random_plan(seed, &topo);
+    // `new_sharded` honours RRMP_SIM_SHARDS (default 1), so the CI chaos
+    // matrix re-runs these exact plans on the parallel engine.
+    let mut net = RrmpNetwork::new_sharded(topo, chaos_config(policy), seed);
+    net.set_multicast_loss(LossModel::Bernoulli { p: 0.3 });
+    net.arm_fault_plan(plan);
+
+    let mut ids = Vec::new();
+    // Ten multicasts spread across the fault horizon: some land mid-burst,
+    // some mid-partition, some while a member is stalled or crashed.
+    for k in 0..10u64 {
+        net.run_until(SimTime::from_millis(k * 90));
+        ids.push(net.multicast(format!("chaos-{k}").into_bytes()));
+    }
+    // Two flush multicasts after every window healed: their data and
+    // session traffic reaches every surviving member, so any message
+    // still missing is *detectably* missing.
+    for k in 0..2u64 {
+        net.run_until(FLUSH_AT + SimDuration::from_millis(k * 50));
+        ids.push(net.multicast(format!("flush-{k}").into_bytes()));
+    }
+    // Drain: far beyond the retry caps (12 × ≤50 ms) plus heal re-arms,
+    // so every recovery effort has either succeeded or given up.
+    net.run_until(RUN_END);
+    (net, ids)
+}
+
+/// Asserts the run-level invariants on a finished chaos run.
+fn assert_invariants(net: &RrmpNetwork, ids: &[MessageId], label: &str) {
+    for (id, node) in net.nodes() {
+        let r = node.receiver();
+        // Crashed (or departed) members hold no obligations.
+        if r.has_left() {
+            continue;
+        }
+        // Bounded buffer growth: duplication and fault replays must not
+        // inflate a member's store past one entry per distinct message.
+        assert!(
+            r.store().len() <= ids.len(),
+            "{label}: node {id} holds {} entries for {} messages",
+            r.store().len(),
+            ids.len()
+        );
+        for &msg in ids {
+            if node.has_delivered(msg) {
+                continue;
+            }
+            // Not delivered: recovery must have terminated cleanly, not
+            // be silently wedged with live state and no timer driving it.
+            assert!(
+                !r.recovery_pending(msg),
+                "{label}: node {id} still has pending recovery for {msg:?} at run end"
+            );
+            // And if the member *knows* the message is missing, the
+            // give-up must be accounted for.
+            if r.detector().is_missing(msg) {
+                assert!(
+                    r.metrics().counters.recovery_gave_up > 0,
+                    "{label}: node {id} missing {msg:?} with no recorded give-up"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_invariants_hold_under_every_policy() {
+    for policy in ALL_POLICIES {
+        for seed in [11u64, 22, 33] {
+            let (net, ids) = run_chaos(policy, seed);
+            assert_invariants(&net, &ids, &format!("policy={} seed={seed}", policy.name()));
+        }
+    }
+}
+
+/// The same (policy, seed) chaos run is bit-for-bit repeatable: identical
+/// per-node delivery logs and protocol counters on a rerun.
+#[test]
+fn chaos_runs_are_deterministic_across_reruns() {
+    let observe = |net: &RrmpNetwork| {
+        net.nodes()
+            .map(|(_, n)| (n.delivered().to_vec(), n.receiver().metrics().counters))
+            .collect::<Vec<_>>()
+    };
+    let (a, ids_a) = run_chaos(PolicyKind::TwoPhase, 77);
+    let (b, ids_b) = run_chaos(PolicyKind::TwoPhase, 77);
+    assert_eq!(ids_a, ids_b);
+    assert_eq!(observe(&a), observe(&b));
+}
+
+/// Chaos outcomes do not depend on the engine layout: the same plan at
+/// shard counts 1, 2, and 4 produces identical delivery logs.
+#[test]
+fn chaos_runs_are_layout_invariant() {
+    let run_at = |shards: usize| {
+        let topo = chaos_topology();
+        let plan = random_plan(55, &topo);
+        let mut net =
+            RrmpNetwork::with_shards(topo, chaos_config(PolicyKind::TwoPhase), 55, shards);
+        net.set_multicast_loss(LossModel::Bernoulli { p: 0.3 });
+        net.arm_fault_plan(plan);
+        let mut ids = Vec::new();
+        for k in 0..6u64 {
+            net.run_until(SimTime::from_millis(k * 120));
+            ids.push(net.multicast(format!("layout-{k}").into_bytes()));
+        }
+        net.run_until(SimTime::from_secs(3));
+        (
+            ids,
+            net.nodes()
+                .map(|(_, n)| (n.delivered().to_vec(), n.receiver().metrics().counters))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let one = run_at(1);
+    assert_eq!(one, run_at(2), "shards=2 diverged from the sequential oracle");
+    assert_eq!(one, run_at(4), "shards=4 diverged from the sequential oracle");
+}
+
+/// The CI chaos matrix sets `RRMP_FAULTS` to a fixed plan spec; this
+/// test replays that exact plan under every policy and asserts the same
+/// run-level invariants. When the variable is unset (a plain local
+/// `cargo test`), a representative fallback plan keeps the test biting.
+#[test]
+fn env_fault_plan_chaos_smoke() {
+    const FALLBACK: &str =
+        "seed=5;partition=0-1@100..500;stall=6@200..450;burst=0.5:2@150..400;dup=0.2+3@0..600";
+    for policy in ALL_POLICIES {
+        let mut net = RrmpNetwork::new_sharded(chaos_topology(), chaos_config(policy), 13);
+        net.set_multicast_loss(LossModel::Bernoulli { p: 0.3 });
+        if !net.arm_env_fault_plan() {
+            net.arm_fault_plan(FaultPlan::parse(FALLBACK).expect("fallback plan parses"));
+        }
+        // Pace the run off the armed plan, not a fixed horizon: CI specs
+        // with longer windows still get mid-fault traffic, a post-heal
+        // flush, and a drain past the retry caps.
+        let horizon = net.fault_plan().expect("a plan is armed").horizon();
+        let step = SimDuration::from_micros((horizon - SimTime::ZERO).as_micros() / 8);
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            ids.push(net.multicast(&b"env-chaos"[..]));
+            let next = net.now() + step;
+            net.run_until(next);
+        }
+        net.run_until(horizon + SimDuration::from_millis(50));
+        ids.push(net.multicast(&b"env-chaos-flush"[..]));
+        net.run_until(horizon + SimDuration::from_secs(5));
+        assert_invariants(&net, &ids, &format!("env plan, policy={}", policy.name()));
+    }
+}
+
+/// The heal → re-arm path does real work: a member partitioned long
+/// enough to exhaust its retry caps converges after the heal, and its
+/// `heal_rearms` counter records the restart.
+#[test]
+fn partition_heal_rearms_exhausted_recovery() {
+    use rrmp_netsim::loss::DeliveryPlan;
+
+    let topo = chaos_topology();
+    let region1: Vec<NodeId> = (4..8).map(NodeId).collect();
+    // Region 1 (nodes 4..8) is cut off from both other regions for most
+    // of a second — far past the retry caps below — then heals.
+    let heal = SimTime::from_millis(700);
+    let plan = FaultPlan::new(9)
+        .partition(RegionId(0), RegionId(1), SimTime::from_millis(100), heal)
+        .partition(RegionId(1), RegionId(2), SimTime::from_millis(100), heal);
+    // KeepAll so the other regions are guaranteed to still hold the
+    // message when the partition heals; tight retry caps so the cut-off
+    // members exhaust them *during* the window.
+    let cfg = ProtocolConfig {
+        max_local_attempts: 6,
+        max_remote_attempts: 6,
+        max_search_attempts: 6,
+        ..chaos_config(PolicyKind::KeepAll)
+    };
+    let mut net = RrmpNetwork::with_fault_plan(topo, cfg, 9, plan);
+
+    // Message `a` misses all of region 1; message `b` (delivered
+    // everywhere, mid-partition — explicit delivery plans model the raw
+    // multicast and bypass the fault edge) reveals the gap, so the
+    // cut-off members start recovery they cannot complete: their region
+    // peers never had `a`, and requests to other regions drop. Both
+    // multicasts happen *inside* the window — earlier, and a repair
+    // triggered by a pre-partition session ad could sneak out before the
+    // cut (drops are evaluated at send time).
+    let plan_a = DeliveryPlan::all_but(net.topology(), region1.iter().copied());
+    net.run_until(SimTime::from_millis(120));
+    let a = net.multicast_with_plan("during-partition-a", &plan_a);
+    let plan_b = DeliveryPlan::all(net.topology());
+    net.run_until(SimTime::from_millis(150));
+    let b = net.multicast_with_plan("during-partition-b", &plan_b);
+
+    // By just before the heal, the cut-off members must have given up.
+    net.run_until(SimTime::from_millis(690));
+    for &n in &region1 {
+        let c = net.node(n).receiver().metrics().counters;
+        assert!(!net.node(n).has_delivered(a), "node {n} got `a` through the partition");
+        assert!(
+            c.recovery_gave_up > 0,
+            "node {n}: expected exhausted recovery before the heal, counters {c:?}"
+        );
+    }
+
+    // After the heal every region-1 member converges on both messages,
+    // and the restart is visible in the heal_rearms counter.
+    net.run_until(SimTime::from_secs(4));
+    for &n in &region1 {
+        let node = net.node(n);
+        assert!(
+            node.has_delivered(a) && node.has_delivered(b),
+            "node {n} failed to converge after the heal"
+        );
+        assert!(
+            node.receiver().metrics().counters.heal_rearms > 0,
+            "node {n} converged without a recorded heal re-arm"
+        );
+    }
+}

@@ -13,9 +13,10 @@ use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::MessageId;
 use rrmp_core::policy::PolicyKind;
 use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::fault::FaultPlan;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
 use rrmp_netsim::time::{SimDuration, SimTime};
-use rrmp_netsim::topology::{presets, NodeId, Topology};
+use rrmp_netsim::topology::{presets, NodeId, RegionId, Topology};
 
 /// The full observable outcome of a run: per-node delivery traces (time,
 /// message) in delivery order, plus network counters and protocol totals.
@@ -430,6 +431,103 @@ fn env_selected_policy_matches_reference_loop() {
         trace_of(&reference),
         "env-selected policy diverged between event loops"
     );
+}
+
+/// One fault plan exercising every episode kind: a region partition that
+/// heals mid-run (driving [`Receiver::on_heal`] re-arming through the
+/// `HEAL_TOKEN` external timers), a node stall, a region-scoped loss
+/// burst overriding the base model, and bounded duplication.
+fn mixed_fault_plan() -> FaultPlan {
+    FaultPlan::new(42)
+        .partition(RegionId(0), RegionId(1), SimTime::from_millis(200), SimTime::from_millis(600))
+        .stall(NodeId(20), SimTime::from_millis(300), SimTime::from_millis(500))
+        .loss_burst(0.4, Some(RegionId(2)), SimTime::from_millis(100), SimTime::from_millis(400))
+        .duplicate(0.2, SimDuration::from_millis(5), SimTime::ZERO, SimTime::from_millis(800))
+}
+
+#[test]
+fn fault_plan_traces_match_across_event_loops() {
+    // The fault edge sits in front of the loss model in both event loops;
+    // drops, burst overrides, and duplicate copies must consume RNG and
+    // emit events in exactly the same order, and the heal notifications
+    // at 400/500/600 ms must re-arm recovery identically.
+    for seed in [13u64, 47] {
+        assert_trace_equal(
+            || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                net.arm_fault_plan(mixed_fault_plan());
+                net.set_multicast_loss(LossModel::Bernoulli { p: 0.2 });
+                for _ in 0..4 {
+                    net.multicast(&b"faulted-stream"[..]);
+                    let next = net.now() + SimDuration::from_millis(40);
+                    net.run_until(next);
+                }
+                net.run_until(SimTime::from_secs(3));
+            },
+        );
+    }
+}
+
+#[test]
+fn sharded_fault_plan_traces_match() {
+    // Fault verdicts are pure functions of (plan, send time, from, to) —
+    // no engine RNG involved — so the same plan must yield byte-identical
+    // traces at every shard count, including a permanent crash whose
+    // protocol half (view removal, buffer drop) rides external timers.
+    for seed in [19u64, 61] {
+        assert_sharded_trace_equal(
+            || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25)),
+            ProtocolConfig::paper_defaults(),
+            seed,
+            |net| {
+                net.arm_fault_plan(mixed_fault_plan().crash(NodeId(9), SimTime::from_millis(350)));
+                let plan = DeliveryPlan::all_but(net.topology(), (8..16).map(NodeId));
+                net.multicast_with_plan(&b"sharded-faults"[..], &plan);
+                net.run_until(SimTime::from_secs(3));
+            },
+        );
+    }
+}
+
+#[test]
+fn env_fault_plan_matches_explicit_plan() {
+    // `RRMP_FAULTS` (the CI chaos knob) arms the same plan
+    // `FaultPlan::parse` builds explicitly; the env-armed run must match
+    // the explicitly-armed oracle byte for byte. Set the variable inside
+    // the test: no other test in this binary reads it.
+    const SPEC: &str = "seed=3;partition=0-1@150..450;burst=0.3:2@100..300;dup=0.25+4@0..600";
+    std::env::set_var("RRMP_FAULTS", SPEC);
+    let topo_of = || presets::figure1_chain([8, 8, 8], SimDuration::from_millis(25));
+    let scenario = |net: &mut RrmpNetwork| {
+        net.set_multicast_loss(LossModel::Bernoulli { p: 0.25 });
+        for _ in 0..3 {
+            net.multicast(&b"env-faults"[..]);
+            let next = net.now() + SimDuration::from_millis(40);
+            net.run_until(next);
+        }
+        net.run_until(SimTime::from_secs(2));
+    };
+    let mut oracle = RrmpNetwork::with_fault_plan(
+        topo_of(),
+        ProtocolConfig::paper_defaults(),
+        21,
+        FaultPlan::parse(SPEC).expect("spec parses"),
+    );
+    scenario(&mut oracle);
+    let mut env_net = RrmpNetwork::new(topo_of(), ProtocolConfig::paper_defaults(), 21);
+    assert!(env_net.arm_env_fault_plan(), "RRMP_FAULTS was set; a plan must arm");
+    assert!(env_net.fault_plan().is_some_and(|p| !p.is_empty()));
+    scenario(&mut env_net);
+    assert_eq!(
+        trace_of(&oracle),
+        trace_of(&env_net),
+        "RRMP_FAULTS-armed run diverged from the explicitly-armed plan"
+    );
+    std::env::remove_var("RRMP_FAULTS");
+    let mut unarmed = RrmpNetwork::new(topo_of(), ProtocolConfig::paper_defaults(), 21);
+    assert!(!unarmed.arm_env_fault_plan(), "no RRMP_FAULTS means no plan");
 }
 
 #[test]

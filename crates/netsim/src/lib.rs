@@ -20,6 +20,10 @@
 //!   models, and presets matching the paper's setups.
 //! * [`loss`] — multicast/unicast loss models and explicit
 //!   [`loss::DeliveryPlan`]s for controlled experiments.
+//! * [`fault`] — deterministic fault-injection timelines
+//!   ([`fault::FaultPlan`]): partitions, blackouts, crash/stall churn,
+//!   loss bursts, and duplication, applied at the network edge of both
+//!   engines with layout-invariant verdicts.
 //! * [`sim`] — the driver: host any [`sim::SimNode`] implementation.
 //! * [`shard`] — the conservatively parallel driver: regions partitioned
 //!   over shards advancing under a time-window barrier, traces
@@ -57,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod fault;
 pub mod loss;
 pub mod rng;
 pub mod shard;
@@ -69,6 +74,7 @@ pub mod trace;
 /// Convenient glob-import of the most used simulator types.
 pub mod prelude {
     pub use crate::event::Scheduler;
+    pub use crate::fault::FaultPlan;
     pub use crate::loss::{DeliveryPlan, LossModel};
     pub use crate::rng::SeedSequence;
     pub use crate::shard::ShardedSim;

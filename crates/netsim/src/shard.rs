@@ -65,6 +65,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 
 use crate::event::EventQueue;
+use crate::fault::FaultPlan;
 use crate::loss::{DeliveryPlan, LossModel};
 use crate::rng::SeedSequence;
 use crate::sim::{Ctx, NetCounters, Op, SimEvent, SimNode, TimerSlab};
@@ -102,6 +103,10 @@ struct ShardEnv<'a, M> {
     region_shard: &'a [u32],
     unicast_loss: &'a LossModel,
     drop_filter: Option<&'a DropFilter<M>>,
+    /// Armed fault timeline. Verdicts are pure functions of
+    /// `(plan, send time, endpoints)` — no RNG state — so shards can
+    /// consult it concurrently and the outcome is layout-invariant.
+    fault: Option<&'a FaultPlan>,
 }
 
 /// One shard: a subset of regions with private queue, timers, RNGs,
@@ -280,13 +285,45 @@ impl<N: SimNode> ShardState<N> {
     ) {
         self.counters.unicasts_sent += 1;
         let filtered = env.drop_filter.is_some_and(|f| f(from, to, &msg));
-        let lost = filtered || env.unicast_loss.drops_unicast(&mut self.loss_rngs[local_from]);
+        let lost = filtered || self.edge_loses(env, local_from, from, to);
         if lost {
             self.counters.unicasts_dropped += 1;
             return;
         }
         let arrive = self.now + env.topo.one_way_latency(from, to);
-        self.route(env, env.topo.region_of(from), arrive, from, to, msg);
+        let src_region = env.topo.region_of(from);
+        if let Some(extra) = env.fault.and_then(|p| p.duplicate_delay(self.now, from, to)) {
+            // The duplicate is routed after the primary so its mailbox
+            // emission sequence is the later one — a deterministic order
+            // at every shard layout. Its strictly-not-earlier arrival
+            // keeps the conservative window rule intact.
+            self.counters.faults_duplicated += 1;
+            self.route(env, src_region, arrive, from, to, msg.clone());
+            self.route(env, src_region, arrive + extra, from, to, msg);
+            return;
+        }
+        self.route(env, src_region, arrive, from, to, msg);
+    }
+
+    /// The edge loss decision for one surviving-the-filter copy: an
+    /// armed fault plan gets the first say (an active loss burst
+    /// overrides the base model — no per-sender stream draw); otherwise
+    /// the base loss model draws from the sender's stream.
+    fn edge_loses(
+        &mut self,
+        env: &ShardEnv<'_, N::Msg>,
+        local_from: usize,
+        from: NodeId,
+        to: NodeId,
+    ) -> bool {
+        match env.fault.and_then(|p| p.drops(self.now, from, to, env.topo)) {
+            Some(true) => {
+                self.counters.faults_dropped += 1;
+                true
+            }
+            Some(false) => false,
+            None => env.unicast_loss.drops_unicast(&mut self.loss_rngs[local_from]),
+        }
     }
 
     /// Fan-out with per-destination loss draws in destination order from
@@ -309,16 +346,31 @@ impl<N: SimNode> ShardState<N> {
         for to in targets {
             self.counters.unicasts_sent += 1;
             let filtered = env.drop_filter.is_some_and(|f| f(from, to, &msg));
-            let lost = filtered || env.unicast_loss.drops_unicast(&mut self.loss_rngs[local_from]);
+            let lost = filtered || self.edge_loses(env, local_from, from, to);
             if lost {
                 self.counters.unicasts_dropped += 1;
                 continue;
             }
             let arrive = self.now + env.topo.one_way_latency(from, to);
+            let dup = env.fault.and_then(|p| p.duplicate_delay(self.now, from, to));
+            if dup.is_some() {
+                self.counters.faults_duplicated += 1;
+            }
             if env.topo.region_of(to) == src_region {
                 crate::sim::group_fanout_target(&mut self.target_pool, &mut groups, arrive, to);
+                if let Some(extra) = dup {
+                    crate::sim::group_fanout_target(
+                        &mut self.target_pool,
+                        &mut groups,
+                        arrive + extra,
+                        to,
+                    );
+                }
             } else {
                 self.route(env, src_region, arrive, from, to, msg.clone());
+                if let Some(extra) = dup {
+                    self.route(env, src_region, arrive + extra, from, to, msg.clone());
+                }
             }
         }
         // Flush the same-region arrival groups — the exact grouping and
@@ -381,6 +433,7 @@ pub struct ShardedSim<N: SimNode> {
     lookahead: Option<SimDuration>,
     unicast_loss: LossModel,
     drop_filter: Option<Arc<DropFilter<N::Msg>>>,
+    fault: Option<Arc<FaultPlan>>,
     now: SimTime,
     started: bool,
     /// Reused cross-event staging buffer for inline barrier merges.
@@ -446,6 +499,7 @@ where
             lookahead,
             unicast_loss: LossModel::None,
             drop_filter: None,
+            fault: None,
             now: SimTime::ZERO,
             started: false,
             merge_scratch: Vec::new(),
@@ -494,7 +548,7 @@ where
     /// replaces the nodes, re-derives every RNG stream from `seed`, and
     /// clears queues, timers, mailboxes, and counters while keeping their
     /// allocations warm (per-shard [`EventQueue::clear`] semantics). The
-    /// loss model and drop filter are retained.
+    /// loss model, drop filter, and armed fault plan are retained.
     ///
     /// # Panics
     ///
@@ -563,6 +617,14 @@ where
         self.drop_filter = Some(Arc::new(f));
     }
 
+    /// Arms (or with `None` disarms) a [`FaultPlan`], consulted for
+    /// every unicast copy at transmit time. Verdicts are pure functions
+    /// of `(plan, send time, endpoints)` — stateless by construction —
+    /// so traces stay byte-identical at every shard count.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault = plan;
+    }
+
     /// Current simulated time (the conservative global clock).
     #[must_use]
     pub fn now(&self) -> SimTime {
@@ -592,6 +654,8 @@ where
                 events_processed,
                 fanouts,
                 batched_deliveries,
+                faults_dropped,
+                faults_duplicated,
             } = st.counters;
             total.unicasts_sent += unicasts_sent;
             total.unicasts_dropped += unicasts_dropped;
@@ -601,6 +665,8 @@ where
             total.events_processed += events_processed;
             total.fanouts += fanouts;
             total.batched_deliveries += batched_deliveries;
+            total.faults_dropped += faults_dropped;
+            total.faults_duplicated += faults_duplicated;
         }
         total
     }
@@ -700,9 +766,16 @@ where
             return;
         }
         self.started = true;
-        let Self { ref topo, ref region_shard, ref unicast_loss, ref drop_filter, .. } = *self;
-        let env =
-            ShardEnv { topo, region_shard, unicast_loss, drop_filter: drop_filter.as_deref() };
+        let Self {
+            ref topo, ref region_shard, ref unicast_loss, ref drop_filter, ref fault, ..
+        } = *self;
+        let env = ShardEnv {
+            topo,
+            region_shard,
+            unicast_loss,
+            drop_filter: drop_filter.as_deref(),
+            fault: fault.as_deref(),
+        };
         for st in &mut self.states {
             for local in 0..st.nodes.len() {
                 st.dispatch_with(&env, local, |node, ctx| node.on_start(ctx));
@@ -779,9 +852,21 @@ where
                 break;
             }
             let end = window_end(self.lookahead, lb, limit);
-            let Self { ref topo, ref region_shard, ref unicast_loss, ref drop_filter, .. } = *self;
-            let env =
-                ShardEnv { topo, region_shard, unicast_loss, drop_filter: drop_filter.as_deref() };
+            let Self {
+                ref topo,
+                ref region_shard,
+                ref unicast_loss,
+                ref drop_filter,
+                ref fault,
+                ..
+            } = *self;
+            let env = ShardEnv {
+                topo,
+                region_shard,
+                unicast_loss,
+                drop_filter: drop_filter.as_deref(),
+                fault: fault.as_deref(),
+            };
             for st in &mut self.states {
                 st.run_window(&env, end);
             }
@@ -808,9 +893,12 @@ where
             self.states.iter().map(|s| s.queue.peek_time()).collect();
         let mut pending: Vec<Vec<CrossEvent<N::Msg>>> = (0..n).map(|_| Vec::new()).collect();
         let states = std::mem::take(&mut self.states);
-        let Self { ref topo, ref region_shard, ref unicast_loss, ref drop_filter, .. } = *self;
+        let Self {
+            ref topo, ref region_shard, ref unicast_loss, ref drop_filter, ref fault, ..
+        } = *self;
         let loss = unicast_loss.clone();
         let filter = drop_filter.clone();
+        let fault = fault.clone();
         let lookahead = self.lookahead;
 
         let recovered = std::thread::scope(|scope| {
@@ -822,9 +910,15 @@ where
                 let report = report_tx.clone();
                 let loss = &loss;
                 let filter = filter.as_deref();
+                let fault = fault.as_deref();
                 handles.push(scope.spawn(move || {
-                    let env =
-                        ShardEnv { topo, region_shard, unicast_loss: loss, drop_filter: filter };
+                    let env = ShardEnv {
+                        topo,
+                        region_shard,
+                        unicast_loss: loss,
+                        drop_filter: filter,
+                        fault,
+                    };
                     while let Ok(cmd) = cmd_rx.recv() {
                         st.accept_inbox(cmd.inbox);
                         st.run_window(&env, cmd.limit);
@@ -1162,6 +1256,72 @@ mod tests {
             assert_eq!(sim.node(NodeId(2)).got.len(), 1);
         }
     }
+
+    #[test]
+    fn fault_blackout_applies_in_every_layout() {
+        // Node 0 fans out to the group at t=0; the armed blackout cuts
+        // the 0-3 link, so only node 3 misses out — identically at every
+        // shard layout, and with the fault accounted separately from
+        // base-model loss.
+        let plan = Arc::new(FaultPlan::new(1).blackout(
+            NodeId(0),
+            NodeId(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ));
+        for shards in [1usize, 2] {
+            let nodes = (0..4).map(|_| GroupCaster { got: Vec::new() }).collect();
+            let mut sim = ShardedSim::new(two_region_topo(), nodes, 9, shards);
+            sim.set_fault_plan(Some(plan.clone()));
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            let c = sim.counters();
+            assert_eq!(c.unicasts_sent, 3, "shards={shards}");
+            assert_eq!(c.unicasts_dropped, 1, "shards={shards}");
+            assert_eq!(c.faults_dropped, 1, "shards={shards}");
+            assert!(sim.node(NodeId(3)).got.is_empty());
+            assert_eq!(sim.node(NodeId(2)).got.len(), 1);
+        }
+    }
+
+    #[test]
+    fn fault_duplication_arrives_twice_in_every_layout() {
+        // A p=1 duplication episode with a 2ms extra delay: every
+        // destination sees the packet twice, the copies 2ms apart, and
+        // cross-region copies still respect the lookahead rule.
+        let plan = Arc::new(FaultPlan::new(1).duplicate(
+            1.0,
+            SimDuration::from_millis(2),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ));
+        for shards in [1usize, 2] {
+            let nodes = (0..4).map(|_| GroupCaster { got: Vec::new() }).collect();
+            let mut sim = ShardedSim::new(two_region_topo(), nodes, 9, shards);
+            sim.set_fault_plan(Some(plan.clone()));
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            let c = sim.counters();
+            assert_eq!(c.unicasts_sent, 3, "shards={shards}");
+            assert_eq!(c.faults_duplicated, 3, "shards={shards}");
+            assert_eq!(c.delivered, 6, "shards={shards}");
+            // Same-region copy at 5ms + dup at 7ms; cross-region at 20ms + 22ms.
+            assert_eq!(
+                sim.node(NodeId(1)).got,
+                vec![
+                    (SimTime::from_millis(5), NodeId(0), 9),
+                    (SimTime::from_millis(7), NodeId(0), 9)
+                ],
+                "shards={shards}"
+            );
+            assert_eq!(
+                sim.node(NodeId(3)).got,
+                vec![
+                    (SimTime::from_millis(20), NodeId(0), 9),
+                    (SimTime::from_millis(22), NodeId(0), 9)
+                ],
+                "shards={shards}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1273,6 +1433,136 @@ mod proptests {
             prop_assert_eq!(&sequential, &two, "2 shards diverged");
             let four = run_scripts(&scripts, 4, lossy);
             prop_assert_eq!(&sequential, &four, "4 shards diverged");
+        }
+    }
+
+    /// One randomized fault episode over the 4-region/12-node proptest
+    /// topology. Ids and windows are normalized in `build_plan` so every
+    /// generated value is a valid episode.
+    #[derive(Debug, Clone)]
+    enum FaultScript {
+        Partition { a: u16, b_off: u16, start_ms: u64, len_ms: u64 },
+        Blackout { a: u32, b_off: u32, start_ms: u64, len_ms: u64 },
+        Stall { node: u32, start_ms: u64, len_ms: u64 },
+        Crash { node: u32, at_ms: u64 },
+        Burst { percent: u8, region: Option<u16>, start_ms: u64, len_ms: u64 },
+        Dup { percent: u8, extra_ms: u64, start_ms: u64, len_ms: u64 },
+    }
+
+    fn arb_fault() -> impl Strategy<Value = FaultScript> {
+        let win = || (0u64..3000, 1u64..1500);
+        prop_oneof![
+            (0u16..4, 0u16..3, win()).prop_map(|(a, b_off, (start_ms, len_ms))| {
+                FaultScript::Partition { a, b_off, start_ms, len_ms }
+            }),
+            (0u32..12, 0u32..11, win()).prop_map(|(a, b_off, (start_ms, len_ms))| {
+                FaultScript::Blackout { a, b_off, start_ms, len_ms }
+            }),
+            (0u32..12, win()).prop_map(|(node, (start_ms, len_ms))| FaultScript::Stall {
+                node,
+                start_ms,
+                len_ms
+            }),
+            (0u32..12, 0u64..3000).prop_map(|(node, at_ms)| FaultScript::Crash { node, at_ms }),
+            (0u8..=100, any::<bool>(), 0u16..4, win()).prop_map(
+                |(percent, scoped, r, (start_ms, len_ms))| FaultScript::Burst {
+                    percent,
+                    region: scoped.then_some(r),
+                    start_ms,
+                    len_ms
+                }
+            ),
+            (0u8..=100, 0u64..40, win()).prop_map(|(percent, extra_ms, (start_ms, len_ms))| {
+                FaultScript::Dup { percent, extra_ms, start_ms, len_ms }
+            }),
+        ]
+    }
+
+    fn build_plan(seed: u64, events: &[FaultScript]) -> FaultPlan {
+        use crate::fault::FaultPlan;
+        let ms = SimTime::from_millis;
+        let mut plan = FaultPlan::new(seed);
+        for ev in events {
+            plan = match *ev {
+                FaultScript::Partition { a, b_off, start_ms, len_ms } => {
+                    let b = (a + 1 + b_off) % 4;
+                    plan.partition(RegionId(a), RegionId(b), ms(start_ms), ms(start_ms + len_ms))
+                }
+                FaultScript::Blackout { a, b_off, start_ms, len_ms } => {
+                    let b = (a + 1 + b_off) % 12;
+                    plan.blackout(NodeId(a), NodeId(b), ms(start_ms), ms(start_ms + len_ms))
+                }
+                FaultScript::Stall { node, start_ms, len_ms } => {
+                    plan.stall(NodeId(node), ms(start_ms), ms(start_ms + len_ms))
+                }
+                FaultScript::Crash { node, at_ms } => plan.crash(NodeId(node), ms(at_ms)),
+                FaultScript::Burst { percent, region, start_ms, len_ms } => plan.loss_burst(
+                    f64::from(percent) / 100.0,
+                    region.map(RegionId),
+                    ms(start_ms),
+                    ms(start_ms + len_ms),
+                ),
+                FaultScript::Dup { percent, extra_ms, start_ms, len_ms } => plan.duplicate(
+                    f64::from(percent) / 100.0,
+                    SimDuration::from_millis(extra_ms),
+                    ms(start_ms),
+                    ms(start_ms + len_ms),
+                ),
+            };
+        }
+        plan
+    }
+
+    fn run_scripts_faulted(
+        scripts: &[Vec<Step>],
+        plan: &FaultPlan,
+        shards: usize,
+        lossy: bool,
+    ) -> (Trace, NetCounters) {
+        let topo = TopologyBuilder::new()
+            .intra_region_one_way(SimDuration::from_millis(1))
+            .inter_region_one_way(SimDuration::from_millis(10))
+            .region(3, None)
+            .region(3, Some(0))
+            .region(3, Some(0))
+            .region(3, Some(2))
+            .build()
+            .unwrap();
+        let nodes = scripts
+            .iter()
+            .map(|s| ScriptNode { script: s.clone(), step: 0, log: Vec::new() })
+            .collect();
+        let mut sim = ShardedSim::new(topo, nodes, 4242, shards);
+        sim.set_fault_plan(Some(Arc::new(plan.clone())));
+        if lossy {
+            sim.set_unicast_loss(LossModel::Bernoulli { p: 0.25 });
+        }
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let traces = (0..12u32).map(|i| sim.node(NodeId(i)).log.clone()).collect();
+        (traces, sim.counters())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The fault-determinism contract: an armed random fault plan
+        /// (partition/heal, blackout, stall, crash, burst, duplication
+        /// scripts) leaves traces byte-identical under 1, 2, and 4
+        /// shards — fault verdicts are pure functions of
+        /// `(plan, send time, endpoints)`, so no layout can reorder them.
+        #[test]
+        fn fault_plans_are_layout_invariant(
+            scripts in arb_scripts(),
+            events in proptest::collection::vec(arb_fault(), 1..6),
+            plan_seed in any::<u64>(),
+            lossy in any::<bool>(),
+        ) {
+            let plan = build_plan(plan_seed, &events);
+            let sequential = run_scripts_faulted(&scripts, &plan, 1, lossy);
+            let two = run_scripts_faulted(&scripts, &plan, 2, lossy);
+            prop_assert_eq!(&sequential, &two, "2 shards diverged under faults");
+            let four = run_scripts_faulted(&scripts, &plan, 4, lossy);
+            prop_assert_eq!(&sequential, &four, "4 shards diverged under faults");
         }
     }
 }

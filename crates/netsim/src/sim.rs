@@ -43,9 +43,12 @@
 //! byte-identical traces between the two, and `BENCH_sim_core.json`
 //! reports the speedup of the default path over it.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 
 use crate::event::{EventQueue, ReferenceEventQueue};
+use crate::fault::FaultPlan;
 use crate::loss::{DeliveryPlan, LossModel};
 use crate::rng::SeedSequence;
 use crate::time::{SimDuration, SimTime};
@@ -468,6 +471,14 @@ pub struct NetCounters {
     /// Packets delivered by expanding a region-timed batch event (a subset
     /// of [`NetCounters::delivered`]; always zero in reference mode).
     pub batched_deliveries: u64,
+    /// Unicast copies dropped by an armed [`FaultPlan`] (a subset of
+    /// [`NetCounters::unicasts_dropped`]).
+    pub faults_dropped: u64,
+    /// Extra copies created by an armed [`FaultPlan`]'s duplication
+    /// episodes (each also counts in [`NetCounters::delivered`] when it
+    /// arrives, but not in [`NetCounters::unicasts_sent`] — the network
+    /// duplicated it, the sender did not send it).
+    pub faults_duplicated: u64,
 }
 
 /// The deterministic discrete-event simulator.
@@ -506,6 +517,9 @@ pub struct Sim<N: SimNode> {
     timers: TimerSlab,
     unicast_loss: LossModel,
     loss_rng: StdRng,
+    /// Armed fault timeline, consulted per unicast copy at transmit time
+    /// (`None` costs one branch — the unarmed hot path is unchanged).
+    fault: Option<Arc<FaultPlan>>,
     counters: NetCounters,
     #[allow(clippy::type_complexity)]
     drop_filter: Option<Box<dyn FnMut(NodeId, NodeId, &N::Msg) -> bool>>,
@@ -600,6 +614,7 @@ impl<N: SimNode> Sim<N> {
             timers: TimerSlab::default(),
             unicast_loss: LossModel::None,
             loss_rng: seq.rng_for(u64::MAX / 2),
+            fault: None,
             counters: NetCounters::default(),
             drop_filter: None,
             started: false,
@@ -618,7 +633,7 @@ impl<N: SimNode> Sim<N> {
     /// **without dropping their allocations** — a reused `Sim` starts its
     /// next run at full capacity instead of re-growing from empty (the
     /// pattern repeated bench iterations and multi-run experiments use).
-    /// The loss model and drop filter are retained.
+    /// The loss model, drop filter, and armed fault plan are retained.
     ///
     /// # Panics
     ///
@@ -663,6 +678,14 @@ impl<N: SimNode> Sim<N> {
         F: FnMut(NodeId, NodeId, &N::Msg) -> bool + 'static,
     {
         self.drop_filter = Some(Box::new(f));
+    }
+
+    /// Arms (or with `None` disarms) a [`FaultPlan`], consulted for every
+    /// unicast copy at transmit time. Fault verdicts are pure functions
+    /// of `(plan, send time, endpoints)`, so an armed plan keeps the run
+    /// fully deterministic.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault = plan;
     }
 
     /// Current simulated time.
@@ -979,13 +1002,19 @@ impl<N: SimNode> Sim<N> {
         for to in targets {
             self.counters.unicasts_sent += 1;
             let filtered = self.drop_filter.as_mut().is_some_and(|f| f(from, to, &msg));
-            let lost = filtered || self.unicast_loss.drops_unicast(&mut self.loss_rng);
+            let lost = filtered || self.edge_loses(from, to);
             if lost {
                 self.counters.unicasts_dropped += 1;
                 continue;
             }
             let arrive = self.now + self.topo.one_way_latency(from, to);
             group_fanout_target(&mut self.target_pool, &mut groups, arrive, to);
+            if let Some(extra) = self.dup_delay(from, to) {
+                // The duplicate rides the same batch machinery: one more
+                // target in the (strictly later) arrival-time group.
+                self.counters.faults_duplicated += 1;
+                group_fanout_target(&mut self.target_pool, &mut groups, arrive + extra, to);
+            }
         }
         flush_fanout_groups(from, msg, &mut groups, &mut self.target_pool, |at, ev| {
             self.queue.schedule(at, ev);
@@ -998,13 +1027,40 @@ impl<N: SimNode> Sim<N> {
     fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
         self.counters.unicasts_sent += 1;
         let filtered = self.drop_filter.as_mut().is_some_and(|f| f(from, to, &msg));
-        let lost = filtered || self.unicast_loss.drops_unicast(&mut self.loss_rng);
+        let lost = filtered || self.edge_loses(from, to);
         if lost {
             self.counters.unicasts_dropped += 1;
             return;
         }
         let arrive = self.now + self.topo.one_way_latency(from, to);
+        if let Some(extra) = self.dup_delay(from, to) {
+            self.counters.faults_duplicated += 1;
+            self.queue.schedule(arrive + extra, SimEvent::Deliver { to, from, msg: msg.clone() });
+        }
         self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg });
+    }
+
+    /// The edge loss decision for one surviving-the-filter copy: an armed
+    /// fault plan gets the first say (and an active loss burst overrides
+    /// the base model entirely); otherwise the base loss model draws.
+    fn edge_loses(&mut self, from: NodeId, to: NodeId) -> bool {
+        let verdict = match self.fault.as_deref() {
+            None => None,
+            Some(plan) => plan.drops(self.now, from, to, &self.topo),
+        };
+        match verdict {
+            Some(true) => {
+                self.counters.faults_dropped += 1;
+                true
+            }
+            Some(false) => false,
+            None => self.unicast_loss.drops_unicast(&mut self.loss_rng),
+        }
+    }
+
+    /// The duplication decision for one copy that survived the edge.
+    fn dup_delay(&self, from: NodeId, to: NodeId) -> Option<SimDuration> {
+        self.fault.as_deref().and_then(|plan| plan.duplicate_delay(self.now, from, to))
     }
 }
 

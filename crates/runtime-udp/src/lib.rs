@@ -19,4 +19,4 @@ pub mod runtime;
 
 pub use batch::{send_to_many, RecvBatcher};
 pub use group::{GroupSpec, MemberSpec};
-pub use runtime::{Delivery, UdpNode};
+pub use runtime::{Delivery, RuntimeEvent, UdpNode};

@@ -76,6 +76,44 @@ pub struct Delivery {
     pub payload: Bytes,
 }
 
+/// Everything the runtime surfaces to the application: message
+/// deliveries, and terminal runtime failures that would otherwise be
+/// silent (a node whose receive thread died keeps sending and looks
+/// healthy from the outside).
+#[derive(Debug)]
+pub enum RuntimeEvent {
+    /// A message delivered to the application.
+    Delivery(Delivery),
+    /// The receive thread hit a fatal socket error and stopped: the node
+    /// is deaf to the network even though the event loop (and the send
+    /// path) may keep running. Tear the node down.
+    RecvFailed(std::io::Error),
+}
+
+/// Socket errors the receive loop always retries: `EINTR`, and the
+/// ICMP port-unreachable feedback some stacks report on UDP sockets as
+/// `ECONNREFUSED`/`ECONNRESET` when a peer is briefly down — normal
+/// churn in a group, not a reason to go deaf.
+fn recv_error_is_transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+    )
+}
+
+/// Consecutive non-transient receive errors tolerated (with backoff)
+/// before the loop declares the socket dead and surfaces
+/// [`RuntimeEvent::RecvFailed`].
+const MAX_RECV_ERROR_STREAK: u32 = 8;
+
+/// Backoff before retrying after a receive error: exponential in the
+/// error streak, capped so the shutdown flag stays responsive.
+fn recv_backoff(streak: u32) -> Duration {
+    Duration::from_millis(1u64 << streak.min(5))
+}
+
 type DropFilter = dyn Fn(NodeId) -> bool + Send;
 
 /// The event loop's timer queue: the shared timing wheel keyed by
@@ -92,11 +130,19 @@ type TimerWheel = EventQueue<TimerKind>;
 pub struct UdpNode {
     node: NodeId,
     input_tx: ChanSender<Input>,
-    delivered_rx: ChanReceiver<Delivery>,
+    delivered_rx: ChanReceiver<RuntimeEvent>,
     loop_handle: Option<JoinHandle<()>>,
     recv_handle: Option<JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
     initial_drop: Arc<Mutex<Option<Box<DropFilter>>>>,
+    /// Set when a [`RuntimeEvent::RecvFailed`] was observed on the
+    /// delivery channel, so the plain [`UdpNode::recv_timeout`] /
+    /// [`UdpNode::try_recv`] surface still exposes the failure.
+    recv_failure: Mutex<Option<std::io::Error>>,
+    /// Test hook: inject events on the delivery channel as the recv
+    /// thread would.
+    #[cfg(test)]
+    test_delivered_tx: SyncSender<RuntimeEvent>,
 }
 
 impl std::fmt::Debug for UdpNode {
@@ -132,7 +178,7 @@ impl UdpNode {
         assert!(spec.addr_of(node).is_some(), "{node} not in group spec");
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let (input_tx, input_rx) = mpsc::channel::<Input>();
-        let (delivered_tx, delivered_rx) = mpsc::sync_channel::<Delivery>(4096);
+        let (delivered_tx, delivered_rx) = mpsc::sync_channel::<RuntimeEvent>(4096);
         let shutdown = Arc::new(AtomicBool::new(false));
         let initial_drop: Arc<Mutex<Option<Box<DropFilter>>>> = Arc::new(Mutex::new(None));
 
@@ -141,6 +187,9 @@ impl UdpNode {
         let recv_spec = spec.clone();
         let recv_shutdown = Arc::clone(&shutdown);
         let pkt_tx = input_tx.clone();
+        let fail_tx = delivered_tx.clone();
+        #[cfg(test)]
+        let test_delivered_tx = delivered_tx.clone();
         let recv_handle = std::thread::Builder::new()
             .name(format!("rrmp-udp-recv-{node}"))
             .spawn(move || {
@@ -149,9 +198,16 @@ impl UdpNode {
                 // rest), one recv_from elsewhere — either way the socket
                 // read timeout keeps the shutdown flag polled.
                 let mut batcher = crate::batch::RecvBatcher::new(64 * 1024);
+                // Consecutive receive errors (reset by any success or
+                // plain timeout). Transient kinds retry forever with a
+                // capped backoff; anything else gets a bounded streak
+                // before the failure is surfaced — never a silent break
+                // that leaves the runtime deaf.
+                let mut error_streak = 0u32;
                 'recv: while !recv_shutdown.load(Ordering::Relaxed) {
                     match batcher.recv_batch(&recv_socket) {
                         Ok(_) => {
+                            error_streak = 0;
                             for (bytes, from_addr) in batcher.datagrams() {
                                 let Some(from) = recv_spec.node_at(from_addr) else { continue };
                                 match Packet::decode(Bytes::copy_from_slice(bytes)) {
@@ -168,9 +224,23 @@ impl UdpNode {
                             if e.kind() == std::io::ErrorKind::WouldBlock
                                 || e.kind() == std::io::ErrorKind::TimedOut =>
                         {
+                            error_streak = 0;
                             continue;
                         }
-                        Err(_) => break,
+                        Err(e) => {
+                            error_streak += 1;
+                            if !recv_error_is_transient(e.kind())
+                                && error_streak >= MAX_RECV_ERROR_STREAK
+                            {
+                                // Fatal: tell the application through the
+                                // delivery channel (try_send — if the
+                                // channel is full or closed, the node is
+                                // being torn down anyway) and stop.
+                                let _ = fail_tx.try_send(RuntimeEvent::RecvFailed(e));
+                                break 'recv;
+                            }
+                            std::thread::sleep(recv_backoff(error_streak));
+                        }
                     }
                 }
             })
@@ -205,7 +275,15 @@ impl UdpNode {
             recv_handle: Some(recv_handle),
             shutdown,
             initial_drop,
+            recv_failure: Mutex::new(None),
+            #[cfg(test)]
+            test_delivered_tx,
         })
+    }
+
+    #[cfg(test)]
+    fn delivered_rx_test_inject(&self, event: RuntimeEvent) {
+        self.test_delivered_tx.try_send(event).expect("inject test event");
     }
 
     /// This member's id.
@@ -233,16 +311,53 @@ impl UdpNode {
             filter.map(|f| Box::new(f) as Box<DropFilter>);
     }
 
-    /// Receives the next delivered message, waiting up to `timeout`.
+    /// Receives the next runtime event (delivery or fatal receive-path
+    /// failure), waiting up to `timeout`.
     #[must_use]
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
-        self.delivered_rx.recv_timeout(timeout).ok()
+    pub fn recv_event_timeout(&self, timeout: Duration) -> Option<RuntimeEvent> {
+        let event = self.delivered_rx.recv_timeout(timeout).ok()?;
+        self.note_failure(&event);
+        Some(event)
     }
 
-    /// Non-blocking poll for a delivered message.
+    /// Receives the next delivered message, waiting up to `timeout`.
+    /// A fatal receive-path failure arriving instead is recorded (see
+    /// [`UdpNode::recv_failure`]) and reported as `None`.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
+        match self.recv_event_timeout(timeout)? {
+            RuntimeEvent::Delivery(d) => Some(d),
+            RuntimeEvent::RecvFailed(_) => None,
+        }
+    }
+
+    /// Non-blocking poll for a delivered message. A fatal receive-path
+    /// failure is recorded (see [`UdpNode::recv_failure`]) and reported
+    /// as `None`.
     #[must_use]
     pub fn try_recv(&self) -> Option<Delivery> {
-        self.delivered_rx.try_recv().ok()
+        let event = self.delivered_rx.try_recv().ok()?;
+        self.note_failure(&event);
+        match event {
+            RuntimeEvent::Delivery(d) => Some(d),
+            RuntimeEvent::RecvFailed(_) => None,
+        }
+    }
+
+    /// The fatal receive-path error observed so far, if any: the node is
+    /// deaf to the network and should be torn down. Populated when a
+    /// [`RuntimeEvent::RecvFailed`] passes through any of the receive
+    /// methods.
+    #[must_use]
+    pub fn recv_failure(&self) -> Option<std::io::ErrorKind> {
+        self.recv_failure.lock().expect("recv_failure lock").as_ref().map(std::io::Error::kind)
+    }
+
+    fn note_failure(&self, event: &RuntimeEvent) {
+        if let RuntimeEvent::RecvFailed(e) = event {
+            let copy = std::io::Error::new(e.kind(), e.to_string());
+            *self.recv_failure.lock().expect("recv_failure lock") = Some(copy);
+        }
     }
 
     /// Initiates a voluntary leave (long-term buffers are handed off).
@@ -284,7 +399,7 @@ struct EventLoop {
     is_sender: bool,
     seed: u64,
     input_rx: ChanReceiver<Input>,
-    delivered_tx: SyncSender<Delivery>,
+    delivered_tx: SyncSender<RuntimeEvent>,
     shutdown: Arc<AtomicBool>,
     initial_drop: Arc<Mutex<Option<Box<DropFilter>>>>,
 }
@@ -391,7 +506,7 @@ fn event_loop(ctx: EventLoop) {
         outbox: &mut Outbox<'_>,
         timers: &mut TimerWheel,
         receiver: &Receiver,
-        delivered_tx: &SyncSender<Delivery>,
+        delivered_tx: &SyncSender<RuntimeEvent>,
         now_of: impl Fn() -> SimTime,
     ) {
         for action in actions.drain(..) {
@@ -401,7 +516,7 @@ fn event_loop(ctx: EventLoop) {
                     outbox.fan_out(&packet, &mut receiver.view().own().members(), &|_| true);
                 }
                 Action::Deliver { id, payload } => {
-                    let _ = delivered_tx.try_send(Delivery { id, payload });
+                    let _ = delivered_tx.try_send(RuntimeEvent::Delivery(Delivery { id, payload }));
                 }
                 Action::SetTimer { delay, kind } => {
                     timers.schedule(now_of() + delay, kind);
@@ -654,5 +769,55 @@ mod tests {
         for n in nodes {
             n.shutdown();
         }
+    }
+
+    #[test]
+    fn transient_recv_errors_are_retried_forever() {
+        // ICMP feedback and EINTR must never count toward the fatal
+        // streak — a group member restarting is routine, not a socket
+        // death.
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::ConnectionRefused,
+            std::io::ErrorKind::ConnectionReset,
+        ] {
+            assert!(recv_error_is_transient(kind), "{kind:?} should be retried");
+        }
+        for kind in [
+            std::io::ErrorKind::NotConnected,
+            std::io::ErrorKind::BrokenPipe,
+            std::io::ErrorKind::InvalidInput,
+            std::io::ErrorKind::Other,
+        ] {
+            assert!(!recv_error_is_transient(kind), "{kind:?} should be bounded");
+        }
+    }
+
+    #[test]
+    fn recv_backoff_is_bounded() {
+        assert_eq!(recv_backoff(1), Duration::from_millis(2));
+        // The cap keeps the shutdown flag responsive no matter how long
+        // the error streak runs.
+        for streak in 0..64 {
+            assert!(recv_backoff(streak) <= Duration::from_millis(32));
+        }
+    }
+
+    #[test]
+    fn recv_failed_event_is_recorded_on_the_plain_surface() {
+        let bound = bind_n(1);
+        let addrs: Vec<SocketAddr> = bound.iter().map(|(_, a)| *a).collect();
+        let spec = spec_single_region(&addrs);
+        let (sock, _) = bound.into_iter().next().expect("one socket");
+        let node = UdpNode::start(sock, spec, NodeId(0), fast_cfg(), true, 7).expect("start node");
+        assert_eq!(node.recv_failure(), None);
+        // Inject a failure the way the recv thread would surface one.
+        node.delivered_rx_test_inject(RuntimeEvent::RecvFailed(std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            "socket died",
+        )));
+        assert!(node.try_recv().is_none());
+        assert_eq!(node.recv_failure(), Some(std::io::ErrorKind::NotConnected));
+        node.shutdown();
     }
 }
