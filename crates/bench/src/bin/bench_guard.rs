@@ -56,6 +56,38 @@ fn read_speedups(path: &str) -> Vec<(String, f64)> {
     parsed
 }
 
+/// First integer value of a top-level-ish `"key": <int>` line.
+fn int_field(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    text.lines()
+        .find_map(|l| l.trim().strip_prefix(pat.as_str()))
+        .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+}
+
+/// Warn-only peak-RSS budget check: the members-scale workload records the
+/// peak-RSS delta it added (measured around the workload, so the budget
+/// measures the workload and not the whole binary) next to its budget.
+/// Memory accounting varies across allocators and kernels, so this never
+/// hard-fails — it annotates.
+fn check_rss_budget(fresh_text: &str) {
+    let Some(budget) = int_field(fresh_text, "peak_rss_budget_kb") else { return };
+    if let Some(delta) = int_field(fresh_text, "rss_delta_kb") {
+        if delta > budget {
+            println!(
+                "::warning::bench_guard: members-scale peak-RSS delta {delta} kB exceeds \
+                 budget {budget} kB"
+            );
+        } else {
+            println!(
+                "bench_guard: members-scale peak-RSS delta {delta} kB within budget {budget} kB"
+            );
+        }
+    }
+    if let Some(proxy) = int_field(fresh_text, "peak_rss_proxy_kb") {
+        println!("bench_guard: whole-run peak-RSS proxy {proxy} kB (informational)");
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let warn_only = args.iter().any(|a| a == "--warn-only");
@@ -75,8 +107,12 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let fresh = read_speedups(fresh_path);
+    let fresh_text = std::fs::read_to_string(fresh_path)
+        .unwrap_or_else(|e| panic!("bench_guard: cannot read {fresh_path}: {e}"));
+    let fresh = parse_speedups(&fresh_text);
+    assert!(!fresh.is_empty(), "bench_guard: no workload speedups found in {fresh_path}");
     let baseline = read_speedups(baseline_path);
+    check_rss_budget(&fresh_text);
 
     // An enforced name that matches nothing would silently turn the hard
     // gate into a no-op (e.g. after a workload rename) — fail loudly

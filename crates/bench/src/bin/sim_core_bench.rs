@@ -36,6 +36,17 @@
 //!   on the optimized loop: one network `reset` between runs (warm
 //!   queue/slab allocations) vs constructing a fresh network per run —
 //!   the ratio isolates the reuse effect itself.
+//! * `members_1m` — the scaling flagship: a million members across
+//!   heterogeneous regions (a few large campuses, a long tail of small
+//!   sites) recovering a lossy stream on the sharded engine. Optimized
+//!   arm: load-aware LPT region→shard placement; reference arm:
+//!   round-robin placement, both at 4 shards with an equal-event-count
+//!   assert (placement never changes the trace). Runs *first* so the
+//!   peak-RSS delta it records approximates the workload's own
+//!   footprint, checked warn-only against `peak_rss_budget_kb` by
+//!   `bench_guard`. `--members=N` shrinks it (the CI smoke job runs
+//!   100k; the workload is then named `members_scale`), `--members-only`
+//!   skips everything else.
 //!
 //! Every workload is deterministic per seed; optimized and reference
 //! modes process byte-identical event sequences (asserted by the
@@ -60,6 +71,7 @@ use rrmp_core::prelude::ProtocolConfig;
 use rrmp_netsim::event::{EventQueue, ReferenceEventQueue, Scheduler};
 use rrmp_netsim::fault::FaultPlan;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
+use rrmp_netsim::shard::ShardPlacement;
 use rrmp_netsim::sim::{Ctx, Sim, SimNode};
 use rrmp_netsim::time::{SimDuration, SimTime};
 use rrmp_netsim::topology::{presets, NodeId, RegionId, Topology};
@@ -576,6 +588,61 @@ fn policy_matrix_legacy_stacks() -> (f64, u64) {
     })
 }
 
+// ----- workload 10: million-member scaling flagship --------------------------
+
+/// Peak-RSS budget (kB) for the full `members_1m` run: 4 GiB. The compact
+/// SoA receiver state plus interval-compressed delivery indexes keep a
+/// million mostly-idle members well under this; a regression that
+/// reintroduces per-peer or per-source hash maps blows through it.
+const MEMBERS_RSS_BUDGET_KB: u64 = 4 * 1024 * 1024;
+
+/// Heterogeneous region-size cycle for the scaling workload: a few large
+/// "campus" regions dominating a long tail of small sites — the skew that
+/// leaves round-robin placement hostage to which shard drew the big
+/// regions, while LPT bin packing spreads them by weight.
+const SCALE_REGION_SIZES: [usize; 8] = [4096, 1024, 1024, 256, 64, 64, 64, 64];
+
+/// Builds a `target`-member topology by cycling [`SCALE_REGION_SIZES`]
+/// (every region a child of the sender's) until the member budget is
+/// spent. Deterministic: same `target`, same topology.
+fn members_scale_topology(target: usize) -> Topology {
+    let mut builder = rrmp_netsim::topology::TopologyBuilder::new()
+        .inter_region_one_way(SimDuration::from_millis(25));
+    let mut placed = 0usize;
+    let mut i = 0usize;
+    while placed < target {
+        let size = SCALE_REGION_SIZES[i % SCALE_REGION_SIZES.len()].min(target - placed);
+        builder = builder.region(size, if i == 0 { None } else { Some(0) });
+        placed += size;
+        i += 1;
+    }
+    builder.build().expect("valid scaling topology")
+}
+
+/// One lossy two-message stream over `topo` on the sharded engine with
+/// the given region→shard placement. Few messages and a short horizon:
+/// the point is state footprint and per-event cost at scale, not repair
+/// convergence. Single timed run — at this size construction is part of
+/// the cost being measured.
+fn members_scale_run(topo: &Topology, shards: usize, placement: ShardPlacement) -> (f64, u64) {
+    best_secs(1, || {
+        let mut cfg = ProtocolConfig::paper_defaults();
+        // The per-node protocol event log is an observability tool; at a
+        // million members it would dominate the memory the budget is
+        // trying to measure. Turning it off does not change the trace.
+        cfg.record_events = false;
+        let mut net = RrmpNetwork::with_shards_placement(topo.clone(), cfg, 11, shards, placement);
+        net.set_multicast_loss(LossModel::RegionCorrelated { p_region: 0.05, p_member: 0.01 });
+        for _ in 0..2 {
+            net.multicast(&b"members-scale-payload"[..]);
+            let next = net.now() + SimDuration::from_millis(40);
+            net.run_until(next);
+        }
+        net.run_until(net.now() + SimDuration::from_millis(260));
+        net.net_counters().events_processed
+    })
+}
+
 // ----- reporting -------------------------------------------------------------
 
 /// Peak resident set (VmHWM) in kB from /proc — a cheap RSS proxy.
@@ -616,10 +683,9 @@ impl Comparison {
     }
 }
 
-fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim_core.json".to_string());
-    let mut comparisons = Vec::new();
-
+/// The full differential suite (everything except the scaling flagship,
+/// which `main` runs first for a clean peak-RSS delta).
+fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
     eprintln!("event_loop: timer/unicast storm, 64 nodes ...");
     let (opt_s, events) = event_loop_workload(true);
     let (ref_s, ref_events) = event_loop_workload(false);
@@ -751,11 +817,72 @@ fn main() {
         reference_rate: seq_rate,
         work: seq_events,
     });
+}
+
+fn main() {
+    let mut out_path = "BENCH_sim_core.json".to_string();
+    let mut scale_members: usize = 1_000_000;
+    let mut members_only = false;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--members=") {
+            scale_members = v.parse().expect("--members takes a positive integer");
+            assert!(scale_members > 0, "--members takes a positive integer");
+        } else if arg == "--members-only" {
+            members_only = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    // The flagship keeps its headline name only at full size, so a
+    // shrunken run (CI smoke) can never overwrite the committed
+    // million-member numbers unnoticed — bench_guard reports the renamed
+    // workload as missing instead of comparing apples to oranges.
+    let scale_name: &'static str =
+        if scale_members == 1_000_000 { "members_1m" } else { "members_scale" };
+    let mut comparisons = Vec::new();
+
+    // Runs first: VmHWM is a high-water mark, so only with nothing before
+    // it does (after - before) approximate this workload's own footprint.
+    eprintln!(
+        "{scale_name}: {scale_members} members, heterogeneous regions, \
+         LPT vs round-robin placement @ 4 shards ..."
+    );
+    let rss_before = peak_rss_kb();
+    let topo = members_scale_topology(scale_members);
+    let scale_regions = topo.region_count();
+    let (lpt_s, lpt_events) = members_scale_run(&topo, 4, ShardPlacement::LoadAware);
+    // The budgeted delta covers the optimized (load-aware) arm only: the
+    // round-robin arm exists for the timing ratio and the trace assert,
+    // and running it before the measurement would fold the allocator's
+    // retained-heap fragmentation from a second full network into the
+    // high-water mark.
+    let rss_after = peak_rss_kb();
+    let rss_delta = rss_after.saturating_sub(rss_before);
+    let (rr_s, rr_events) = members_scale_run(&topo, 4, ShardPlacement::RoundRobin);
+    assert_eq!(lpt_events, rr_events, "shard placement must not change the trace");
+    drop(topo);
+    eprintln!(
+        "  {scale_regions} regions, {lpt_events} events; LPT {:.0}/s vs round-robin {:.0}/s; \
+         peak-RSS delta {rss_delta} kB (budget {MEMBERS_RSS_BUDGET_KB} kB)",
+        lpt_events as f64 / lpt_s,
+        rr_events as f64 / rr_s,
+    );
+    comparisons.push(Comparison {
+        name: scale_name,
+        unit: "events/sec",
+        optimized_rate: lpt_events as f64 / lpt_s,
+        reference_rate: rr_events as f64 / rr_s,
+        work: lpt_events,
+    });
+
+    if !members_only {
+        run_core_workloads(&mut comparisons);
+    }
 
     let rss = peak_rss_kb();
     let body = comparisons.iter().map(Comparison::json).collect::<Vec<_>>().join(",\n");
     let json = format!(
-        "{{\n  \"benchmark\": \"sim_core\",\n  \"description\": \"timing-wheel scheduler + batched regional delivery + zero-allocation event loop vs faithful pre-refactor baselines (identical deterministic workloads)\",\n  \"peak_rss_proxy_kb\": {rss},\n  \"workloads\": {{\n{body}\n  }}\n}}\n"
+        "{{\n  \"benchmark\": \"sim_core\",\n  \"description\": \"timing-wheel scheduler + batched regional delivery + zero-allocation event loop vs faithful pre-refactor baselines (identical deterministic workloads)\",\n  \"peak_rss_proxy_kb\": {rss},\n  \"peak_rss_budget_kb\": {MEMBERS_RSS_BUDGET_KB},\n  \"members_scale\": {{\n    \"members\": {scale_members},\n    \"regions\": {scale_regions},\n    \"rss_before_kb\": {rss_before},\n    \"rss_after_kb\": {rss_after},\n    \"rss_delta_kb\": {rss_delta}\n  }},\n  \"workloads\": {{\n{body}\n  }}\n}}\n"
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
 

@@ -18,8 +18,6 @@
 //! byte counts, and a byte×time integral) used by the buffering-cost
 //! experiments.
 
-use std::collections::{BTreeSet, HashMap};
-
 use bytes::Bytes;
 use rrmp_netsim::time::{SimDuration, SimTime};
 
@@ -62,16 +60,26 @@ impl BufferEntry {
 }
 
 /// The two-phase buffer holding message payloads.
+///
+/// Entries live in an id-sorted vector rather than a hash map: a member
+/// buffers a handful of messages at a time, so binary search beats
+/// hashing, and — decisive at the million-member scale the `members_1m`
+/// bench drives — a one-entry store costs one exact-sized allocation
+/// instead of a hash table's bucket array.
 #[derive(Debug, Clone, Default)]
 pub struct MessageStore {
-    entries: HashMap<MessageId, BufferEntry>,
+    /// Buffered entries, sorted by message id (binary-searched).
+    entries: Vec<(MessageId, BufferEntry)>,
     /// Use-time-ordered index over **long-phase** entries only, keyed by
     /// `(last_use, id)`. Kept in lockstep by every mutation of a long
     /// entry's `last_use`, it answers the three long-phase sweeps without
     /// scanning the whole store: `expire_long_into` walks the stale
     /// prefix, `take_all_long` enumerates exactly the long entries, and
-    /// capacity eviction reads the LRU long entry from the front.
-    long_by_use: BTreeSet<(SimTime, MessageId)>,
+    /// capacity eviction reads the LRU long entry from the front. A
+    /// sorted vector rather than a `BTreeSet` for the same reason as
+    /// `entries`: the population is a handful of messages, and a B-tree's
+    /// first element costs a whole leaf-node allocation per member.
+    long_by_use: Vec<(SimTime, MessageId)>,
     short_count: usize,
     long_count: usize,
     bytes: usize,
@@ -108,6 +116,33 @@ impl MessageStore {
         self.capacity
     }
 
+    /// Binary-search position of `id` in the sorted entry vector.
+    fn idx(&self, id: MessageId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&id, |&(eid, _)| eid)
+    }
+
+    fn entry_ref(&self, id: MessageId) -> Option<&BufferEntry> {
+        self.idx(id).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Sorted insert into the use-time index (no-op on duplicates,
+    /// matching the set semantics the index relies on). A free-standing
+    /// borrow of the index field so callers can hold `&mut` entry
+    /// references across the call.
+    fn index_insert(index: &mut Vec<(SimTime, MessageId)>, key: (SimTime, MessageId)) {
+        if let Err(i) = index.binary_search(&key) {
+            crate::vecmap::reserve_doubling(index);
+            index.insert(i, key);
+        }
+    }
+
+    /// Removes `key` from the use-time index if present.
+    fn index_remove(index: &mut Vec<(SimTime, MessageId)>, key: (SimTime, MessageId)) {
+        if let Ok(i) = index.binary_search(&key) {
+            index.remove(i);
+        }
+    }
+
     /// Evicts entries (LRU, long-term before short-term) until `incoming`
     /// additional bytes fit. Returns the evicted ids.
     fn make_room(&mut self, incoming: usize, now: SimTime) -> Vec<MessageId> {
@@ -118,13 +153,13 @@ impl MessageStore {
             // The LRU long-term entry is the front of the use-time index;
             // only a store with no long-term entries at all scans (the
             // short population, the last-resort victims).
-            let victim = match self.long_by_use.iter().next() {
+            let victim = match self.long_by_use.first() {
                 Some(&(_, id)) => id,
                 None => self
                     .entries
                     .iter()
-                    .min_by_key(|(id, e)| (e.last_use, **id))
-                    .map(|(&id, _)| id)
+                    .min_by_key(|&&(id, ref e)| (e.last_use, id))
+                    .map(|&(id, _)| id)
                     .expect("non-empty"),
             };
             self.discard(victim, now);
@@ -141,7 +176,7 @@ impl MessageStore {
         data: Bytes,
         now: SimTime,
     ) -> (bool, Vec<MessageId>) {
-        if self.entries.contains_key(&id) {
+        if self.contains(id) {
             return (false, Vec::new());
         }
         if let Some(cap) = self.capacity {
@@ -162,7 +197,7 @@ impl MessageStore {
         data: Bytes,
         now: SimTime,
     ) -> (bool, Vec<MessageId>) {
-        if self.entries.contains_key(&id) {
+        if self.contains(id) {
             return (false, Vec::new());
         }
         if let Some(cap) = self.capacity {
@@ -184,22 +219,24 @@ impl MessageStore {
     /// Inserts a freshly received message in the short-term phase.
     /// Returns `false` (and changes nothing) if it is already buffered.
     pub fn insert_short(&mut self, id: MessageId, data: Bytes, now: SimTime) -> bool {
-        if self.entries.contains_key(&id) {
-            return false;
-        }
+        let Err(pos) = self.idx(id) else { return false };
         self.advance_accounting(now);
         self.bytes += data.len();
         self.short_count += 1;
+        crate::vecmap::reserve_doubling(&mut self.entries);
         self.entries.insert(
-            id,
-            BufferEntry {
-                data,
-                phase: Phase::Short,
-                received_at: now,
-                last_request: now,
-                idled_at: None,
-                last_use: now,
-            },
+            pos,
+            (
+                id,
+                BufferEntry {
+                    data,
+                    phase: Phase::Short,
+                    received_at: now,
+                    last_request: now,
+                    idled_at: None,
+                    last_use: now,
+                },
+            ),
         );
         self.peak_entries = self.peak_entries.max(self.entries.len());
         true
@@ -208,23 +245,25 @@ impl MessageStore {
     /// Inserts a message directly into the long-term phase (buffer handoff
     /// from a leaving member, §3.2). Returns `false` if already buffered.
     pub fn insert_long(&mut self, id: MessageId, data: Bytes, now: SimTime) -> bool {
-        if self.entries.contains_key(&id) {
-            return false;
-        }
+        let Err(pos) = self.idx(id) else { return false };
         self.advance_accounting(now);
         self.bytes += data.len();
         self.long_count += 1;
-        self.long_by_use.insert((now, id));
+        Self::index_insert(&mut self.long_by_use, (now, id));
+        crate::vecmap::reserve_doubling(&mut self.entries);
         self.entries.insert(
-            id,
-            BufferEntry {
-                data,
-                phase: Phase::Long,
-                received_at: now,
-                last_request: now,
-                idled_at: Some(now),
-                last_use: now,
-            },
+            pos,
+            (
+                id,
+                BufferEntry {
+                    data,
+                    phase: Phase::Long,
+                    received_at: now,
+                    last_request: now,
+                    idled_at: Some(now),
+                    last_use: now,
+                },
+            ),
         );
         self.peak_entries = self.peak_entries.max(self.entries.len());
         true
@@ -234,93 +273,91 @@ impl MessageStore {
     /// refreshing the idle clock (short phase) and the use clock (both
     /// phases). Returns `true` if the message is buffered here.
     pub fn note_request(&mut self, id: MessageId, now: SimTime) -> bool {
-        match self.entries.get_mut(&id) {
-            Some(e) => {
-                e.last_request = e.last_request.max(now);
-                if now > e.last_use {
-                    if e.phase == Phase::Long {
-                        self.long_by_use.remove(&(e.last_use, id));
-                        self.long_by_use.insert((now, id));
-                    }
-                    e.last_use = now;
-                }
-                true
+        let Ok(i) = self.idx(id) else { return false };
+        let e = &mut self.entries[i].1;
+        e.last_request = e.last_request.max(now);
+        if now > e.last_use {
+            if e.phase == Phase::Long {
+                Self::index_remove(&mut self.long_by_use, (e.last_use, id));
+                Self::index_insert(&mut self.long_by_use, (now, id));
             }
-            None => false,
+            e.last_use = now;
         }
+        true
     }
 
     /// Records that the entry served some purpose (repair sent, handoff) —
     /// refreshes only the long-term use clock.
     pub fn note_use(&mut self, id: MessageId, now: SimTime) {
-        if let Some(e) = self.entries.get_mut(&id) {
-            if now > e.last_use {
-                if e.phase == Phase::Long {
-                    self.long_by_use.remove(&(e.last_use, id));
-                    self.long_by_use.insert((now, id));
-                }
-                e.last_use = now;
+        let Ok(i) = self.idx(id) else { return };
+        let e = &mut self.entries[i].1;
+        if now > e.last_use {
+            if e.phase == Phase::Long {
+                Self::index_remove(&mut self.long_by_use, (e.last_use, id));
+                Self::index_insert(&mut self.long_by_use, (now, id));
             }
+            e.last_use = now;
         }
     }
 
     /// The buffered payload for `id`, if present (cheap clone of [`Bytes`]).
     #[must_use]
     pub fn get(&self, id: MessageId) -> Option<Bytes> {
-        self.entries.get(&id).map(|e| e.data.clone())
+        self.entry_ref(id).map(|e| e.data.clone())
     }
 
     /// Whether `id` is buffered (either phase).
     #[must_use]
     pub fn contains(&self, id: MessageId) -> bool {
-        self.entries.contains_key(&id)
+        self.idx(id).is_ok()
     }
 
     /// The phase of `id`, if buffered.
     #[must_use]
     pub fn phase(&self, id: MessageId) -> Option<Phase> {
-        self.entries.get(&id).map(|e| e.phase)
+        self.entry_ref(id).map(|e| e.phase)
     }
 
     /// Full entry view for `id`, if buffered.
     #[must_use]
     pub fn entry(&self, id: MessageId) -> Option<&BufferEntry> {
-        self.entries.get(&id)
+        self.entry_ref(id)
     }
 
     /// The idle-clock reference (`max(received_at, last_request)`) for a
     /// short-phase entry; `None` if absent or already long-term.
     #[must_use]
     pub fn short_last_activity(&self, id: MessageId) -> Option<SimTime> {
-        self.entries.get(&id).filter(|e| e.phase == Phase::Short).map(BufferEntry::last_activity)
+        self.entry_ref(id).filter(|e| e.phase == Phase::Short).map(BufferEntry::last_activity)
     }
 
     /// Promotes a short-phase entry to the long-term phase. Returns `false`
     /// if the entry is absent or already long-term.
     pub fn promote_to_long(&mut self, id: MessageId, now: SimTime) -> bool {
-        match self.entries.get_mut(&id) {
-            Some(e) if e.phase == Phase::Short => {
-                e.phase = Phase::Long;
-                e.idled_at = Some(now);
-                self.long_by_use.insert((e.last_use, id));
-                self.short_count -= 1;
-                self.long_count += 1;
-                true
-            }
-            _ => false,
+        let Ok(i) = self.idx(id) else { return false };
+        let e = &mut self.entries[i].1;
+        if e.phase != Phase::Short {
+            return false;
         }
+        e.phase = Phase::Long;
+        e.idled_at = Some(now);
+        Self::index_insert(&mut self.long_by_use, (e.last_use, id));
+        self.short_count -= 1;
+        self.long_count += 1;
+        true
     }
 
     /// Removes an entry; returns it if it was present.
     pub fn discard(&mut self, id: MessageId, now: SimTime) -> Option<BufferEntry> {
-        let e = self.entries.remove(&id)?;
+        let i = self.idx(id).ok()?;
+        let (_, e) = self.entries.remove(i);
         self.advance_accounting(now);
         self.bytes -= e.data.len();
         match e.phase {
             Phase::Short => self.short_count -= 1,
             Phase::Long => {
                 self.long_count -= 1;
-                self.long_by_use.remove(&(e.last_use, id));
+                Self::index_remove(&mut self.long_by_use, (e.last_use, id));
             }
         }
         Some(e)
@@ -368,7 +405,7 @@ impl MessageStore {
     /// Discards every entry (a crash losing its memory). Returns how many
     /// entries were dropped.
     pub fn drain_all(&mut self, now: SimTime) -> usize {
-        let ids: Vec<MessageId> = self.entries.keys().copied().collect();
+        let ids: Vec<MessageId> = self.entries.iter().map(|&(id, _)| id).collect();
         let n = ids.len();
         for id in ids {
             self.discard(id, now);
@@ -434,9 +471,9 @@ impl MessageStore {
         self.byte_time + self.bytes as u128 * dt as u128
     }
 
-    /// Iterates over buffered entries in unspecified order.
+    /// Iterates over buffered entries in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (&MessageId, &BufferEntry)> {
-        self.entries.iter()
+        self.entries.iter().map(|(id, e)| (id, e))
     }
 }
 
@@ -742,7 +779,7 @@ mod proptests {
                     .map(|(&id, e)| (e.last_use, id))
                     .collect();
                 index_ids.sort();
-                let index: Vec<(SimTime, MessageId)> = s.long_by_use.iter().copied().collect();
+                let index: Vec<(SimTime, MessageId)> = s.long_by_use.to_vec();
                 prop_assert_eq!(index, index_ids);
             }
         }

@@ -8,13 +8,12 @@
 //! measurements the paper's figures plot.
 
 use bytes::Bytes;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use rrmp_membership::view::HierarchyView;
 use rrmp_netsim::fault::FaultPlan;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
-use rrmp_netsim::shard::ShardedSim;
+use rrmp_netsim::shard::{ShardPlacement, ShardedSim};
 use rrmp_netsim::sim::{Ctx, NetCounters, Sim, SimNode};
 use rrmp_netsim::time::SimTime;
 use rrmp_netsim::topology::{NodeId, Topology};
@@ -48,7 +47,10 @@ pub struct RrmpNode {
     /// Per-source interval index over `delivered`, so membership checks
     /// ([`RrmpNode::has_delivered`]) are O(log #gaps) instead of a scan.
     delivered_index: MessageIdSet,
-    pending_timers: HashMap<u64, TimerKind>,
+    /// Outstanding timer registrations, sorted by token. Tokens are
+    /// allocated from the monotone `next_token`, so every insert is a
+    /// push — the flat vector replaces a hash table per node.
+    pending_timers: Vec<(u64, TimerKind)>,
     next_token: u64,
     recovery_packets_received: u64,
     /// Reused action buffer: `Receiver::handle_into` fills it, `execute`
@@ -70,10 +72,14 @@ impl RrmpNode {
             sender,
             delivered: Vec::new(),
             delivered_index: MessageIdSet::new(),
-            pending_timers: HashMap::new(),
+            pending_timers: Vec::new(),
             next_token: 0,
             recovery_packets_received: 0,
-            action_scratch: Vec::new(),
+            // Capacity 2 up front: most events produce at most a deliver
+            // plus a timer, and seeding the capacity keeps `Vec::push`'s
+            // first growth from jumping straight to four 80-byte actions
+            // on every one of a million nodes.
+            action_scratch: Vec::with_capacity(2),
             reference_mode: false,
         }
     }
@@ -124,7 +130,8 @@ impl RrmpNode {
     pub fn register_timer_token(&mut self, kind: TimerKind) -> u64 {
         let token = self.next_token;
         self.next_token += 1;
-        self.pending_timers.insert(token, kind);
+        crate::vecmap::reserve_doubling(&mut self.pending_timers);
+        self.pending_timers.push((token, kind));
         token
     }
 
@@ -158,6 +165,7 @@ impl RrmpNode {
                 }
             }
             Action::Deliver { id, .. } => {
+                crate::vecmap::reserve_doubling(&mut self.delivered);
                 self.delivered.push((ctx.now(), id));
                 if !self.reference_mode {
                     // Reference nodes answer has_delivered by scanning the
@@ -170,7 +178,8 @@ impl RrmpNode {
             Action::SetTimer { delay, kind } => {
                 let token = self.next_token;
                 self.next_token += 1;
-                self.pending_timers.insert(token, kind);
+                crate::vecmap::reserve_doubling(&mut self.pending_timers);
+                self.pending_timers.push((token, kind));
                 ctx.set_timer(delay, token);
             }
         }
@@ -261,7 +270,12 @@ impl SimNode for RrmpNode {
             self.receiver.on_membership_removed(node);
             return;
         }
-        if let Some(kind) = self.pending_timers.remove(&token) {
+        let kind = self
+            .pending_timers
+            .binary_search_by_key(&token, |&(t, _)| t)
+            .ok()
+            .map(|i| self.pending_timers.remove(i).1);
+        if let Some(kind) = kind {
             if matches!(kind, TimerKind::SessionTick) {
                 if let Some(sender) = &self.sender {
                     let actions = sender.on_session_tick();
@@ -532,12 +546,41 @@ impl RrmpNetwork {
     /// Panics if `cfg` is invalid or `shards` is zero.
     #[must_use]
     pub fn with_shards(topo: Topology, cfg: ProtocolConfig, seed: u64, shards: usize) -> Self {
+        Self::with_shards_placement(topo, cfg, seed, shards, ShardPlacement::default())
+    }
+
+    /// Like [`RrmpNetwork::with_shards`] with an explicit region→shard
+    /// [`ShardPlacement`] strategy. Traces are byte-identical across
+    /// placements (the canonical cross-region merge order does not depend
+    /// on which shard hosts a region); the choice only affects load
+    /// balance across shard workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or `shards` is zero.
+    #[must_use]
+    pub fn with_shards_placement(
+        topo: Topology,
+        cfg: ProtocolConfig,
+        seed: u64,
+        shards: usize,
+        placement: ShardPlacement,
+    ) -> Self {
         cfg.validate().expect("invalid protocol config");
         assert!(shards >= 1, "need at least one shard");
         let senders = [NodeId(0)];
-        let nodes = Self::build_nodes(&topo, &cfg, seed, &senders, true);
+        // Stream nodes straight into their shards — never materialize the
+        // full node set twice (a `Vec` plus the per-shard vectors), which
+        // at a million members would briefly double peak memory.
+        let sim = ShardedSim::with_placement_from(
+            &topo,
+            Self::build_nodes_iter(&topo, &cfg, seed, &senders, true),
+            seed,
+            shards,
+            placement,
+        );
         RrmpNetwork {
-            sim: SimEngine::Sharded(ShardedSim::new(topo, nodes, seed, shards)),
+            sim: SimEngine::Sharded(sim),
             sender_node: senders[0],
             multicast_loss: LossModel::None,
             cfg,
@@ -691,25 +734,49 @@ impl RrmpNetwork {
         senders: &[NodeId],
         optimized: bool,
     ) -> Vec<RrmpNode> {
+        let mut nodes = Vec::with_capacity(topo.node_count());
+        nodes.extend(Self::build_nodes_iter(topo, cfg, seed, senders, optimized));
+        nodes
+    }
+
+    /// Per-node protocol state as an iterator in `NodeId` order — hosts
+    /// that can consume nodes one at a time (the sharded engine streams
+    /// them into per-shard vectors) avoid ever holding the full set in a
+    /// second buffer.
+    fn build_nodes_iter<'t>(
+        topo: &'t Topology,
+        cfg: &ProtocolConfig,
+        seed: u64,
+        senders: &[NodeId],
+        optimized: bool,
+    ) -> impl Iterator<Item = RrmpNode> + 't {
         // Decorrelate receiver RNG streams from the simulator's own streams
         // (which are derived from the unmixed seed).
         let seq = rrmp_netsim::rng::SeedSequence::new(seed ^ 0x5EED_0F88_1122_AA55);
         let members: Vec<NodeId> = topo.nodes().collect();
-        topo.nodes()
-            .map(|id| {
-                let view = HierarchyView::from_topology(topo, id);
-                // Build the policy over the *full* group membership (the
-                // harness knows it), so topology-blind policies like hash
-                // placement rank every member, not just own ∪ parent.
-                let policy = cfg.policy.build(id, &members, cfg);
-                let receiver =
-                    Receiver::with_policy(id, view, cfg.clone(), seq.subseed(id.0 as u64), policy);
-                let sender = senders.contains(&id).then(|| Sender::new(id, cfg.session_interval));
-                let mut node = RrmpNode::new(receiver, sender);
-                node.reference_mode = !optimized;
-                node
-            })
-            .collect()
+        // One config allocation for the whole group: every receiver holds
+        // a clone of this `Arc`, not its own inline copy.
+        let shared_cfg = Arc::new(cfg.clone());
+        let senders = senders.to_vec();
+        topo.nodes().map(move |id| {
+            let view = HierarchyView::from_topology(topo, id);
+            // Build the policy over the *full* group membership (the
+            // harness knows it), so topology-blind policies like hash
+            // placement rank every member, not just own ∪ parent.
+            let policy = shared_cfg.policy.build(id, &members, &shared_cfg);
+            let receiver = Receiver::with_shared_policy(
+                id,
+                view,
+                Arc::clone(&shared_cfg),
+                seq.subseed(id.0 as u64),
+                policy,
+            );
+            let sender =
+                senders.contains(&id).then(|| Sender::new(id, shared_cfg.session_interval));
+            let mut node = RrmpNode::new(receiver, sender);
+            node.reference_mode = !optimized;
+            node
+        })
     }
 
     /// Resets the network for a fresh experiment run over the same

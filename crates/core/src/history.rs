@@ -26,8 +26,7 @@
 //! [`TimerKind::HistoryTick`](crate::events::TimerKind::HistoryTick) to
 //! the policy hooks.
 
-use std::collections::HashMap;
-
+use rrmp_membership::index::MemberIndex;
 use rrmp_membership::view::HierarchyView;
 use rrmp_netsim::topology::NodeId;
 
@@ -140,26 +139,93 @@ impl HistoryDigest {
 /// an n-member group pays O(n) per received digest, O(n³) per history
 /// interval, which is exactly the scaling wall the legacy baseline
 /// stack hit first.
+///
+/// Layout: peers are interned into dense indices ([`MemberIndex`]) and
+/// per-source state is a pair of flat arrays (frontier per peer index,
+/// plus a mentioned bitset) in a sorted parallel-vec map — SoA instead
+/// of HashMap-of-HashMap. Source slots are allocated lazily on first
+/// mention, so a source nobody has advertised costs zero bytes.
 #[derive(Debug, Clone, Default)]
 pub struct StabilityTracker {
-    /// peer → (source → highest contiguous frontier advertised).
-    frontiers: HashMap<NodeId, HashMap<NodeId, u64>>,
-    /// source → cached minimum over the mentioning peers.
-    by_source: HashMap<NodeId, SourceMin>,
-    /// Reused `(source, old frontier, new frontier)` change list of one
-    /// `record` call.
-    changes: Vec<(NodeId, Option<u64>, u64)>,
+    /// Sparse peer id → dense index; indices are stable across
+    /// forget/re-record so slots can be reused.
+    peers: MemberIndex,
+    /// Per peer index: whether a digest is currently on record
+    /// (cleared by [`StabilityTracker::forget`]).
+    heard: Vec<bool>,
+    /// Number of `true` bits in `heard`.
+    heard_count: usize,
+    /// Ascending source ids, parallel to `slots`.
+    source_ids: Vec<NodeId>,
+    /// Per-source frontier arrays + cached minimum, parallel to
+    /// `source_ids`.
+    slots: Vec<SourceSlot>,
 }
 
-/// Cached minimum state of one source's advertised frontiers.
-#[derive(Debug, Clone, Copy, Default)]
-struct SourceMin {
+/// One source's advertised frontiers across all peers, plus the cached
+/// minimum over the mentioning peers.
+#[derive(Debug, Clone, Default)]
+struct SourceSlot {
+    /// Highest contiguous frontier advertised, per dense peer index;
+    /// meaningful only where the `mentioned` bit is set.
+    frontiers: Vec<u64>,
+    /// Bitset over dense peer indices: which peers have mentioned this
+    /// source (a frontier of zero is still a mention — "heard from,
+    /// received nothing" pins stability, unlike "never mentioned").
+    mentioned: Vec<u64>,
     /// Smallest frontier any mentioning peer has advertised.
     min: u64,
     /// How many mentioning peers sit exactly at `min`.
     at_min: usize,
     /// How many peers have mentioned this source at all.
     mentions: usize,
+}
+
+impl SourceSlot {
+    fn is_mentioned(&self, p: usize) -> bool {
+        self.mentioned.get(p / 64).is_some_and(|w| w & (1 << (p % 64)) != 0)
+    }
+
+    fn ensure_peer(&mut self, p: usize) {
+        if self.frontiers.len() <= p {
+            self.frontiers.resize(p + 1, 0);
+        }
+        let w = p / 64;
+        if self.mentioned.len() <= w {
+            self.mentioned.resize(w + 1, 0);
+        }
+    }
+
+    fn set_mentioned(&mut self, p: usize) {
+        self.mentioned[p / 64] |= 1 << (p % 64);
+    }
+
+    fn clear_mentioned(&mut self, p: usize) {
+        self.mentioned[p / 64] &= !(1u64 << (p % 64));
+    }
+
+    /// One O(peers) rescan over the mentioned bitset re-establishes the
+    /// cached minimum (needed only when the slowest peer moves).
+    fn recompute_min(&mut self) {
+        let mut min = u64::MAX;
+        let mut at_min = 0usize;
+        for (w, &word) in self.mentioned.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let f = self.frontiers[w * 64 + b];
+                if f < min {
+                    min = f;
+                    at_min = 1;
+                } else if f == min {
+                    at_min += 1;
+                }
+            }
+        }
+        self.min = min;
+        self.at_min = at_min;
+    }
 }
 
 impl StabilityTracker {
@@ -169,99 +235,96 @@ impl StabilityTracker {
         StabilityTracker::default()
     }
 
+    /// Creates a tracker with `members` pre-interned, so the dense peer
+    /// indices (and the per-source array sizes they imply) are fixed up
+    /// front instead of growing digest by digest. Behaviour is identical
+    /// to lazy interning — nobody counts as heard until recorded.
+    #[must_use]
+    pub fn with_members(members: &[NodeId]) -> Self {
+        let peers = MemberIndex::from_members(members.iter().copied());
+        let heard = vec![false; peers.len()];
+        StabilityTracker { peers, heard, ..StabilityTracker::default() }
+    }
+
+    /// The slot index for `source`, if any peer has mentioned it.
+    fn slot_of(&self, source: NodeId) -> Option<usize> {
+        self.source_ids.binary_search(&source).ok()
+    }
+
     /// Folds `digest` from `peer` in: frontiers only ever advance (late
     /// or reordered digests cannot regress a peer's ack).
     pub fn record(&mut self, peer: NodeId, digest: &HistoryDigest) {
-        // Phase 1: fold into the per-peer map, remembering what moved
-        // (two phases keep the per-peer borrow away from the min cache).
-        debug_assert!(self.changes.is_empty());
-        let mut changes = std::mem::take(&mut self.changes);
-        let acks = self.frontiers.entry(peer).or_default();
+        let p = self.peers.intern(peer) as usize;
+        if self.heard.len() <= p {
+            self.heard.resize(p + 1, false);
+        }
+        if !self.heard[p] {
+            self.heard[p] = true;
+            self.heard_count += 1;
+        }
         for entry in &digest.entries {
             let f = entry.frontier().0;
-            match acks.entry(entry.source) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(f);
-                    changes.push((entry.source, None, f));
+            let si = match self.source_ids.binary_search(&entry.source) {
+                Ok(i) => i,
+                Err(i) => {
+                    // Lazy slot allocation on first mention.
+                    self.source_ids.insert(i, entry.source);
+                    self.slots.insert(i, SourceSlot::default());
+                    i
                 }
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                    let old = *slot.get();
-                    if f > old {
-                        slot.insert(f);
-                        changes.push((entry.source, Some(old), f));
-                    }
-                    // else monotone: stale digests change nothing
+            };
+            let slot = &mut self.slots[si];
+            slot.ensure_peer(p);
+            if !slot.is_mentioned(p) {
+                slot.set_mentioned(p);
+                slot.frontiers[p] = f;
+                if slot.mentions == 0 || f < slot.min {
+                    slot.min = f;
+                    slot.at_min = 1;
+                } else if f == slot.min {
+                    slot.at_min += 1;
                 }
-            }
-        }
-        // Phase 2: maintain the per-source min cache.
-        for &(source, old, f) in &changes {
-            match old {
-                None => {
-                    let sm = self.by_source.entry(source).or_default();
-                    if sm.mentions == 0 || f < sm.min {
-                        sm.min = f;
-                        sm.at_min = 1;
-                    } else if f == sm.min {
-                        sm.at_min += 1;
-                    }
-                    sm.mentions += 1;
-                }
-                Some(old) => {
-                    let sm = self.by_source.get_mut(&source).expect("mentioned source");
-                    if old == sm.min {
-                        sm.at_min -= 1;
-                        if sm.at_min == 0 {
+                slot.mentions += 1;
+            } else {
+                let old = slot.frontiers[p];
+                if f > old {
+                    slot.frontiers[p] = f;
+                    if old == slot.min {
+                        slot.at_min -= 1;
+                        if slot.at_min == 0 {
                             // The slowest peer advanced: one O(peers)
                             // rescan re-establishes the cache.
-                            Self::recompute_min(&self.frontiers, source, sm);
+                            slot.recompute_min();
                         }
                     }
                 }
+                // else monotone: stale digests change nothing
             }
         }
-        changes.clear();
-        self.changes = changes;
-    }
-
-    fn recompute_min(
-        frontiers: &HashMap<NodeId, HashMap<NodeId, u64>>,
-        source: NodeId,
-        sm: &mut SourceMin,
-    ) {
-        let mut min = u64::MAX;
-        let mut at_min = 0usize;
-        for acks in frontiers.values() {
-            if let Some(&f) = acks.get(&source) {
-                if f < min {
-                    min = f;
-                    at_min = 1;
-                } else if f == min {
-                    at_min += 1;
-                }
-            }
-        }
-        sm.min = min;
-        sm.at_min = at_min;
     }
 
     /// Whether at least one digest from `peer` has been heard.
     #[must_use]
     pub fn heard_from(&self, peer: NodeId) -> bool {
-        self.frontiers.contains_key(&peer)
+        self.peers.get(peer).is_some_and(|p| self.heard.get(p as usize).copied().unwrap_or(false))
     }
 
     /// Number of distinct peers heard from (and not since forgotten).
     #[must_use]
     pub fn heard_count(&self) -> usize {
-        self.frontiers.len()
+        self.heard_count
     }
 
     /// The highest contiguous frontier `peer` has advertised for
     /// `source` ([`SeqNo::NONE`] before any digest mentioned it).
     #[must_use]
     pub fn peer_frontier(&self, peer: NodeId, source: NodeId) -> SeqNo {
-        SeqNo(self.frontiers.get(&peer).and_then(|a| a.get(&source)).copied().unwrap_or(0))
+        let f = self.peers.get(peer).and_then(|p| {
+            let p = p as usize;
+            let slot = &self.slots[self.slot_of(source)?];
+            slot.is_mentioned(p).then(|| slot.frontiers[p])
+        });
+        SeqNo(f.unwrap_or(0))
     }
 
     /// The group-wide stability frontier for `source` over a quorum of
@@ -278,13 +341,13 @@ impl StabilityTracker {
         own_frontier: SeqNo,
         quorum_len: usize,
     ) -> Option<SeqNo> {
-        if self.frontiers.len() < quorum_len {
+        if self.heard_count < quorum_len {
             return None;
         }
-        let peers_min = match self.by_source.get(&source) {
+        let peers_min = match self.slot_of(source) {
             // Every quorum peer must have mentioned the source; the
             // silent ones are at frontier zero by definition.
-            Some(sm) if sm.mentions >= quorum_len => sm.min,
+            Some(i) if self.slots[i].mentions >= quorum_len => self.slots[i].min,
             // Nobody mentioned it and nobody has to: trivially stable up
             // to the caller's own frontier (a single-member group).
             None if quorum_len == 0 => u64::MAX,
@@ -296,18 +359,36 @@ impl StabilityTracker {
     /// Drops all state about `peer` — a member that left no longer gates
     /// stability (otherwise the whole group's buffers freeze on it).
     pub fn forget(&mut self, peer: NodeId) {
-        let Some(acks) = self.frontiers.remove(&peer) else { return };
-        for (source, f) in acks {
-            let Some(sm) = self.by_source.get_mut(&source) else { continue };
-            sm.mentions -= 1;
-            if sm.mentions == 0 {
-                self.by_source.remove(&source);
-            } else if f == sm.min {
-                sm.at_min -= 1;
-                if sm.at_min == 0 {
-                    Self::recompute_min(&self.frontiers, source, sm);
+        let Some(p) = self.peers.get(peer) else { return };
+        let p = p as usize;
+        if !self.heard.get(p).copied().unwrap_or(false) {
+            return;
+        }
+        self.heard[p] = false;
+        self.heard_count -= 1;
+        // Sources mentioned only by this peer drop their slot entirely
+        // (matching the map-based behaviour, where an unmentioned source
+        // is distinguishable from one mentioned at frontier zero).
+        let mut i = 0;
+        while i < self.source_ids.len() {
+            let slot = &mut self.slots[i];
+            if slot.is_mentioned(p) {
+                let f = slot.frontiers[p];
+                slot.clear_mentioned(p);
+                slot.mentions -= 1;
+                if slot.mentions == 0 {
+                    self.source_ids.remove(i);
+                    self.slots.remove(i);
+                    continue;
+                }
+                if f == slot.min {
+                    slot.at_min -= 1;
+                    if slot.at_min == 0 {
+                        slot.recompute_min();
+                    }
                 }
             }
+            i += 1;
         }
     }
 }
@@ -360,6 +441,7 @@ mod tests {
     use crate::ids::MessageId;
     use rrmp_membership::view::RegionView;
     use rrmp_netsim::topology::RegionId;
+    use std::collections::HashMap;
 
     fn mid(src: u32, seq: u64) -> MessageId {
         MessageId::new(NodeId(src), SeqNo(seq))
@@ -470,51 +552,71 @@ mod tests {
         // Deterministic pseudo-random op script: record/forget against a
         // naive max-merge model, comparing the cached frontier after
         // every step (the at_min/recompute bookkeeping is the part a
-        // unit test alone would miss).
-        let mut state = 0x9E37_79B9_97F4_A7C1u64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut t = StabilityTracker::new();
-        let mut model: HashMap<NodeId, HashMap<NodeId, u64>> = HashMap::new();
-        for _ in 0..4000 {
-            let peer = NodeId((next() % 6) as u32);
-            if next() % 8 == 0 {
-                t.forget(peer);
-                model.remove(&peer);
-            } else {
-                let source = NodeId(100 + (next() % 3) as u32);
-                let hi = next() % 12;
-                let digest = if hi == 0 { HistoryDigest::new() } else { digest_to(source, hi) };
-                t.record(peer, &digest);
-                let acks = model.entry(peer).or_default();
-                if hi > 0 {
-                    let slot = acks.entry(source).or_insert(0);
-                    *slot = (*slot).max(hi);
+        // unit test alone would miss). Runs once lazily interned and once
+        // with the full peer set pre-interned via with_members — the two
+        // constructions must be indistinguishable.
+        let all_peers: Vec<NodeId> = (0..6).map(NodeId).collect();
+        for t0 in [StabilityTracker::new(), StabilityTracker::with_members(&all_peers)] {
+            let mut state = 0x9E37_79B9_97F4_A7C1u64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut t = t0;
+            let mut model: HashMap<NodeId, HashMap<NodeId, u64>> = HashMap::new();
+            for _ in 0..4000 {
+                let peer = NodeId((next() % 6) as u32);
+                if next() % 8 == 0 {
+                    t.forget(peer);
+                    model.remove(&peer);
+                } else {
+                    let source = NodeId(100 + (next() % 3) as u32);
+                    let hi = next() % 12;
+                    let digest = if hi == 0 { HistoryDigest::new() } else { digest_to(source, hi) };
+                    t.record(peer, &digest);
+                    let acks = model.entry(peer).or_default();
+                    if hi > 0 {
+                        let slot = acks.entry(source).or_insert(0);
+                        *slot = (*slot).max(hi);
+                    }
                 }
-            }
-            for s in [100u32, 101, 102].map(NodeId) {
-                for quorum_len in 0..=6usize {
-                    let naive = if model.len() < quorum_len {
-                        None
-                    } else {
-                        let mentioned: Vec<u64> =
-                            model.values().filter_map(|acks| acks.get(&s).copied()).collect();
-                        let peers_min = if mentioned.len() >= quorum_len {
-                            mentioned.iter().copied().min().unwrap_or(u64::MAX)
+                assert_eq!(t.heard_count(), model.len(), "heard_count diverged");
+                for p in 0..6u32 {
+                    assert_eq!(t.heard_from(NodeId(p)), model.contains_key(&NodeId(p)));
+                }
+                for s in [100u32, 101, 102].map(NodeId) {
+                    for p in 0..6u32 {
+                        let naive = model
+                            .get(&NodeId(p))
+                            .and_then(|acks| acks.get(&s).copied())
+                            .unwrap_or(0);
+                        assert_eq!(
+                            t.peer_frontier(NodeId(p), s),
+                            SeqNo(naive),
+                            "peer_frontier diverged"
+                        );
+                    }
+                    for quorum_len in 0..=6usize {
+                        let naive = if model.len() < quorum_len {
+                            None
                         } else {
-                            0
+                            let mentioned: Vec<u64> =
+                                model.values().filter_map(|acks| acks.get(&s).copied()).collect();
+                            let peers_min = if mentioned.len() >= quorum_len {
+                                mentioned.iter().copied().min().unwrap_or(u64::MAX)
+                            } else {
+                                0
+                            };
+                            Some(SeqNo(peers_min.min(7)))
                         };
-                        Some(SeqNo(peers_min.min(7)))
-                    };
-                    assert_eq!(
-                        t.stable_frontier(s, SeqNo(7), quorum_len),
-                        naive,
-                        "tracker diverged from naive model"
-                    );
+                        assert_eq!(
+                            t.stable_frontier(s, SeqNo(7), quorum_len),
+                            naive,
+                            "tracker diverged from naive model"
+                        );
+                    }
                 }
             }
         }
@@ -546,5 +648,107 @@ mod tests {
         assert_eq!(roles.server, NodeId(5), "next-lowest member takes the role");
         let empty = RegionView::new(RegionId(1), []);
         assert!(RepairRoles::from_view(&HierarchyView::new(empty, None)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ids::SeqNo;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// One step of a random digest/ack script: either a digest from a
+    /// peer mentioning several sources (frontier 0 = "mentioned, nothing
+    /// received"), or forgetting a peer.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Record { peer: u32, entries: Vec<(u32, u64)> },
+        Forget { peer: u32 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // The vendored prop_oneof is unweighted; repeating the record arm
+        // biases scripts toward digests over forgets.
+        let record = (0u32..5, proptest::collection::vec((100u32..104, 0u64..10), 0..4))
+            .prop_map(|(peer, entries)| Op::Record { peer, entries });
+        prop_oneof![record.clone(), record, (0u32..5).prop_map(|peer| Op::Forget { peer }),]
+    }
+
+    fn digest_of(entries: &[(u32, u64)]) -> HistoryDigest {
+        HistoryDigest {
+            entries: entries
+                .iter()
+                .map(|&(src, hi)| DigestEntry {
+                    source: NodeId(src),
+                    intervals: if hi == 0 { vec![] } else { vec![(SeqNo(1), SeqNo(hi))] },
+                })
+                .collect(),
+        }
+    }
+
+    proptest! {
+        /// The compressed SoA tracker is observably identical to the
+        /// HashMap-of-HashMap model it replaced, on arbitrary digest/ack
+        /// scripts: same heard set, same per-peer frontiers, same
+        /// group-wide stability answer at every quorum size.
+        #[test]
+        fn soa_tracker_matches_hashmap_model(
+            ops in proptest::collection::vec(op_strategy(), 0..60),
+            preinterned in any::<bool>(),
+        ) {
+            let mut t = if preinterned {
+                StabilityTracker::with_members(&(0..5).map(NodeId).collect::<Vec<_>>())
+            } else {
+                StabilityTracker::new()
+            };
+            // The model mirrors the old implementation: peer → source →
+            // max-merged frontier, entries folded left to right.
+            let mut model: HashMap<NodeId, HashMap<NodeId, u64>> = HashMap::new();
+            for op in &ops {
+                match op {
+                    Op::Record { peer, entries } => {
+                        t.record(NodeId(*peer), &digest_of(entries));
+                        let acks = model.entry(NodeId(*peer)).or_default();
+                        for &(src, hi) in entries {
+                            let f = digest_of(&[(src, hi)]).entries[0].frontier().0;
+                            let slot = acks.entry(NodeId(src)).or_insert(f);
+                            *slot = (*slot).max(f);
+                        }
+                    }
+                    Op::Forget { peer } => {
+                        t.forget(NodeId(*peer));
+                        model.remove(&NodeId(*peer));
+                    }
+                }
+                prop_assert_eq!(t.heard_count(), model.len());
+                for p in 0..5u32 {
+                    prop_assert_eq!(t.heard_from(NodeId(p)), model.contains_key(&NodeId(p)));
+                }
+                for s in 100u32..104 {
+                    let s = NodeId(s);
+                    for p in 0..5u32 {
+                        let naive =
+                            model.get(&NodeId(p)).and_then(|a| a.get(&s).copied()).unwrap_or(0);
+                        prop_assert_eq!(t.peer_frontier(NodeId(p), s), SeqNo(naive));
+                    }
+                    for quorum_len in 0..=5usize {
+                        let naive = if model.len() < quorum_len {
+                            None
+                        } else {
+                            let mentioned: Vec<u64> =
+                                model.values().filter_map(|a| a.get(&s).copied()).collect();
+                            let peers_min = if mentioned.len() >= quorum_len {
+                                mentioned.iter().copied().min().unwrap_or(u64::MAX)
+                            } else {
+                                0
+                            };
+                            Some(SeqNo(peers_min.min(6)))
+                        };
+                        prop_assert_eq!(t.stable_frontier(s, SeqNo(6), quorum_len), naive);
+                    }
+                }
+            }
+        }
     }
 }

@@ -70,17 +70,37 @@ impl IntervalSet {
         true
     }
 
-    /// Inserts every value in `lo..=hi`.
+    /// Inserts every value in `lo..=hi` — O(log n + merged), independent
+    /// of the range width (a million-sequence preload costs the same as
+    /// one value).
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `lo > hi`.
     pub fn insert_range(&mut self, lo: u64, hi: u64) {
         debug_assert!(lo <= hi, "insert_range({lo}, {hi})");
-        // Simple and adequate for protocol use (ranges arrive mostly in
-        // order): insert endpoints and let coalescing do the rest.
-        for v in lo..=hi {
-            self.insert(v);
+        // First stored range that could touch or abut [lo, hi]: the one
+        // whose end reaches at least lo-1 (adjacency coalesces).
+        let touch_lo = lo.saturating_sub(1);
+        let start = self.ranges.partition_point(|&(_, end)| end < touch_lo);
+        // Walk the overlapping/adjacent run and fold it into [lo, hi].
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        let mut end = start;
+        while end < self.ranges.len() {
+            let (rlo, rhi) = self.ranges[end];
+            if rlo > hi.saturating_add(1) {
+                break;
+            }
+            new_lo = new_lo.min(rlo);
+            new_hi = new_hi.max(rhi);
+            end += 1;
+        }
+        if start == end {
+            self.ranges.insert(start, (new_lo, new_hi));
+        } else {
+            self.ranges[start] = (new_lo, new_hi);
+            self.ranges.drain(start + 1..end);
         }
     }
 
@@ -160,17 +180,21 @@ impl Iterator for MissingIter<'_> {
     }
 }
 
-/// A compact set of [`MessageId`]s: one [`IntervalSet`] per source.
+/// A compact set of [`MessageId`]s: one [`IntervalSet`] per source, in
+/// sorted parallel vectors (SoA — an empty set holds no heap at all,
+/// which matters when a million receivers each carry one).
 ///
 /// Since each sender numbers messages contiguously, membership tests cost
-/// O(log #gaps) after an O(1) source lookup — the index behind
+/// O(log #gaps) after an O(log #sources) lookup — the index behind
 /// `RrmpNode::has_delivered` and friends, replacing linear scans over
 /// delivery logs.
 ///
 /// [`MessageId`]: crate::ids::MessageId
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MessageIdSet {
-    by_source: std::collections::HashMap<rrmp_netsim::topology::NodeId, IntervalSet>,
+    /// Ascending source ids, parallel to `sets`.
+    source_ids: Vec<rrmp_netsim::topology::NodeId>,
+    sets: Vec<IntervalSet>,
 }
 
 impl MessageIdSet {
@@ -182,25 +206,33 @@ impl MessageIdSet {
 
     /// Inserts `id`; returns `true` if it was not already present.
     pub fn insert(&mut self, id: crate::ids::MessageId) -> bool {
-        self.by_source.entry(id.source).or_default().insert(id.seq.0)
+        let set = match self.source_ids.binary_search(&id.source) {
+            Ok(i) => &mut self.sets[i],
+            Err(i) => {
+                self.source_ids.insert(i, id.source);
+                self.sets.insert(i, IntervalSet::new());
+                &mut self.sets[i]
+            }
+        };
+        set.insert(id.seq.0)
     }
 
     /// Whether `id` is in the set.
     #[must_use]
     pub fn contains(&self, id: crate::ids::MessageId) -> bool {
-        self.by_source.get(&id.source).is_some_and(|s| s.contains(id.seq.0))
+        self.source_ids.binary_search(&id.source).is_ok_and(|i| self.sets[i].contains(id.seq.0))
     }
 
     /// Number of ids in the set.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.by_source.values().map(IntervalSet::len).sum()
+        self.sets.iter().map(IntervalSet::len).sum()
     }
 
     /// Whether the set is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.by_source.values().all(IntervalSet::is_empty)
+        self.sets.iter().all(IntervalSet::is_empty)
     }
 }
 
@@ -356,6 +388,33 @@ mod proptests {
             let missing: Vec<u64> = iv.missing_in(0, 199).collect();
             let expected: Vec<u64> = (0u64..200).filter(|v| !bt.contains(v)).collect();
             prop_assert_eq!(missing, expected);
+        }
+
+        /// insert_range splices overlapping/adjacent runs exactly like
+        /// value-by-value insertion would.
+        #[test]
+        fn insert_range_matches_btreeset(
+            ranges in proptest::collection::vec((0u64..100, 0u64..20), 0..20),
+            singles in proptest::collection::vec(0u64..120, 0..40),
+        ) {
+            let mut iv = IntervalSet::new();
+            let mut bt = BTreeSet::new();
+            for &v in &singles {
+                iv.insert(v);
+                bt.insert(v);
+            }
+            for &(lo, span) in &ranges {
+                iv.insert_range(lo, lo + span);
+                bt.extend(lo..=lo + span);
+            }
+            prop_assert_eq!(iv.len(), bt.len() as u64);
+            for v in 0u64..125 {
+                prop_assert_eq!(iv.contains(v), bt.contains(&v));
+            }
+            let stored: Vec<(u64, u64)> = iv.intervals().collect();
+            for w in stored.windows(2) {
+                prop_assert!(w[0].1 + 1 < w[1].0, "ranges {:?} not normalized", stored);
+            }
         }
     }
 }

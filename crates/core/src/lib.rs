@@ -65,6 +65,7 @@ pub mod packet;
 pub mod policy;
 pub mod receiver;
 pub mod sender;
+pub mod vecmap;
 
 /// Convenient glob-import of the protocol types.
 pub mod prelude {

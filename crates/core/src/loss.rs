@@ -11,8 +11,13 @@
 //! contiguously from 1, evidence that `seq` exists (a data packet, a session
 //! advertisement, or a request from another member) implies every sequence
 //! number below it exists too.
-
-use std::collections::HashMap;
+//!
+//! Per-source state lives in a pair of sorted parallel vectors (SoA)
+//! rather than a HashMap: a receiver tracking nothing holds no heap at
+//! all, lookups are a binary search over a flat id array, and iteration
+//! is naturally in ascending source order — at a million receivers the
+//! per-instance fixed cost is what dominates, and a `Vec` pair is three
+//! pointers where a HashMap is a populated table.
 
 use rrmp_netsim::topology::NodeId;
 
@@ -40,7 +45,10 @@ struct SourceState {
 /// Per-source tracking of received and missing sequence numbers.
 #[derive(Debug, Clone, Default)]
 pub struct LossDetector {
-    sources: HashMap<NodeId, SourceState>,
+    /// Ascending source ids, parallel to `states`. Slots are allocated
+    /// lazily on first evidence: an idle source costs zero bytes.
+    source_ids: Vec<NodeId>,
+    states: Vec<SourceState>,
 }
 
 impl LossDetector {
@@ -50,10 +58,25 @@ impl LossDetector {
         LossDetector::default()
     }
 
+    fn state(&self, source: NodeId) -> Option<&SourceState> {
+        self.source_ids.binary_search(&source).ok().map(|i| &self.states[i])
+    }
+
+    fn state_mut(&mut self, source: NodeId) -> &mut SourceState {
+        match self.source_ids.binary_search(&source) {
+            Ok(i) => &mut self.states[i],
+            Err(i) => {
+                self.source_ids.insert(i, source);
+                self.states.insert(i, SourceState::default());
+                &mut self.states[i]
+            }
+        }
+    }
+
     /// Sets a late-join floor: sequences of `source` at or below `floor`
     /// are treated as not wanted (never reported missing).
     pub fn set_floor(&mut self, source: NodeId, floor: SeqNo) {
-        let st = self.sources.entry(source).or_default();
+        let st = self.state_mut(source);
         st.floor = st.floor.max(floor.0);
         if st.high < st.floor {
             st.high = st.floor;
@@ -64,7 +87,7 @@ impl LossDetector {
     /// regional repair, handoff). Returns whether it is new and which
     /// messages are newly known to be missing.
     pub fn on_data(&mut self, id: MessageId) -> DataOutcome {
-        let st = self.sources.entry(id.source).or_default();
+        let st = self.state_mut(id.source);
         let newly_received = st.received.insert(id.seq.0);
         let mut newly_missing = Vec::new();
         if id.seq.0 > st.high {
@@ -82,7 +105,7 @@ impl LossDetector {
     /// Feeds a session advertisement (`high` = highest sequence the sender
     /// has multicast). Returns newly missing messages.
     pub fn on_session(&mut self, source: NodeId, high: SeqNo) -> Vec<MessageId> {
-        let st = self.sources.entry(source).or_default();
+        let st = self.state_mut(source);
         let mut newly_missing = Vec::new();
         if high.0 > st.high {
             let lo = (st.high + 1).max(st.floor + 1);
@@ -104,25 +127,24 @@ impl LossDetector {
     /// Whether `msg` has ever been received (even if later discarded).
     #[must_use]
     pub fn received_before(&self, msg: MessageId) -> bool {
-        self.sources.get(&msg.source).is_some_and(|st| st.received.contains(msg.seq.0))
+        self.state(msg.source).is_some_and(|st| st.received.contains(msg.seq.0))
     }
 
     /// Whether `msg` is currently known missing (exists, above the floor,
     /// never received).
     #[must_use]
     pub fn is_missing(&self, msg: MessageId) -> bool {
-        self.sources.get(&msg.source).is_some_and(|st| {
+        self.state(msg.source).is_some_and(|st| {
             msg.seq.0 > st.floor && msg.seq.0 <= st.high && !st.received.contains(msg.seq.0)
         })
     }
 
-    /// All currently missing messages, in `(source, seq)` order.
+    /// All currently missing messages, in `(source, seq)` order (the
+    /// source arrays are already sorted; no collect-and-sort needed).
     #[must_use]
     pub fn missing(&self) -> Vec<MessageId> {
         let mut out: Vec<MessageId> = Vec::new();
-        let mut sources: Vec<(&NodeId, &SourceState)> = self.sources.iter().collect();
-        sources.sort_by_key(|(id, _)| **id);
-        for (&source, st) in sources {
+        for (&source, st) in self.source_ids.iter().zip(&self.states) {
             let lo = st.floor + 1;
             if st.high >= lo {
                 out.extend(
@@ -138,13 +160,13 @@ impl LossDetector {
     /// Number of distinct messages ever received from `source`.
     #[must_use]
     pub fn received_count(&self, source: NodeId) -> u64 {
-        self.sources.get(&source).map_or(0, |st| st.received.len())
+        self.state(source).map_or(0, |st| st.received.len())
     }
 
     /// Highest sequence number known to exist for `source`.
     #[must_use]
     pub fn high(&self, source: NodeId) -> SeqNo {
-        SeqNo(self.sources.get(&source).map_or(0, |st| st.high))
+        SeqNo(self.state(source).map_or(0, |st| st.high))
     }
 
     /// The contiguous-receipt watermark for `source`: the largest `s` such
@@ -153,25 +175,25 @@ impl LossDetector {
     /// exchange.
     #[must_use]
     pub fn contiguous_received(&self, source: NodeId) -> SeqNo {
-        let Some(st) = self.sources.get(&source) else { return SeqNo::NONE };
+        let Some(st) = self.state(source) else { return SeqNo::NONE };
         match st.received.intervals().next() {
             Some((lo, hi)) if lo <= 1 => SeqNo(hi),
             _ => SeqNo::NONE,
         }
     }
 
-    /// Every source the detector has state for, in hash-map order —
-    /// callers wanting determinism (e.g. history-digest construction)
-    /// sort the collected ids.
+    /// Every source the detector has state for, in ascending id order
+    /// (callers that used to sort the collected ids still can — the sort
+    /// is now a no-op).
     pub fn tracked_sources(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.sources.keys().copied()
+        self.source_ids.iter().copied()
     }
 
     /// The inclusive `(lo, hi)` received-sequence intervals recorded for
     /// `source`, in ascending order — the raw material of a history
     /// digest (receipt is permanent, so discarded payloads still appear).
     pub fn received_intervals(&self, source: NodeId) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.sources.get(&source).into_iter().flat_map(|st| st.received.intervals())
+        self.state(source).into_iter().flat_map(|st| st.received.intervals())
     }
 }
 
@@ -331,5 +353,135 @@ mod proptests {
     const SRC: NodeId = NodeId(0);
     fn mid(seq: u64) -> MessageId {
         MessageId::new(SRC, SeqNo(seq))
+    }
+
+    /// One step of a random per-source script.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Data { src: u32, seq: u64 },
+        Session { src: u32, high: u64 },
+        Floor { src: u32, floor: u64 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let data = (0u32..4, 1u64..30).prop_map(|(src, seq)| Op::Data { src, seq });
+        prop_oneof![
+            // Unweighted oneof: repeat the data arm to bias toward receipt.
+            data.clone(),
+            data,
+            (0u32..4, 0u64..30).prop_map(|(src, high)| Op::Session { src, high }),
+            (0u32..4, 0u64..20).prop_map(|(src, floor)| Op::Floor { src, floor }),
+        ]
+    }
+
+    /// The old HashMap-shaped per-source model, state kept explicitly.
+    #[derive(Debug, Clone, Default)]
+    struct ModelState {
+        received: BTreeSet<u64>,
+        high: u64,
+        floor: u64,
+    }
+
+    proptest! {
+        /// The sorted-parallel-vec (SoA) detector is observably identical
+        /// to a HashMap-of-BTreeSet model on arbitrary multi-source
+        /// data/session/floor scripts — outcomes included.
+        #[test]
+        fn soa_detector_matches_hashmap_model(
+            ops in proptest::collection::vec(op_strategy(), 0..80),
+        ) {
+            use std::collections::HashMap;
+            let mut d = LossDetector::new();
+            let mut model: HashMap<NodeId, ModelState> = HashMap::new();
+            for op in &ops {
+                match *op {
+                    Op::Data { src, seq } => {
+                        let out = d.on_data(MessageId::new(NodeId(src), SeqNo(seq)));
+                        let st = model.entry(NodeId(src)).or_default();
+                        let newly = st.received.insert(seq);
+                        let mut newly_missing = Vec::new();
+                        if seq > st.high {
+                            let lo = (st.high + 1).max(st.floor + 1);
+                            for s in lo..=seq {
+                                if !st.received.contains(&s) {
+                                    newly_missing.push(MessageId::new(NodeId(src), SeqNo(s)));
+                                }
+                            }
+                            st.high = seq;
+                        }
+                        prop_assert_eq!(out.newly_received, newly);
+                        prop_assert_eq!(out.newly_missing, newly_missing);
+                    }
+                    Op::Session { src, high } => {
+                        let out = d.on_session(NodeId(src), SeqNo(high));
+                        let st = model.entry(NodeId(src)).or_default();
+                        let mut newly_missing = Vec::new();
+                        if high > st.high {
+                            let lo = (st.high + 1).max(st.floor + 1);
+                            for s in lo..=high {
+                                if !st.received.contains(&s) {
+                                    newly_missing.push(MessageId::new(NodeId(src), SeqNo(s)));
+                                }
+                            }
+                            st.high = high;
+                        }
+                        prop_assert_eq!(out, newly_missing);
+                    }
+                    Op::Floor { src, floor } => {
+                        d.set_floor(NodeId(src), SeqNo(floor));
+                        let st = model.entry(NodeId(src)).or_default();
+                        st.floor = st.floor.max(floor);
+                        st.high = st.high.max(st.floor);
+                    }
+                }
+                // Full observable state after every step.
+                let mut expect_missing: Vec<MessageId> = Vec::new();
+                let mut expect_sources: Vec<NodeId> = model.keys().copied().collect();
+                expect_sources.sort_unstable();
+                for &src in &expect_sources {
+                    let st = &model[&src];
+                    for s in st.floor + 1..=st.high {
+                        if !st.received.contains(&s) {
+                            expect_missing.push(MessageId::new(src, SeqNo(s)));
+                        }
+                    }
+                }
+                prop_assert_eq!(d.missing(), expect_missing);
+                let tracked: Vec<NodeId> = d.tracked_sources().collect();
+                prop_assert_eq!(&tracked, &expect_sources, "ascending source order");
+                for src in (0u32..4).map(NodeId) {
+                    let st = model.get(&src);
+                    prop_assert_eq!(
+                        d.high(src),
+                        SeqNo(st.map_or(0, |st| st.high))
+                    );
+                    prop_assert_eq!(
+                        d.received_count(src),
+                        st.map_or(0, |st| st.received.len() as u64)
+                    );
+                    let contiguous = st.map_or(0, |st| {
+                        let mut c = 0;
+                        while st.received.contains(&(c + 1)) {
+                            c += 1;
+                        }
+                        c
+                    });
+                    prop_assert_eq!(d.contiguous_received(src), SeqNo(contiguous));
+                    for s in 1u64..=30 {
+                        let msg = MessageId::new(src, SeqNo(s));
+                        prop_assert_eq!(
+                            d.received_before(msg),
+                            st.is_some_and(|st| st.received.contains(&s))
+                        );
+                        prop_assert_eq!(
+                            d.is_missing(msg),
+                            st.is_some_and(|st| s > st.floor
+                                && s <= st.high
+                                && !st.received.contains(&s))
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -10,7 +10,6 @@ use rrmp_netsim::time::SimTime;
 use rrmp_netsim::topology::NodeId;
 
 use crate::ids::MessageId;
-use std::collections::BTreeMap;
 
 /// Monotone counters of protocol activity on one receiver.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,7 +128,10 @@ pub enum ProtocolEvent {
 pub struct Metrics {
     /// Counter block.
     pub counters: Counters,
-    buffer_log: BTreeMap<MessageId, BufferRecord>,
+    /// Per-message lifecycle records, sorted by id. Message ids arrive
+    /// mostly in order, so inserts are near-append and the flat vector
+    /// avoids a B-tree node per handful of records.
+    buffer_log: Vec<(MessageId, BufferRecord)>,
     events: Vec<(SimTime, MessageId, ProtocolEvent)>,
     record_events: bool,
 }
@@ -141,7 +143,7 @@ impl Metrics {
     pub fn new(record_events: bool) -> Self {
         Metrics {
             counters: Counters::default(),
-            buffer_log: BTreeMap::new(),
+            buffer_log: Vec::new(),
             events: Vec::new(),
             record_events,
         }
@@ -150,18 +152,29 @@ impl Metrics {
     /// The per-message buffer lifecycle record.
     #[must_use]
     pub fn buffer_record(&self, id: MessageId) -> Option<&BufferRecord> {
-        self.buffer_log.get(&id)
+        self.buffer_log
+            .binary_search_by_key(&id, |&(rid, _)| rid)
+            .ok()
+            .map(|i| &self.buffer_log[i].1)
     }
 
     /// All buffer records in message order.
     #[must_use]
-    pub fn buffer_log(&self) -> &BTreeMap<MessageId, BufferRecord> {
+    pub fn buffer_log(&self) -> &[(MessageId, BufferRecord)] {
         &self.buffer_log
     }
 
     /// Mutable record entry for `id` (creates a default on first touch).
     pub fn buffer_record_mut(&mut self, id: MessageId) -> &mut BufferRecord {
-        self.buffer_log.entry(id).or_default()
+        let i = match self.buffer_log.binary_search_by_key(&id, |&(rid, _)| rid) {
+            Ok(i) => i,
+            Err(i) => {
+                crate::vecmap::reserve_doubling(&mut self.buffer_log);
+                self.buffer_log.insert(i, (id, BufferRecord::default()));
+                i
+            }
+        };
+        &mut self.buffer_log[i].1
     }
 
     /// Records a protocol event (no-op unless event recording is on).

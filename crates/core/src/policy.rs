@@ -684,12 +684,11 @@ impl Stability {
         // Kept sorted: digest admission binary-searches the quorum.
         members.sort_unstable();
         members.dedup();
-        Stability {
-            members,
-            tracker: StabilityTracker::new(),
-            swept: std::collections::HashMap::new(),
-            scratch: Vec::new(),
-        }
+        // Pre-interning the quorum fixes the tracker's dense peer
+        // indices (and flat-array sizes) up front; behaviour is
+        // unchanged vs lazy interning.
+        let tracker = StabilityTracker::with_members(&members);
+        Stability { members, tracker, swept: std::collections::HashMap::new(), scratch: Vec::new() }
     }
 
     /// Peers this member waits on: every other member of the group.

@@ -26,7 +26,9 @@
 //! [`ProtocolConfig::policy`]; the receiver itself is the shared engine
 //! every buffering algorithm runs on.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -43,6 +45,7 @@ use crate::loss::LossDetector;
 use crate::metrics::{Metrics, ProtocolEvent};
 use crate::packet::{DataPacket, Packet, RepairKind};
 use crate::policy::{BufferPolicy, DataPath, PolicyCtx};
+use crate::vecmap::VecMap;
 
 /// Builds a [`PolicyCtx`] lending the receiver's state to a policy hook.
 /// A macro (not a method) so the borrow checker sees the disjoint field
@@ -111,16 +114,22 @@ struct BackoffState {
 #[derive(Debug)]
 pub struct Receiver {
     id: NodeId,
-    cfg: ProtocolConfig,
+    /// Shared configuration. Every receiver in a simulated group runs the
+    /// same config, so the harness hands all of them one `Arc` instead of
+    /// an inline copy per node.
+    cfg: Arc<ProtocolConfig>,
     view: HierarchyView,
     store: MessageStore,
     detector: LossDetector,
-    local_rec: HashMap<MessageId, RecoveryState>,
-    remote_rec: HashMap<MessageId, RecoveryState>,
-    searches: HashMap<MessageId, SearchState>,
-    search_done: HashMap<MessageId, SearchDone>,
-    waiters: HashMap<MessageId, BTreeSet<NodeId>>,
-    backoffs: HashMap<MessageId, BackoffState>,
+    // Recovery tables as sorted-vector maps ([`VecMap`]): empty on most
+    // nodes, a handful of entries on the rest — no hash-table allocation
+    // per node, and deterministic (ascending-id) iteration for free.
+    local_rec: VecMap<MessageId, RecoveryState>,
+    remote_rec: VecMap<MessageId, RecoveryState>,
+    searches: VecMap<MessageId, SearchState>,
+    search_done: VecMap<MessageId, SearchDone>,
+    waiters: VecMap<MessageId, BTreeSet<NodeId>>,
+    backoffs: VecMap<MessageId, BackoffState>,
     rng: StdRng,
     metrics: Metrics,
     policy: Box<dyn BufferPolicy>,
@@ -177,6 +186,21 @@ impl Receiver {
         seed: u64,
         policy: Box<dyn BufferPolicy>,
     ) -> Self {
+        Self::with_shared_policy(id, view, Arc::new(cfg), seed, policy)
+    }
+
+    /// Like [`Receiver::with_policy`] taking an already-shared
+    /// configuration — hosts building many receivers over one config
+    /// (the simulation harness) pass clones of a single `Arc` so the
+    /// config is stored once per group, not once per member.
+    #[must_use]
+    pub fn with_shared_policy(
+        id: NodeId,
+        view: HierarchyView,
+        cfg: Arc<ProtocolConfig>,
+        seed: u64,
+        policy: Box<dyn BufferPolicy>,
+    ) -> Self {
         let record = cfg.record_events;
         let store = match cfg.buffer_capacity {
             Some(cap) => MessageStore::with_capacity(cap),
@@ -188,12 +212,12 @@ impl Receiver {
             view,
             store,
             detector: LossDetector::new(),
-            local_rec: HashMap::new(),
-            remote_rec: HashMap::new(),
-            searches: HashMap::new(),
-            search_done: HashMap::new(),
-            waiters: HashMap::new(),
-            backoffs: HashMap::new(),
+            local_rec: VecMap::new(),
+            remote_rec: VecMap::new(),
+            searches: VecMap::new(),
+            search_done: VecMap::new(),
+            waiters: VecMap::new(),
+            backoffs: VecMap::new(),
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(record),
             policy,
@@ -290,17 +314,16 @@ impl Receiver {
         if self.left {
             return;
         }
-        // HashMap iteration order is not deterministic; sort so the heal
-        // round emits actions in the same order on every engine layout.
-        let mut exhausted: Vec<MessageId> = self
+        // `VecMap` iterates in ascending id order, so the heal round
+        // emits actions in the same order on every engine layout.
+        let exhausted: Vec<MessageId> = self
             .searches
             .iter()
             .filter(|(_, s)| s.exhausted_at.is_some())
-            .map(|(&m, _)| m)
+            .map(|(m, _)| m)
             .collect();
-        exhausted.sort_unstable();
         for msg in exhausted {
-            if let Some(state) = self.searches.get_mut(&msg) {
+            if let Some(state) = self.searches.get_mut(msg) {
                 state.exhausted_at = None;
                 state.attempts = 0;
                 self.metrics.counters.heal_rearms += 1;
@@ -310,9 +333,9 @@ impl Receiver {
         // `LossDetector::missing` is (source, seq)-ordered, so this loop
         // is deterministic as-is.
         for msg in self.detector.missing() {
-            if !self.local_rec.contains_key(&msg)
-                && !self.remote_rec.contains_key(&msg)
-                && !self.searches.contains_key(&msg)
+            if !self.local_rec.contains_key(msg)
+                && !self.remote_rec.contains_key(msg)
+                && !self.searches.contains_key(msg)
             {
                 self.metrics.counters.heal_rearms += 1;
                 self.start_recovery(msg, now, actions);
@@ -325,9 +348,9 @@ impl Receiver {
     /// receiver gave up on cleanly after exhausting its retry caps.
     #[must_use]
     pub fn recovery_pending(&self, msg: MessageId) -> bool {
-        self.local_rec.contains_key(&msg)
-            || self.remote_rec.contains_key(&msg)
-            || self.searches.get(&msg).is_some_and(|s| s.exhausted_at.is_none())
+        self.local_rec.contains_key(msg)
+            || self.remote_rec.contains_key(msg)
+            || self.searches.get(msg).is_some_and(|s| s.exhausted_at.is_none())
     }
 
     /// Actions to run at start-up: arms the long-term sweep and, for
@@ -428,7 +451,7 @@ impl Receiver {
             Packet::RegionalRepair { data } => {
                 // Hearing the region-wide repair suppresses our own pending
                 // back-off multicast for the same message.
-                if let Some(b) = self.backoffs.get_mut(&data.id) {
+                if let Some(b) = self.backoffs.get_mut(data.id) {
                     b.suppressed = true;
                 }
                 self.on_data(data, DataPath::RegionalRepair, now, actions);
@@ -440,7 +463,7 @@ impl Receiver {
                 // Someone has the message: the search is over. Remember
                 // the holder briefly so probes still in flight don't
                 // re-ignite the search.
-                self.searches.remove(&msg);
+                self.searches.remove(msg);
                 self.search_done.insert(msg, SearchDone { at: now, holder });
             }
             Packet::Handoff { data } => {
@@ -472,8 +495,8 @@ impl Receiver {
             actions.push(Action::Deliver { id, payload: data.payload.clone() });
             self.buffer_new_message(id, &data.payload, path, now, actions);
             // Any recovery effort for this message is complete.
-            self.local_rec.remove(&id);
-            self.remote_rec.remove(&id);
+            self.local_rec.remove(id);
+            self.remote_rec.remove(id);
             self.relay_to_waiters(id, &data.payload, now, actions);
             self.answer_active_search(id, &data.payload, now, actions);
             if path == DataPath::RemoteRepair && self.policy.remulticast_remote_repairs() {
@@ -519,7 +542,7 @@ impl Receiver {
         now: SimTime,
         actions: &mut Vec<Action>,
     ) {
-        let Some(waiters) = self.waiters.remove(&id) else { return };
+        let Some(waiters) = self.waiters.remove(id) else { return };
         for w in waiters.into_iter().filter(|&w| w != self.id) {
             self.metrics.counters.relays_performed += 1;
             self.metrics.counters.repairs_sent_remote += 1;
@@ -539,7 +562,7 @@ impl Receiver {
     /// the memory window has not expired.
     fn fresh_holder(&self, msg: MessageId, now: SimTime) -> Option<NodeId> {
         self.search_done
-            .get(&msg)
+            .get(msg)
             .filter(|d| now.saturating_since(d.at) <= self.cfg.search_memory)
             .map(|d| d.holder)
     }
@@ -551,7 +574,7 @@ impl Receiver {
         now: SimTime,
         actions: &mut Vec<Action>,
     ) {
-        let Some(search) = self.searches.remove(&id) else { return };
+        let Some(search) = self.searches.remove(id) else { return };
         self.search_done.insert(id, SearchDone { at: now, holder: self.id });
         for origin in &search.origins {
             self.metrics.counters.repairs_sent_remote += 1;
@@ -667,7 +690,7 @@ impl Receiver {
         } else {
             // Never received: remember the waiter and recover it ourselves;
             // the repair is relayed when the message arrives (§2.2).
-            self.waiters.entry(msg).or_default().insert(from);
+            self.waiters.get_or_default(msg).insert(from);
             for m in self.detector.on_hint(msg) {
                 self.start_recovery(m, now, actions);
             }
@@ -680,13 +703,13 @@ impl Receiver {
         if !self.detector.is_missing(msg) {
             return;
         }
-        if let std::collections::hash_map::Entry::Vacant(e) = self.local_rec.entry(msg) {
-            e.insert(RecoveryState::default());
+        if !self.local_rec.contains_key(msg) {
+            self.local_rec.insert(msg, RecoveryState::default());
             self.local_attempt(msg, now, actions);
         }
         if self.policy.remote_recovery()
             && self.view.parent().is_some()
-            && !self.remote_rec.contains_key(&msg)
+            && !self.remote_rec.contains_key(msg)
         {
             self.remote_rec.insert(msg, RecoveryState::default());
             self.remote_attempt(msg, now, actions);
@@ -700,10 +723,10 @@ impl Receiver {
     /// request, or a remote request whose target registers a waiter and
     /// recovers the message itself), and the retry period.
     fn local_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
-        let Some(state) = self.local_rec.get_mut(&msg) else { return };
+        let Some(state) = self.local_rec.get_mut(msg) else { return };
         state.attempts += 1;
         if state.attempts > self.cfg.max_local_attempts {
-            self.local_rec.remove(&msg);
+            self.local_rec.remove(msg);
             self.metrics.counters.recovery_gave_up += 1;
             return;
         }
@@ -721,10 +744,10 @@ impl Receiver {
     }
 
     fn remote_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
-        let Some(state) = self.remote_rec.get_mut(&msg) else { return };
+        let Some(state) = self.remote_rec.get_mut(msg) else { return };
         state.attempts += 1;
         if state.attempts > self.cfg.max_remote_attempts {
-            self.remote_rec.remove(&msg);
+            self.remote_rec.remove(msg);
             self.metrics.counters.recovery_gave_up += 1;
             return;
         }
@@ -791,17 +814,17 @@ impl Receiver {
                 return;
             }
             // Otherwise join the search (§3.3).
-            if !self.searches.contains_key(&msg) {
+            if !self.searches.contains_key(msg) {
                 self.metrics.counters.searches_joined += 1;
                 self.metrics.record_event(now, msg, ProtocolEvent::SearchJoined);
                 self.join_search(msg, origins, now, actions);
-            } else if let Some(s) = self.searches.get_mut(&msg) {
+            } else if let Some(s) = self.searches.get_mut(msg) {
                 s.origins.extend(origins);
             }
         } else {
             // Never received (§3.3 footnote 4): recover it ourselves and
             // relay to the origins once it arrives.
-            self.waiters.entry(msg).or_default().extend(origins);
+            self.waiters.get_or_default(msg).extend(origins);
             for m in self.detector.on_hint(msg) {
                 self.start_recovery(m, now, actions);
             }
@@ -815,7 +838,7 @@ impl Receiver {
         now: SimTime,
         actions: &mut Vec<Action>,
     ) {
-        let entry = self.searches.entry(msg).or_insert(SearchState {
+        let entry = self.searches.get_or_insert_with(msg, || SearchState {
             origins: BTreeSet::new(),
             attempts: 0,
             exhausted_at: None,
@@ -828,7 +851,7 @@ impl Receiver {
     }
 
     fn search_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
-        let Some(state) = self.searches.get_mut(&msg) else { return };
+        let Some(state) = self.searches.get_mut(msg) else { return };
         if state.exhausted_at.is_some() {
             return;
         }
@@ -854,22 +877,22 @@ impl Receiver {
     fn on_timer(&mut self, kind: TimerKind, now: SimTime, actions: &mut Vec<Action>) {
         match kind {
             TimerKind::LocalRetry(msg) => {
-                if self.detector.is_missing(msg) && self.local_rec.contains_key(&msg) {
+                if self.detector.is_missing(msg) && self.local_rec.contains_key(msg) {
                     self.local_attempt(msg, now, actions);
                 } else {
-                    self.local_rec.remove(&msg);
+                    self.local_rec.remove(msg);
                 }
             }
             TimerKind::RemoteRetry(msg) => {
-                if self.detector.is_missing(msg) && self.remote_rec.contains_key(&msg) {
+                if self.detector.is_missing(msg) && self.remote_rec.contains_key(msg) {
                     self.remote_attempt(msg, now, actions);
                 } else {
-                    self.remote_rec.remove(&msg);
+                    self.remote_rec.remove(msg);
                 }
             }
             TimerKind::IdleCheck(msg) => self.on_idle_check(msg, now, actions),
             TimerKind::SearchRetry(msg) => {
-                if self.searches.contains_key(&msg) {
+                if self.searches.contains_key(msg) {
                     if let Some(payload) = self.store.get(msg) {
                         // We re-acquired the message since the search began.
                         self.answer_active_search(msg, &payload, now, actions);
@@ -879,7 +902,7 @@ impl Receiver {
                 }
             }
             TimerKind::Backoff(msg) => {
-                if let Some(b) = self.backoffs.remove(&msg) {
+                if let Some(b) = self.backoffs.remove(msg) {
                     if b.suppressed {
                         self.metrics.counters.regional_multicasts_suppressed += 1;
                     } else {

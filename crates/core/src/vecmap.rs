@@ -1,0 +1,175 @@
+//! A sorted-vector map for small, mostly-empty per-node tables.
+//!
+//! Receivers hold several recovery-state tables (in-flight local and
+//! remote pulls, searches, search memory, waiters, back-offs) that are
+//! empty on most nodes most of the time and hold a handful of entries on
+//! the rest. A hash map spends three pointers of inline space per table
+//! and allocates a bucket array (hundreds of bytes) on first insert; at
+//! a million members those fixed costs dominate the actual state. This
+//! map is a single id-sorted vector: one pointer-word triple inline,
+//! nothing on the heap while empty, and exact-sized doubling (1, 2, 4,
+//! ...) once entries appear.
+//!
+//! Iteration order is ascending by key — deterministic by construction,
+//! so hosts never need the collect-and-sort dance hash maps force on
+//! trace-sensitive code paths.
+
+/// Grows `v` by exact doubling (capacities 1, 2, 4, ...) instead of the
+/// allocator default that starts several elements wide. Call before a
+/// push/insert that may grow; a no-op while spare capacity remains.
+pub(crate) fn reserve_doubling<T>(v: &mut Vec<T>) {
+    if v.len() == v.capacity() {
+        v.reserve_exact(v.len().max(1));
+    }
+}
+
+/// A map from `K` to `V` stored as a key-sorted vector.
+#[derive(Debug, Clone, Default)]
+pub struct VecMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord + Copy, V> VecMap<K, V> {
+    /// Creates an empty map (no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        VecMap { entries: Vec::new() }
+    }
+
+    fn idx(&self, key: K) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&key, |&(k, _)| k)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value for `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.idx(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable value for `key`, if present.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        match self.idx(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: K) -> bool {
+        self.idx(key).is_ok()
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.idx(key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                reserve_doubling(&mut self.entries);
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value under `key`, if any.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        self.idx(key).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    /// Mutable value for `key`, inserting one from `make` on first touch.
+    pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> &mut V {
+        let i = match self.idx(key) {
+            Ok(i) => i,
+            Err(i) => {
+                reserve_doubling(&mut self.entries);
+                self.entries.insert(i, (key, make()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Keeps only the entries for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(K, &mut V) -> bool) {
+        self.entries.retain_mut(|(k, v)| keep(*k, v));
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+impl<K: Ord + Copy, V: Default> VecMap<K, V> {
+    /// Mutable value for `key`, inserting a default on first touch.
+    pub fn get_or_default(&mut self, key: K) -> &mut V {
+        self.get_or_insert_with(key, V::default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VecMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: VecMap<u32, &str> = VecMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(5, "five"), None);
+        assert_eq!(m.insert(1, "one"), None);
+        assert_eq!(m.insert(5, "FIVE"), Some("five"));
+        assert_eq!(m.get(5), Some(&"FIVE"));
+        assert_eq!(m.get(2), None);
+        assert!(m.contains_key(1));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(1), Some("one"));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_sorted() {
+        let mut m: VecMap<u32, u32> = VecMap::new();
+        for k in [9, 3, 7, 1, 5] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u32> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn retain_and_defaults() {
+        let mut m: VecMap<u32, Vec<u32>> = VecMap::new();
+        m.get_or_default(2).push(20);
+        m.get_or_default(2).push(21);
+        m.get_or_default(4).push(40);
+        assert_eq!(m.get(2), Some(&vec![20, 21]));
+        m.retain(|k, _| k != 2);
+        assert_eq!(m.get(2), None);
+        assert_eq!(m.get(4), Some(&vec![40]));
+    }
+
+    #[test]
+    fn grows_by_exact_doubling() {
+        let mut m: VecMap<u32, u8> = VecMap::new();
+        let mut caps = Vec::new();
+        for k in 0..5 {
+            m.insert(k, 0);
+            caps.push(m.entries.capacity());
+        }
+        assert_eq!(caps, vec![1, 2, 4, 4, 8]);
+    }
+}

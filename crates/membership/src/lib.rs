@@ -25,8 +25,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod gossip;
+pub mod index;
 pub mod node;
 pub mod view;
 
 pub use gossip::{Digest, GossipConfig, GossipState, Liveness, ViewEvent};
+pub use index::{IdRangeSet, MemberIndex};
 pub use view::{HierarchyView, RegionView};

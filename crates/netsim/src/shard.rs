@@ -12,7 +12,8 @@
 //! ## Execution model
 //!
 //! A [`ShardedSim`] partitions the topology's regions over `shards` shards
-//! (round-robin by region index; a region never splits). Each shard owns
+//! (load-aware LPT bin packing over region member counts by default — see
+//! [`ShardPlacement`]; a region never splits). Each shard owns
 //! its own timing wheel, payload slab, timer slab, scratch buffers, and
 //! the RNG streams of its nodes — there is **no shared mutable state**
 //! between shards during a window. The run loop is a sequence of windows:
@@ -458,12 +459,109 @@ impl<N: SimNode> std::fmt::Debug for ShardedSim<N> {
     }
 }
 
-/// Round-robin assignment of regions to shards. Any deterministic
-/// assignment yields the same traces (that is the point of the canonical
-/// mailbox order); round-robin balances equally sized regions exactly.
-fn partition_regions(topo: &Topology, shards: usize) -> Vec<u32> {
+/// How regions are assigned to shards.
+///
+/// Placement is purely a load-balancing decision: any deterministic
+/// assignment yields byte-identical traces (that is the point of the
+/// canonical mailbox order), so the only thing placement changes is how
+/// evenly work spreads across shard workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShardPlacement {
+    /// Greedy LPT (longest-processing-time) bin packing over region
+    /// member counts: regions are placed heaviest-first onto the
+    /// currently lightest shard. Within a factor 4/3 of the optimal
+    /// makespan, and exact when regions are equal-sized — strictly
+    /// better than round-robin once regions are heterogeneous, which is
+    /// the regime million-member topologies live in (cf. the
+    /// hierarchical-makespan result: cost is dominated by the largest
+    /// region).
+    #[default]
+    LoadAware,
+    /// Round-robin by region index — balances equally sized regions
+    /// exactly; kept for placement-invariance tests and comparison runs.
+    RoundRobin,
+}
+
+/// Assigns regions to shards under `placement`. Shard ids in the result
+/// are dense (`ShardedSim::new` sizes its state table from the max id),
+/// which LPT guarantees because the first `shards` placements each pick
+/// a distinct empty bin.
+fn partition_regions(topo: &Topology, shards: usize, placement: ShardPlacement) -> Vec<u32> {
     let shards = shards.clamp(1, topo.region_count().max(1));
-    (0..topo.region_count()).map(|r| (r % shards) as u32).collect()
+    match placement {
+        ShardPlacement::RoundRobin => {
+            (0..topo.region_count()).map(|r| (r % shards) as u32).collect()
+        }
+        ShardPlacement::LoadAware => {
+            let weight = |r: usize| topo.members_of(RegionId(r as u16)).len();
+            // Heaviest first; equal weights keep ascending region order
+            // so the assignment is deterministic.
+            let mut order: Vec<usize> = (0..topo.region_count()).collect();
+            order.sort_by_key(|&r| (std::cmp::Reverse(weight(r)), r));
+            let mut load = vec![0usize; shards];
+            let mut assign = vec![0u32; topo.region_count()];
+            for r in order {
+                let lightest = (0..shards).min_by_key(|&s| (load[s], s)).unwrap_or(0);
+                load[lightest] += weight(r);
+                assign[r] = lightest as u32;
+            }
+            assign
+        }
+    }
+}
+
+/// Builds the per-shard states, streaming `nodes` (one per topology
+/// node, in `NodeId` order) into exactly-sized per-shard vectors.
+///
+/// # Panics
+///
+/// Panics if `nodes` does not yield exactly one node per topology node.
+fn build_states<N: SimNode>(
+    topo: &Topology,
+    node_shard: &[u32],
+    nodes: impl IntoIterator<Item = N>,
+    seed: u64,
+    shard_count: usize,
+) -> Vec<ShardState<N>> {
+    let seq = SeedSequence::new(seed);
+    let node_count = topo.node_count();
+    let region_count = topo.region_count();
+    let mut counts = vec![0usize; shard_count];
+    for &s in node_shard {
+        counts[s as usize] += 1;
+    }
+    let mut states: Vec<ShardState<N>> = (0..shard_count)
+        .map(|s| ShardState {
+            node_ids: Vec::with_capacity(counts[s]),
+            nodes: Vec::with_capacity(counts[s]),
+            rngs: Vec::with_capacity(counts[s]),
+            loss_rngs: Vec::with_capacity(counts[s]),
+            local_of: vec![u32::MAX; node_count],
+            queue: EventQueue::new(),
+            timers: TimerSlab::default(),
+            counters: NetCounters::default(),
+            now: SimTime::ZERO,
+            scratch_ops: Vec::new(),
+            scratch_targets: Vec::new(),
+            target_pool: Vec::new(),
+            scratch_groups: Vec::new(),
+            outboxes: (0..shard_count).map(|_| Vec::new()).collect(),
+            emit_seqs: vec![0; region_count],
+        })
+        .collect();
+    let mut total = 0usize;
+    for (i, node) in nodes.into_iter().enumerate() {
+        let id = NodeId(i as u32);
+        let st = &mut states[node_shard[i] as usize];
+        st.local_of[i] = st.nodes.len() as u32;
+        st.node_ids.push(id);
+        st.nodes.push(node);
+        st.rngs.push(seq.rng_for(i as u64));
+        st.loss_rngs.push(seq.rng_for(loss_stream(id)));
+        total += 1;
+    }
+    assert_eq!(total, node_count, "need exactly one node implementation per topology node");
+    states
 }
 
 impl<N> ShardedSim<N>
@@ -473,27 +571,45 @@ where
 {
     /// Creates a sharded simulator over `topo` hosting `nodes` (one per
     /// [`NodeId`], in order), partitioned into at most `shards` shards
-    /// (clamped to the region count; a region never splits). All
-    /// randomness derives from `seed`; traces are identical for every
-    /// value of `shards`.
+    /// (clamped to the region count; a region never splits) under the
+    /// default load-aware placement. All randomness derives from `seed`;
+    /// traces are identical for every value of `shards` **and** every
+    /// placement.
     ///
     /// # Panics
     ///
     /// Panics if `nodes.len()` does not match the topology's node count.
     #[must_use]
     pub fn new(topo: Topology, nodes: Vec<N>, seed: u64, shards: usize) -> Self {
+        Self::with_placement(topo, nodes, seed, shards, ShardPlacement::default())
+    }
+
+    /// [`ShardedSim::new`] with an explicit region→shard [`ShardPlacement`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the topology's node count.
+    #[must_use]
+    pub fn with_placement(
+        topo: Topology,
+        nodes: Vec<N>,
+        seed: u64,
+        shards: usize,
+        placement: ShardPlacement,
+    ) -> Self {
         assert_eq!(
             nodes.len(),
             topo.node_count(),
             "need exactly one node implementation per topology node"
         );
-        let region_shard = partition_regions(&topo, shards);
+        let region_shard = partition_regions(&topo, shards, placement);
         let shard_count = region_shard.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
         let node_shard: Vec<u32> =
             topo.nodes().map(|n| region_shard[topo.region_of(n).index()]).collect();
+        let states = build_states(&topo, &node_shard, nodes, seed, shard_count);
         let lookahead = topo.lookahead();
-        let mut sim = ShardedSim {
-            states: Vec::with_capacity(shard_count),
+        ShardedSim {
+            states,
             region_shard,
             node_shard,
             lookahead,
@@ -504,43 +620,46 @@ where
             started: false,
             merge_scratch: Vec::new(),
             topo,
-        };
-        sim.build_states(nodes, seed, shard_count);
-        sim
+        }
     }
 
-    /// Distributes `nodes` into fresh per-shard states.
-    fn build_states(&mut self, nodes: Vec<N>, seed: u64, shard_count: usize) {
-        let seq = SeedSequence::new(seed);
-        let node_count = self.topo.node_count();
-        let region_count = self.topo.region_count();
-        self.states = (0..shard_count)
-            .map(|_| ShardState {
-                node_ids: Vec::new(),
-                nodes: Vec::new(),
-                rngs: Vec::new(),
-                loss_rngs: Vec::new(),
-                local_of: vec![u32::MAX; node_count],
-                queue: EventQueue::new(),
-                timers: TimerSlab::default(),
-                counters: NetCounters::default(),
-                now: SimTime::ZERO,
-                scratch_ops: Vec::new(),
-                scratch_targets: Vec::new(),
-                target_pool: Vec::new(),
-                scratch_groups: Vec::new(),
-                outboxes: (0..shard_count).map(|_| Vec::new()).collect(),
-                emit_seqs: vec![0; region_count],
-            })
-            .collect();
-        for (i, node) in nodes.into_iter().enumerate() {
-            let id = NodeId(i as u32);
-            let st = &mut self.states[self.node_shard[i] as usize];
-            st.local_of[i] = st.nodes.len() as u32;
-            st.node_ids.push(id);
-            st.nodes.push(node);
-            st.rngs.push(seq.rng_for(i as u64));
-            st.loss_rngs.push(seq.rng_for(loss_stream(id)));
+    /// Like [`ShardedSim::with_placement`], taking the nodes as an
+    /// iterator that is streamed straight into the per-shard vectors —
+    /// the million-member construction path. A pre-built `Vec<N>` plus
+    /// the per-shard copies would briefly double the node set's
+    /// footprint; here at most one node is in flight at a time. The
+    /// iterator may borrow the caller's topology (this constructor
+    /// stores its own clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` does not yield exactly one node per topology
+    /// node (in `NodeId` order), or if `shards` is zero.
+    #[must_use]
+    pub fn with_placement_from<I: IntoIterator<Item = N>>(
+        topo: &Topology,
+        nodes: I,
+        seed: u64,
+        shards: usize,
+        placement: ShardPlacement,
+    ) -> Self {
+        let region_shard = partition_regions(topo, shards, placement);
+        let shard_count = region_shard.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        let node_shard: Vec<u32> =
+            topo.nodes().map(|n| region_shard[topo.region_of(n).index()]).collect();
+        let states = build_states(topo, &node_shard, nodes, seed, shard_count);
+        ShardedSim {
+            states,
+            region_shard,
+            node_shard,
+            lookahead: topo.lookahead(),
+            unicast_loss: LossModel::None,
+            drop_filter: None,
+            fault: None,
+            now: SimTime::ZERO,
+            started: false,
+            merge_scratch: Vec::new(),
+            topo: topo.clone(),
         }
     }
 
@@ -1106,6 +1225,77 @@ mod tests {
             for shards in [2usize, 3, 4, 7] {
                 assert_eq!(one, gossip_trace(shards, seed, true), "shards={shards} seed={seed}");
             }
+        }
+    }
+
+    /// Heavily skewed region sizes: one dominant region, a mid-sized one,
+    /// and a tail of small ones — the regime where LPT and round-robin
+    /// disagree maximally.
+    fn skewed_topo() -> Topology {
+        let mut b = TopologyBuilder::new()
+            .intra_region_one_way(SimDuration::from_millis(5))
+            .inter_region_one_way(SimDuration::from_millis(25))
+            .region(13, None)
+            .region(6, Some(0));
+        for _ in 0..4 {
+            b = b.region(2, Some(0));
+        }
+        b.build().unwrap()
+    }
+
+    fn skewed_gossip_trace(shards: usize, placement: ShardPlacement) -> (Trace, NetCounters) {
+        let topo = skewed_topo();
+        let n = topo.node_count();
+        let nodes = (0..n).map(|_| Gossiper { log: Vec::new() }).collect();
+        let mut sim = ShardedSim::with_placement(topo, nodes, 23, shards, placement);
+        sim.set_unicast_loss(LossModel::Bernoulli { p: 0.15 });
+        sim.inject(NodeId(0), NodeId(20), 250, SimTime::ZERO);
+        sim.inject(NodeId(14), NodeId(2), 120, SimTime::from_millis(7));
+        sim.run_until_quiescent(SimTime::from_secs(60));
+        let traces = (0..n as u32).map(|i| sim.node(NodeId(i)).log.clone()).collect();
+        (traces, sim.counters())
+    }
+
+    #[test]
+    fn placement_is_trace_invariant_on_skewed_regions() {
+        // LPT, round-robin, and the single-shard oracle must produce
+        // byte-identical traces at every shard count: placement is a
+        // load-balancing decision only.
+        let oracle = skewed_gossip_trace(1, ShardPlacement::RoundRobin);
+        for shards in [1usize, 2, 4] {
+            for placement in [ShardPlacement::LoadAware, ShardPlacement::RoundRobin] {
+                assert_eq!(
+                    oracle,
+                    skewed_gossip_trace(shards, placement),
+                    "shards={shards} placement={placement:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_placement_balances_skewed_regions() {
+        let topo = skewed_topo(); // weights [13, 6, 2, 2, 2, 2]
+        let lpt = partition_regions(&topo, 2, ShardPlacement::LoadAware);
+        let rr = partition_regions(&topo, 2, ShardPlacement::RoundRobin);
+        let load = |assign: &[u32]| {
+            let mut load = vec![0usize; 2];
+            for (r, &s) in assign.iter().enumerate() {
+                load[s as usize] += topo.members_of(RegionId(r as u16)).len();
+            }
+            load
+        };
+        // LPT: 13 alone vs 6+2+2+2+2 = 14. Round-robin: 13+2+2 = 17 vs 10.
+        assert_eq!(load(&lpt).iter().max(), Some(&14));
+        assert_eq!(load(&rr).iter().max(), Some(&17));
+        // Shard ids stay dense (ShardedSim sizes its state table from the
+        // max id), and every region is assigned.
+        for shards in 1..=6 {
+            let assign = partition_regions(&topo, shards, ShardPlacement::LoadAware);
+            assert_eq!(assign.len(), topo.region_count());
+            let used: std::collections::BTreeSet<u32> = assign.iter().copied().collect();
+            let expect: std::collections::BTreeSet<u32> = (0..shards as u32).collect();
+            assert_eq!(used, expect, "shards={shards}");
         }
     }
 

@@ -20,11 +20,25 @@
 # queue_ops,multicast_fanout,delivered_query this way), or
 # BENCH_GUARD_SKIP=1 to skip it (CI runs the guard as its own step).
 #
+# BENCH_MEMBERS=N shrinks the million-member scaling workload (members_1m)
+# to N members — the run is then recorded under the workload name
+# members_scale so a reduced smoke run can never silently overwrite the
+# flagship members_1m numbers. BENCH_MEMBERS_ONLY=1 runs only the scaling
+# workload (the CI members_scale smoke job uses both).
+#
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_sim_core.json}"
+
+SIM_FLAGS=()
+if [[ -n "${BENCH_MEMBERS:-}" ]]; then
+  SIM_FLAGS+=("--members=${BENCH_MEMBERS}")
+fi
+if [[ "${BENCH_MEMBERS_ONLY:-0}" == "1" ]]; then
+  SIM_FLAGS+=("--members-only")
+fi
 
 # Snapshot the committed baseline before (possibly) overwriting it.
 BASELINE_SNAPSHOT=""
@@ -39,7 +53,7 @@ cargo bench -p rrmp-bench --bench micro_core
 
 echo
 echo "== sim_core differential benchmark =="
-cargo run --release -p rrmp-bench --bin sim_core_bench "$OUT"
+cargo run --release -p rrmp-bench --bin sim_core_bench "$OUT" ${SIM_FLAGS[@]+"${SIM_FLAGS[@]}"}
 
 echo "wrote $OUT"
 
