@@ -48,6 +48,10 @@ pub struct RunReport {
     pub faults_dropped: u64,
     /// Duplicate copies injected by the armed fault plan.
     pub faults_duplicated: u64,
+    /// Wedged recovery efforts restarted by the liveness watchdog,
+    /// summed over members (0 when the watchdog is unarmed — the legacy
+    /// stacks have no watchdog).
+    pub watchdog_rearms: u64,
 }
 
 impl RunReport {
@@ -55,7 +59,7 @@ impl RunReport {
     #[must_use]
     pub fn table_row(&self) -> String {
         format!(
-            "{:<14} {:>9} {:>16} {:>10} {:>12.1} {:>12} {:>12} {:>9} {:>9} {:>8} {:>11}",
+            "{:<14} {:>9} {:>16} {:>10} {:>12.1} {:>12} {:>12} {:>9} {:>9} {:>8} {:>11} {:>7}",
             self.scheme,
             format!("{}/{}", self.fully_delivered_members, self.members),
             self.byte_time_total / 1000, // byte·ms
@@ -69,6 +73,7 @@ impl RunReport {
             self.recovery_gave_up,
             // Fault-plan activity at the network edge: drops/duplicates.
             format!("{}/{}", self.faults_dropped, self.faults_duplicated),
+            self.watchdog_rearms,
         )
     }
 
@@ -76,7 +81,7 @@ impl RunReport {
     #[must_use]
     pub fn table_header() -> String {
         format!(
-            "{:<14} {:>9} {:>16} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8} {:>11}",
+            "{:<14} {:>9} {:>16} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8} {:>11} {:>7}",
             "scheme",
             "delivered",
             "byte·ms buffered",
@@ -87,7 +92,8 @@ impl RunReport {
             "residual",
             "gaveup/pe",
             "gaveups",
-            "fault(d/x)"
+            "fault(d/x)",
+            "rearms"
         )
     }
 }
@@ -132,6 +138,7 @@ mod tests {
             recovery_gave_up: 0,
             faults_dropped: 0,
             faults_duplicated: 0,
+            watchdog_rearms: 0,
         };
         let header = RunReport::table_header();
         let row = r.table_row();

@@ -315,6 +315,7 @@ impl HashNetwork {
             recovery_gave_up: 0,
             faults_dropped: 0,
             faults_duplicated: 0,
+            watchdog_rearms: 0,
         }
     }
 }

@@ -126,5 +126,9 @@ pub fn rrmp_report(
             .sum(),
         faults_dropped: net_counters.faults_dropped,
         faults_duplicated: net_counters.faults_duplicated,
+        watchdog_rearms: net
+            .nodes()
+            .map(|(_, n)| n.receiver().metrics().counters.watchdog_rearms)
+            .sum(),
     }
 }

@@ -320,6 +320,7 @@ impl SenderBasedNetwork {
             recovery_gave_up: 0,
             faults_dropped: 0,
             faults_duplicated: 0,
+            watchdog_rearms: 0,
         }
     }
 }

@@ -373,6 +373,7 @@ impl StabilityNetwork {
             recovery_gave_up: 0,
             faults_dropped: 0,
             faults_duplicated: 0,
+            watchdog_rearms: 0,
         }
     }
 }

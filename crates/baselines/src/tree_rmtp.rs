@@ -342,6 +342,7 @@ impl TreeNetwork {
             recovery_gave_up: 0,
             faults_dropped: 0,
             faults_duplicated: 0,
+            watchdog_rearms: 0,
         }
     }
 }

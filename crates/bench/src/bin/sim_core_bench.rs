@@ -29,6 +29,14 @@
 //!   run): identical traces by construction, so the ratio is the pure
 //!   cost of the per-copy fault hook. Proves the unarmed hook (one
 //!   `Option` check) costs nothing on fault-free runs.
+//! * `overload` — a repair storm (80% loss burst, 100 members, a tenth
+//!   seeded per message) with the graceful-degradation kit armed (memory
+//!   budget + token-bucket damping + liveness watchdog) vs the same
+//!   storm undamped. What damping buys is wire traffic, not wall-clock
+//!   (shed rounds re-queue as paced timer events), so the comparison is
+//!   storms per million repair unicasts — deterministic per seed, so the
+//!   entry only moves when the protocol does (warn-only in
+//!   `bench_guard`).
 //! * `queue_ops` — a raw schedule/pop storm with thousands of pending
 //!   events: the hierarchical timing wheel vs the reference `BinaryHeap`
 //!   queue, including capacity reuse across runs via `clear`.
@@ -67,7 +75,7 @@ use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::{MessageId, SeqNo};
 use rrmp_core::packet::{DataPacket, Packet};
 use rrmp_core::policy::PolicyKind;
-use rrmp_core::prelude::ProtocolConfig;
+use rrmp_core::prelude::{DampingConfig, ProtocolConfig, WatchdogConfig};
 use rrmp_netsim::event::{EventQueue, ReferenceEventQueue, Scheduler};
 use rrmp_netsim::fault::FaultPlan;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
@@ -315,6 +323,52 @@ fn fault_path_workload(armed: bool) -> (f64, u64) {
         }
         net.run_until(net.now() + SimDuration::from_millis(500));
         net.net_counters().events_processed
+    })
+}
+
+// ----- workload 5c: repair storm, damped vs undamped ------------------------
+
+/// A repair storm on a 100-member region: a heavy loss burst makes most
+/// of the group start recovery for every message at once. Damped arm:
+/// the full overload kit armed (memory budget, token-bucket damping,
+/// liveness watchdog); undamped arm: the same storm with the kit off.
+/// Returns the **wire unicasts** the storm cost — the quantity damping
+/// exists to bound. (Wall-clock is the wrong axis here: shed rounds
+/// re-queue as paced timer events, so the damped arm does *more*
+/// simulator work while putting ~8x fewer packets on the wire.)
+fn overload_workload(damped: bool) -> (f64, u64) {
+    best_secs(3, || {
+        let topo = presets::paper_region(100);
+        let mut cfg = ProtocolConfig::paper_defaults();
+        if damped {
+            cfg.memory_budget = Some(16 * 1024);
+            cfg.damping = Some(DampingConfig {
+                burst: 2,
+                refill: SimDuration::from_millis(40),
+                suppress_window: SimDuration::from_millis(15),
+            });
+            cfg.watchdog = Some(WatchdogConfig {
+                interval: SimDuration::from_millis(200),
+                horizon: SimDuration::from_millis(400),
+            });
+        }
+        let mut net = RrmpNetwork::new(topo, cfg, 7);
+        net.arm_fault_plan(FaultPlan::new(11).loss_burst(
+            0.8,
+            None,
+            SimTime::from_millis(50),
+            SimTime::from_millis(500),
+        ));
+        for _ in 0..20 {
+            // Only a tenth of the group gets the initial multicast: the
+            // other ninety members all turn to recovery — the storm.
+            let plan = DeliveryPlan::only(net.topology(), (0..10).map(NodeId));
+            net.multicast_with_plan(&b"storm-payload-storm-payload"[..], &plan);
+            let next = net.now() + SimDuration::from_millis(30);
+            net.run_until(next);
+        }
+        net.run_until(net.now() + SimDuration::from_secs(2));
+        net.net_counters().unicasts_sent
     })
 }
 
@@ -752,6 +806,25 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,
         work: events,
+    });
+
+    eprintln!("overload: 100-member repair storm, damped vs undamped ...");
+    let (opt_s, pkts) = overload_workload(true);
+    let (ref_s, ref_pkts) = overload_workload(false);
+    // Both arms simulate the identical storm to the identical horizon;
+    // what damping buys is wire traffic, so the rates are storms per
+    // million repair unicasts (deterministic per seed — this entry does
+    // not drift with machine noise, only with protocol changes).
+    eprintln!(
+        "  damped: {pkts} repair unicasts ({opt_s:.3}s); \
+         undamped: {ref_pkts} repair unicasts ({ref_s:.3}s)"
+    );
+    comparisons.push(Comparison {
+        name: "overload",
+        unit: "storms/Mpkt",
+        optimized_rate: 1e6 / pkts as f64,
+        reference_rate: 1e6 / ref_pkts as f64,
+        work: pkts,
     });
 
     eprintln!("queue_ops: 32768-pending schedule/pop storm, wheel vs heap ...");

@@ -32,6 +32,77 @@ pub enum Phase {
     Long,
 }
 
+/// Overload tier derived from a [`MemoryBudget`] and the current byte
+/// occupancy. Ordered: `Normal < Pressure < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureTier {
+    /// Occupancy below the pressure threshold: no degradation.
+    Normal,
+    /// Occupancy at or above the pressure threshold: policies should
+    /// early-discard or demote via their `on_pressure` hook.
+    Pressure,
+    /// Occupancy at or above the critical threshold: decline to buffer
+    /// for others (admission control) while still delivering locally.
+    Critical,
+}
+
+/// A per-receiver memory budget with graceful-degradation thresholds.
+///
+/// Unlike the hard `capacity` cap (eviction only), the budget drives
+/// *tiers*: [`PressureTier::Pressure`] starts at half the budget,
+/// [`PressureTier::Critical`] at [`MemoryBudget::CRITICAL_PCT`] percent.
+/// Both thresholds are fixed integer fractions of the configured byte
+/// count, so every receiver with the same budget degrades at exactly the
+/// same occupancy — deterministic across engines and shard layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    budget: usize,
+}
+
+impl MemoryBudget {
+    /// Percent of the budget at which the pressure tier starts.
+    pub const PRESSURE_PCT: usize = 50;
+    /// Percent of the budget at which the critical tier starts.
+    pub const CRITICAL_PCT: usize = 85;
+
+    /// A budget of `bytes` (must be non-zero; config validation enforces
+    /// it upstream).
+    #[must_use]
+    pub fn new(bytes: usize) -> Self {
+        MemoryBudget { budget: bytes.max(1) }
+    }
+
+    /// The configured budget in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// The occupancy (bytes) at which [`PressureTier::Pressure`] starts.
+    #[must_use]
+    pub fn pressure_threshold(&self) -> usize {
+        self.budget / 100 * Self::PRESSURE_PCT + self.budget % 100 * Self::PRESSURE_PCT / 100
+    }
+
+    /// The occupancy (bytes) at which [`PressureTier::Critical`] starts.
+    #[must_use]
+    pub fn critical_threshold(&self) -> usize {
+        self.budget / 100 * Self::CRITICAL_PCT + self.budget % 100 * Self::CRITICAL_PCT / 100
+    }
+
+    /// The tier for an occupancy of `used` bytes.
+    #[must_use]
+    pub fn tier(&self, used: usize) -> PressureTier {
+        if used >= self.critical_threshold() {
+            PressureTier::Critical
+        } else if used >= self.pressure_threshold() {
+            PressureTier::Pressure
+        } else {
+            PressureTier::Normal
+        }
+    }
+}
+
 /// A buffered message with its bookkeeping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferEntry {
@@ -85,6 +156,10 @@ pub struct MessageStore {
     bytes: usize,
     /// Optional hard cap on buffered payload bytes.
     capacity: Option<usize>,
+    /// Optional overload budget with pressure/critical tiers. Enforced
+    /// like a capacity (eviction keeps `bytes` ≤ budget structurally) on
+    /// top of driving the graceful-degradation tiers.
+    budget: Option<MemoryBudget>,
     /// Integral of buffered bytes over time, in byte·microseconds.
     byte_time: u128,
     last_change: SimTime,
@@ -110,10 +185,58 @@ impl MessageStore {
         MessageStore { capacity: Some(capacity), ..MessageStore::default() }
     }
 
+    /// Creates a store with an optional hard capacity and an optional
+    /// overload [`MemoryBudget`]; either (or both) may be `None`.
+    #[must_use]
+    pub fn with_limits(capacity: Option<usize>, budget: Option<usize>) -> Self {
+        MessageStore { capacity, budget: budget.map(MemoryBudget::new), ..MessageStore::default() }
+    }
+
     /// The configured byte capacity, if any.
     #[must_use]
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
+    }
+
+    /// The configured overload budget, if any.
+    #[must_use]
+    pub fn budget(&self) -> Option<MemoryBudget> {
+        self.budget
+    }
+
+    /// The current pressure tier ([`PressureTier::Normal`] when no budget
+    /// is configured).
+    #[must_use]
+    pub fn tier(&self) -> PressureTier {
+        self.budget.map_or(PressureTier::Normal, |b| b.tier(self.bytes))
+    }
+
+    /// The least-recently-used long-phase entry, if any — the pressure
+    /// hook's default early-discard victim.
+    #[must_use]
+    pub fn lru_long(&self) -> Option<MessageId> {
+        self.long_by_use.first().map(|&(_, id)| id)
+    }
+
+    /// The tighter of the capacity and the budget — the byte bound
+    /// eviction actually enforces.
+    fn effective_cap(&self) -> Option<usize> {
+        match (self.capacity, self.budget.map(|b| b.bytes())) {
+            (Some(c), Some(b)) => Some(c.min(b)),
+            (Some(c), None) => Some(c),
+            (None, b) => b,
+        }
+    }
+
+    /// The budget invariant, checked after every mutation that can grow
+    /// occupancy: accounted bytes never exceed the configured budget.
+    fn assert_within_budget(&self) {
+        debug_assert!(
+            self.budget.is_none_or(|b| self.bytes <= b.bytes()),
+            "buffered bytes {} exceed the memory budget {:?}",
+            self.bytes,
+            self.budget
+        );
     }
 
     /// Binary-search position of `id` in the sorted entry vector.
@@ -146,7 +269,7 @@ impl MessageStore {
     /// Evicts entries (LRU, long-term before short-term) until `incoming`
     /// additional bytes fit. Returns the evicted ids.
     fn make_room(&mut self, incoming: usize, now: SimTime) -> Vec<MessageId> {
-        let Some(cap) = self.capacity else { return Vec::new() };
+        let Some(cap) = self.effective_cap() else { return Vec::new() };
         let mut evicted = Vec::new();
         while self.bytes + incoming > cap && !self.entries.is_empty() {
             // Oldest last_use; long-term entries strictly before short.
@@ -179,13 +302,14 @@ impl MessageStore {
         if self.contains(id) {
             return (false, Vec::new());
         }
-        if let Some(cap) = self.capacity {
+        if let Some(cap) = self.effective_cap() {
             if data.len() > cap {
                 return (false, Vec::new()); // can never fit
             }
         }
         let evicted = self.make_room(data.len(), now);
         let inserted = self.insert_short(id, data, now);
+        self.assert_within_budget();
         (inserted, evicted)
     }
 
@@ -200,13 +324,14 @@ impl MessageStore {
         if self.contains(id) {
             return (false, Vec::new());
         }
-        if let Some(cap) = self.capacity {
+        if let Some(cap) = self.effective_cap() {
             if data.len() > cap {
                 return (false, Vec::new());
             }
         }
         let evicted = self.make_room(data.len(), now);
         let inserted = self.insert_long(id, data, now);
+        self.assert_within_budget();
         (inserted, evicted)
     }
 
@@ -672,6 +797,63 @@ mod tests {
             assert!(evicted.is_empty());
         }
         assert_eq!(s.bytes(), 10_000);
+    }
+
+    #[test]
+    fn budget_tiers_track_occupancy() {
+        let b = MemoryBudget::new(100);
+        assert_eq!(b.pressure_threshold(), 50);
+        assert_eq!(b.critical_threshold(), 85);
+        assert_eq!(b.tier(0), PressureTier::Normal);
+        assert_eq!(b.tier(49), PressureTier::Normal);
+        assert_eq!(b.tier(50), PressureTier::Pressure);
+        assert_eq!(b.tier(84), PressureTier::Pressure);
+        assert_eq!(b.tier(85), PressureTier::Critical);
+        assert_eq!(b.tier(1000), PressureTier::Critical);
+        assert!(PressureTier::Normal < PressureTier::Pressure);
+        assert!(PressureTier::Pressure < PressureTier::Critical);
+        // Threshold arithmetic stays exact for budgets that are not a
+        // multiple of 100 and never overflows for huge budgets.
+        let odd = MemoryBudget::new(130);
+        assert_eq!(odd.pressure_threshold(), 65);
+        let huge = MemoryBudget::new(usize::MAX);
+        assert!(huge.pressure_threshold() < huge.critical_threshold());
+    }
+
+    #[test]
+    fn budget_acts_as_capacity_and_reports_tier() {
+        let mut s = MessageStore::with_limits(None, Some(100));
+        assert_eq!(s.capacity(), None);
+        assert_eq!(s.budget().unwrap().bytes(), 100);
+        assert_eq!(s.tier(), PressureTier::Normal);
+        s.insert_long_bounded(mid(1), payload(40), t(0));
+        assert_eq!(s.tier(), PressureTier::Normal);
+        s.insert_long_bounded(mid(2), payload(20), t(1));
+        assert_eq!(s.tier(), PressureTier::Pressure);
+        s.insert_short_bounded(mid(3), payload(30), t(2));
+        assert_eq!(s.tier(), PressureTier::Critical);
+        assert_eq!(s.lru_long(), Some(mid(1)));
+        // The budget is also a hard bound: the next insert evicts the
+        // LRU long entry rather than exceeding it.
+        let (inserted, evicted) = s.insert_short_bounded(mid(4), payload(20), t(3));
+        assert!(inserted);
+        assert_eq!(evicted, vec![mid(1)]);
+        assert!(s.bytes() <= 100);
+        // An oversized payload is rejected against the budget too.
+        let (inserted, _) = s.insert_short_bounded(mid(5), payload(200), t(4));
+        assert!(!inserted);
+    }
+
+    #[test]
+    fn effective_cap_is_min_of_capacity_and_budget() {
+        let mut s = MessageStore::with_limits(Some(50), Some(100));
+        let (inserted, _) = s.insert_short_bounded(mid(1), payload(60), t(0));
+        assert!(!inserted, "capacity is the tighter bound");
+        let mut s = MessageStore::with_limits(Some(100), Some(50));
+        let (inserted, _) = s.insert_short_bounded(mid(1), payload(60), t(0));
+        assert!(!inserted, "budget is the tighter bound");
+        let (inserted, _) = s.insert_short_bounded(mid(2), payload(40), t(0));
+        assert!(inserted);
     }
 
     #[test]

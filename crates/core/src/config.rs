@@ -45,6 +45,41 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Repair-storm damping knobs: a deterministic token bucket paces the
+/// repair actions each receiver originates (pull retries, remote
+/// requests, regional re-multicasts), and a suppression window skips a
+/// pull round when a peer was just heard requesting the same message.
+/// Shed rounds are re-queued on the existing retry timers, never lost.
+/// `None` in [`ProtocolConfig::damping`] disables all of it (the paper's
+/// model) and keeps every trace byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DampingConfig {
+    /// Token-bucket capacity: repair actions a receiver may fire
+    /// back-to-back before the refill interval paces it.
+    pub burst: u32,
+    /// One token is returned every `refill` of simulated time.
+    pub refill: SimDuration,
+    /// A pull round is shed when a peer's request for the same message
+    /// was overheard within this window (the requester's answer will
+    /// serve everyone — the §2.2 suppression idea applied to pulls).
+    pub suppress_window: SimDuration,
+}
+
+/// Recovery-liveness watchdog knobs: a periodic self-check that detects
+/// wedged recovery — a detected loss with no recovery state left and no
+/// timer driving it — persisting for at least `horizon`, and re-arms it
+/// through the heal machinery. `None` disables the watchdog (default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WatchdogConfig {
+    /// How often the self-check timer fires.
+    pub interval: SimDuration,
+    /// A stalled loss must persist across this horizon before the
+    /// watchdog re-arms it (give-up bookkeeping is not instantly undone).
+    pub horizon: SimDuration,
+}
+
 /// All protocol tunables. Construct with [`ProtocolConfig::builder`] or use
 /// [`ProtocolConfig::paper_defaults`] for the §4 simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +161,18 @@ pub struct ProtocolConfig {
     /// Whether receivers keep a per-message event log (needed by the
     /// experiment harness; small per-message overhead).
     pub record_events: bool,
+    /// Optional per-member memory budget (bytes) for the overload
+    /// subsystem. Unlike [`ProtocolConfig::buffer_capacity`] (a hard cap
+    /// enforced by eviction alone), the budget drives graceful
+    /// degradation *tiers*: above the pressure threshold policies get an
+    /// `on_pressure` hook to early-discard, and above the critical
+    /// threshold receivers decline to buffer for others while still
+    /// delivering locally. `None` (default) disarms the subsystem.
+    pub memory_budget: Option<usize>,
+    /// Repair-storm damping; `None` (default) disables it.
+    pub damping: Option<DampingConfig>,
+    /// Recovery-liveness watchdog; `None` (default) disables it.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl ProtocolConfig {
@@ -156,6 +203,9 @@ impl ProtocolConfig {
             buffer_capacity: None,
             remote_requests_refresh_idle: true,
             record_events: true,
+            memory_budget: None,
+            damping: None,
+            watchdog: None,
         }
     }
 
@@ -200,6 +250,28 @@ impl ProtocolConfig {
         ] {
             if a == 0 {
                 return Err(ConfigError::ZeroAttempts(name));
+            }
+        }
+        if self.memory_budget == Some(0) {
+            return Err(ConfigError::ZeroAttempts("memory_budget"));
+        }
+        if let Some(d) = self.damping {
+            if d.burst == 0 {
+                return Err(ConfigError::ZeroAttempts("damping.burst"));
+            }
+            if d.refill.is_zero() {
+                return Err(ConfigError::ZeroDuration("damping.refill"));
+            }
+            if d.suppress_window.is_zero() {
+                return Err(ConfigError::ZeroDuration("damping.suppress_window"));
+            }
+        }
+        if let Some(w) = self.watchdog {
+            if w.interval.is_zero() {
+                return Err(ConfigError::ZeroDuration("watchdog.interval"));
+            }
+            if w.horizon.is_zero() {
+                return Err(ConfigError::ZeroDuration("watchdog.horizon"));
             }
         }
         Ok(())
@@ -363,6 +435,24 @@ impl ProtocolConfigBuilder {
         self
     }
 
+    /// Sets (or clears) the per-member overload memory budget in bytes.
+    pub fn memory_budget(&mut self, bytes: Option<usize>) -> &mut Self {
+        self.cfg.memory_budget = bytes;
+        self
+    }
+
+    /// Sets (or clears) the repair-storm damping knobs.
+    pub fn damping(&mut self, d: Option<DampingConfig>) -> &mut Self {
+        self.cfg.damping = d;
+        self
+    }
+
+    /// Sets (or clears) the recovery-liveness watchdog knobs.
+    pub fn watchdog(&mut self, w: Option<WatchdogConfig>) -> &mut Self {
+        self.cfg.watchdog = w;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -425,6 +515,63 @@ mod tests {
             ProtocolConfig::builder().max_attempts(0, 1, 1).build(),
             Err(ConfigError::ZeroAttempts("max_local_attempts"))
         ));
+    }
+
+    #[test]
+    fn overload_knobs_default_off_and_validate() {
+        let cfg = ProtocolConfig::paper_defaults();
+        assert_eq!(cfg.memory_budget, None);
+        assert_eq!(cfg.damping, None);
+        assert_eq!(cfg.watchdog, None);
+
+        assert!(matches!(
+            ProtocolConfig::builder().memory_budget(Some(0)).build(),
+            Err(ConfigError::ZeroAttempts("memory_budget"))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder()
+                .damping(Some(DampingConfig {
+                    burst: 0,
+                    refill: SimDuration::from_millis(5),
+                    suppress_window: SimDuration::from_millis(5),
+                }))
+                .build(),
+            Err(ConfigError::ZeroAttempts("damping.burst"))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder()
+                .damping(Some(DampingConfig {
+                    burst: 4,
+                    refill: SimDuration::ZERO,
+                    suppress_window: SimDuration::from_millis(5),
+                }))
+                .build(),
+            Err(ConfigError::ZeroDuration("damping.refill"))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder()
+                .watchdog(Some(WatchdogConfig {
+                    interval: SimDuration::from_millis(50),
+                    horizon: SimDuration::ZERO,
+                }))
+                .build(),
+            Err(ConfigError::ZeroDuration("watchdog.horizon"))
+        ));
+
+        let armed = ProtocolConfig::builder()
+            .memory_budget(Some(64 * 1024))
+            .damping(Some(DampingConfig {
+                burst: 8,
+                refill: SimDuration::from_millis(5),
+                suppress_window: SimDuration::from_millis(8),
+            }))
+            .watchdog(Some(WatchdogConfig {
+                interval: SimDuration::from_millis(100),
+                horizon: SimDuration::from_millis(250),
+            }))
+            .build()
+            .unwrap();
+        assert_eq!(armed.memory_budget, Some(64 * 1024));
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub enum TimerKind {
     HistoryTick,
     /// Sender session-message tick.
     SessionTick,
+    /// Recovery-liveness self-check (only armed when
+    /// [`ProtocolConfig::watchdog`] is set): detects losses whose
+    /// recovery wedged — no state left, no timer driving it — and
+    /// re-arms them through the heal machinery.
+    ///
+    /// [`ProtocolConfig::watchdog`]: crate::config::ProtocolConfig::watchdog
+    Watchdog,
 }
 
 /// An input to the protocol core.
@@ -135,9 +142,10 @@ mod tests {
             TimerKind::LongTermSweep,
             TimerKind::HistoryTick,
             TimerKind::SessionTick,
+            TimerKind::Watchdog,
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 8);
+        assert_eq!(kinds.len(), 9);
     }
 }

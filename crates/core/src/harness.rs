@@ -432,6 +432,31 @@ fn shards_from_env() -> usize {
     }
 }
 
+/// Per-receiver memory budget (bytes) taken from the `RRMP_MEM_BUDGET`
+/// environment variable, or `None` when unset. Mirrors `RRMP_SIM_SHARDS`
+/// / `RRMP_POLICY`: only call sites that opt in
+/// ([`RrmpNetwork::new_env_policy`]) are affected, so a CI axis can run
+/// the whole suite under a tight budget without touching tests that
+/// assert unbudgeted behaviour.
+///
+/// # Panics
+///
+/// Panics on a set-but-invalid value (unparsable or zero): an overload
+/// CI job that silently ran unbudgeted would go green while testing
+/// nothing.
+fn mem_budget_from_env() -> Option<usize> {
+    match std::env::var("RRMP_MEM_BUDGET") {
+        Err(_) => None,
+        // Blank means unset — the CI matrix passes '' on rows without the
+        // overload axis, mirroring how RRMP_FAULTS treats blanks.
+        Ok(v) if v.trim().is_empty() => None,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => panic!("RRMP_MEM_BUDGET must be a positive byte count, got {v:?}"),
+        },
+    }
+}
+
 /// Returned by [`RrmpNetwork::try_sim_mut`] when the network is hosted on
 /// the sharded engine and therefore has no single-queue [`Sim`] to lend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -596,13 +621,21 @@ impl RrmpNetwork {
     /// affected, so the CI policy matrix exercises the non-default
     /// policies without touching tests that assert two-phase behaviour.
     ///
+    /// The `RRMP_MEM_BUDGET` environment variable (bytes per receiver)
+    /// likewise overrides [`ProtocolConfig::memory_budget`], so one CI
+    /// axis runs the suite under a tight budget.
+    ///
     /// # Panics
     ///
-    /// Panics if `cfg` is invalid or `RRMP_POLICY` holds an unknown value.
+    /// Panics if `cfg` is invalid, `RRMP_POLICY` holds an unknown value,
+    /// or `RRMP_MEM_BUDGET` is set but not a positive integer.
     #[must_use]
     pub fn new_env_policy(topo: Topology, mut cfg: ProtocolConfig, seed: u64) -> Self {
         if let Some(kind) = PolicyKind::from_env() {
             cfg.policy = kind;
+        }
+        if let Some(budget) = mem_budget_from_env() {
+            cfg.memory_budget = Some(budget);
         }
         Self::new(topo, cfg, seed)
     }
@@ -656,12 +689,15 @@ impl RrmpNetwork {
     /// silently ran fault-free would go green while testing nothing), or
     /// if the simulation has already started.
     pub fn arm_env_fault_plan(&mut self) -> bool {
+        // The panic lives here at the harness boundary; the fault
+        // library itself reports malformed specs as a plain `Err`.
         match FaultPlan::from_env() {
-            Some(plan) => {
+            Ok(Some(plan)) => {
                 self.arm_fault_plan(plan);
                 true
             }
-            None => false,
+            Ok(None) => false,
+            Err(e) => panic!("{e}"),
         }
     }
 

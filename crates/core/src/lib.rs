@@ -69,8 +69,8 @@ pub mod vecmap;
 
 /// Convenient glob-import of the protocol types.
 pub mod prelude {
-    pub use crate::buffer::{MessageStore, Phase};
-    pub use crate::config::ProtocolConfig;
+    pub use crate::buffer::{MemoryBudget, MessageStore, Phase, PressureTier};
+    pub use crate::config::{DampingConfig, ProtocolConfig, WatchdogConfig};
     pub use crate::delivery::FifoReorder;
     pub use crate::events::{Action, Event, TimerKind};
     pub use crate::harness::{RrmpNetwork, RrmpNode};

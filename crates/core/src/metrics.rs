@@ -73,6 +73,24 @@ pub struct Counters {
     /// Buffer entries discarded because the group-wide stability
     /// frontier passed them.
     pub stable_discards: u64,
+    /// Pull/remote-request rounds shed by the repair-storm token bucket
+    /// (each round stays queued on its retry timer — shed, not lost).
+    pub requests_shed: u64,
+    /// Previously shed recovery efforts whose next round did fire.
+    pub shed_retried: u64,
+    /// Pull rounds skipped because a peer's request for the same message
+    /// was overheard within the suppression window.
+    pub requests_suppressed: u64,
+    /// Regional re-multicasts deferred by the token bucket (the backoff
+    /// state is kept and the timer re-armed — deferred, not dropped).
+    pub remulticasts_shed: u64,
+    /// Long-term entries discarded early by the pressure-tier hook.
+    pub pressure_discards: u64,
+    /// Buffering declined for others while in the critical tier (the
+    /// message was still delivered locally).
+    pub admission_declined: u64,
+    /// Wedged recovery efforts re-armed by the liveness watchdog.
+    pub watchdog_rearms: u64,
 }
 
 /// Lifecycle of one message in one member's buffer.

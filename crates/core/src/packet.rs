@@ -643,6 +643,41 @@ mod proptests {
             let _ = Packet::decode(Bytes::from(bytes));
         }
 
+        /// The decoder never panics on *mutated valid* packets — the
+        /// adversarial shapes arbitrary bytes rarely reach, because a
+        /// mutation keeps a plausible tag and structure: one byte
+        /// flipped anywhere, truncation at any boundary, and arbitrary
+        /// extension. Every mutation must decode or error, never panic,
+        /// and a truncation must never decode successfully (no read
+        /// past the cut).
+        #[test]
+        fn decoder_survives_mutated_packets(
+            p in arb_packet(),
+            flip_at in any::<usize>(),
+            flip_mask in 1u8..=255u8,
+            cut_at in any::<usize>(),
+            extra in proptest::collection::vec(any::<u8>(), 1..64),
+        ) {
+            let encoded = p.encode();
+            // Flip: one byte XORed with a non-zero mask.
+            let mut flipped = encoded.to_vec();
+            let i = flip_at % flipped.len();
+            flipped[i] ^= flip_mask;
+            let _ = Packet::decode(Bytes::from(flipped));
+            // Truncate: any strict prefix is an error, not a misparse.
+            let cut = cut_at % encoded.len();
+            prop_assert!(
+                Packet::decode(encoded.slice(0..cut)).is_err(),
+                "{}-byte prefix of a {}-byte packet must not decode",
+                cut, encoded.len()
+            );
+            // Extend: trailing garbage is rejected (never silently
+            // swallowed — a framing bug upstream must surface).
+            let mut extended = encoded.to_vec();
+            extended.extend_from_slice(&extra);
+            prop_assert!(Packet::decode(Bytes::from(extended)).is_err());
+        }
+
         /// History digests round-trip exactly; every strict prefix of the
         /// encoding is rejected as truncated, trailing garbage is
         /// rejected, and `encoded_len` predicts the wire size.

@@ -38,7 +38,7 @@ use rrmp_membership::view::HierarchyView;
 use rrmp_netsim::time::{SimDuration, SimTime};
 use rrmp_netsim::topology::NodeId;
 
-use crate::buffer::MessageStore;
+use crate::buffer::{MessageStore, PressureTier};
 use crate::config::ProtocolConfig;
 use crate::events::{Action, TimerKind};
 use crate::history::{HistoryDigest, RepairRoles, StabilityTracker};
@@ -228,6 +228,32 @@ pub trait BufferPolicy: std::fmt::Debug + Send {
     /// (leave or crash). Policies tracking per-member state (stability
     /// quorums) prune it so a departed member stops gating progress.
     fn on_member_removed(&mut self, _node: NodeId) {}
+
+    /// The store's occupancy crossed into the *pressure* (or *critical*)
+    /// tier of its [`MemoryBudget`](crate::buffer::MemoryBudget) after an
+    /// insert or phase change. Only called when
+    /// [`ProtocolConfig::memory_budget`] is armed — the hook is zero-cost
+    /// otherwise and never fires in default (unarmed) runs.
+    ///
+    /// The default implementation applies the paper's discard rule early:
+    /// long-term entries are shed in least-recently-used order until
+    /// occupancy falls back below the pressure threshold (short-term
+    /// entries are left alone — they are still in their feedback window).
+    /// Policies with their own retention semantics may override, but must
+    /// stay deterministic: no RNG draws beyond the lent [`PolicyCtx`] one,
+    /// iteration in a fixed order.
+    ///
+    /// [`ProtocolConfig::memory_budget`]: crate::config::ProtocolConfig::memory_budget
+    fn on_pressure(&mut self, ctx: &mut PolicyCtx<'_>, _tier: PressureTier) {
+        let Some(budget) = ctx.store.budget() else { return };
+        let threshold = budget.pressure_threshold();
+        while ctx.store.bytes() > threshold {
+            let Some(victim) = ctx.store.lru_long() else { break };
+            ctx.store.discard(victim, ctx.now);
+            ctx.metrics.counters.pressure_discards += 1;
+            ctx.metrics.buffer_record_mut(victim).discarded_at = Some(ctx.now);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -37,8 +37,8 @@ use rrmp_membership::view::HierarchyView;
 use rrmp_netsim::time::{SimDuration, SimTime};
 use rrmp_netsim::topology::NodeId;
 
-use crate::buffer::MessageStore;
-use crate::config::ProtocolConfig;
+use crate::buffer::{MessageStore, PressureTier};
+use crate::config::{DampingConfig, ProtocolConfig, WatchdogConfig};
 use crate::events::{Action, Event, TimerKind};
 use crate::ids::MessageId;
 use crate::loss::LossDetector;
@@ -82,6 +82,11 @@ pub enum PreloadState {
 #[derive(Debug, Default)]
 struct RecoveryState {
     attempts: u32,
+    /// The previous round was shed (or suppressed) by the repair-storm
+    /// damper instead of sending — cleared (and counted as a retry) the
+    /// next time a round actually fires. Shed rounds stay queued on
+    /// their retry timer; they are never silently lost.
+    shed: bool,
 }
 
 #[derive(Debug)]
@@ -108,6 +113,45 @@ struct SearchDone {
 struct BackoffState {
     payload: Bytes,
     suppressed: bool,
+}
+
+/// Deterministic token bucket damping the repair storm: recovery rounds
+/// and re-multicasts spend one token each; tokens refill at one per
+/// [`DampingConfig::refill`] of *simulated* time, capped at the burst
+/// size. No RNG, no wall clock — refill is pure arithmetic over the
+/// event timestamps, so damped runs stay byte-identical across engine
+/// layouts.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: u32,
+    /// Credit accrues from here; advanced only by whole refill periods
+    /// so fractional credit is never lost to rounding.
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    fn new(burst: u32) -> Self {
+        TokenBucket { tokens: burst, last_refill: SimTime::ZERO }
+    }
+
+    /// Takes one token if available after refilling for elapsed time.
+    fn try_take(&mut self, d: DampingConfig, now: SimTime) -> bool {
+        let period = d.refill.as_micros().max(1);
+        let elapsed = now.saturating_since(self.last_refill).as_micros();
+        let intervals = elapsed / period;
+        if intervals > 0 {
+            let gained = u32::try_from(intervals).unwrap_or(u32::MAX);
+            self.tokens = self.tokens.saturating_add(gained).min(d.burst);
+            // `intervals * period <= elapsed`, so no overflow.
+            self.last_refill += SimDuration::from_micros(intervals * period);
+        }
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// The RRMP receiver — see the module docs for the full behaviour map.
@@ -138,6 +182,16 @@ pub struct Receiver {
     /// ([`MessageStore::expire_long_into`]) — the idle-timer path
     /// allocates nothing in the steady state.
     expire_scratch: Vec<MessageId>,
+    /// Repair-storm damper — `Some` iff [`ProtocolConfig::damping`] is
+    /// armed. Unarmed receivers never touch it.
+    damper: Option<TokenBucket>,
+    /// When a peer's request for a message was last overheard — the
+    /// duplicate-request suppression window (only maintained while
+    /// damping is armed; empty otherwise).
+    recent_requests: VecMap<MessageId, SimTime>,
+    /// When the liveness watchdog first observed each wedged loss (only
+    /// maintained while [`ProtocolConfig::watchdog`] is armed).
+    watchdog_seen: VecMap<MessageId, SimTime>,
 }
 
 impl Receiver {
@@ -202,10 +256,8 @@ impl Receiver {
         policy: Box<dyn BufferPolicy>,
     ) -> Self {
         let record = cfg.record_events;
-        let store = match cfg.buffer_capacity {
-            Some(cap) => MessageStore::with_capacity(cap),
-            None => MessageStore::new(),
-        };
+        let store = MessageStore::with_limits(cfg.buffer_capacity, cfg.memory_budget);
+        let damper = cfg.damping.map(|d| TokenBucket::new(d.burst));
         Receiver {
             id,
             cfg,
@@ -223,6 +275,9 @@ impl Receiver {
             policy,
             left: false,
             expire_scratch: Vec::new(),
+            damper,
+            recent_requests: VecMap::new(),
+            watchdog_seen: VecMap::new(),
         }
     }
 
@@ -353,8 +408,10 @@ impl Receiver {
             || self.searches.get(msg).is_some_and(|s| s.exhausted_at.is_none())
     }
 
-    /// Actions to run at start-up: arms the long-term sweep and, for
-    /// history-exchanging policies, the periodic history tick.
+    /// Actions to run at start-up: arms the long-term sweep, for
+    /// history-exchanging policies the periodic history tick, and — when
+    /// [`ProtocolConfig::watchdog`] is set — the recovery-liveness
+    /// watchdog.
     #[must_use]
     pub fn on_start(&mut self) -> Vec<Action> {
         let mut actions = vec![Action::SetTimer {
@@ -363,6 +420,9 @@ impl Receiver {
         }];
         if let Some(interval) = self.policy.history_interval(&self.cfg) {
             actions.push(Action::SetTimer { delay: interval, kind: TimerKind::HistoryTick });
+        }
+        if let Some(wd) = self.cfg.watchdog {
+            actions.push(Action::SetTimer { delay: wd.interval, kind: TimerKind::Watchdog });
         }
         actions
     }
@@ -493,7 +553,16 @@ impl Receiver {
             self.metrics.buffer_record_mut(id).received_at = Some(now);
             self.metrics.record_event(now, id, ProtocolEvent::Delivered);
             actions.push(Action::Deliver { id, payload: data.payload.clone() });
-            self.buffer_new_message(id, &data.payload, path, now, actions);
+            // Critical-tier admission control: the message is delivered
+            // locally regardless, but we decline to take on a buffering
+            // duty for others. A handoff is exempt — declining it would
+            // drop the group's (possibly only) long-term copy.
+            if self.store.tier() == PressureTier::Critical && path != DataPath::Handoff {
+                self.metrics.counters.admission_declined += 1;
+            } else {
+                self.buffer_new_message(id, &data.payload, path, now, actions);
+            }
+            self.apply_pressure(now, actions);
             // Any recovery effort for this message is complete.
             self.local_rec.remove(id);
             self.remote_rec.remove(id);
@@ -514,6 +583,7 @@ impl Receiver {
                 let rec = self.metrics.buffer_record_mut(id);
                 rec.kept_long_term = true;
                 rec.discarded_at = None;
+                self.apply_pressure(now, actions);
             }
             // If we were searching for this message on behalf of downstream
             // waiters, the reappearing payload answers them.
@@ -533,6 +603,40 @@ impl Receiver {
         actions: &mut Vec<Action>,
     ) {
         self.policy.on_receive(&mut policy_ctx!(self, now, actions), id, payload, path);
+    }
+
+    /// Invokes the policy's pressure hook when the memory budget's
+    /// occupancy sits in the *pressure* tier or above. A no-op (one enum
+    /// compare) while no budget is configured.
+    fn apply_pressure(&mut self, now: SimTime, actions: &mut Vec<Action>) {
+        let tier = self.store.tier();
+        if tier >= PressureTier::Pressure {
+            self.policy.on_pressure(&mut policy_ctx!(self, now, actions), tier);
+        }
+    }
+
+    /// Spends one damping token, refilling for elapsed time first.
+    /// Always `true` while damping is unarmed.
+    fn take_damping_token(&mut self, now: SimTime) -> bool {
+        let Some(d) = self.cfg.damping else { return true };
+        self.damper.as_mut().is_none_or(|b| b.try_take(d, now))
+    }
+
+    /// Whether a peer's request for `msg` was overheard within the
+    /// suppression window. Always `false` while damping is unarmed.
+    fn request_suppressed(&self, msg: MessageId, now: SimTime) -> bool {
+        let Some(d) = self.cfg.damping else { return false };
+        self.recent_requests
+            .get(msg)
+            .is_some_and(|&at| now.saturating_since(at) <= d.suppress_window)
+    }
+
+    /// Records an overheard peer request for the suppression window
+    /// (no-op while damping is unarmed, keeping the map empty).
+    fn note_request_heard(&mut self, msg: MessageId, now: SimTime) {
+        if self.cfg.damping.is_some() {
+            self.recent_requests.insert(msg, now);
+        }
     }
 
     fn relay_to_waiters(
@@ -629,6 +733,7 @@ impl Receiver {
             return; // a request claiming our own identity is nonsense
         }
         self.metrics.counters.local_requests_received += 1;
+        self.note_request_heard(msg, now);
         self.store.note_request(msg, now);
         if let Some(payload) = self.store.get(msg) {
             self.metrics.counters.repairs_sent_local += 1;
@@ -654,6 +759,7 @@ impl Receiver {
             return; // a request claiming our own identity is nonsense
         }
         self.metrics.counters.remote_requests_received += 1;
+        self.note_request_heard(msg, now);
         if self.cfg.remote_requests_refresh_idle {
             self.store.note_request(msg, now);
         } else {
@@ -723,12 +829,41 @@ impl Receiver {
     /// request, or a remote request whose target registers a waiter and
     /// recovers the message itself), and the retry period.
     fn local_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
-        let Some(state) = self.local_rec.get_mut(msg) else { return };
-        state.attempts += 1;
-        if state.attempts > self.cfg.max_local_attempts {
-            self.local_rec.remove(msg);
-            self.metrics.counters.recovery_gave_up += 1;
+        let was_shed;
+        {
+            let Some(state) = self.local_rec.get_mut(msg) else { return };
+            state.attempts += 1;
+            if state.attempts > self.cfg.max_local_attempts {
+                self.local_rec.remove(msg);
+                self.metrics.counters.recovery_gave_up += 1;
+                return;
+            }
+            was_shed = state.shed;
+        }
+        // Repair-storm damping (attempt accounting above runs first, so
+        // shed rounds still count toward the give-up cap and a storm
+        // cannot stretch recovery forever). A shed round makes *zero*
+        // RNG draws — the policy's target pick is skipped entirely — and
+        // stays queued on its retry timer below.
+        let suppressed = self.request_suppressed(msg, now);
+        if suppressed || !self.take_damping_token(now) {
+            if suppressed {
+                self.metrics.counters.requests_suppressed += 1;
+            } else {
+                self.metrics.counters.requests_shed += 1;
+            }
+            if let Some(state) = self.local_rec.get_mut(msg) {
+                state.shed = true;
+            }
+            let delay = self.policy.pull_retry_delay(&policy_ctx!(self, now, actions));
+            actions.push(Action::SetTimer { delay, kind: TimerKind::LocalRetry(msg) });
             return;
+        }
+        if was_shed {
+            self.metrics.counters.shed_retried += 1;
+            if let Some(state) = self.local_rec.get_mut(msg) {
+                state.shed = false;
+            }
         }
         if let Some(q) = self.policy.pull_target(&mut policy_ctx!(self, now, actions), msg) {
             if self.policy.pull_via_remote_request() {
@@ -744,12 +879,35 @@ impl Receiver {
     }
 
     fn remote_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
-        let Some(state) = self.remote_rec.get_mut(msg) else { return };
-        state.attempts += 1;
-        if state.attempts > self.cfg.max_remote_attempts {
-            self.remote_rec.remove(msg);
-            self.metrics.counters.recovery_gave_up += 1;
+        let was_shed;
+        {
+            let Some(state) = self.remote_rec.get_mut(msg) else { return };
+            state.attempts += 1;
+            if state.attempts > self.cfg.max_remote_attempts {
+                self.remote_rec.remove(msg);
+                self.metrics.counters.recovery_gave_up += 1;
+                return;
+            }
+            was_shed = state.shed;
+        }
+        // Damping: a shed remote round skips the λ/n coin (zero RNG
+        // draws) and stays queued on the retry timer armed below.
+        if !self.take_damping_token(now) {
+            self.metrics.counters.requests_shed += 1;
+            if let Some(state) = self.remote_rec.get_mut(msg) {
+                state.shed = true;
+            }
+            actions.push(Action::SetTimer {
+                delay: self.cfg.remote_timeout,
+                kind: TimerKind::RemoteRetry(msg),
+            });
             return;
+        }
+        if was_shed {
+            self.metrics.counters.shed_retried += 1;
+            if let Some(state) = self.remote_rec.get_mut(msg) {
+                state.shed = false;
+            }
         }
         if let Some(r) = self.policy.remote_target(&mut policy_ctx!(self, now, actions), msg) {
             self.metrics.counters.remote_requests_sent += 1;
@@ -905,6 +1063,15 @@ impl Receiver {
                 if let Some(b) = self.backoffs.remove(msg) {
                     if b.suppressed {
                         self.metrics.counters.regional_multicasts_suppressed += 1;
+                    } else if !self.take_damping_token(now) {
+                        // Deferred, not dropped: the back-off state is
+                        // kept and the timer re-armed one refill period
+                        // out, when a token must exist again (unless a
+                        // peer's multicast suppresses it meanwhile).
+                        self.metrics.counters.remulticasts_shed += 1;
+                        self.backoffs.insert(msg, b);
+                        let delay = self.cfg.damping.expect("token denied while unarmed").refill;
+                        actions.push(Action::SetTimer { delay, kind: TimerKind::Backoff(msg) });
                     } else {
                         self.metrics.counters.regional_multicasts_sent += 1;
                         self.metrics.record_event(now, msg, ProtocolEvent::RegionalMulticast);
@@ -938,6 +1105,10 @@ impl Receiver {
                     Some(at) => now.saturating_since(at) < sweep,
                     None => true,
                 });
+                if let Some(d) = self.cfg.damping {
+                    let suppress = d.suppress_window;
+                    self.recent_requests.retain(|_, at| now.saturating_since(*at) <= suppress);
+                }
                 actions.push(Action::SetTimer {
                     delay: self.cfg.long_term_sweep_interval,
                     kind: TimerKind::LongTermSweep,
@@ -955,6 +1126,49 @@ impl Receiver {
             }
             TimerKind::SessionTick => {
                 // Session ticks belong to the Sender; a receiver ignores them.
+            }
+            TimerKind::Watchdog => {
+                // Only ever armed when the watchdog is configured; a
+                // stray timer on an unarmed receiver is simply ignored
+                // (and not re-armed), like any other stale timer.
+                if let Some(wd) = self.cfg.watchdog {
+                    self.watchdog_tick(wd, now, actions);
+                    actions
+                        .push(Action::SetTimer { delay: wd.interval, kind: TimerKind::Watchdog });
+                }
+            }
+        }
+    }
+
+    /// One pass of the recovery-liveness watchdog: a loss is *wedged*
+    /// when the detector still reports it missing but no recovery
+    /// machinery drives it (no pull or remote state, no live search) —
+    /// the state a retry-cap give-up during a fault window leaves
+    /// behind. A wedged loss observed for a full horizon is re-armed
+    /// through the same path [`Receiver::on_heal`] uses; one that
+    /// recovered (or found a driver) between ticks is forgotten.
+    /// Iteration is (source, seq)-ordered and RNG-free, so armed runs
+    /// stay byte-identical across engine layouts.
+    fn watchdog_tick(&mut self, wd: WatchdogConfig, now: SimTime, actions: &mut Vec<Action>) {
+        let mut wedged: Vec<MessageId> = Vec::new();
+        for msg in self.detector.missing() {
+            if !self.recovery_pending(msg) {
+                wedged.push(msg);
+            }
+        }
+        // `missing()` yields ascending ids, so the list is sorted.
+        self.watchdog_seen.retain(|m, _| wedged.binary_search(&m).is_ok());
+        for msg in wedged {
+            match self.watchdog_seen.get(msg) {
+                None => {
+                    self.watchdog_seen.insert(msg, now);
+                }
+                Some(&since) if now.saturating_since(since) >= wd.horizon => {
+                    self.watchdog_seen.remove(msg);
+                    self.metrics.counters.watchdog_rearms += 1;
+                    self.start_recovery(msg, now, actions);
+                }
+                Some(_) => {}
             }
         }
     }
@@ -1683,5 +1897,205 @@ mod tests {
             ProtocolConfig::builder().lambda(-1.0).build(),
             Err(ConfigError::NonPositiveLambda(_))
         ));
+    }
+
+    // ----- overload: damping, suppression, watchdog, admission ------------
+
+    fn overload_cfg() -> ProtocolConfig {
+        ProtocolConfig::builder()
+            .damping(Some(DampingConfig {
+                burst: 1,
+                refill: SimDuration::from_millis(50),
+                suppress_window: SimDuration::from_millis(20),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn damping_sheds_and_requeues_pull_rounds() {
+        let mut r = root_receiver(overload_cfg());
+        // Two losses at once against a burst of one token: the first pull
+        // round fires, the second is shed — but both stay on retry timers.
+        let actions = r.handle(packet_event(0, data(3)), t(0));
+        let reqs: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, p)| matches!(p, Packet::LocalRequest { .. }))
+            .collect();
+        assert_eq!(reqs.len(), 1, "one token, one request: {actions:?}");
+        assert_eq!(r.metrics().counters.requests_shed, 1);
+        assert!(timers(&actions).contains(&TimerKind::LocalRetry(mid(1))));
+        assert!(timers(&actions).contains(&TimerKind::LocalRetry(mid(2))), "shed, not lost");
+        // One refill period later the shed effort's retry fires for real.
+        let actions = r.handle(Event::Timer(TimerKind::LocalRetry(mid(2))), t(60));
+        assert!(sends(&actions)
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::LocalRequest { msg } if *msg == mid(2))));
+        assert_eq!(r.metrics().counters.shed_retried, 1);
+    }
+
+    #[test]
+    fn overheard_request_suppresses_own_pull_round() {
+        let mut r = root_receiver(overload_cfg());
+        r.handle(packet_event(0, data(2)), t(0)); // misses #1; round 1 fires
+                                                  // A peer's request for the same message is overheard.
+        r.handle(packet_event(3, Packet::LocalRequest { msg: mid(1) }), t(5));
+        // Our next round falls inside the suppression window: skipped,
+        // re-queued, and no damping token spent.
+        let actions = r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(10));
+        assert!(sends(&actions).is_empty(), "suppressed round must stay quiet: {actions:?}");
+        assert_eq!(r.metrics().counters.requests_suppressed, 1);
+        assert!(timers(&actions).contains(&TimerKind::LocalRetry(mid(1))));
+        // Past the window (and a token refill), the pull resumes.
+        let actions = r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(60));
+        assert!(sends(&actions)
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::LocalRequest { msg } if *msg == mid(1))));
+        assert_eq!(r.metrics().counters.shed_retried, 1);
+    }
+
+    #[test]
+    fn shed_rounds_still_count_toward_the_give_up_cap() {
+        let mut cfg = overload_cfg();
+        cfg.max_local_attempts = 2;
+        let mut r = root_receiver(cfg);
+        let actions = r.handle(packet_event(0, data(3)), t(0)); // 1 fires, 2 shed
+        assert_eq!(r.metrics().counters.requests_shed, 1);
+        assert!(timers(&actions).contains(&TimerKind::LocalRetry(mid(2))));
+        // Retry immediately (no refill yet): shed again — attempt 2.
+        r.handle(Event::Timer(TimerKind::LocalRetry(mid(2))), t(1));
+        assert_eq!(r.metrics().counters.requests_shed, 2);
+        // Third round exceeds the cap: clean give-up, no storm-stretched
+        // recovery, no zombie state.
+        r.handle(Event::Timer(TimerKind::LocalRetry(mid(2))), t(2));
+        assert_eq!(r.metrics().counters.recovery_gave_up, 1);
+        assert!(!r.recovery_pending(mid(2)));
+    }
+
+    #[test]
+    fn damped_backoff_defers_regional_multicast() {
+        let mut cfg = overload_cfg();
+        cfg.max_local_attempts = 0; // keep pull rounds from spending tokens
+        let mut r = receiver_with_parent(cfg);
+        // Two remote repairs arm two back-off multicasts.
+        for seq in [1, 2] {
+            r.handle(
+                packet_event(
+                    10,
+                    Packet::Repair {
+                        data: DataPacket::new(mid(seq), payload()),
+                        kind: RepairKind::Remote,
+                    },
+                ),
+                t(0),
+            );
+        }
+        // First back-off fires (token spent), second is deferred with the
+        // state kept and the timer re-armed a refill period out.
+        let a1 = r.handle(Event::Timer(TimerKind::Backoff(mid(1))), t(8));
+        assert!(a1.iter().any(|a| matches!(a, Action::MulticastRegion { .. })));
+        let a2 = r.handle(Event::Timer(TimerKind::Backoff(mid(2))), t(9));
+        assert!(a2.iter().all(|a| !matches!(a, Action::MulticastRegion { .. })));
+        assert_eq!(r.metrics().counters.remulticasts_shed, 1);
+        assert!(timers(&a2).contains(&TimerKind::Backoff(mid(2))), "deferred, not dropped");
+        // At the re-armed firing a token exists again.
+        let a3 = r.handle(Event::Timer(TimerKind::Backoff(mid(2))), t(59));
+        assert!(a3.iter().any(|a| matches!(a, Action::MulticastRegion { .. })));
+        assert_eq!(r.metrics().counters.regional_multicasts_sent, 2);
+    }
+
+    #[test]
+    fn watchdog_rearms_wedged_recovery() {
+        let mut cfg = ProtocolConfig::paper_defaults();
+        cfg.max_local_attempts = 1;
+        cfg.watchdog = Some(WatchdogConfig {
+            interval: SimDuration::from_millis(100),
+            horizon: SimDuration::from_millis(150),
+        });
+        let mut r = root_receiver(cfg);
+        assert!(
+            r.on_start()
+                .iter()
+                .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::Watchdog, .. })),
+            "watchdog armed at start-up"
+        );
+        r.handle(packet_event(0, data(2)), t(0)); // misses #1 (sole attempt)
+        r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(10)); // cap → give up
+        assert_eq!(r.metrics().counters.recovery_gave_up, 1);
+        assert!(!r.recovery_pending(mid(1)), "wedged: missing with no driver");
+        // First tick observes the wedge but the horizon has not elapsed.
+        let actions = r.handle(Event::Timer(TimerKind::Watchdog), t(100));
+        assert!(sends(&actions).is_empty());
+        assert!(timers(&actions).contains(&TimerKind::Watchdog), "tick re-arms itself");
+        assert_eq!(r.metrics().counters.watchdog_rearms, 0);
+        // A full horizon after first observation: recovery re-armed.
+        let actions = r.handle(Event::Timer(TimerKind::Watchdog), t(260));
+        assert_eq!(r.metrics().counters.watchdog_rearms, 1);
+        assert!(sends(&actions)
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::LocalRequest { msg } if *msg == mid(1))));
+        assert!(r.recovery_pending(mid(1)));
+    }
+
+    #[test]
+    fn watchdog_forgets_recovered_losses() {
+        let mut cfg = ProtocolConfig::paper_defaults();
+        cfg.max_local_attempts = 1;
+        cfg.watchdog = Some(WatchdogConfig {
+            interval: SimDuration::from_millis(100),
+            horizon: SimDuration::from_millis(150),
+        });
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(2)), t(0));
+        r.handle(Event::Timer(TimerKind::LocalRetry(mid(1))), t(10)); // wedged
+        r.handle(Event::Timer(TimerKind::Watchdog), t(100)); // observed
+                                                             // The repair lands before the horizon: nothing left to re-arm.
+        r.handle(
+            packet_event(
+                2,
+                Packet::Repair {
+                    data: DataPacket::new(mid(1), payload()),
+                    kind: RepairKind::Local,
+                },
+            ),
+            t(150),
+        );
+        let actions = r.handle(Event::Timer(TimerKind::Watchdog), t(300));
+        assert_eq!(r.metrics().counters.watchdog_rearms, 0);
+        assert!(sends(&actions).is_empty());
+    }
+
+    #[test]
+    fn critical_tier_declines_buffering_but_delivers() {
+        let mut cfg = ProtocolConfig::paper_defaults();
+        cfg.memory_budget = Some(8); // payload() is 7 bytes: 7/8 ≥ 85%
+        let mut r = root_receiver(cfg);
+        r.handle(packet_event(0, data(1)), t(0));
+        assert!(r.store().contains(mid(1)));
+        let actions = r.handle(packet_event(0, data(2)), t(1));
+        assert!(
+            actions.iter().any(|a| matches!(a, Action::Deliver { id, .. } if *id == mid(2))),
+            "delivery is never declined: {actions:?}"
+        );
+        assert!(!r.store().contains(mid(2)), "critical tier declines the buffering duty");
+        assert_eq!(r.metrics().counters.admission_declined, 1);
+        assert!(r.store().bytes() <= 8, "budget invariant");
+    }
+
+    #[test]
+    fn pressure_tier_sheds_long_term_entries_early() {
+        let mut cfg = ProtocolConfig::paper_defaults();
+        cfg.memory_budget = Some(100); // pressure at 50 bytes
+        let mut r = root_receiver(cfg);
+        for seq in 2..9 {
+            r.preload(mid(seq), payload(), PreloadState::LongTerm, t(0)); // 49 bytes
+        }
+        assert_eq!(r.metrics().counters.pressure_discards, 0);
+        // The next insert crosses the pressure threshold; the default
+        // hook sheds LRU long-term entries back below it.
+        r.handle(packet_event(0, data(1)), t(5));
+        assert_eq!(r.metrics().counters.pressure_discards, 1);
+        assert!(r.store().bytes() <= 50, "pressure hook drains below the threshold");
+        assert!(r.store().contains(mid(1)), "the fresh short-term entry is kept");
     }
 }

@@ -487,23 +487,24 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// Reads `RRMP_FAULTS`: `None` when unset or empty, the parsed plan
-    /// otherwise.
+    /// Reads `RRMP_FAULTS`: `Ok(None)` when unset or empty, the parsed
+    /// plan otherwise.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the variable is set but malformed — mirroring
-    /// `RRMP_SIM_SHARDS` / `RRMP_POLICY`: a chaos job that silently fell
-    /// back to a fault-free run would pass while testing nothing.
-    #[must_use]
-    pub fn from_env() -> Option<FaultPlan> {
-        let raw = std::env::var("RRMP_FAULTS").ok()?;
+    /// Returns the offending raw value and the per-clause parse message
+    /// when the variable is set but malformed. This library layer never
+    /// panics on bad input; harness boundaries that must fail loudly
+    /// (a chaos job silently falling back to a fault-free run would pass
+    /// while testing nothing) turn the error into a panic themselves.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        let Ok(raw) = std::env::var("RRMP_FAULTS") else { return Ok(None) };
         if raw.trim().is_empty() {
-            return None;
+            return Ok(None);
         }
         match FaultPlan::parse(&raw) {
-            Ok(plan) => Some(plan),
-            Err(e) => panic!("invalid RRMP_FAULTS={raw:?}: {e}"),
+            Ok(plan) => Ok(Some(plan)),
+            Err(e) => Err(format!("invalid RRMP_FAULTS={raw:?}: {e}")),
         }
     }
 }
@@ -670,5 +671,32 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_clause() {
+        // The error must carry enough of the clause to locate it inside a
+        // multi-clause spec, not just "parse error".
+        let err = FaultPlan::parse("seed=7;partition=0-1@100..400;warp=3@0..1").unwrap_err();
+        assert!(err.contains("warp"), "error should name the bad clause: {err}");
+        let err = FaultPlan::parse("crash=x@3").unwrap_err();
+        assert!(err.contains('x') || err.contains("crash"), "error should point at crash=x: {err}");
+        let err = FaultPlan::parse("partition=0-1@5..5").unwrap_err();
+        assert!(err.contains('5'), "error should show the degenerate window: {err}");
+    }
+
+    #[test]
+    fn from_env_is_a_result_not_a_panic() {
+        // `from_env` reads a process-global; serialize against other env
+        // tests by running set/err/unset in one test body.
+        std::env::set_var("RRMP_FAULTS", "warp=3@0..1");
+        let err = FaultPlan::from_env().unwrap_err();
+        assert!(err.contains("RRMP_FAULTS") && err.contains("warp"), "{err}");
+        std::env::set_var("RRMP_FAULTS", "  ");
+        assert_eq!(FaultPlan::from_env(), Ok(None), "blank value means no plan");
+        std::env::set_var("RRMP_FAULTS", "crash=2@5");
+        assert!(FaultPlan::from_env().expect("valid spec").is_some());
+        std::env::remove_var("RRMP_FAULTS");
+        assert_eq!(FaultPlan::from_env(), Ok(None));
     }
 }

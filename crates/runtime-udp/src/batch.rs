@@ -146,10 +146,15 @@ mod sys {
 /// Transmission is best-effort per destination, like the runtime's
 /// existing fan-out (UDP gives no delivery guarantee anyway): a batch
 /// that errors falls back to per-datagram sends for its remainder.
+/// Returns how many destinations were handed to the kernel, so callers
+/// can count (rather than silently swallow) local send failures —
+/// `addrs.len()` minus the return value is the number of datagrams that
+/// never left this host.
 #[cfg(all(target_os = "linux", feature = "mmsg"))]
-pub fn send_to_many(socket: &UdpSocket, payload: &[u8], addrs: &[SocketAddr]) {
+pub fn send_to_many(socket: &UdpSocket, payload: &[u8], addrs: &[SocketAddr]) -> usize {
     use std::os::fd::AsRawFd;
     let fd = socket.as_raw_fd();
+    let mut ok = 0usize;
     for chunk in addrs.chunks(BATCH) {
         let mut names = [sys::sockaddr_storage::ZERO; BATCH];
         let mut iovs =
@@ -184,22 +189,24 @@ pub fn send_to_many(socket: &UdpSocket, payload: &[u8], addrs: &[SocketAddr]) {
                 // Fall back to per-datagram sends for the remainder
                 // (best-effort, mirroring the historical path).
                 for &addr in &chunk[done..] {
-                    let _ = socket.send_to(payload, addr);
+                    if socket.send_to(payload, addr).is_ok() {
+                        ok += 1;
+                    }
                 }
                 break;
             }
             done += sent as usize;
+            ok += sent as usize;
         }
     }
+    ok
 }
 
 /// Fallback: one `send_to` per destination (non-Linux targets, or the
-/// `mmsg` feature disabled).
+/// `mmsg` feature disabled). Returns how many sends succeeded.
 #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
-pub fn send_to_many(socket: &UdpSocket, payload: &[u8], addrs: &[SocketAddr]) {
-    for &addr in addrs {
-        let _ = socket.send_to(payload, addr);
-    }
+pub fn send_to_many(socket: &UdpSocket, payload: &[u8], addrs: &[SocketAddr]) -> usize {
+    addrs.iter().filter(|&&addr| socket.send_to(payload, addr).is_ok()).count()
 }
 
 // ---------------------------------------------------------------------------
@@ -351,7 +358,7 @@ mod tests {
         for rx in [&rx1, &rx2] {
             rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         }
-        send_to_many(&tx, b"batched", &[rx1_addr, rx2_addr]);
+        assert_eq!(send_to_many(&tx, b"batched", &[rx1_addr, rx2_addr]), 2);
         let mut buf = [0u8; 64];
         for rx in [&rx1, &rx2] {
             let (len, from) = rx.recv_from(&mut buf).expect("datagram arrives");
@@ -366,7 +373,7 @@ mod tests {
         rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         // The same destination BATCH+3 times: exercises the chunked loop.
         let addrs = vec![rx_addr; BATCH + 3];
-        send_to_many(&tx, b"many", &addrs);
+        assert_eq!(send_to_many(&tx, b"many", &addrs), BATCH + 3);
         let mut buf = [0u8; 16];
         for _ in 0..(BATCH + 3) {
             let (len, _) = rx.recv_from(&mut buf).expect("each copy arrives");

@@ -34,7 +34,7 @@
 //! being paid per packet.
 
 use std::net::UdpSocket;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver as ChanReceiver, Sender as ChanSender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -139,6 +139,12 @@ pub struct UdpNode {
     /// delivery channel, so the plain [`UdpNode::recv_timeout`] /
     /// [`UdpNode::try_recv`] surface still exposes the failure.
     recv_failure: Mutex<Option<std::io::Error>>,
+    /// Outgoing work dropped on this host: datagrams the outbox could
+    /// not transmit (unaddressable destination or local send error) and
+    /// deliveries shed because the application stopped draining the
+    /// channel. The send-side mirror of [`RuntimeEvent::RecvFailed`] —
+    /// surfaced via [`UdpNode::send_drops`] instead of silently lost.
+    send_drops: Arc<AtomicU64>,
     /// Test hook: inject events on the delivery channel as the recv
     /// thread would.
     #[cfg(test)]
@@ -181,6 +187,7 @@ impl UdpNode {
         let (delivered_tx, delivered_rx) = mpsc::sync_channel::<RuntimeEvent>(4096);
         let shutdown = Arc::new(AtomicBool::new(false));
         let initial_drop: Arc<Mutex<Option<Box<DropFilter>>>> = Arc::new(Mutex::new(None));
+        let send_drops = Arc::new(AtomicU64::new(0));
 
         // Receive thread: datagram -> decoded packet -> event loop.
         let recv_socket = socket.try_clone()?;
@@ -249,6 +256,7 @@ impl UdpNode {
         // Event loop thread.
         let loop_shutdown = Arc::clone(&shutdown);
         let loop_drop = Arc::clone(&initial_drop);
+        let loop_send_drops = Arc::clone(&send_drops);
         let loop_handle = std::thread::Builder::new()
             .name(format!("rrmp-udp-loop-{node}"))
             .spawn(move || {
@@ -263,6 +271,7 @@ impl UdpNode {
                     delivered_tx,
                     shutdown: loop_shutdown,
                     initial_drop: loop_drop,
+                    send_drops: loop_send_drops,
                 });
             })
             .expect("spawn event loop thread");
@@ -276,6 +285,7 @@ impl UdpNode {
             shutdown,
             initial_drop,
             recv_failure: Mutex::new(None),
+            send_drops,
             #[cfg(test)]
             test_delivered_tx,
         })
@@ -353,6 +363,18 @@ impl UdpNode {
         self.recv_failure.lock().expect("recv_failure lock").as_ref().map(std::io::Error::kind)
     }
 
+    /// Outgoing work dropped on this host so far: datagrams the send
+    /// path could not transmit (no address for the destination, or the
+    /// local socket write failed) plus deliveries shed because the
+    /// application was not draining the channel. UDP loss in the network
+    /// is invisible by nature; *local* loss is not, and a monotonically
+    /// rising value here tells the operator this node is shedding its own
+    /// output — the send-side mirror of [`UdpNode::recv_failure`].
+    #[must_use]
+    pub fn send_drops(&self) -> u64 {
+        self.send_drops.load(Ordering::Relaxed)
+    }
+
     fn note_failure(&self, event: &RuntimeEvent) {
         if let RuntimeEvent::RecvFailed(e) = event {
             let copy = std::io::Error::new(e.kind(), e.to_string());
@@ -402,6 +424,7 @@ struct EventLoop {
     delivered_tx: SyncSender<RuntimeEvent>,
     shutdown: Arc<AtomicBool>,
     initial_drop: Arc<Mutex<Option<Box<DropFilter>>>>,
+    send_drops: Arc<AtomicU64>,
 }
 
 /// How many queued inputs one wakeup drains before re-checking timers —
@@ -418,15 +441,22 @@ struct Outbox<'a> {
     /// Reused fan-out destination list, handed to the batched send path
     /// (`sendmmsg` on Linux) in one call per packet.
     fanout_addrs: Vec<std::net::SocketAddr>,
+    /// Shared drop counter (see [`UdpNode::send_drops`]): every datagram
+    /// this outbox fails to put on the wire bumps it.
+    drops: &'a AtomicU64,
 }
 
 impl Outbox<'_> {
     /// Unicast: encode onto the reused buffer and transmit to one member.
     fn send(&mut self, to: NodeId, packet: &Packet) {
-        if let Some(addr) = self.spec.addr_of(to) {
-            self.wire.clear();
-            packet.encode_into(&mut self.wire);
-            let _ = self.socket.send_to(&self.wire, addr);
+        let Some(addr) = self.spec.addr_of(to) else {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        self.wire.clear();
+        packet.encode_into(&mut self.wire);
+        if self.socket.send_to(&self.wire, addr).is_err() {
+            self.drops.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -445,12 +475,19 @@ impl Outbox<'_> {
         self.fanout_addrs.clear();
         for m in members {
             if m != self.node && keep(m) {
-                if let Some(addr) = self.spec.addr_of(m) {
-                    self.fanout_addrs.push(addr);
+                match self.spec.addr_of(m) {
+                    Some(addr) => self.fanout_addrs.push(addr),
+                    None => {
+                        self.drops.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
-        crate::batch::send_to_many(self.socket, &self.wire, &self.fanout_addrs);
+        let sent = crate::batch::send_to_many(self.socket, &self.wire, &self.fanout_addrs);
+        let lost = self.fanout_addrs.len() - sent;
+        if lost > 0 {
+            self.drops.fetch_add(lost as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -466,6 +503,7 @@ fn event_loop(ctx: EventLoop) {
         delivered_tx,
         shutdown,
         initial_drop,
+        send_drops,
     } = ctx;
     let epoch = Instant::now();
     let now_sim = |at: Instant| SimTime::from_micros(at.duration_since(epoch).as_micros() as u64);
@@ -489,6 +527,7 @@ fn event_loop(ctx: EventLoop) {
         node,
         wire: BytesMut::with_capacity(2048),
         fanout_addrs: Vec::new(),
+        drops: &send_drops,
     };
     // Reused action scratch: `handle_into` fills it, `execute` drains it.
     let mut actions: Vec<Action> = Vec::new();
@@ -516,7 +555,15 @@ fn event_loop(ctx: EventLoop) {
                     outbox.fan_out(&packet, &mut receiver.view().own().members(), &|_| true);
                 }
                 Action::Deliver { id, payload } => {
-                    let _ = delivered_tx.try_send(RuntimeEvent::Delivery(Delivery { id, payload }));
+                    // A full (or closed) application channel sheds the
+                    // delivery; count it so a stalled consumer is visible
+                    // through `UdpNode::send_drops`.
+                    if delivered_tx
+                        .try_send(RuntimeEvent::Delivery(Delivery { id, payload }))
+                        .is_err()
+                    {
+                        outbox.drops.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 Action::SetTimer { delay, kind } => {
                     timers.schedule(now_of() + delay, kind);
@@ -804,6 +851,31 @@ mod tests {
     }
 
     #[test]
+    fn outbox_counts_unaddressable_sends_as_drops() {
+        use rrmp_core::ids::{MessageId, SeqNo};
+        let drops = AtomicU64::new(0);
+        let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        // A spec that knows only node 0: every other destination is
+        // unaddressable and must be counted, not silently skipped.
+        let mut spec = GroupSpec::new();
+        spec.add_member(NodeId(0), sock.local_addr().unwrap(), RegionId(0));
+        let mut outbox = Outbox {
+            socket: &sock,
+            spec: &spec,
+            node: NodeId(0),
+            wire: BytesMut::new(),
+            fanout_addrs: Vec::new(),
+            drops: &drops,
+        };
+        let packet = Packet::LocalRequest { msg: MessageId::new(NodeId(9), SeqNo(1)) };
+        outbox.send(NodeId(9), &packet);
+        assert_eq!(drops.load(Ordering::Relaxed), 1, "unaddressable unicast counts");
+        // Fan-out to two unknown members (self is excluded, not dropped).
+        outbox.fan_out(&packet, &mut [NodeId(0), NodeId(7), NodeId(8)].into_iter(), &|_| true);
+        assert_eq!(drops.load(Ordering::Relaxed), 3, "unaddressable fan-out legs count");
+    }
+
+    #[test]
     fn recv_failed_event_is_recorded_on_the_plain_surface() {
         let bound = bind_n(1);
         let addrs: Vec<SocketAddr> = bound.iter().map(|(_, a)| *a).collect();
@@ -811,6 +883,7 @@ mod tests {
         let (sock, _) = bound.into_iter().next().expect("one socket");
         let node = UdpNode::start(sock, spec, NodeId(0), fast_cfg(), true, 7).expect("start node");
         assert_eq!(node.recv_failure(), None);
+        assert_eq!(node.send_drops(), 0);
         // Inject a failure the way the recv thread would surface one.
         node.delivered_rx_test_inject(RuntimeEvent::RecvFailed(std::io::Error::new(
             std::io::ErrorKind::NotConnected,
