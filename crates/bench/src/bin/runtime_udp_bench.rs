@@ -1,0 +1,298 @@
+//! Runtime benchmark for the multiplexed UDP runtime: thousands of
+//! group members per process on a handful of event-loop threads.
+//!
+//! Drives a real multicast + lossy-recovery workload over loopback
+//! sockets — one sender, `--members=N` receivers (default 2,000), a
+//! slice of which misses every initial multicast and recovers through
+//! the protocol — and measures end-to-end **deliveries per second**
+//! across three axes:
+//!
+//! * **loop sweep**: the identical workload on 1, 2, and 4 event-loop
+//!   threads (`loop_scaling` reports 4-loop ÷ 1-loop; on a single-core
+//!   container this hovers near 1.0x and is checked warn-only in CI);
+//! * **pooled vs unpooled receive** (`pooled_receive`): the same 1-loop
+//!   workload with the MTU-bucketed buffer pool enabled vs
+//!   `pool_limit_bytes = 0` (every datagram allocates fresh);
+//! * **pool statistics**: each phase runs a warmup burst first and then
+//!   reports the *steady-state* miss rate — acquires that still had to
+//!   allocate after warmup — which should sit at ~0.
+//!
+//! Writes `BENCH_runtime_udp.json` in the `bench_guard`-compatible
+//! layout (a `"workloads"` object with per-workload `"speedup"`).
+//!
+//! ```text
+//! cargo run --release -p rrmp-bench --bin runtime_udp_bench -- \
+//!     [--members=N] [--out=PATH]
+//! ```
+
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rrmp_core::prelude::ProtocolConfig;
+use rrmp_netsim::time::SimDuration;
+use rrmp_netsim::topology::{NodeId, RegionId};
+use rrmp_udp::{GroupSpec, MemberHandle, PoolSnapshot, RuntimeConfig, UdpRuntime};
+
+/// Messages multicast before measurement starts: fills the buffer pools
+/// (every slab the steady state needs gets its one allocating miss here)
+/// and lets the protocol reach its session rhythm. Must exceed
+/// `MEASURED_MESSAGES` with margin — the measured phase pins one receive
+/// slab per (member, in-flight message) until the idle threshold
+/// releases it, and steady state means that whole working set was
+/// already allocated (and freed back) during warmup.
+const WARMUP_MESSAGES: usize = 16;
+/// Messages in the measured phase.
+const MEASURED_MESSAGES: usize = 12;
+/// Pause between warmup and measurement: long enough for the protocol's
+/// idle transitions (`IDLE_THRESHOLD_MS`) to release the warmup burst's
+/// buffered payloads, unpinning their receive slabs back into the pool —
+/// the measured phase then runs against a primed freelist.
+const SETTLE: Duration = Duration::from_millis(1_000);
+/// Idle threshold handed to the protocol: messages quiet this long are
+/// released by every non-bufferer, which is what bounds the pool's
+/// working set in steady state. Must satisfy the recovery invariant
+/// `session_interval + rtt < idle_threshold` (see `ProtocolConfig`) with
+/// real scheduling-latency margin — a lossy member learns what it missed
+/// from the next session ad, and its first pull must land while its
+/// neighbors still hold the message short-term; otherwise every repair
+/// degenerates into a long-term-bufferer search, which grows with region
+/// size and collapses throughput.
+const IDLE_THRESHOLD_MS: u64 = 400;
+/// Per-loop freelist budget floor for the pooled arms; `pool_limit_for`
+/// scales it up with the member count so the warmup burst's slabs are
+/// never trimmed out of the freelist the measured phase draws from.
+const BENCH_POOL_LIMIT: usize = 32 * 1024 * 1024;
+
+/// Freelist budget sized to the phase's working set: one MTU slab per
+/// (member, warmup message) plus slack for session/control traffic.
+fn pool_limit_for(member_count: usize) -> usize {
+    (member_count * (WARMUP_MESSAGES + 4) * 2048).max(BENCH_POOL_LIMIT)
+}
+/// Fraction of the group that misses every initial multicast and must
+/// recover through the protocol.
+const LOSSY_FRACTION: usize = 50; // 1/50 = 2%
+/// Hard ceiling on any single phase, so a pathological run reports a
+/// truncated rate instead of hanging the bench.
+const PHASE_DEADLINE: Duration = Duration::from_secs(120);
+
+struct PhaseResult {
+    loops: usize,
+    pooled: bool,
+    deliveries: u64,
+    expected: u64,
+    elapsed: f64,
+    warm: Vec<PoolSnapshot>,
+    end: Vec<PoolSnapshot>,
+}
+
+impl PhaseResult {
+    fn rate(&self) -> f64 {
+        self.deliveries as f64 / self.elapsed
+    }
+
+    /// Misses per acquire *after* warmup, summed over the phase's loops.
+    fn steady_miss_rate(&self) -> f64 {
+        let acquires: u64 = self
+            .end
+            .iter()
+            .zip(&self.warm)
+            .map(|(e, w)| (e.hits + e.misses) - (w.hits + w.misses))
+            .sum();
+        let misses: u64 = self.end.iter().zip(&self.warm).map(|(e, w)| e.misses - w.misses).sum();
+        if acquires == 0 {
+            0.0
+        } else {
+            misses as f64 / acquires as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        let hits: u64 = self.end.iter().map(|s| s.hits).sum();
+        let misses: u64 = self.end.iter().map(|s| s.misses).sum();
+        let reclaimed: u64 = self.end.iter().map(|s| s.reclaimed).sum();
+        let high_water: u64 = self.end.iter().map(|s| s.high_water_bytes).sum();
+        format!(
+            "    {{\n      \"loops\": {},\n      \"pooled\": {},\n      \"deliveries\": {},\n      \"expected_deliveries\": {},\n      \"elapsed_sec\": {:.3},\n      \"deliveries_per_sec\": {:.0},\n      \"pool_hits\": {hits},\n      \"pool_misses\": {misses},\n      \"pool_reclaimed\": {reclaimed},\n      \"pool_high_water_bytes\": {high_water},\n      \"steady_state_miss_rate\": {:.4}\n    }}",
+            self.loops,
+            self.pooled,
+            self.deliveries,
+            self.expected,
+            self.elapsed,
+            self.rate(),
+            self.steady_miss_rate(),
+        )
+    }
+}
+
+/// Drains every member's delivery channel round-robin until `target`
+/// deliveries arrived or `deadline` passed; returns the count.
+fn drain_deliveries(members: &[MemberHandle], target: u64, deadline: Instant) -> u64 {
+    let mut got = 0u64;
+    while got < target && Instant::now() < deadline {
+        let mut any = false;
+        for m in members {
+            while m.try_recv().is_some() {
+                got += 1;
+                any = true;
+            }
+        }
+        if !any {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    got
+}
+
+fn run_phase(member_count: usize, loops: usize, pool_limit: usize) -> PhaseResult {
+    let sockets: Vec<UdpSocket> = (0..member_count)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind member socket"))
+        .collect();
+    let mut spec = GroupSpec::new();
+    for (i, s) in sockets.iter().enumerate() {
+        spec.add_member(NodeId(i as u32), s.local_addr().expect("addr"), RegionId(0));
+    }
+    let spec = Arc::new(spec);
+    // A relaxed session interval keeps the background session-ad fan-out
+    // (sender -> every member, each tick) from dominating a large group;
+    // the short idle threshold is what gives the pool a steady state —
+    // non-bufferers release a message's payload (and thereby its receive
+    // slab) `IDLE_THRESHOLD_MS` after it goes quiet.
+    let cfg = ProtocolConfig::builder()
+        .session_interval(SimDuration::from_millis(150))
+        .idle_threshold(SimDuration::from_millis(IDLE_THRESHOLD_MS))
+        .build()
+        .expect("valid config");
+    let rt = UdpRuntime::start(RuntimeConfig {
+        loop_threads: loops,
+        pool_limit_bytes: pool_limit,
+        delivery_capacity: WARMUP_MESSAGES + MEASURED_MESSAGES + 16,
+    })
+    .expect("start runtime");
+    let members: Vec<MemberHandle> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
+            rt.add_member(sock, Arc::clone(&spec), NodeId(i as u32), cfg.clone(), i == 0, i as u64)
+                .expect("add member")
+        })
+        .collect();
+
+    // A 1/LOSSY_FRACTION slice at the tail misses every initial
+    // multicast: the measured rate includes real recovery traffic.
+    let dropped = member_count / LOSSY_FRACTION;
+    let cutoff = (member_count - dropped) as u32;
+    members[0].set_initial_drop(Some(move |n: NodeId| n.0 >= cutoff));
+
+    // Both phases stream flow-controlled: each message is multicast and
+    // fully delivered group-wide before the next goes out — an
+    // application-paced stream, so the measured rate is real end-to-end
+    // capacity (fan-out + recvmmsg + protocol + recovery + delivery),
+    // not a drain of pre-queued socket buffers.
+    // Per message, the stream waits for every member that got the
+    // initial copy; the lossy slice recovers concurrently with later
+    // messages (its deliveries are picked up by subsequent drains and a
+    // final catch-up), so recovery latency overlaps the stream instead
+    // of serializing it.
+    let deadline = Instant::now() + PHASE_DEADLINE;
+    let stream = |first: usize, count: usize| -> u64 {
+        let mut got = 0u64;
+        for i in 0..count {
+            members[0].multicast(vec![(first + i) as u8; 1024]);
+            got += drain_deliveries(&members, (member_count - dropped) as u64, deadline);
+        }
+        // Catch-up: the recovery stragglers of the burst's tail.
+        let expected = (member_count * count) as u64;
+        got + drain_deliveries(&members, expected - got.min(expected), deadline)
+    };
+
+    // Warmup: populate the pools and the protocol's buffering state,
+    // then let idle transitions unpin the warmup payloads.
+    let warm_target = (member_count * WARMUP_MESSAGES) as u64;
+    let warm_got = stream(0, WARMUP_MESSAGES);
+    assert!(
+        warm_got >= warm_target * 9 / 10,
+        "warmup delivered {warm_got}/{warm_target} — runtime is not keeping up"
+    );
+    std::thread::sleep(SETTLE);
+    let warm = rt.pool_snapshots();
+
+    // Measured phase.
+    let start = Instant::now();
+    let got = stream(WARMUP_MESSAGES, MEASURED_MESSAGES);
+    let elapsed = start.elapsed().as_secs_f64();
+    let target = (member_count * MEASURED_MESSAGES) as u64;
+    let end = rt.pool_snapshots();
+
+    drop(members);
+    rt.shutdown();
+    PhaseResult {
+        loops,
+        pooled: pool_limit > 0,
+        deliveries: got,
+        expected: target,
+        elapsed,
+        warm,
+        end,
+    }
+}
+
+fn main() {
+    let mut member_count = 2_000usize;
+    let mut out_path = String::from("BENCH_runtime_udp.json");
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--members=") {
+            member_count = v.parse().expect("--members=N");
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else {
+            panic!("unknown argument {arg} (supported: --members=N, --out=PATH)");
+        }
+    }
+    assert!(member_count >= 100, "--members must be at least 100");
+
+    eprintln!("runtime_udp_bench: {member_count} members, 1 KiB payloads, 2% lossy-recovery");
+
+    let mut sweep = Vec::new();
+    for loops in [1usize, 2, 4] {
+        eprintln!("  loop sweep: {loops} event-loop thread(s), pooled ...");
+        let phase = run_phase(member_count, loops, pool_limit_for(member_count));
+        eprintln!(
+            "    {:.0} deliveries/sec ({}/{} delivered), steady-state miss rate {:.4}",
+            phase.rate(),
+            phase.deliveries,
+            phase.expected,
+            phase.steady_miss_rate()
+        );
+        sweep.push(phase);
+    }
+    eprintln!("  unpooled arm: 1 loop, pool disabled ...");
+    let unpooled = run_phase(member_count, 1, 0);
+    eprintln!(
+        "    {:.0} deliveries/sec ({}/{} delivered)",
+        unpooled.rate(),
+        unpooled.deliveries,
+        unpooled.expected
+    );
+
+    let pooled_1 = &sweep[0];
+    let pooled_4 = &sweep[2];
+    let sweep_json = sweep.iter().map(PhaseResult::json).collect::<Vec<_>>().join(",\n");
+    let json = format!(
+        "{{\n  \"benchmark\": \"runtime_udp\",\n  \"description\": \"multiplexed UDP runtime: N event-loop threads hosting {member_count} group members over poll(2) + recvmmsg with an MTU-bucketed zero-copy buffer pool, end-to-end multicast + lossy-recovery deliveries\",\n  \"members\": {member_count},\n  \"messages_measured\": {MEASURED_MESSAGES},\n  \"payload_bytes\": 1024,\n  \"loop_sweep\": [\n{sweep_json},\n{unpooled}\n  ],\n  \"workloads\": {{\n    \"pooled_receive\": {{\n      \"unit\": \"deliveries/sec\",\n      \"work_items\": {work},\n      \"optimized_per_sec\": {p1:.0},\n      \"reference_per_sec\": {u1:.0},\n      \"speedup\": {ps:.3}\n    }},\n    \"loop_scaling\": {{\n      \"unit\": \"deliveries/sec\",\n      \"work_items\": {work},\n      \"optimized_per_sec\": {p4:.0},\n      \"reference_per_sec\": {p1:.0},\n      \"speedup\": {ls:.3}\n    }}\n  }}\n}}\n",
+        unpooled = unpooled.json(),
+        work = pooled_1.expected,
+        p1 = pooled_1.rate(),
+        u1 = unpooled.rate(),
+        ps = pooled_1.rate() / unpooled.rate(),
+        p4 = pooled_4.rate(),
+        ls = pooled_4.rate() / pooled_1.rate(),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!(
+        "pooled_receive {:.3}x, loop_scaling {:.3}x -> {out_path}",
+        pooled_1.rate() / unpooled.rate(),
+        pooled_4.rate() / pooled_1.rate(),
+    );
+}

@@ -955,7 +955,7 @@ fn main() {
     let rss = peak_rss_kb();
     let body = comparisons.iter().map(Comparison::json).collect::<Vec<_>>().join(",\n");
     let json = format!(
-        "{{\n  \"benchmark\": \"sim_core\",\n  \"description\": \"timing-wheel scheduler + batched regional delivery + zero-allocation event loop vs faithful pre-refactor baselines (identical deterministic workloads)\",\n  \"peak_rss_proxy_kb\": {rss},\n  \"peak_rss_budget_kb\": {MEMBERS_RSS_BUDGET_KB},\n  \"members_scale\": {{\n    \"members\": {scale_members},\n    \"regions\": {scale_regions},\n    \"rss_before_kb\": {rss_before},\n    \"rss_after_kb\": {rss_after},\n    \"rss_delta_kb\": {rss_delta}\n  }},\n  \"workloads\": {{\n{body}\n  }}\n}}\n"
+        "{{\n  \"benchmark\": \"sim_core\",\n  \"description\": \"timing-wheel scheduler + batched regional delivery + zero-allocation event loop vs faithful pre-refactor baselines (identical deterministic workloads)\",\n  \"peak_rss_proxy_kb\": {rss},\n  \"peak_rss_budget_kb\": {MEMBERS_RSS_BUDGET_KB},\n  \"peak_rss_note\": \"the budget applies to members_scale.rss_delta_kb (the workload's own footprint, measured around it); peak_rss_proxy_kb is the whole process including every other workload and is informational only\",\n  \"members_scale\": {{\n    \"members\": {scale_members},\n    \"regions\": {scale_regions},\n    \"rss_before_kb\": {rss_before},\n    \"rss_after_kb\": {rss_after},\n    \"rss_delta_kb\": {rss_delta}\n  }},\n  \"workloads\": {{\n{body}\n  }}\n}}\n"
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
 

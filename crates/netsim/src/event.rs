@@ -44,6 +44,16 @@ use crate::time::SimTime;
 /// queue in `rrmp-udp`, the differential benchmarks — programs against
 /// one interface and one implementation instead of growing private timer
 /// heaps.
+///
+/// ## Cancellation is lazy
+///
+/// The contract deliberately has no `cancel`: a calendar queue cannot
+/// remove an arbitrary event without a per-event handle map, and none of
+/// the hosts need eager removal. A host that multiplexes many owners over
+/// one wheel (the UDP runtime hosts every member of an event-loop thread
+/// on a single queue) tags each event with the owner's generation and
+/// discards stale fires at pop time — the same scheme the simulator's
+/// timer slab uses.
 pub trait Scheduler<E> {
     /// Schedules `event` to fire at `at`.
     fn schedule(&mut self, at: SimTime, event: E);
@@ -57,6 +67,15 @@ pub trait Scheduler<E> {
 
     /// The firing time of the earliest pending event, if any.
     fn peek_time(&self) -> Option<SimTime>;
+
+    /// How long after `now` the earliest event fires: `None` when the
+    /// queue is empty, [`crate::time::SimDuration::ZERO`] when it is
+    /// already due. Hosts that block on an external wait (the UDP
+    /// runtime's `poll(2)` timeout) use this to bound the wait by the
+    /// next deadline without duplicating the saturation logic.
+    fn next_due_in(&self, now: SimTime) -> Option<crate::time::SimDuration> {
+        self.peek_time().map(|at| at.saturating_since(now))
+    }
 
     /// Number of pending events.
     fn len(&self) -> usize;
@@ -569,6 +588,21 @@ mod tests {
         q.schedule(t(3), 3);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn next_due_in_saturates_on_overdue_events() {
+        use crate::time::SimDuration;
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(Scheduler::next_due_in(&q, t(0)), None);
+        q.schedule(t(10), 1);
+        assert_eq!(Scheduler::next_due_in(&q, t(4)), Some(SimDuration::from_millis(6)));
+        // An already-due event reports ZERO, never underflows.
+        assert_eq!(Scheduler::next_due_in(&q, t(15)), Some(SimDuration::ZERO));
+        // The reference queue shares the default implementation.
+        let mut r: ReferenceEventQueue<u8> = ReferenceEventQueue::new();
+        r.schedule(t(10), 1);
+        assert_eq!(Scheduler::next_due_in(&r, t(4)), Some(SimDuration::from_millis(6)));
     }
 
     #[test]

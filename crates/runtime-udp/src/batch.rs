@@ -46,6 +46,21 @@ mod sys {
     pub const AF_INET6: u16 = 10;
     /// `recvmmsg`: block for the first message only, then drain.
     pub const MSG_WAITFORONE: c_int = 0x10000;
+    /// Per-message flag the kernel sets when a datagram was longer than
+    /// the buffer it was received into.
+    pub const MSG_TRUNC: c_int = 0x20;
+    /// `poll(2)`: data available to read.
+    pub const POLLIN: c_short = 0x001;
+
+    use std::os::raw::{c_short, c_ulong};
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
 
     #[repr(C)]
     #[derive(Debug, Clone, Copy)]
@@ -94,6 +109,7 @@ mod sys {
             flags: c_int,
             timeout: *mut c_void, // struct timespec*; we always pass null
         ) -> c_int;
+        pub fn poll(fds: *mut pollfd, nfds: c_ulong, timeout: c_int) -> c_int;
     }
 
     /// Encodes `addr` into `storage`; returns the kernel-facing length.
@@ -210,22 +226,44 @@ pub fn send_to_many(socket: &UdpSocket, payload: &[u8], addrs: &[SocketAddr]) ->
 }
 
 // ---------------------------------------------------------------------------
-// Batched receive.
+// Batched, pool-fed receive.
 // ---------------------------------------------------------------------------
 
-/// Reusable receive-side batch state: `datagrams` buffers filled by one
-/// [`RecvBatcher::recv_batch`] call, with per-datagram source addresses.
-/// One instance lives on the receive thread; buffers are reused across
-/// calls, so the steady state allocates nothing.
+use crate::pool::{BufferPool, SizeClass};
+use bytes::Bytes;
+
+/// Reusable receive-side batch state. Datagrams are received **directly
+/// into pooled slabs** ([`crate::pool::BufferPool`]), truncated to their
+/// wire length and frozen into [`Bytes`] — the zero-copy hand-off the
+/// decoder slices without another allocation. One instance lives on each
+/// event-loop thread and drains every socket the loop hosts.
+///
+/// ## Adaptive size class
+///
+/// Slabs start at the [`crate::pool::DATAGRAM_MTU`] class — the right
+/// size for every protocol control packet and MTU-sized data datagram. A
+/// datagram that arrives larger is reported truncated by the kernel
+/// (`MSG_TRUNC`); the batcher drops it (UDP loss semantics — the
+/// protocol's recovery machinery re-requests the message exactly as it
+/// would after a network drop) and promotes itself to the next class, so
+/// the repair — and all further traffic — is received whole. Jumbo
+/// senders therefore cost one recovery round-trip once per loop, never
+/// silent corruption, and MTU-sized groups never pay jumbo-slab memory.
 #[derive(Debug)]
 pub struct RecvBatcher {
-    bufs: Vec<Vec<u8>>,
-    /// `(buffer index, len, from)` of each datagram filled by the last
-    /// drain — the explicit index keeps payloads and sources paired even
-    /// if a slot is skipped (e.g. an undecodable source address).
-    filled: Vec<(usize, usize, SocketAddr)>,
+    /// Current slab size class (promoted on truncation, never demoted).
+    class: SizeClass,
+    /// Writable slabs awaiting datagrams; `None` slots were consumed by a
+    /// freeze and are refilled from the pool on the next call.
+    slabs: Vec<Option<bytes::BytesMut>>,
+    /// `(wire bytes, source, slab class)` of each datagram drained by the
+    /// last call, in arrival order. The class tags the slab for its
+    /// eventual [`crate::pool::BufferPool::release`].
+    out: Vec<(Bytes, SocketAddr, SizeClass)>,
+    /// Datagrams dropped because they exceeded the current slab class.
+    truncated: u64,
     /// Reused kernel-facing arrays of the Linux path (pointers re-derived
-    /// from `bufs` on every call; capacity reused, never reallocated).
+    /// from `slabs` on every call; capacity reused, never reallocated).
     #[cfg(all(target_os = "linux", feature = "mmsg"))]
     names: Vec<sys::sockaddr_storage>,
     #[cfg(all(target_os = "linux", feature = "mmsg"))]
@@ -236,18 +274,26 @@ pub struct RecvBatcher {
 
 // SAFETY: the raw pointers inside `iovs`/`msgs` are only ever read by the
 // kernel during `recv_batch`, which re-derives every one of them from the
-// owned buffers at the start of each call — they never dangle across a
+// owned slabs at the start of each call — they never dangle across a
 // move of the batcher between threads.
 #[cfg(all(target_os = "linux", feature = "mmsg"))]
 unsafe impl Send for RecvBatcher {}
 
+impl Default for RecvBatcher {
+    fn default() -> Self {
+        RecvBatcher::new()
+    }
+}
+
 impl RecvBatcher {
-    /// Creates a batcher of [`BATCH`] buffers of `buf_len` bytes each.
+    /// Creates a batcher starting at the MTU size class.
     #[must_use]
-    pub fn new(buf_len: usize) -> Self {
+    pub fn new() -> Self {
         RecvBatcher {
-            bufs: (0..BATCH).map(|_| vec![0u8; buf_len]).collect(),
-            filled: Vec::with_capacity(BATCH),
+            class: SizeClass::for_len(0),
+            slabs: (0..BATCH).map(|_| None).collect(),
+            out: Vec::with_capacity(BATCH),
+            truncated: 0,
             #[cfg(all(target_os = "linux", feature = "mmsg"))]
             names: Vec::with_capacity(BATCH),
             #[cfg(all(target_os = "linux", feature = "mmsg"))]
@@ -257,31 +303,75 @@ impl RecvBatcher {
         }
     }
 
-    /// The datagrams filled by the last [`RecvBatcher::recv_batch`],
-    /// each borrowing its buffer's first `len` bytes.
-    pub fn datagrams(&self) -> impl Iterator<Item = (&[u8], SocketAddr)> + '_ {
-        self.filled.iter().map(|&(i, len, from)| (&self.bufs[i][..len], from))
+    /// The slab size class datagrams are currently received into.
+    #[must_use]
+    pub fn class(&self) -> SizeClass {
+        self.class
     }
 
-    /// Waits for at least one datagram (respecting the socket's read
-    /// timeout) and drains up to [`BATCH`] that are already queued.
-    /// Returns the number of datagrams filled; timeout surfaces as the
-    /// usual `WouldBlock`/`TimedOut` error, exactly like `recv_from`.
+    /// Datagrams dropped so far because they overflowed the slab class
+    /// (each one also promoted the class, so a given sender pays this at
+    /// most [`crate::pool::SIZE_CLASSES`]`.len() - 1` times per loop).
+    #[must_use]
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Drains the datagrams filled by the last [`RecvBatcher::recv_batch`]
+    /// in arrival order: `(wire bytes, source, slab class)`. The class
+    /// must accompany the bytes to their eventual pool release.
+    pub fn drain(&mut self) -> impl Iterator<Item = (Bytes, SocketAddr, SizeClass)> + '_ {
+        self.out.drain(..)
+    }
+
+    /// Fills every consumed slab slot from the pool; on a pending class
+    /// promotion, hands all old-class slabs back first.
+    fn ensure_slabs(&mut self, pool: &mut BufferPool, promote: bool) {
+        if promote {
+            if let Some(next) = self.class.promote() {
+                for slot in &mut self.slabs {
+                    if let Some(slab) = slot.take() {
+                        pool.release_unused(self.class, slab);
+                    }
+                }
+                self.class = next;
+            }
+        }
+        let size = self.class.size();
+        for slot in &mut self.slabs {
+            match slot {
+                Some(slab) => slab.resize(size, 0),
+                None => {
+                    let mut slab = pool.acquire(self.class);
+                    slab.resize(size, 0);
+                    *slot = Some(slab);
+                }
+            }
+        }
+    }
+
+    /// Receives a batch of datagrams into pooled slabs: up to [`BATCH`]
+    /// per `recvmmsg(2)` call on Linux, one `recv_from` elsewhere. On a
+    /// blocking socket the first datagram honors the read timeout
+    /// (`MSG_WAITFORONE`); on a nonblocking socket an empty queue returns
+    /// `WouldBlock` immediately — the event loop calls this only after
+    /// `poll(2)` reported readiness. Returns how many datagrams were
+    /// frozen into [`RecvBatcher::drain`].
     #[cfg(all(target_os = "linux", feature = "mmsg"))]
-    pub fn recv_batch(&mut self, socket: &UdpSocket) -> RecvResult {
+    pub fn recv_batch(&mut self, socket: &UdpSocket, pool: &mut BufferPool) -> RecvResult {
         use std::os::fd::AsRawFd;
-        self.filled.clear();
+        self.out.clear();
+        self.ensure_slabs(pool, false);
         // Re-derive the kernel-facing pointers into the reused arrays —
         // clear + extend keeps their capacity, so nothing allocates after
         // the first call.
         self.names.clear();
         self.names.resize(BATCH, sys::sockaddr_storage::ZERO);
         self.iovs.clear();
-        self.iovs.extend(
-            self.bufs
-                .iter_mut()
-                .map(|b| sys::iovec { iov_base: b.as_mut_ptr().cast(), iov_len: b.len() }),
-        );
+        self.iovs.extend(self.slabs.iter_mut().map(|slot| {
+            let slab = slot.as_mut().expect("ensure_slabs filled every slot");
+            sys::iovec { iov_base: slab.as_mut_ptr().cast(), iov_len: slab.len() }
+        }));
         self.msgs.clear();
         for i in 0..BATCH {
             self.msgs.push(sys::mmsghdr {
@@ -297,7 +387,7 @@ impl RecvBatcher {
                 msg_len: 0,
             });
         }
-        // SAFETY: every mmsghdr points at live, distinct buffers owned by
+        // SAFETY: every mmsghdr points at live, distinct slabs owned by
         // `self` for the duration of the call (no Vec is touched between
         // the pointer derivation above and the syscall); vlen is the
         // allocated batch size. MSG_WAITFORONE makes the kernel honor the
@@ -314,26 +404,179 @@ impl RecvBatcher {
         if got < 0 {
             return Err(std::io::Error::last_os_error());
         }
-        for (i, msg) in self.msgs.iter().take(got as usize).enumerate() {
+        let mut promote = false;
+        for i in 0..got as usize {
+            let msg = self.msgs[i];
+            if msg.msg_hdr.msg_flags & sys::MSG_TRUNC != 0 {
+                // Datagram larger than the slab: drop it (the recovery
+                // protocol will re-request) and grow the class for
+                // everything that follows. The slab stays reusable.
+                self.truncated += 1;
+                promote = true;
+                continue;
+            }
             // A source address the decoder does not recognize (unexpected
-            // family) drops that datagram only; the explicit buffer index
-            // keeps the survivors correctly paired.
+            // family) drops that datagram only.
             let Some(from) = sys::decode_addr(&self.names[i]) else { continue };
-            self.filled.push((i, msg.msg_len as usize, from));
+            let mut slab = self.slabs[i].take().expect("slab present for filled slot");
+            slab.truncate(msg.msg_len as usize);
+            self.out.push((slab.freeze(), from, self.class));
         }
-        Ok(self.filled.len())
+        if promote {
+            self.ensure_slabs(pool, true);
+        }
+        Ok(self.out.len())
     }
 
-    /// Fallback drain: one blocking `recv_from` (so the socket timeout
-    /// still paces the loop), then opportunistic non-blocking reads up
-    /// to the batch size would need a nonblocking socket — the fallback
-    /// keeps the historical one-datagram-per-call behavior instead.
+    /// Fallback drain: one `recv_from` into a pooled slab. Truncation
+    /// cannot be detected portably, so a datagram that exactly fills the
+    /// slab is treated as suspect — dropped and the class promoted —
+    /// mirroring the Linux `MSG_TRUNC` behavior at worst one false
+    /// positive per class step.
     #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
-    pub fn recv_batch(&mut self, socket: &UdpSocket) -> RecvResult {
-        self.filled.clear();
-        let (len, from) = socket.recv_from(&mut self.bufs[0])?;
-        self.filled.push((0, len, from));
+    pub fn recv_batch(&mut self, socket: &UdpSocket, pool: &mut BufferPool) -> RecvResult {
+        self.out.clear();
+        self.ensure_slabs(pool, false);
+        let slab = self.slabs[0].as_mut().expect("ensure_slabs filled slot 0");
+        let (len, from) = socket.recv_from(&mut slab[..])?;
+        if len == slab.len() && self.class.promote().is_some() {
+            self.truncated += 1;
+            self.ensure_slabs(pool, true);
+            return Ok(0);
+        }
+        let mut slab = self.slabs[0].take().expect("slab present");
+        slab.truncate(len);
+        self.out.push((slab.freeze(), from, self.class));
         Ok(1)
+    }
+
+    /// Hands every unconsumed slab back to the pool (loop shutdown).
+    pub fn park(&mut self, pool: &mut BufferPool) {
+        for slot in &mut self.slabs {
+            if let Some(slab) = slot.take() {
+                pool.release_unused(self.class, slab);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Readiness multiplexing.
+// ---------------------------------------------------------------------------
+
+/// A reusable `poll(2)` fd set: the event loop registers every socket it
+/// hosts plus its waker, blocks once per wakeup, and drains the sockets
+/// reported readable. On non-Linux targets (or with the `mmsg` feature
+/// off) there is no declared `poll` binding; [`PollSet::wait`] degrades
+/// to a bounded 1 ms nap that reports **every** socket readable, turning
+/// the loop into a nonblocking sweep with identical semantics and worse
+/// idle efficiency.
+#[derive(Debug, Default)]
+pub struct PollSet {
+    #[cfg(all(target_os = "linux", feature = "mmsg"))]
+    fds: Vec<sys::pollfd>,
+    #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
+    fds: usize,
+}
+
+impl PollSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        PollSet::default()
+    }
+
+    /// Drops every registered fd (the loop re-registers after membership
+    /// changes).
+    pub fn clear(&mut self) {
+        #[cfg(all(target_os = "linux", feature = "mmsg"))]
+        self.fds.clear();
+        #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
+        {
+            self.fds = 0;
+        }
+    }
+
+    /// Registers `socket` for readability; returns its index in the set.
+    pub fn register(&mut self, socket: &UdpSocket) -> usize {
+        #[cfg(all(target_os = "linux", feature = "mmsg"))]
+        {
+            use std::os::fd::AsRawFd;
+            self.fds.push(sys::pollfd { fd: socket.as_raw_fd(), events: sys::POLLIN, revents: 0 });
+            self.fds.len() - 1
+        }
+        #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
+        {
+            let _ = socket;
+            self.fds += 1;
+            self.fds - 1
+        }
+    }
+
+    /// Number of registered fds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        #[cfg(all(target_os = "linux", feature = "mmsg"))]
+        {
+            self.fds.len()
+        }
+        #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
+        {
+            self.fds
+        }
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until at least one registered socket is readable or
+    /// `timeout` elapses; returns how many are ready. `EINTR` reports as
+    /// zero ready (the caller's loop re-iterates). The fallback build
+    /// naps for at most 1 ms and reports everything ready.
+    pub fn wait(&mut self, timeout: std::time::Duration) -> std::io::Result<usize> {
+        #[cfg(all(target_os = "linux", feature = "mmsg"))]
+        {
+            for fd in &mut self.fds {
+                fd.revents = 0;
+            }
+            // Round sub-millisecond timeouts up so a 200 µs deadline
+            // waits 1 ms instead of spinning at zero.
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            let ms = if ms == 0 && !timeout.is_zero() { 1 } else { ms };
+            // SAFETY: `fds` is a live, initialized pollfd array whose
+            // length matches nfds.
+            let n = unsafe { sys::poll(self.fds.as_mut_ptr(), self.fds.len() as u64, ms) };
+            if n < 0 {
+                let err = std::io::Error::last_os_error();
+                if err.kind() == std::io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            Ok(n as usize)
+        }
+        #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
+        {
+            std::thread::sleep(timeout.min(std::time::Duration::from_millis(1)));
+            Ok(self.fds)
+        }
+    }
+
+    /// Whether the socket registered at `idx` was reported readable by
+    /// the last [`PollSet::wait`].
+    #[must_use]
+    pub fn is_readable(&self, idx: usize) -> bool {
+        #[cfg(all(target_os = "linux", feature = "mmsg"))]
+        {
+            self.fds[idx].revents & sys::POLLIN != 0
+        }
+        #[cfg(not(all(target_os = "linux", feature = "mmsg")))]
+        {
+            idx < self.fds
+        }
     }
 }
 
@@ -390,30 +633,80 @@ mod tests {
         }
         // Give loopback a moment to queue everything.
         std::thread::sleep(Duration::from_millis(50));
-        let mut batcher = RecvBatcher::new(2048);
+        let mut pool = BufferPool::new(1 << 20);
+        let mut batcher = RecvBatcher::new();
         let mut seen = Vec::new();
         while seen.len() < 5 {
-            let n = batcher.recv_batch(&rx).expect("burst arrives");
+            let n = batcher.recv_batch(&rx, &mut pool).expect("burst arrives");
             assert!(n >= 1);
-            for (bytes, from) in batcher.datagrams() {
+            for (bytes, from, class) in batcher.drain() {
                 assert_eq!(from, tx.local_addr().unwrap());
                 assert_eq!(bytes.len(), 3);
+                assert_eq!(class.size(), crate::pool::DATAGRAM_MTU);
                 seen.push(bytes[0]);
+                pool.release(class, bytes);
             }
         }
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // Every released slab is recyclable: a fresh batcher's refill hits
+        // the freelist instead of allocating.
+        let before = pool.stats().snapshot();
+        assert!(before.reclaimed + before.hits > 0 || before.free_bytes > 0);
     }
 
     #[test]
     fn recv_batch_times_out_like_recv_from() {
         let (_tx, rx, _, _) = pair();
         rx.set_read_timeout(Some(Duration::from_millis(30))).unwrap();
-        let mut batcher = RecvBatcher::new(128);
-        let err = batcher.recv_batch(&rx).expect_err("no datagram queued");
+        let mut pool = BufferPool::new(1 << 20);
+        let mut batcher = RecvBatcher::new();
+        let err = batcher.recv_batch(&rx, &mut pool).expect_err("no datagram queued");
         assert!(
             matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
             "unexpected error kind: {err:?}"
         );
+        batcher.park(&mut pool);
+    }
+
+    #[test]
+    fn oversize_datagram_is_dropped_and_class_promoted() {
+        let (tx, rx, _, rx_addr) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(2000))).unwrap();
+        let jumbo = vec![0xAB; crate::pool::DATAGRAM_MTU + 100];
+        tx.send_to(&jumbo, rx_addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let mut pool = BufferPool::new(1 << 22);
+        let mut batcher = RecvBatcher::new();
+        assert_eq!(batcher.class().size(), crate::pool::DATAGRAM_MTU);
+        // The jumbo datagram is dropped (truncated) and the class grows.
+        let n = batcher.recv_batch(&rx, &mut pool).expect("recv succeeds");
+        assert_eq!(n, 0);
+        assert_eq!(batcher.truncated(), 1);
+        assert!(batcher.class().size() > crate::pool::DATAGRAM_MTU);
+        // A retransmission of the same payload now fits whole.
+        tx.send_to(&jumbo, rx_addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let n = batcher.recv_batch(&rx, &mut pool).expect("retry arrives");
+        assert_eq!(n, 1);
+        let (bytes, _, class) = batcher.drain().next().expect("datagram present");
+        assert_eq!(bytes.len(), jumbo.len());
+        pool.release(class, bytes);
+    }
+
+    #[test]
+    fn poll_set_reports_readiness() {
+        let (tx, rx, _, rx_addr) = pair();
+        let mut set = PollSet::new();
+        let idx = set.register(&rx);
+        assert_eq!(set.len(), 1);
+        tx.send_to(b"wake", rx_addr).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let ready = set.wait(Duration::from_millis(500)).expect("poll succeeds");
+        assert!(ready >= 1);
+        assert!(set.is_readable(idx));
+        let mut buf = [0u8; 16];
+        let (len, _) = rx.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..len], b"wake");
     }
 }

@@ -162,4 +162,69 @@ mod tests {
             RegionId(0),
         );
     }
+
+    #[test]
+    #[should_panic(expected = "duplicate address")]
+    fn duplicate_address_rejected() {
+        // Two members claiming one socket address would make `node_at`
+        // ambiguous on the receive path; the spec refuses at build time.
+        let mut spec = GroupSpec::new();
+        spec.add_member(NodeId(0), addr(9300), RegionId(0)).add_member(
+            NodeId(1),
+            addr(9300),
+            RegionId(1),
+        );
+    }
+
+    #[test]
+    fn unknown_lookups_return_none() {
+        let mut spec = GroupSpec::new();
+        spec.add_member(NodeId(0), addr(9400), RegionId(0));
+        assert_eq!(spec.addr_of(NodeId(9)), None);
+        assert_eq!(spec.node_at(addr(9499)), None);
+        assert_eq!(spec.region_of(NodeId(9)), None);
+        // A region no member belongs to is simply empty, not an error.
+        assert_eq!(spec.members_of(RegionId(7)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node is a member")]
+    fn view_for_unknown_node_panics() {
+        let mut spec = GroupSpec::new();
+        spec.add_member(NodeId(0), addr(9500), RegionId(0));
+        let _ = spec.view_for(NodeId(42));
+    }
+
+    #[test]
+    fn view_for_with_empty_parent_region() {
+        // A parent edge pointing at a region with no members yields an
+        // empty — but present — parent view: the protocol sees the
+        // hierarchy, just with nobody to ask remotely yet.
+        let mut spec = GroupSpec::new();
+        spec.add_member(NodeId(0), addr(9600), RegionId(1)).set_parent(RegionId(1), RegionId(0));
+        let view = spec.view_for(NodeId(0));
+        assert_eq!(view.own().len(), 1);
+        let parent = view.parent().expect("parent edge declared");
+        assert_eq!(parent.len(), 0);
+    }
+
+    #[test]
+    fn empty_spec_reports_empty() {
+        let spec = GroupSpec::new();
+        assert!(spec.is_empty());
+        assert_eq!(spec.len(), 0);
+        assert_eq!(spec.members().len(), 0);
+    }
+
+    #[test]
+    fn members_preserve_insertion_order() {
+        // Fan-out and placement both iterate `members()`; insertion order
+        // is part of the contract (deterministic wire order in tests).
+        let mut spec = GroupSpec::new();
+        spec.add_member(NodeId(5), addr(9700), RegionId(0))
+            .add_member(NodeId(1), addr(9701), RegionId(0))
+            .add_member(NodeId(3), addr(9702), RegionId(1));
+        let ids: Vec<NodeId> = spec.members().iter().map(|m| m.node).collect();
+        assert_eq!(ids, vec![NodeId(5), NodeId(1), NodeId(3)]);
+    }
 }

@@ -7,16 +7,28 @@
 //! unicast fan-out (the paper's protocol only observes *who received the
 //! initial transmission*, which the fan-out preserves).
 //!
+//! Two entry points:
+//!
+//! * [`UdpRuntime`] — the production surface: N event-loop threads, each
+//!   multiplexing many members over one shared timing wheel, one
+//!   MTU-bucketed [`BufferPool`], and one `poll(2)` readiness set, so a
+//!   process can host thousands of receivers.
+//! * [`UdpNode`] — the original one-member facade over a private
+//!   single-loop runtime, unchanged API.
+//!
 //! See the `udp_localhost` example for a multi-node walkthrough on
-//! loopback, including forced initial-multicast loss and recovery.
+//! loopback (including forced initial-multicast loss and recovery) and
+//! `udp_swarm` for many members multiplexed onto few loops.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
 pub mod group;
+pub mod pool;
 pub mod runtime;
 
-pub use batch::{send_to_many, RecvBatcher};
+pub use batch::{send_to_many, PollSet, RecvBatcher};
 pub use group::{GroupSpec, MemberSpec};
-pub use runtime::{Delivery, RuntimeEvent, UdpNode};
+pub use pool::{BufferPool, PoolSnapshot, PoolStats, SizeClass, DATAGRAM_MTU, MAX_DATAGRAM};
+pub use runtime::{Delivery, MemberHandle, RuntimeConfig, RuntimeEvent, UdpNode, UdpRuntime};

@@ -26,11 +26,20 @@
 # flagship members_1m numbers. BENCH_MEMBERS_ONLY=1 runs only the scaling
 # workload (the CI members_scale smoke job uses both).
 #
-# Usage: scripts/bench.sh [output.json]
+# The run finishes with the runtime_udp benchmark: real loopback sockets,
+# one process hosting BENCH_RUNTIME_MEMBERS group members (default 2000)
+# on 1/2/4 event-loop threads, writing BENCH_runtime_udp.json (end-to-end
+# deliveries/sec, pooled-vs-unpooled receive, pool statistics). Its
+# committed baseline gets the same bench_guard treatment. Set
+# BENCH_RUNTIME_SKIP=1 to skip this section (e.g. sandboxes without
+# loopback sockets).
+#
+# Usage: scripts/bench.sh [output.json] [runtime-output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_sim_core.json}"
+RUNTIME_OUT="${2:-BENCH_runtime_udp.json}"
 
 SIM_FLAGS=()
 if [[ -n "${BENCH_MEMBERS:-}" ]]; then
@@ -40,12 +49,17 @@ if [[ "${BENCH_MEMBERS_ONLY:-0}" == "1" ]]; then
   SIM_FLAGS+=("--members-only")
 fi
 
-# Snapshot the committed baseline before (possibly) overwriting it.
+# Snapshot the committed baselines before (possibly) overwriting them.
 BASELINE_SNAPSHOT=""
+RUNTIME_BASELINE_SNAPSHOT=""
+trap 'rm -f "$BASELINE_SNAPSHOT" "$RUNTIME_BASELINE_SNAPSHOT"' EXIT
 if [[ -f BENCH_sim_core.json ]]; then
   BASELINE_SNAPSHOT="$(mktemp)"
   cp BENCH_sim_core.json "$BASELINE_SNAPSHOT"
-  trap 'rm -f "$BASELINE_SNAPSHOT"' EXIT
+fi
+if [[ -f BENCH_runtime_udp.json ]]; then
+  RUNTIME_BASELINE_SNAPSHOT="$(mktemp)"
+  cp BENCH_runtime_udp.json "$RUNTIME_BASELINE_SNAPSHOT"
 fi
 
 echo "== criterion microbenchmarks (micro_core) =="
@@ -57,16 +71,40 @@ cargo run --release -p rrmp-bench --bin sim_core_bench "$OUT" ${SIM_FLAGS[@]+"${
 
 echo "wrote $OUT"
 
+GUARD_FLAGS="--warn-only"
+if [[ "${BENCH_GUARD_STRICT:-0}" == "1" ]]; then
+  GUARD_FLAGS=""
+fi
+if [[ -n "${BENCH_GUARD_ENFORCE:-}" ]]; then
+  GUARD_FLAGS="$GUARD_FLAGS --enforce=${BENCH_GUARD_ENFORCE}"
+fi
+
 if [[ -n "$BASELINE_SNAPSHOT" && "${BENCH_GUARD_SKIP:-0}" != "1" ]]; then
   echo
   echo "== bench_guard: fresh speedups vs committed baseline =="
-  GUARD_FLAGS="--warn-only"
-  if [[ "${BENCH_GUARD_STRICT:-0}" == "1" ]]; then
-    GUARD_FLAGS=""
-  fi
-  if [[ -n "${BENCH_GUARD_ENFORCE:-}" ]]; then
-    GUARD_FLAGS="$GUARD_FLAGS --enforce=${BENCH_GUARD_ENFORCE}"
-  fi
   # shellcheck disable=SC2086
   cargo run --release -p rrmp-bench --bin bench_guard "$OUT" "$BASELINE_SNAPSHOT" $GUARD_FLAGS
+fi
+
+if [[ "${BENCH_RUNTIME_SKIP:-0}" != "1" ]]; then
+  echo
+  echo "== runtime_udp multiplexed-runtime benchmark =="
+  RUNTIME_FLAGS=()
+  if [[ -n "${BENCH_RUNTIME_MEMBERS:-}" ]]; then
+    RUNTIME_FLAGS+=("--members=${BENCH_RUNTIME_MEMBERS}")
+  fi
+  cargo run --release -p rrmp-bench --bin runtime_udp_bench -- \
+    "--out=${RUNTIME_OUT}" ${RUNTIME_FLAGS[@]+"${RUNTIME_FLAGS[@]}"}
+  echo "wrote $RUNTIME_OUT"
+
+  if [[ -n "$RUNTIME_BASELINE_SNAPSHOT" && "${BENCH_GUARD_SKIP:-0}" != "1" ]]; then
+    echo
+    echo "== bench_guard: runtime_udp speedups vs committed baseline =="
+    # The runtime workloads are wall-clock socket benchmarks — noisier
+    # than the simulator's, so BENCH_GUARD_ENFORCE applies to them only
+    # if explicitly named there.
+    # shellcheck disable=SC2086
+    cargo run --release -p rrmp-bench --bin bench_guard \
+      "$RUNTIME_OUT" "$RUNTIME_BASELINE_SNAPSHOT" $GUARD_FLAGS
+  fi
 fi

@@ -129,6 +129,68 @@ fn leave_hands_off_over_real_sockets() {
 }
 
 #[test]
+fn multiplexed_runtime_hosts_a_group_on_two_loops() {
+    // The production surface: one UdpRuntime, two event-loop threads,
+    // a dozen members multiplexed across them — lossy initial multicast
+    // included, so recovery runs with requester and repairer sharing
+    // loop threads.
+    use rrmp::udp::{RuntimeConfig, UdpRuntime};
+    use std::sync::Arc;
+
+    let sockets: Vec<UdpSocket> =
+        (0..12).map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind")).collect();
+    let mut spec = GroupSpec::new();
+    for (i, s) in sockets.iter().enumerate() {
+        spec.add_member(NodeId(i as u32), s.local_addr().expect("addr"), RegionId(0));
+    }
+    let spec = Arc::new(spec);
+    let cfg = ProtocolConfig::builder()
+        .session_interval(SimDuration::from_millis(25))
+        .build()
+        .expect("valid config");
+
+    let rt = UdpRuntime::start(RuntimeConfig {
+        loop_threads: 2,
+        pool_limit_bytes: 4 << 20,
+        delivery_capacity: 256,
+    })
+    .expect("start runtime");
+    let members: Vec<_> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
+            rt.add_member(sock, Arc::clone(&spec), NodeId(i as u32), cfg.clone(), i == 0, i as u64)
+                .expect("add member")
+        })
+        .collect();
+    assert_eq!(rt.member_count(), 12);
+
+    // The last third of the group misses every initial multicast.
+    members[0].set_initial_drop(Some(|n: NodeId| n.0 >= 8));
+    for i in 0..3 {
+        members[0].multicast(format!("swarm {i}"));
+    }
+    for (i, m) in members.iter().enumerate() {
+        let mut got = 0;
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while got < 3 && Instant::now() < deadline {
+            if m.recv_timeout(Duration::from_millis(100)).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 3, "member {i} delivered {got}/3");
+    }
+    // The pooled receive path served the whole run.
+    let stats = rt.pool_snapshots();
+    assert!(
+        stats.iter().any(|s| s.hits + s.misses > 0),
+        "receive path must draw slabs from the pools"
+    );
+    drop(members);
+    rt.shutdown();
+}
+
+#[test]
 fn codec_compatible_across_runtime_boundary() {
     // A datagram encoded by one node decodes identically at another —
     // guards against codec drift between the sim (which skips encoding)

@@ -128,6 +128,50 @@ impl Bytes {
         *self = self.slice(at..self.len());
         head
     }
+
+    /// Whether this handle is the only reference to the underlying
+    /// allocation (upstream `Bytes::is_unique`). Static views always
+    /// report `false`: their storage is the program image, never
+    /// reclaimable. Buffer pools use this to decide when a previously
+    /// shared slab can be reclaimed for reuse.
+    #[must_use]
+    pub fn is_unique(&self) -> bool {
+        match &self.repr {
+            Repr::Static(_) => false,
+            Repr::Shared { buf, .. } => Arc::strong_count(buf) == 1,
+        }
+    }
+
+    /// Converts `self` back into a [`BytesMut`] **without copying** when
+    /// this handle is the sole reference to the allocation (upstream
+    /// `Bytes::try_into_mut`); otherwise returns `self` unchanged in
+    /// `Err`. The written length of the result equals this view's length
+    /// and the original allocation's capacity is preserved — the property
+    /// buffer pools rely on to recycle slabs.
+    ///
+    /// Deviation from upstream: a unique view that does not start at the
+    /// allocation's first byte is returned in `Err` (upstream's
+    /// offset-capable `BytesMut` can represent it; the plain `Vec`-backed
+    /// one here cannot without a copy). Pool slabs are always released as
+    /// whole-allocation views, so the restriction never bites there.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` if the allocation is shared, static, or the
+    /// view is a non-prefix window.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.repr {
+            Repr::Static(_) => Err(self),
+            Repr::Shared { buf, off, len } => {
+                if off != 0 || Arc::strong_count(&buf) != 1 {
+                    return Err(Bytes { repr: Repr::Shared { buf, off, len } });
+                }
+                let mut v = Arc::try_unwrap(buf).expect("strong_count was 1");
+                v.truncate(len);
+                Ok(BytesMut { buf: v })
+            }
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -273,6 +317,19 @@ impl BytesMut {
         self.buf.clear();
     }
 
+    /// Shortens the buffer to `len` bytes, keeping the allocation. No-op
+    /// if `len` is not less than the current length.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Resizes the buffer to exactly `new_len` bytes, filling any newly
+    /// exposed tail with `value`. Used by pooled receive paths to expose
+    /// a writable, fully initialized slab of a fixed size class.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
     /// Ensures room for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
         self.buf.reserve(additional);
@@ -303,6 +360,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 
@@ -498,6 +561,60 @@ mod tests {
         let tail = b.split_to(3);
         assert_eq!(&tail[..], b"xyz");
         assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn is_unique_tracks_sharing() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        assert!(a.is_unique());
+        let b = a.clone();
+        assert!(!a.is_unique());
+        drop(b);
+        assert!(a.is_unique());
+        // Static storage is never reclaimable.
+        assert!(!Bytes::from_static(b"static").is_unique());
+    }
+
+    #[test]
+    fn try_into_mut_recycles_unique_prefix_views() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"datagram-bytes");
+        let cap = m.capacity();
+        let frozen = m.freeze();
+        // A truncated prefix view of a unique allocation converts back
+        // without copying and keeps the original capacity.
+        let view = frozen.slice(0..8);
+        drop(frozen);
+        let back = view.try_into_mut().expect("unique prefix reclaims");
+        assert_eq!(&back[..], b"datagram");
+        assert_eq!(back.capacity(), cap);
+    }
+
+    #[test]
+    fn try_into_mut_refuses_shared_and_non_prefix() {
+        let a = Bytes::from(vec![0u8; 16]);
+        let b = a.clone();
+        let a = a.try_into_mut().expect_err("shared allocation stays frozen");
+        drop(b);
+        // Now unique, but a non-prefix window cannot be represented.
+        let mid = a.slice(4..8);
+        drop(a);
+        assert!(mid.try_into_mut().is_err());
+        assert!(Bytes::from_static(b"s").try_into_mut().is_err());
+    }
+
+    #[test]
+    fn truncate_and_resize_keep_allocation() {
+        let mut m = BytesMut::with_capacity(32);
+        m.resize(32, 0xAB);
+        assert_eq!(m.len(), 32);
+        assert!(m.iter().all(|&b| b == 0xAB));
+        let cap = m.capacity();
+        m.truncate(5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.capacity(), cap);
+        m[0] = 7; // DerefMut exposes the writable slab
+        assert_eq!(m[0], 7);
     }
 
     #[test]
