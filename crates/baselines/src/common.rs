@@ -77,6 +77,37 @@ impl RunReport {
         )
     }
 
+    /// Renders the report as one deterministic JSON object — the
+    /// machine-readable face of [`RunReport::table_row`], consumed by the
+    /// scenario runners (`trace_dump`) and CI checkers. Field order and
+    /// number formatting are fixed, so identical runs export identical
+    /// bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = rrmp_trace::JsonObj::new();
+        o.str("scheme", self.scheme);
+        o.u64("fully_delivered_members", self.fully_delivered_members as u64);
+        o.u64("members", self.members as u64);
+        // u128 byte·µs totals exceed u64 in long budget runs; JSON gets
+        // the exact decimal rendering either way.
+        o.raw("byte_time_total", &self.byte_time_total.to_string());
+        o.u64("peak_entries_max", self.peak_entries_max as u64);
+        o.f64("peak_entries_mean", self.peak_entries_mean);
+        o.u64("packets_sent", self.packets_sent);
+        match self.mean_recovery_latency_ms {
+            Some(v) => o.f64("mean_recovery_latency_ms", v),
+            None => o.raw("mean_recovery_latency_ms", "null"),
+        }
+        o.u64("residual_losses", self.residual_losses as u64);
+        o.u64("residual_gave_up", self.residual_gave_up as u64);
+        o.u64("residual_pending", self.residual_pending as u64);
+        o.u64("recovery_gave_up", self.recovery_gave_up);
+        o.u64("faults_dropped", self.faults_dropped);
+        o.u64("faults_duplicated", self.faults_duplicated);
+        o.u64("watchdog_rearms", self.watchdog_rearms);
+        o.finish()
+    }
+
     /// The header matching [`RunReport::table_row`].
     #[must_use]
     pub fn table_header() -> String {
@@ -145,6 +176,17 @@ mod tests {
         assert!(!header.is_empty() && !row.is_empty());
         assert!(row.contains("two-phase"));
         assert!(row.contains("100/100"));
+        // The JSON face parses back and round-trips the key numbers.
+        let v = rrmp_trace::Value::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("scheme").and_then(rrmp_trace::Value::as_str), Some("two-phase"));
+        assert_eq!(v.get("packets_sent").and_then(rrmp_trace::Value::as_u64), Some(42));
+        assert_eq!(
+            v.get("mean_recovery_latency_ms").and_then(rrmp_trace::Value::as_f64),
+            Some(12.3)
+        );
+        let none = RunReport { mean_recovery_latency_ms: None, ..r };
+        let v = rrmp_trace::Value::parse(&none.to_json()).expect("valid JSON");
+        assert_eq!(v.get("mean_recovery_latency_ms"), Some(&rrmp_trace::Value::Null));
     }
 
     #[test]

@@ -107,19 +107,33 @@ impl PhaseResult {
         }
     }
 
+    /// Whole-phase pool hit rate: hits per acquire across all loops
+    /// (warmup included — the lifetime ratio, complementing the
+    /// post-warmup `steady_state_miss_rate`). 0 for the unpooled arm.
+    fn pool_hit_rate(&self) -> f64 {
+        let hits: u64 = self.end.iter().map(|s| s.hits).sum();
+        let misses: u64 = self.end.iter().map(|s| s.misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
     fn json(&self) -> String {
         let hits: u64 = self.end.iter().map(|s| s.hits).sum();
         let misses: u64 = self.end.iter().map(|s| s.misses).sum();
         let reclaimed: u64 = self.end.iter().map(|s| s.reclaimed).sum();
         let high_water: u64 = self.end.iter().map(|s| s.high_water_bytes).sum();
         format!(
-            "    {{\n      \"loops\": {},\n      \"pooled\": {},\n      \"deliveries\": {},\n      \"expected_deliveries\": {},\n      \"elapsed_sec\": {:.3},\n      \"deliveries_per_sec\": {:.0},\n      \"pool_hits\": {hits},\n      \"pool_misses\": {misses},\n      \"pool_reclaimed\": {reclaimed},\n      \"pool_high_water_bytes\": {high_water},\n      \"steady_state_miss_rate\": {:.4}\n    }}",
+            "    {{\n      \"loops\": {},\n      \"pooled\": {},\n      \"deliveries\": {},\n      \"expected_deliveries\": {},\n      \"elapsed_sec\": {:.3},\n      \"deliveries_per_sec\": {:.0},\n      \"pool_hits\": {hits},\n      \"pool_misses\": {misses},\n      \"pool_reclaimed\": {reclaimed},\n      \"pool_high_water_bytes\": {high_water},\n      \"pool_hit_rate\": {:.4},\n      \"steady_state_miss_rate\": {:.4}\n    }}",
             self.loops,
             self.pooled,
             self.deliveries,
             self.expected,
             self.elapsed,
             self.rate(),
+            self.pool_hit_rate(),
             self.steady_miss_rate(),
         )
     }
@@ -167,6 +181,7 @@ fn run_phase(member_count: usize, loops: usize, pool_limit: usize) -> PhaseResul
         loop_threads: loops,
         pool_limit_bytes: pool_limit,
         delivery_capacity: WARMUP_MESSAGES + MEASURED_MESSAGES + 16,
+        trace_ring: None,
     })
     .expect("start runtime");
     let members: Vec<MemberHandle> = sockets

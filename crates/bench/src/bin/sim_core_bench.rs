@@ -29,6 +29,12 @@
 //!   run): identical traces by construction, so the ratio is the pure
 //!   cost of the per-copy fault hook. Proves the unarmed hook (one
 //!   `Option` check) costs nothing on fault-free runs.
+//! * `trace_path` — the `rrmp_e2e` run unarmed vs armed with the full
+//!   observer (ring-buffered trace sinks on every receiver and the
+//!   engine, samplers off so both arms process identical event
+//!   sequences): the ratio is the pure cost of the tracing hooks, and
+//!   the unarmed arm is the fast path the golden fingerprints pin — one
+//!   `Option` check per hook site.
 //! * `overload` — a repair storm (80% loss burst, 100 members, a tenth
 //!   seeded per message) with the graceful-degradation kit armed (memory
 //!   budget + token-bucket damping + liveness watchdog) vs the same
@@ -75,7 +81,7 @@ use rrmp_core::harness::RrmpNetwork;
 use rrmp_core::ids::{MessageId, SeqNo};
 use rrmp_core::packet::{DataPacket, Packet};
 use rrmp_core::policy::PolicyKind;
-use rrmp_core::prelude::{DampingConfig, ProtocolConfig, WatchdogConfig};
+use rrmp_core::prelude::{DampingConfig, ProtocolConfig, TraceConfig, WatchdogConfig};
 use rrmp_netsim::event::{EventQueue, ReferenceEventQueue, Scheduler};
 use rrmp_netsim::fault::FaultPlan;
 use rrmp_netsim::loss::{DeliveryPlan, LossModel};
@@ -314,6 +320,33 @@ fn fault_path_workload(armed: bool) -> (f64, u64) {
                 .stall(NodeId(5), far, far + SimDuration::from_secs(1))
                 .duplicate(0.0, SimDuration::from_millis(5), SimTime::ZERO, far);
             net.arm_fault_plan(plan);
+        }
+        for _ in 0..20 {
+            let plan = DeliveryPlan::only(net.topology(), (0..50).map(NodeId));
+            net.multicast_with_plan(&b"bench-payload-bench-payload"[..], &plan);
+            let next = net.now() + SimDuration::from_millis(30);
+            net.run_until(next);
+        }
+        net.run_until(net.now() + SimDuration::from_millis(500));
+        net.net_counters().events_processed
+    })
+}
+
+// ----- workload 5b': observer-hook overhead ---------------------------------
+
+/// The `rrmp_e2e` run unarmed vs armed with the observer: ring-buffered
+/// trace sinks on every receiver and the engine, samplers off
+/// (`sample_every: None`), so no extra timers fire and both arms process
+/// byte-identical event sequences. The ratio isolates the tracing hooks
+/// themselves; the unarmed arm is the fast path the golden fingerprints
+/// pin — one `Option` check per hook site.
+fn trace_path_workload(armed: bool) -> (f64, u64) {
+    best_secs(3, || {
+        let topo = presets::paper_region(100);
+        let cfg = ProtocolConfig::paper_defaults();
+        let mut net = RrmpNetwork::new(topo, cfg, 7);
+        if armed {
+            net.arm_observer(TraceConfig { ring_capacity: 4096, sample_every: None });
         }
         for _ in 0..20 {
             let plan = DeliveryPlan::only(net.topology(), (0..50).map(NodeId));
@@ -642,6 +675,63 @@ fn policy_matrix_legacy_stacks() -> (f64, u64) {
     })
 }
 
+/// One extra shared-engine sweep of the identical matrix with the chaos
+/// kit armed — a mid-run loss burst plus low-rate duplication at the
+/// network edge, and the liveness watchdog — purely to capture the
+/// health signals as columns of the `policy_matrix` entry
+/// (`watchdog_rearms`, `faults_dropped`). Deterministic per seed, so the
+/// columns only move when the protocol does. Not part of the timing
+/// comparison: the legacy stacks have no fault layer or watchdog, so an
+/// armed plan would break the delivered-count assert.
+fn policy_matrix_chaos_signals() -> (u64, u64) {
+    let mut watchdog_rearms = 0u64;
+    let mut faults_dropped = 0u64;
+    for kind in MATRIX_POLICIES {
+        for n in MATRIX_SIZES {
+            for loss in MATRIX_LOSS {
+                let topo = presets::paper_region(n);
+                let plans = matrix_plans(&topo, loss, n as u64 ^ (loss * 100.0) as u64);
+                let mut cfg = policy_config(kind);
+                // Tight retry caps + a long total unicast blackout: most
+                // recoveries exhaust their caps mid-burst and wedge — the
+                // state the watchdog exists to re-arm once the burst ends.
+                cfg.max_local_attempts = 3;
+                cfg.max_remote_attempts = 2;
+                cfg.max_search_attempts = 2;
+                cfg.watchdog = Some(WatchdogConfig {
+                    interval: SimDuration::from_millis(150),
+                    horizon: SimDuration::from_millis(300),
+                });
+                let mut net = RrmpNetwork::new(topo, cfg, 7);
+                net.arm_fault_plan(
+                    FaultPlan::new(13)
+                        .loss_burst(1.0, None, SimTime::from_millis(20), SimTime::from_millis(700))
+                        .duplicate(
+                            0.05,
+                            SimDuration::from_millis(5),
+                            SimTime::ZERO,
+                            SimTime::from_secs(10),
+                        ),
+                );
+                let mut ids = Vec::new();
+                matrix_drive(
+                    &plans,
+                    &mut net,
+                    |net, plan| ids.push(multicast_with_session(net, &b"matrix"[..], plan)),
+                    |net, t| net.run_until(t),
+                    |net| net.now(),
+                );
+                faults_dropped += net.net_counters().faults_dropped;
+                watchdog_rearms += net
+                    .nodes()
+                    .map(|(_, n)| n.receiver().metrics().counters.watchdog_rearms)
+                    .sum::<u64>();
+            }
+        }
+    }
+    (watchdog_rearms, faults_dropped)
+}
+
 // ----- workload 10: million-member scaling flagship --------------------------
 
 /// Peak-RSS budget (kB) for the full `members_1m` run: 4 GiB. The compact
@@ -717,6 +807,10 @@ struct Comparison {
     optimized_rate: f64,
     reference_rate: f64,
     work: u64,
+    /// Extra scalar signal columns rendered ahead of the timing fields
+    /// (deterministic per seed — trend data for `bench_guard`, which
+    /// ignores everything but the `"speedup"` line).
+    extra: Vec<(&'static str, u64)>,
 }
 
 impl Comparison {
@@ -725,8 +819,10 @@ impl Comparison {
     }
 
     fn json(&self) -> String {
+        let extra: String =
+            self.extra.iter().map(|(k, v)| format!("      \"{k}\": {v},\n")).collect();
         format!(
-            "    \"{}\": {{\n      \"unit\": \"{}\",\n      \"work_items\": {},\n      \"optimized_per_sec\": {:.0},\n      \"reference_per_sec\": {:.0},\n      \"speedup\": {:.3}\n    }}",
+            "    \"{}\": {{\n{extra}      \"unit\": \"{}\",\n      \"work_items\": {},\n      \"optimized_per_sec\": {:.0},\n      \"reference_per_sec\": {:.0},\n      \"speedup\": {:.3}\n    }}",
             self.name,
             self.unit,
             self.work,
@@ -750,6 +846,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,
         work: events,
+        extra: Vec::new(),
     });
 
     eprintln!("multicast_fanout: 1 KiB payload to 200 destinations ...");
@@ -762,6 +859,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: casts as f64 / opt_s,
         reference_rate: casts as f64 / ref_s,
         work: casts,
+        extra: Vec::new(),
     });
 
     eprintln!("delivered_query: interval index vs linear scan ...");
@@ -772,6 +870,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: opt_rate,
         reference_rate: ref_rate,
         work: queries,
+        extra: Vec::new(),
     });
 
     eprintln!("encode_reuse: reused encode buffer vs per-packet allocation ...");
@@ -782,6 +881,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: opt_rate,
         reference_rate: ref_rate,
         work: encodes,
+        extra: Vec::new(),
     });
 
     eprintln!("rrmp_e2e: 100-member region, 20-message half-lost stream ...");
@@ -794,6 +894,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,
         work: events,
+        extra: Vec::new(),
     });
 
     eprintln!("fault_path: rrmp_e2e unarmed vs armed inert fault plan ...");
@@ -806,6 +907,20 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,
         work: events,
+        extra: Vec::new(),
+    });
+
+    eprintln!("trace_path: rrmp_e2e unarmed vs armed observer (samplers off) ...");
+    let (opt_s, events) = trace_path_workload(false);
+    let (ref_s, ref_events) = trace_path_workload(true);
+    assert_eq!(events, ref_events, "arming the observer must not change the trace");
+    comparisons.push(Comparison {
+        name: "trace_path",
+        unit: "events/sec",
+        optimized_rate: events as f64 / opt_s,
+        reference_rate: events as f64 / ref_s,
+        work: events,
+        extra: Vec::new(),
     });
 
     eprintln!("overload: 100-member repair storm, damped vs undamped ...");
@@ -825,6 +940,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: 1e6 / pkts as f64,
         reference_rate: 1e6 / ref_pkts as f64,
         work: pkts,
+        extra: Vec::new(),
     });
 
     eprintln!("queue_ops: 32768-pending schedule/pop storm, wheel vs heap ...");
@@ -837,6 +953,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: ops as f64 / opt_s,
         reference_rate: ops as f64 / ref_s,
         work: ops,
+        extra: Vec::new(),
     });
 
     eprintln!("multi_run_reuse: 12 runs, warm reset vs fresh construction (both optimized) ...");
@@ -849,6 +966,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: events as f64 / opt_s,
         reference_rate: events as f64 / ref_s,
         work: events,
+        extra: Vec::new(),
     });
 
     eprintln!("policy_matrix: policy x group size x loss rate, shared engine vs legacy stacks ...");
@@ -858,12 +976,16 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         delivered, ref_delivered,
         "shared-engine and legacy-stack sweeps must deliver identical message counts"
     );
+    eprintln!("  chaos-signal sweep: matrix + loss burst + duplication + watchdog ...");
+    let (watchdog_rearms, faults_dropped) = policy_matrix_chaos_signals();
+    eprintln!("  watchdog_rearms={watchdog_rearms} faults_dropped={faults_dropped}");
     comparisons.push(Comparison {
         name: "policy_matrix",
         unit: "deliveries/sec",
         optimized_rate: delivered as f64 / opt_s,
         reference_rate: delivered as f64 / ref_s,
         work: delivered,
+        extra: vec![("watchdog_rearms", watchdog_rearms), ("faults_dropped", faults_dropped)],
     });
 
     eprintln!("parallel_regions: 32 regions x 2048 members, shard count sweep ...");
@@ -889,6 +1011,7 @@ fn run_core_workloads(comparisons: &mut Vec<Comparison>) {
         optimized_rate: four_rate,
         reference_rate: seq_rate,
         work: seq_events,
+        extra: Vec::new(),
     });
 }
 
@@ -946,6 +1069,7 @@ fn main() {
         optimized_rate: lpt_events as f64 / lpt_s,
         reference_rate: rr_events as f64 / rr_s,
         work: lpt_events,
+        extra: Vec::new(),
     });
 
     if !members_only {

@@ -48,6 +48,16 @@ pub enum TimerKind {
     ///
     /// [`ProtocolConfig::watchdog`]: crate::config::ProtocolConfig::watchdog
     Watchdog,
+    /// Periodic observer sampling tick (only armed when a trace observer
+    /// is attached via [`Receiver::arm_trace`] with a sample interval):
+    /// records a time-series [`Sample`] of buffer occupancy, store bytes
+    /// vs budget, token-bucket level, and recovery backlog. Handling it
+    /// makes **no RNG draws** and mutates no protocol state, so an armed
+    /// sampler is trace-invariant across engines and shard counts.
+    ///
+    /// [`Receiver::arm_trace`]: crate::receiver::Receiver::arm_trace
+    /// [`Sample`]: rrmp_trace::EventKind::Sample
+    TraceSample,
 }
 
 /// An input to the protocol core.
@@ -143,9 +153,10 @@ mod tests {
             TimerKind::HistoryTick,
             TimerKind::SessionTick,
             TimerKind::Watchdog,
+            TimerKind::TraceSample,
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 9);
+        assert_eq!(kinds.len(), 10);
     }
 }

@@ -22,6 +22,7 @@ use crate::config::ProtocolConfig;
 use crate::events::{Action, Event, TimerKind};
 use crate::ids::MessageId;
 use crate::interval_set::MessageIdSet;
+use crate::observe::TraceConfig;
 use crate::packet::{DataPacket, Packet};
 use crate::policy::PolicyKind;
 use crate::receiver::{PreloadState, Receiver};
@@ -487,6 +488,23 @@ pub struct RrmpNetwork {
     /// re-schedule the protocol-side crash and heal timers (the engines
     /// keep the network-edge half through their own reset).
     fault_plan: Option<Arc<FaultPlan>>,
+    /// Armed observer configuration, if any — retained so
+    /// [`RrmpNetwork::reset`] can re-arm the rebuilt receivers.
+    trace_cfg: Option<TraceConfig>,
+}
+
+/// Trace-export path from the `RRMP_TRACE` environment variable, or
+/// `None` when unset or blank (mirroring how `RRMP_MEM_BUDGET` treats
+/// blanks, so CI matrix rows can pass `''` on non-trace axes). Binaries
+/// that honour the knob arm [`RrmpNetwork::with_observer`] and write
+/// [`RrmpNetwork::trace_jsonl`] to the named file.
+#[must_use]
+pub fn trace_path_from_env() -> Option<std::path::PathBuf> {
+    match std::env::var("RRMP_TRACE") {
+        Err(_) => None,
+        Ok(v) if v.trim().is_empty() => None,
+        Ok(v) => Some(std::path::PathBuf::from(v)),
+    }
 }
 
 impl RrmpNetwork {
@@ -611,6 +629,7 @@ impl RrmpNetwork {
             cfg,
             senders: senders.to_vec(),
             fault_plan: None,
+            trace_cfg: None,
         }
     }
 
@@ -707,6 +726,140 @@ impl RrmpNetwork {
         self.fault_plan.as_deref()
     }
 
+    /// Attaches the observer subsystem ([`crate::observe`]) to the whole
+    /// group, builder-style: engine-side sinks record deliveries and wire
+    /// verdicts, every receiver records protocol events and latency
+    /// histograms, and — when [`TraceConfig::sample_every`] is set — a
+    /// per-node sampling timer records the time-series pillar. The
+    /// observer survives [`RrmpNetwork::reset`].
+    ///
+    /// Armed traces are byte-identical across engines and shard counts
+    /// (the `observer_invariance` suite pins it); an unarmed network pays
+    /// one `Option` branch per hook site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started — observers attach to
+    /// whole runs, not to a half-run trace.
+    #[must_use]
+    pub fn with_observer(mut self, tc: TraceConfig) -> Self {
+        self.arm_observer(tc);
+        self
+    }
+
+    /// Non-consuming form of [`RrmpNetwork::with_observer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn arm_observer(&mut self, tc: TraceConfig) {
+        assert_eq!(self.sim.now(), SimTime::ZERO, "arm the observer before the simulation starts");
+        self.trace_cfg = Some(tc);
+        self.rearm_observer();
+    }
+
+    /// Whether the observer is armed.
+    #[must_use]
+    pub fn observer_armed(&self) -> bool {
+        self.trace_cfg.is_some()
+    }
+
+    /// Arms the engine sinks and every receiver from the retained config
+    /// (construction and after [`RrmpNetwork::reset`] rebuilds nodes).
+    fn rearm_observer(&mut self) {
+        let Some(tc) = self.trace_cfg else { return };
+        match &mut self.sim {
+            SimEngine::Single(s) => {
+                s.set_trace(Some(Box::new(rrmp_trace::TraceSink::new(tc.ring_capacity))));
+            }
+            SimEngine::Sharded(s) => s.set_trace(Some(tc.ring_capacity)),
+        }
+        let nodes: Vec<NodeId> = self.sim.topology().nodes().collect();
+        for n in nodes {
+            self.sim.node_mut(n).receiver_mut().arm_trace(&tc);
+        }
+    }
+
+    /// Every recorded trace event — engine streams plus all receiver
+    /// streams — in the canonical `(at, node, stream, emit)` order.
+    /// Empty when the observer is unarmed.
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<rrmp_trace::TraceEvent> {
+        let mut out = Vec::new();
+        match &self.sim {
+            SimEngine::Single(s) => s.collect_trace(&mut out),
+            SimEngine::Sharded(s) => s.collect_trace(&mut out),
+        }
+        for (_, n) in self.sim.nodes() {
+            if let Some(t) = n.receiver().trace() {
+                t.collect_into(&mut out);
+            }
+        }
+        rrmp_trace::sort_canonical(&mut out);
+        out
+    }
+
+    /// The full trace serialized as JSONL (one event per line, canonical
+    /// order) — the `RRMP_TRACE` export format. Byte-identical across
+    /// shard counts for the same run.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        rrmp_trace::to_jsonl(&self.trace_events())
+    }
+
+    /// Trace events evicted by ring bounds across all sinks (0 means the
+    /// export above is complete).
+    #[must_use]
+    pub fn trace_events_dropped(&self) -> u64 {
+        let engine = match &self.sim {
+            SimEngine::Single(s) => s.trace().map_or(0, rrmp_trace::TraceSink::dropped),
+            SimEngine::Sharded(s) => s.trace_dropped(),
+        };
+        engine
+            + self
+                .sim
+                .nodes()
+                .map(|(_, n)| {
+                    n.receiver().trace().map_or(0, crate::observe::ReceiverTrace::events_dropped)
+                })
+                .sum::<u64>()
+    }
+
+    /// Group-wide latency histograms as one JSON object:
+    /// `recovery_latency_micros` (loss detection → delivery),
+    /// `repair_rtt_micros` (request → repair), `inter_arrival_micros`
+    /// (global delivery gaps), and `inter_arrival_by_region` keyed
+    /// `region_<id>`. Histogram merging is associative, so the merged
+    /// quantiles are identical at every shard count.
+    #[must_use]
+    pub fn histograms_json(&self) -> String {
+        use rrmp_trace::{JsonObj, LogHistogram};
+        let mut recovery = LogHistogram::new();
+        let mut rtt = LogHistogram::new();
+        let mut inter = LogHistogram::new();
+        let mut by_region: Vec<LogHistogram> = Vec::new();
+        by_region.resize_with(self.sim.topology().region_count(), LogHistogram::new);
+        for (id, n) in self.sim.nodes() {
+            if let Some(t) = n.receiver().trace() {
+                recovery.merge(t.recovery_latency());
+                rtt.merge(t.repair_rtt());
+                inter.merge(t.inter_arrival());
+                let region = self.sim.topology().region_of(id);
+                by_region[region.index()].merge(t.inter_arrival());
+            }
+        }
+        let mut regions = JsonObj::new();
+        for (i, h) in by_region.iter().enumerate() {
+            regions.raw(&format!("region_{i}"), &h.to_json());
+        }
+        let mut o = JsonObj::new();
+        o.raw("recovery_latency_micros", &recovery.to_json());
+        o.raw("repair_rtt_micros", &rtt.to_json());
+        o.raw("inter_arrival_micros", &inter.to_json());
+        o.raw("inter_arrival_by_region", &regions.finish());
+        o.finish()
+    }
+
     /// Schedules the protocol-side half of the armed fault plan: crashes
     /// (member disappears, views drop it) and heal notifications on every
     /// node at each partition/blackout/stall end.
@@ -759,6 +912,7 @@ impl RrmpNetwork {
             cfg,
             senders: senders.to_vec(),
             fault_plan: None,
+            trace_cfg: None,
         }
     }
 
@@ -829,6 +983,7 @@ impl RrmpNetwork {
             Self::build_nodes(self.sim.topology(), &self.cfg, seed, &self.senders, optimized);
         self.sim.reset(nodes, seed);
         self.schedule_fault_protocol_timers();
+        self.rearm_observer();
     }
 
     /// Sets the loss model applied to unicast sends (requests, repairs),

@@ -61,6 +61,7 @@ pub mod ids;
 pub mod interval_set;
 pub mod loss;
 pub mod metrics;
+pub mod observe;
 pub mod packet;
 pub mod policy;
 pub mod receiver;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::history::{HistoryDigest, RepairRoles, StabilityTracker};
     pub use crate::ids::{MessageId, SeqNo};
     pub use crate::metrics::{BufferRecord, Counters, Metrics, ProtocolEvent};
+    pub use crate::observe::{ReceiverTrace, TraceConfig};
     pub use crate::packet::{DataPacket, Packet, RepairKind};
     pub use crate::policy::{BufferPolicy, DataPath, PolicyCtx, PolicyKind};
     pub use crate::receiver::{PreloadState, Receiver};

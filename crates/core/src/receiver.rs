@@ -43,9 +43,11 @@ use crate::events::{Action, Event, TimerKind};
 use crate::ids::MessageId;
 use crate::loss::LossDetector;
 use crate::metrics::{Metrics, ProtocolEvent};
+use crate::observe::{ReceiverTrace, TraceConfig};
 use crate::packet::{DataPacket, Packet, RepairKind};
 use crate::policy::{BufferPolicy, DataPath, PolicyCtx};
 use crate::vecmap::VecMap;
+use rrmp_trace::EventKind;
 
 /// Builds a [`PolicyCtx`] lending the receiver's state to a policy hook.
 /// A macro (not a method) so the borrow checker sees the disjoint field
@@ -192,6 +194,10 @@ pub struct Receiver {
     /// When the liveness watchdog first observed each wedged loss (only
     /// maintained while [`ProtocolConfig::watchdog`] is armed).
     watchdog_seen: VecMap<MessageId, SimTime>,
+    /// Observer hooks ([`crate::observe`]) — `Some` iff armed via
+    /// [`Receiver::arm_trace`]. An unarmed receiver pays one branch on
+    /// the `None` discriminant per hook site.
+    trace: Option<Box<ReceiverTrace>>,
 }
 
 impl Receiver {
@@ -278,6 +284,7 @@ impl Receiver {
             damper,
             recent_requests: VecMap::new(),
             watchdog_seen: VecMap::new(),
+            trace: None,
         }
     }
 
@@ -344,6 +351,22 @@ impl Receiver {
         &self.metrics
     }
 
+    /// Attaches the observer ([`crate::observe`]): bounded event rings
+    /// on the receiver stream plus recovery-latency histograms. Arm
+    /// before processing any event so the detection side tables see
+    /// every loss; when [`TraceConfig::sample_every`] is set the
+    /// sampling tick is scheduled by [`Receiver::on_start`] (or by the
+    /// host, for receivers armed after start-up).
+    pub fn arm_trace(&mut self, cfg: &TraceConfig) {
+        self.trace = Some(Box::new(ReceiverTrace::new(self.id, cfg)));
+    }
+
+    /// The attached observer, if armed.
+    #[must_use]
+    pub fn trace(&self) -> Option<&ReceiverTrace> {
+        self.trace.as_deref()
+    }
+
     /// Whether this member has voluntarily left the group.
     #[must_use]
     pub fn has_left(&self) -> bool {
@@ -368,6 +391,9 @@ impl Receiver {
     pub fn on_heal(&mut self, now: SimTime, actions: &mut Vec<Action>) {
         if self.left {
             return;
+        }
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.on_heal(now);
         }
         // `VecMap` iterates in ascending id order, so the heal round
         // emits actions in the same order on every engine layout.
@@ -423,6 +449,9 @@ impl Receiver {
         }
         if let Some(wd) = self.cfg.watchdog {
             actions.push(Action::SetTimer { delay: wd.interval, kind: TimerKind::Watchdog });
+        }
+        if let Some(every) = self.trace.as_ref().and_then(|t| t.sample_every()) {
+            actions.push(Action::SetTimer { delay: every, kind: TimerKind::TraceSample });
         }
         actions
     }
@@ -553,6 +582,9 @@ impl Receiver {
             self.metrics.buffer_record_mut(id).received_at = Some(now);
             self.metrics.record_event(now, id, ProtocolEvent::Delivered);
             actions.push(Action::Deliver { id, payload: data.payload.clone() });
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_delivered(id, now);
+            }
             // Critical-tier admission control: the message is delivered
             // locally regardless, but we decline to take on a buffering
             // duty for others. A handoff is exempt — declining it would
@@ -610,6 +642,9 @@ impl Receiver {
     /// compare) while no budget is configured.
     fn apply_pressure(&mut self, now: SimTime, actions: &mut Vec<Action>) {
         let tier = self.store.tier();
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.on_tier(tier, now);
+        }
         if tier >= PressureTier::Pressure {
             self.policy.on_pressure(&mut policy_ctx!(self, now, actions), tier);
         }
@@ -651,6 +686,9 @@ impl Receiver {
             self.metrics.counters.relays_performed += 1;
             self.metrics.counters.repairs_sent_remote += 1;
             self.metrics.record_event(now, id, ProtocolEvent::RemoteRepairSent { to: w });
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_repair_sent(id, w, now);
+            }
             actions.push(Action::Send {
                 to: w,
                 packet: Packet::Repair {
@@ -683,6 +721,9 @@ impl Receiver {
         for origin in &search.origins {
             self.metrics.counters.repairs_sent_remote += 1;
             self.metrics.record_event(now, id, ProtocolEvent::SearchAnswered { origin: *origin });
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_repair_sent(id, *origin, now);
+            }
             actions.push(Action::Send {
                 to: *origin,
                 packet: Packet::Repair {
@@ -737,6 +778,9 @@ impl Receiver {
         self.store.note_request(msg, now);
         if let Some(payload) = self.store.get(msg) {
             self.metrics.counters.repairs_sent_local += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_repair_sent(msg, from, now);
+            }
             actions.push(Action::Send {
                 to: from,
                 packet: Packet::Repair {
@@ -768,6 +812,9 @@ impl Receiver {
         if let Some(payload) = self.store.get(msg) {
             self.metrics.counters.repairs_sent_remote += 1;
             self.metrics.record_event(now, msg, ProtocolEvent::RemoteRepairSent { to: from });
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_repair_sent(msg, from, now);
+            }
             actions.push(Action::Send {
                 to: from,
                 packet: Packet::Repair {
@@ -809,6 +856,9 @@ impl Receiver {
         if !self.detector.is_missing(msg) {
             return;
         }
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.on_loss_detected(msg, now);
+        }
         if !self.local_rec.contains_key(msg) {
             self.local_rec.insert(msg, RecoveryState::default());
             self.local_attempt(msg, now, actions);
@@ -830,12 +880,17 @@ impl Receiver {
     /// recovers the message itself), and the retry period.
     fn local_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
         let was_shed;
+        let attempt;
         {
             let Some(state) = self.local_rec.get_mut(msg) else { return };
             state.attempts += 1;
+            attempt = state.attempts;
             if state.attempts > self.cfg.max_local_attempts {
                 self.local_rec.remove(msg);
                 self.metrics.counters.recovery_gave_up += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.on_gave_up(msg, now);
+                }
                 return;
             }
             was_shed = state.shed;
@@ -866,6 +921,9 @@ impl Receiver {
             }
         }
         if let Some(q) = self.policy.pull_target(&mut policy_ctx!(self, now, actions), msg) {
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_recovery_round(msg, false, attempt, now);
+            }
             if self.policy.pull_via_remote_request() {
                 self.metrics.counters.remote_requests_sent += 1;
                 actions.push(Action::Send { to: q, packet: Packet::RemoteRequest { msg } });
@@ -880,12 +938,17 @@ impl Receiver {
 
     fn remote_attempt(&mut self, msg: MessageId, now: SimTime, actions: &mut Vec<Action>) {
         let was_shed;
+        let attempt;
         {
             let Some(state) = self.remote_rec.get_mut(msg) else { return };
             state.attempts += 1;
+            attempt = state.attempts;
             if state.attempts > self.cfg.max_remote_attempts {
                 self.remote_rec.remove(msg);
                 self.metrics.counters.recovery_gave_up += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.on_gave_up(msg, now);
+                }
                 return;
             }
             was_shed = state.shed;
@@ -911,6 +974,9 @@ impl Receiver {
         }
         if let Some(r) = self.policy.remote_target(&mut policy_ctx!(self, now, actions), msg) {
             self.metrics.counters.remote_requests_sent += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_recovery_round(msg, true, attempt, now);
+            }
             actions.push(Action::Send { to: r, packet: Packet::RemoteRequest { msg } });
         }
         // §2.2: the timer is set whether or not a request was actually sent.
@@ -945,6 +1011,9 @@ impl Receiver {
                     msg,
                     ProtocolEvent::SearchAnswered { origin: *origin },
                 );
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.on_repair_sent(msg, *origin, now);
+                }
                 actions.push(Action::Send {
                     to: *origin,
                     packet: Packet::Repair {
@@ -1017,6 +1086,9 @@ impl Receiver {
         if state.attempts > self.cfg.max_search_attempts {
             state.exhausted_at = Some(now);
             self.metrics.counters.recovery_gave_up += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.on_gave_up(msg, now);
+            }
             return;
         }
         let origins: Vec<NodeId> = state.origins.iter().copied().collect();
@@ -1135,6 +1207,30 @@ impl Receiver {
                     self.watchdog_tick(wd, now, actions);
                     actions
                         .push(Action::SetTimer { delay: wd.interval, kind: TimerKind::Watchdog });
+                }
+            }
+            TimerKind::TraceSample => {
+                // Only ever armed when an observer with a sampling
+                // interval is attached; a stray tick on a disarmed
+                // receiver is ignored. Handling makes no RNG draws and
+                // mutates no protocol state — only the observer.
+                if self.trace.is_some() {
+                    let kind = EventKind::Sample {
+                        store_entries: u32::try_from(self.store.len()).unwrap_or(u32::MAX),
+                        store_bytes: self.store.bytes() as u64,
+                        budget_bytes: self.store.budget().map_or(0, |b| b.bytes() as u64),
+                        tokens: self.damper.as_ref().map_or(0, |b| b.tokens),
+                        pending_local: u32::try_from(self.local_rec.len()).unwrap_or(u32::MAX),
+                        pending_remote: u32::try_from(self.remote_rec.len()).unwrap_or(u32::MAX),
+                        searches: u32::try_from(self.searches.len()).unwrap_or(u32::MAX),
+                    };
+                    let every = self.trace.as_ref().and_then(|t| t.sample_every());
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.on_sample(kind, now);
+                    }
+                    if let Some(delay) = every {
+                        actions.push(Action::SetTimer { delay, kind: TimerKind::TraceSample });
+                    }
                 }
             }
         }

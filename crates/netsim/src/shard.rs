@@ -64,6 +64,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
+use rrmp_trace::{streams, EventKind, TraceSink};
 
 use crate::event::EventQueue;
 use crate::fault::FaultPlan;
@@ -138,6 +139,10 @@ struct ShardState<N: SimNode> {
     /// Per-source-region emission counters (indexed by global region id;
     /// only this shard's regions ever advance).
     emit_seqs: Vec<u64>,
+    /// Armed observer sink for this shard's nodes. Per-node rings plus
+    /// per-node emission counters make the collected events independent
+    /// of the shard layout; `None` costs one branch on the hot path.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl<N: SimNode> ShardState<N> {
@@ -163,6 +168,9 @@ impl<N: SimNode> ShardState<N> {
                 self.now = at;
                 self.counters.delivered += 1;
                 self.counters.events_processed += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(at.as_micros(), to.0, streams::ENGINE_DELIVERY, EventKind::Delivered);
+                }
                 let local = self.local_of[to.index()] as usize;
                 self.dispatch_with(env, local, |node, ctx| node.on_packet(ctx, from, msg));
             }
@@ -172,6 +180,14 @@ impl<N: SimNode> ShardState<N> {
                     self.counters.delivered += 1;
                     self.counters.events_processed += 1;
                     self.counters.batched_deliveries += 1;
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.record(
+                            at.as_micros(),
+                            to.0,
+                            streams::ENGINE_DELIVERY,
+                            EventKind::Delivered,
+                        );
+                    }
                     let local = self.local_of[to.index()] as usize;
                     self.dispatch_with(env, local, |node, ctx| node.on_packet(ctx, from, copy));
                 });
@@ -289,6 +305,14 @@ impl<N: SimNode> ShardState<N> {
         let lost = filtered || self.edge_loses(env, local_from, from, to);
         if lost {
             self.counters.unicasts_dropped += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.record(
+                    self.now.as_micros(),
+                    from.0,
+                    streams::ENGINE_WIRE,
+                    EventKind::PacketDropped { to: to.0 },
+                );
+            }
             return;
         }
         let arrive = self.now + env.topo.one_way_latency(from, to);
@@ -299,6 +323,14 @@ impl<N: SimNode> ShardState<N> {
             // at every shard layout. Its strictly-not-earlier arrival
             // keeps the conservative window rule intact.
             self.counters.faults_duplicated += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.record(
+                    self.now.as_micros(),
+                    from.0,
+                    streams::ENGINE_WIRE,
+                    EventKind::FaultDuplicated { to: to.0 },
+                );
+            }
             self.route(env, src_region, arrive, from, to, msg.clone());
             self.route(env, src_region, arrive + extra, from, to, msg);
             return;
@@ -320,6 +352,18 @@ impl<N: SimNode> ShardState<N> {
         match env.fault.and_then(|p| p.drops(self.now, from, to, env.topo)) {
             Some(true) => {
                 self.counters.faults_dropped += 1;
+                // Matches the single-`Sim` engine: the verdict event here,
+                // the PacketDropped event at the drop branch of the caller
+                // (both counters increment on a fault drop, so both events
+                // record).
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(
+                        self.now.as_micros(),
+                        from.0,
+                        streams::ENGINE_WIRE,
+                        EventKind::FaultDropped { to: to.0 },
+                    );
+                }
                 true
             }
             Some(false) => false,
@@ -350,12 +394,28 @@ impl<N: SimNode> ShardState<N> {
             let lost = filtered || self.edge_loses(env, local_from, from, to);
             if lost {
                 self.counters.unicasts_dropped += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(
+                        self.now.as_micros(),
+                        from.0,
+                        streams::ENGINE_WIRE,
+                        EventKind::PacketDropped { to: to.0 },
+                    );
+                }
                 continue;
             }
             let arrive = self.now + env.topo.one_way_latency(from, to);
             let dup = env.fault.and_then(|p| p.duplicate_delay(self.now, from, to));
             if dup.is_some() {
                 self.counters.faults_duplicated += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(
+                        self.now.as_micros(),
+                        from.0,
+                        streams::ENGINE_WIRE,
+                        EventKind::FaultDuplicated { to: to.0 },
+                    );
+                }
             }
             if env.topo.region_of(to) == src_region {
                 crate::sim::group_fanout_target(&mut self.target_pool, &mut groups, arrive, to);
@@ -547,6 +607,7 @@ fn build_states<N: SimNode>(
             scratch_groups: Vec::new(),
             outboxes: (0..shard_count).map(|_| Vec::new()).collect(),
             emit_seqs: vec![0; region_count],
+            trace: None,
         })
         .collect();
     let mut total = 0usize;
@@ -693,6 +754,11 @@ where
             for e in &mut st.emit_seqs {
                 *e = 0;
             }
+            // Armed observers stay armed across resets (matching the
+            // fault plan); the previous run's events are discarded.
+            if let Some(t) = st.trace.as_deref_mut() {
+                t.clear();
+            }
         }
         for (i, node) in nodes.into_iter().enumerate() {
             let id = NodeId(i as u32);
@@ -742,6 +808,39 @@ where
     /// so traces stay byte-identical at every shard count.
     pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
         self.fault = plan;
+    }
+
+    /// Arms (with `Some(ring_capacity)`) or disarms (with `None`) the
+    /// engine observer: one [`TraceSink`] per shard, recording deliveries
+    /// against the receiving node and wire verdicts against the sender.
+    /// Per-node rings and emission counters make the combined, canonically
+    /// sorted event set byte-identical at every shard count.
+    pub fn set_trace(&mut self, ring_capacity: Option<usize>) {
+        for st in &mut self.states {
+            st.trace = ring_capacity.map(|cap| Box::new(TraceSink::new(cap)));
+        }
+    }
+
+    /// Whether the engine observer is armed.
+    #[must_use]
+    pub fn trace_armed(&self) -> bool {
+        self.states.iter().any(|st| st.trace.is_some())
+    }
+
+    /// Trace events evicted by ring bounds across all shard sinks.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.states.iter().filter_map(|st| st.trace.as_deref()).map(TraceSink::dropped).sum()
+    }
+
+    /// Appends every engine-recorded event across all shards to `out`
+    /// (unsorted; callers combine sinks and sort canonically).
+    pub fn collect_trace(&self, out: &mut Vec<rrmp_trace::TraceEvent>) {
+        for st in &self.states {
+            if let Some(t) = st.trace.as_deref() {
+                t.collect_into(out);
+            }
+        }
     }
 
     /// Current simulated time (the conservative global clock).

@@ -46,6 +46,7 @@
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
+use rrmp_trace::{streams, EventKind, TraceSink};
 
 use crate::event::{EventQueue, ReferenceEventQueue};
 use crate::fault::FaultPlan;
@@ -520,6 +521,10 @@ pub struct Sim<N: SimNode> {
     /// Armed fault timeline, consulted per unicast copy at transmit time
     /// (`None` costs one branch — the unarmed hot path is unchanged).
     fault: Option<Arc<FaultPlan>>,
+    /// Armed observer sink fed by the engine hooks (deliveries on the
+    /// receiving node, wire verdicts on the sender). Same zero-cost
+    /// contract as `fault`: `None` costs one branch.
+    trace: Option<Box<TraceSink>>,
     counters: NetCounters,
     #[allow(clippy::type_complexity)]
     drop_filter: Option<Box<dyn FnMut(NodeId, NodeId, &N::Msg) -> bool>>,
@@ -615,6 +620,7 @@ impl<N: SimNode> Sim<N> {
             unicast_loss: LossModel::None,
             loss_rng: seq.rng_for(u64::MAX / 2),
             fault: None,
+            trace: None,
             counters: NetCounters::default(),
             drop_filter: None,
             started: false,
@@ -655,6 +661,11 @@ impl<N: SimNode> Sim<N> {
         self.counters = NetCounters::default();
         self.started = false;
         self.cancelled.clear();
+        // An armed observer stays armed across resets (matching the fault
+        // plan), but the previous run's events are discarded.
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.clear();
+        }
     }
 
     /// Whether this simulator runs the optimized event loop
@@ -686,6 +697,28 @@ impl<N: SimNode> Sim<N> {
     /// fully deterministic.
     pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
         self.fault = plan;
+    }
+
+    /// Arms (or with `None` disarms) the engine observer. While armed,
+    /// every delivery is recorded against the receiving node and every
+    /// wire verdict (loss-model drop, fault drop, duplication) against
+    /// the sender, into bounded per-node rings.
+    pub fn set_trace(&mut self, sink: Option<Box<TraceSink>>) {
+        self.trace = sink;
+    }
+
+    /// The armed engine observer, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_deref()
+    }
+
+    /// Appends every engine-recorded event to `out` (unsorted; callers
+    /// combine sinks and sort canonically).
+    pub fn collect_trace(&self, out: &mut Vec<rrmp_trace::TraceEvent>) {
+        if let Some(t) = self.trace.as_deref() {
+            t.collect_into(out);
+        }
     }
 
     /// Current simulated time.
@@ -864,6 +897,9 @@ impl<N: SimNode> Sim<N> {
                 self.now = at;
                 self.counters.delivered += 1;
                 self.counters.events_processed += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(at.as_micros(), to.0, streams::ENGINE_DELIVERY, EventKind::Delivered);
+                }
                 self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, msg));
                 true
             }
@@ -878,6 +914,14 @@ impl<N: SimNode> Sim<N> {
                     self.counters.delivered += 1;
                     self.counters.events_processed += 1;
                     self.counters.batched_deliveries += 1;
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.record(
+                            at.as_micros(),
+                            to.0,
+                            streams::ENGINE_DELIVERY,
+                            EventKind::Delivered,
+                        );
+                    }
                     self.dispatch_with(to.index(), |node, ctx| node.on_packet(ctx, from, copy));
                 });
                 targets.clear();
@@ -1005,6 +1049,14 @@ impl<N: SimNode> Sim<N> {
             let lost = filtered || self.edge_loses(from, to);
             if lost {
                 self.counters.unicasts_dropped += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(
+                        self.now.as_micros(),
+                        from.0,
+                        streams::ENGINE_WIRE,
+                        EventKind::PacketDropped { to: to.0 },
+                    );
+                }
                 continue;
             }
             let arrive = self.now + self.topo.one_way_latency(from, to);
@@ -1013,6 +1065,14 @@ impl<N: SimNode> Sim<N> {
                 // The duplicate rides the same batch machinery: one more
                 // target in the (strictly later) arrival-time group.
                 self.counters.faults_duplicated += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(
+                        self.now.as_micros(),
+                        from.0,
+                        streams::ENGINE_WIRE,
+                        EventKind::FaultDuplicated { to: to.0 },
+                    );
+                }
                 group_fanout_target(&mut self.target_pool, &mut groups, arrive + extra, to);
             }
         }
@@ -1030,11 +1090,27 @@ impl<N: SimNode> Sim<N> {
         let lost = filtered || self.edge_loses(from, to);
         if lost {
             self.counters.unicasts_dropped += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.record(
+                    self.now.as_micros(),
+                    from.0,
+                    streams::ENGINE_WIRE,
+                    EventKind::PacketDropped { to: to.0 },
+                );
+            }
             return;
         }
         let arrive = self.now + self.topo.one_way_latency(from, to);
         if let Some(extra) = self.dup_delay(from, to) {
             self.counters.faults_duplicated += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.record(
+                    self.now.as_micros(),
+                    from.0,
+                    streams::ENGINE_WIRE,
+                    EventKind::FaultDuplicated { to: to.0 },
+                );
+            }
             self.queue.schedule(arrive + extra, SimEvent::Deliver { to, from, msg: msg.clone() });
         }
         self.queue.schedule(arrive, SimEvent::Deliver { to, from, msg });
@@ -1051,6 +1127,17 @@ impl<N: SimNode> Sim<N> {
         match verdict {
             Some(true) => {
                 self.counters.faults_dropped += 1;
+                // A fault drop also records a PacketDropped at the call
+                // site (mirroring `faults_dropped` + `unicasts_dropped`
+                // both incrementing); this event marks the verdict.
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.record(
+                        self.now.as_micros(),
+                        from.0,
+                        streams::ENGINE_WIRE,
+                        EventKind::FaultDropped { to: to.0 },
+                    );
+                }
                 true
             }
             Some(false) => false,

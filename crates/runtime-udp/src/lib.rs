@@ -31,4 +31,7 @@ pub mod runtime;
 pub use batch::{send_to_many, PollSet, RecvBatcher};
 pub use group::{GroupSpec, MemberSpec};
 pub use pool::{BufferPool, PoolSnapshot, PoolStats, SizeClass, DATAGRAM_MTU, MAX_DATAGRAM};
-pub use runtime::{Delivery, MemberHandle, RuntimeConfig, RuntimeEvent, UdpNode, UdpRuntime};
+pub use runtime::{
+    Delivery, MemberHandle, RuntimeConfig, RuntimeEvent, RuntimeSnapshot, RuntimeStats, UdpNode,
+    UdpRuntime,
+};

@@ -299,11 +299,14 @@ impl BufferPool {
     /// Bounded maintenance pass: for each class, inspect up to `budget`
     /// parked slabs and reclaim the ones whose outside references have
     /// dropped. The event loop calls this once per wakeup so steady-state
-    /// reuse never depends on an acquire happening to miss.
-    pub fn sweep(&mut self, budget: usize) {
+    /// reuse never depends on an acquire happening to miss. Returns how
+    /// many slabs this pass reclaimed (the runtime's scavenge trace hook
+    /// reports it).
+    pub fn sweep(&mut self, budget: usize) -> usize {
         if !self.enabled() {
-            return;
+            return 0;
         }
+        let mut reclaimed = 0;
         for ci in 0..SIZE_CLASSES.len() {
             for _ in 0..budget {
                 if self.classes[ci].retained.is_empty() {
@@ -312,9 +315,11 @@ impl BufferPool {
                 if let Some(slab) = self.scavenge(SizeClass(ci), 1) {
                     self.stats.reclaimed.fetch_add(1, Ordering::Relaxed);
                     self.push_free(SizeClass(ci), slab);
+                    reclaimed += 1;
                 }
             }
         }
+        reclaimed
     }
 
     /// How many still-shared handles `class` may park: proportional to

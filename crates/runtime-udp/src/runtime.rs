@@ -55,6 +55,7 @@ use rrmp_core::sender::{Sender, SenderAction};
 use rrmp_netsim::event::{EventQueue, Scheduler};
 use rrmp_netsim::time::SimTime;
 use rrmp_netsim::topology::NodeId;
+use rrmp_trace::{sort_canonical, streams, EventKind, TraceEvent, TraceSink};
 
 use crate::batch::{PollSet, RecvBatcher};
 use crate::group::GroupSpec;
@@ -79,6 +80,13 @@ pub struct RuntimeConfig {
     /// application stops draining sheds deliveries (counted in
     /// [`MemberHandle::send_drops`]) rather than stalling its whole loop.
     pub delivery_capacity: usize,
+    /// `Some(capacity)` arms a per-loop [`TraceSink`] on the
+    /// [`streams::RUNTIME`] stream recording poll wakeups, socket
+    /// mute/unmute, pool scavenges, and fatal receive failures (collect
+    /// with [`UdpRuntime::trace_events`]). `None` — the default — keeps
+    /// the loops trace-free: every hook site is one branch on a `None`
+    /// discriminant.
+    pub trace_ring: Option<usize>,
 }
 
 /// Default per-loop freelist budget: enough for two full receive batches
@@ -99,6 +107,7 @@ impl Default for RuntimeConfig {
             loop_threads: loops,
             pool_limit_bytes: DEFAULT_POOL_LIMIT,
             delivery_capacity: 4096,
+            trace_ring: None,
         }
     }
 }
@@ -112,6 +121,92 @@ impl RuntimeConfig {
             loop_threads: 1,
             pool_limit_bytes: DEFAULT_POOL_LIMIT,
             delivery_capacity: 4096,
+            trace_ring: None,
+        }
+    }
+}
+
+/// Shared, lock-free per-loop health statistics — the runtime-path
+/// mirror of [`PoolStats`]. Counters are cumulative; all updates are
+/// `Relaxed` — they are observability, never synchronization.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Poll returns with at least one readable socket.
+    pub poll_wakeups: AtomicU64,
+    /// Poll returns with nothing readable (timer or idle sweeps).
+    pub idle_ticks: AtomicU64,
+    /// Sockets muted after a non-transient receive error (backoff).
+    pub mutes: AtomicU64,
+    /// Sockets re-admitted to the readiness set after backoff.
+    pub unmutes: AtomicU64,
+    /// Fatal receive failures: sockets permanently retired (each also
+    /// surfaced to its application as [`RuntimeEvent::RecvFailed`]).
+    pub recv_failures: AtomicU64,
+    /// Pool sweep passes that reclaimed at least one retained slab.
+    pub scavenges: AtomicU64,
+    /// Loop-wide fold of every member's send-path drops: datagrams the
+    /// outbox could not put on the wire plus deliveries shed on full
+    /// application channels (the per-member split stays on
+    /// [`MemberHandle::send_drops`]).
+    pub send_drops: AtomicU64,
+}
+
+/// A plain-data copy of [`RuntimeStats`] at one instant — uniform with
+/// [`crate::pool::PoolSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeSnapshot {
+    /// Poll returns with at least one readable socket.
+    pub poll_wakeups: u64,
+    /// Poll returns with nothing readable.
+    pub idle_ticks: u64,
+    /// Sockets muted into receive-error backoff.
+    pub mutes: u64,
+    /// Sockets re-admitted after backoff.
+    pub unmutes: u64,
+    /// Sockets permanently retired by fatal receive errors.
+    pub recv_failures: u64,
+    /// Pool sweeps that reclaimed at least one slab.
+    pub scavenges: u64,
+    /// Send-path work dropped loop-wide.
+    pub send_drops: u64,
+}
+
+impl RuntimeStats {
+    /// Reads every counter at once (each individually `Relaxed`).
+    #[must_use]
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            poll_wakeups: self.poll_wakeups.load(Ordering::Relaxed),
+            idle_ticks: self.idle_ticks.load(Ordering::Relaxed),
+            mutes: self.mutes.load(Ordering::Relaxed),
+            unmutes: self.unmutes.load(Ordering::Relaxed),
+            recv_failures: self.recv_failures.load(Ordering::Relaxed),
+            scavenges: self.scavenges.load(Ordering::Relaxed),
+            send_drops: self.send_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One event loop's observer surface: the always-on health counters plus
+/// the optional [`streams::RUNTIME`] trace sink. The sink sits behind a
+/// mutex only the loop thread touches while running (collection happens
+/// from the runtime handle), so an armed record is an uncontended lock
+/// and an unarmed one is a branch on `None`.
+struct LoopMon {
+    loop_idx: u32,
+    stats: Arc<RuntimeStats>,
+    trace: Option<Arc<Mutex<TraceSink>>>,
+}
+
+impl LoopMon {
+    fn record(&self, at: SimTime, kind: EventKind) {
+        if let Some(t) = &self.trace {
+            t.lock().expect("trace sink lock").record(
+                at.as_micros(),
+                self.loop_idx,
+                streams::RUNTIME,
+                kind,
+            );
         }
     }
 }
@@ -243,11 +338,20 @@ struct Outbox {
     wire: BytesMut,
     /// Reused fan-out destination list.
     fanout_addrs: Vec<std::net::SocketAddr>,
+    /// Loop-wide drop fold: every per-member drop also lands in
+    /// [`RuntimeStats::send_drops`] so the operator sees the loop's
+    /// health without enumerating member handles.
+    loop_drops: Arc<RuntimeStats>,
 }
 
 impl Outbox {
-    fn new() -> Outbox {
-        Outbox { wire: BytesMut::with_capacity(DATAGRAM_MTU), fanout_addrs: Vec::new() }
+    fn new(loop_drops: Arc<RuntimeStats>) -> Outbox {
+        Outbox { wire: BytesMut::with_capacity(DATAGRAM_MTU), fanout_addrs: Vec::new(), loop_drops }
+    }
+
+    fn count_drops(&self, drops: &AtomicU64, n: u64) {
+        drops.fetch_add(n, Ordering::Relaxed);
+        self.loop_drops.send_drops.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Unicast: encode onto the reused buffer and transmit to one member.
@@ -260,13 +364,13 @@ impl Outbox {
         packet: &Packet,
     ) {
         let Some(addr) = spec.addr_of(to) else {
-            drops.fetch_add(1, Ordering::Relaxed);
+            self.count_drops(drops, 1);
             return;
         };
         self.wire.clear();
         packet.encode_into(&mut self.wire);
         if socket.send_to(&self.wire, addr).is_err() {
-            drops.fetch_add(1, Ordering::Relaxed);
+            self.count_drops(drops, 1);
         }
     }
 
@@ -293,7 +397,7 @@ impl Outbox {
                 match spec.addr_of(m) {
                     Some(addr) => self.fanout_addrs.push(addr),
                     None => {
-                        drops.fetch_add(1, Ordering::Relaxed);
+                        self.count_drops(drops, 1);
                     }
                 }
             }
@@ -301,7 +405,7 @@ impl Outbox {
         let sent = crate::batch::send_to_many(socket, &self.wire, &self.fanout_addrs);
         let lost = self.fanout_addrs.len() - sent;
         if lost > 0 {
-            drops.fetch_add(lost as u64, Ordering::Relaxed);
+            self.count_drops(drops, lost as u64);
         }
     }
 }
@@ -340,7 +444,7 @@ fn execute(
                     .try_send(RuntimeEvent::Delivery(Delivery { id, payload }))
                     .is_err()
                 {
-                    slot.send_drops.fetch_add(1, Ordering::Relaxed);
+                    outbox.count_drops(&slot.send_drops, 1);
                 }
             }
             Action::SetTimer { delay, kind } => {
@@ -373,10 +477,11 @@ struct LoopCtx {
     pool_limit: usize,
     shutdown: Arc<AtomicBool>,
     stats: Arc<PoolStats>,
+    mon: LoopMon,
 }
 
 fn loop_main(ctx: LoopCtx) {
-    let LoopCtx { waker, cmd_rx, pool_limit, shutdown, stats } = ctx;
+    let LoopCtx { waker, cmd_rx, pool_limit, shutdown, stats, mon } = ctx;
     let epoch = Instant::now();
     let now_sim = || SimTime::from_micros(epoch.elapsed().as_micros() as u64);
 
@@ -388,7 +493,7 @@ fn loop_main(ctx: LoopCtx) {
     // Poll indices 1.. map onto this list (index 0 is the waker).
     let mut poll_slots: Vec<u32> = Vec::new();
     let mut poll_dirty = true;
-    let mut outbox = Outbox::new();
+    let mut outbox = Outbox::new(Arc::clone(&mon.stats));
     // Reused action scratch: `handle_into` fills it, `execute` drains it.
     let mut actions: Vec<Action> = Vec::new();
 
@@ -408,6 +513,8 @@ fn loop_main(ctx: LoopCtx) {
                         if !s.dead && s.muted {
                             s.muted = false;
                             poll_dirty = true;
+                            mon.stats.unmutes.fetch_add(1, Ordering::Relaxed);
+                            mon.record(at, EventKind::Unmuted { slot });
                         }
                     }
                 }
@@ -583,9 +690,12 @@ fn loop_main(ctx: LoopCtx) {
             }
         };
         if ready == 0 {
-            pool.sweep(SWEEP_BUDGET);
+            mon.stats.idle_ticks.fetch_add(1, Ordering::Relaxed);
+            sweep_pool(&mut pool, &mon, &now_sim);
             continue;
         }
+        mon.stats.poll_wakeups.fetch_add(1, Ordering::Relaxed);
+        mon.record(now_sim(), EventKind::PollWakeup { ready: ready as u32 });
 
         // 5. Drain the waker (commands are picked up next iteration).
         if pollset.is_readable(0) {
@@ -610,14 +720,25 @@ fn loop_main(ctx: LoopCtx) {
                 &mut actions,
                 &mut poll_dirty,
                 &now_sim,
+                &mon,
             );
         }
 
         // 7. Amortized reclaim of receive slabs the protocol released.
-        pool.sweep(SWEEP_BUDGET);
+        sweep_pool(&mut pool, &mon, &now_sim);
     }
 
     batcher.park(&mut pool);
+}
+
+/// One amortized pool sweep, with the reclaim count surfaced to the
+/// loop's observer when anything came back.
+fn sweep_pool(pool: &mut BufferPool, mon: &LoopMon, now_sim: &dyn Fn() -> SimTime) {
+    let reclaimed = pool.sweep(SWEEP_BUDGET);
+    if reclaimed > 0 {
+        mon.stats.scavenges.fetch_add(1, Ordering::Relaxed);
+        mon.record(now_sim(), EventKind::PoolScavenge { reclaimed: reclaimed as u32 });
+    }
 }
 
 /// Drains up to [`MAX_RECV_ROUNDS`] receive batches from one member's
@@ -633,6 +754,7 @@ fn drain_socket(
     actions: &mut Vec<Action>,
     poll_dirty: &mut bool,
     now_sim: &dyn Fn() -> SimTime,
+    mon: &LoopMon,
 ) {
     for _ in 0..MAX_RECV_ROUNDS {
         let Some(s) = slots.get_mut(&id) else { return };
@@ -677,11 +799,15 @@ fn drain_socket(
                     // retire the socket.
                     let _ = s.delivered_tx.try_send(RuntimeEvent::RecvFailed(e));
                     s.dead = true;
+                    mon.stats.recv_failures.fetch_add(1, Ordering::Relaxed);
+                    mon.record(now_sim(), EventKind::RecvFailed { slot: id });
                 } else {
                     // Mute instead of sleeping: the wheel wakes the
                     // socket back up, the loop keeps serving everyone
                     // else.
                     s.muted = true;
+                    mon.stats.mutes.fetch_add(1, Ordering::Relaxed);
+                    mon.record(now_sim(), EventKind::Muted { slot: id });
                     let delay = recv_backoff(s.error_streak);
                     timers.schedule(
                         now_sim()
@@ -714,6 +840,12 @@ struct LoopLink {
     next_slot: AtomicU32,
     /// This loop's buffer-pool statistics (shared with the loop thread).
     stats: Arc<PoolStats>,
+    /// This loop's runtime-health statistics (shared with the loop
+    /// thread).
+    rt_stats: Arc<RuntimeStats>,
+    /// The loop's optional [`streams::RUNTIME`] trace sink; `None` when
+    /// [`RuntimeConfig::trace_ring`] was unset.
+    trace: Option<Arc<Mutex<TraceSink>>>,
 }
 
 impl LoopLink {
@@ -770,12 +902,19 @@ impl UdpRuntime {
             waker_tx.connect(waker_rx.local_addr()?)?;
             let (cmd_tx, cmd_rx) = mpsc::channel::<LoopCmd>();
             let stats = Arc::new(PoolStats::default());
+            let rt_stats = Arc::new(RuntimeStats::default());
+            let trace = cfg.trace_ring.map(|cap| Arc::new(Mutex::new(TraceSink::new(cap))));
             let ctx = LoopCtx {
                 waker: waker_rx,
                 cmd_rx,
                 pool_limit: cfg.pool_limit_bytes,
                 shutdown: Arc::clone(&shutdown),
                 stats: Arc::clone(&stats),
+                mon: LoopMon {
+                    loop_idx: i as u32,
+                    stats: Arc::clone(&rt_stats),
+                    trace: trace.clone(),
+                },
             };
             let handle = std::thread::Builder::new()
                 .name(format!("rrmp-udp-loop-{i}"))
@@ -787,6 +926,8 @@ impl UdpRuntime {
                 members: AtomicUsize::new(0),
                 next_slot: AtomicU32::new(0),
                 stats,
+                rt_stats,
+                trace,
             });
             handles.push(handle);
         }
@@ -816,6 +957,37 @@ impl UdpRuntime {
     #[must_use]
     pub fn pool_snapshots(&self) -> Vec<crate::pool::PoolSnapshot> {
         self.shared.links.iter().map(|l| l.stats.snapshot()).collect()
+    }
+
+    /// Per-loop runtime-health snapshots (index = loop) — poll wakeups,
+    /// mute/unmute churn, fatal receive failures, pool scavenges, and
+    /// the loop-wide send-drop fold, uniform with
+    /// [`UdpRuntime::pool_snapshots`].
+    #[must_use]
+    pub fn runtime_snapshots(&self) -> Vec<RuntimeSnapshot> {
+        self.shared.links.iter().map(|l| l.rt_stats.snapshot()).collect()
+    }
+
+    /// Whether [`RuntimeConfig::trace_ring`] armed per-loop trace sinks.
+    #[must_use]
+    pub fn trace_armed(&self) -> bool {
+        self.shared.links.iter().any(|l| l.trace.is_some())
+    }
+
+    /// Collects every loop's [`streams::RUNTIME`] trace events in
+    /// canonical order (empty when unarmed). Timestamps are wall-clock
+    /// microseconds since each loop's epoch — diagnostic, not
+    /// deterministic like the simulator streams.
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for link in &self.shared.links {
+            if let Some(t) = &link.trace {
+                t.lock().expect("trace sink lock").collect_into(&mut out);
+            }
+        }
+        sort_canonical(&mut out);
+        out
     }
 
     /// Places a member on the least-loaded event loop. `socket` must
@@ -1317,6 +1489,7 @@ mod tests {
             loop_threads: 2,
             pool_limit_bytes: DEFAULT_POOL_LIMIT,
             delivery_capacity: 64,
+            trace_ring: Some(1024),
         })
         .expect("start runtime");
         let members: Vec<MemberHandle> = bound
@@ -1351,6 +1524,20 @@ mod tests {
         let hits: u64 = totals.iter().map(|s| s.hits).sum();
         let misses: u64 = totals.iter().map(|s| s.misses).sum();
         assert!(hits + misses > 0, "receive path must draw from the pool");
+        // The runtime observer saw the loops wake for those datagrams,
+        // and the armed trace carries the same story on the RUNTIME
+        // stream.
+        let health = rt.runtime_snapshots();
+        assert_eq!(health.len(), 2);
+        let wakeups: u64 = health.iter().map(|s| s.poll_wakeups).sum();
+        assert!(wakeups > 0, "deliveries imply readable-socket wakeups");
+        assert!(rt.trace_armed());
+        let events = rt.trace_events();
+        assert!(!events.is_empty(), "armed loops must record wakeup events");
+        assert!(events.iter().all(|e| e.stream == streams::RUNTIME));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PollWakeup { ready } if ready > 0)));
         drop(members);
         rt.shutdown();
     }
@@ -1469,7 +1656,8 @@ mod tests {
         // unaddressable and must be counted, not silently skipped.
         let mut spec = GroupSpec::new();
         spec.add_member(NodeId(0), sock.local_addr().unwrap(), RegionId(0));
-        let mut outbox = Outbox::new();
+        let loop_stats = Arc::new(RuntimeStats::default());
+        let mut outbox = Outbox::new(Arc::clone(&loop_stats));
         let packet = Packet::LocalRequest { msg: MessageId::new(NodeId(9), SeqNo(1)) };
         outbox.send(&sock, &spec, &drops, NodeId(9), &packet);
         assert_eq!(drops.load(Ordering::Relaxed), 1, "unaddressable unicast counts");
@@ -1484,6 +1672,8 @@ mod tests {
             &|_| true,
         );
         assert_eq!(drops.load(Ordering::Relaxed), 3, "unaddressable fan-out legs count");
+        // Every member-level drop also folds into the loop-wide counter.
+        assert_eq!(loop_stats.snapshot().send_drops, 3, "loop fold mirrors member drops");
     }
 
     #[test]

@@ -89,6 +89,19 @@ fn main() -> std::io::Result<()> {
             snap.high_water_bytes / 1024
         );
     }
+    for (i, h) in rt.runtime_snapshots().iter().enumerate() {
+        println!(
+            "loop {i} health: {} wakeups / {} idle ticks, {} mutes / {} unmutes, \
+             {} recv failures, {} scavenges, {} send drops",
+            h.poll_wakeups,
+            h.idle_ticks,
+            h.mutes,
+            h.unmutes,
+            h.recv_failures,
+            h.scavenges,
+            h.send_drops
+        );
+    }
 
     drop(members);
     rt.shutdown();

@@ -24,6 +24,9 @@
 //! * [`analysis`] (`rrmp-analysis`) — the paper's closed-form models
 //!   (Poisson bufferer counts, `e^{-C}`, search-time model).
 //! * [`udp`] (`rrmp-udp`) — the same protocol core on real UDP sockets.
+//! * [`trace`] (`rrmp-trace`) — the observer substrate: structured trace
+//!   events, log-linear latency histograms, and the JSONL/JSON codecs
+//!   behind `trace_dump` / `trace_check`.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use rrmp_baselines as baselines;
 pub use rrmp_core as core;
 pub use rrmp_membership as membership;
 pub use rrmp_netsim as netsim;
+pub use rrmp_trace as trace;
 pub use rrmp_udp as udp;
 
 /// The most common imports for simulation-based usage.

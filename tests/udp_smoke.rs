@@ -153,6 +153,7 @@ fn multiplexed_runtime_hosts_a_group_on_two_loops() {
         loop_threads: 2,
         pool_limit_bytes: 4 << 20,
         delivery_capacity: 256,
+        trace_ring: None,
     })
     .expect("start runtime");
     let members: Vec<_> = sockets
